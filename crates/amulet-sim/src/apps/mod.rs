@@ -1,0 +1,16 @@
+//! Applications for the simulated Amulet.
+//!
+//! * [`sift_app`] — the paper's detector as a three-state QM machine,
+//! * [`heartrate`] — a simple heart-rate display app, demonstrating the
+//!   platform's multi-application deployment (several apps react to the
+//!   same sensor events without threads or isolation violations),
+//! * [`fall_detection`] — the paper's other canonical decision app,
+//!   consuming the internal accelerometer.
+
+pub mod fall_detection;
+pub mod heartrate;
+pub mod sift_app;
+
+pub use fall_detection::FallDetectionApp;
+pub use heartrate::HeartRateApp;
+pub use sift_app::SiftApp;

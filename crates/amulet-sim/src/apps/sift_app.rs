@@ -1,0 +1,356 @@
+//! The SIFT detector as an AmuletOS application.
+//!
+//! Paper §III: "each version of our detector consists of three states:
+//! (1) *PeaksDataCheck state*; (2) *FeatureExtraction state*; (3) and
+//! *MLClassifier state*." The states are genuine QM states here: each
+//! stage runs in its own run-to-completion step, chained through
+//! self-posted signals, exactly like the generated QM code on the
+//! device. Every stage charges its cycle cost from [`crate::costs`] to
+//! the battery meter.
+
+use crate::costs::{detector_cycles, OpCosts, StageCycles};
+use crate::display::Severity;
+use crate::event::AmuletEvent;
+use crate::machine::{App, AppContext};
+use crate::profiler::{sift_app_spec, AppResourceSpec};
+use ml::embedded::EmbeddedModel;
+use ml::Label;
+use sift::config::SiftConfig;
+use sift::features::Version;
+use sift::flavor::extract_amulet_f32;
+use sift::snippet::Snippet;
+use sift::SiftError;
+
+/// Self-posted signal: snippet checked, run feature extraction.
+pub const SIG_EXTRACT: u32 = 0x51F7_0010;
+/// Self-posted signal: features ready, run the classifier.
+pub const SIG_CLASSIFY: u32 = 0x51F7_0011;
+
+/// Detector state (the three QM states).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    PeaksDataCheck,
+    FeatureExtraction,
+    MlClassifier,
+}
+
+/// Running statistics of the detector app.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SiftAppStats {
+    /// Windows fully processed.
+    pub windows: u64,
+    /// Alerts raised (positive classifications).
+    pub alerts: u64,
+    /// Windows rejected in PeaksDataCheck (malformed/degenerate).
+    pub rejected: u64,
+}
+
+/// The detector application.
+pub struct SiftApp {
+    name: String,
+    version: Version,
+    model: EmbeddedModel,
+    config: SiftConfig,
+    costs: OpCosts,
+    state: State,
+    pending_snippet: Option<Snippet>,
+    pending_features: Option<Vec<f32>>,
+    stats: SiftAppStats,
+}
+
+impl std::fmt::Debug for SiftApp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SiftApp")
+            .field("name", &self.name)
+            .field("version", &self.version)
+            .field("state", &self.current_state())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl SiftApp {
+    /// Create the app from a deployed (translated) model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SiftError::InvalidConfig`] if the model dimension does
+    /// not match the version's feature count or the config is invalid.
+    pub fn new(
+        version: Version,
+        model: EmbeddedModel,
+        config: SiftConfig,
+    ) -> Result<Self, SiftError> {
+        config.validate()?;
+        if model.dim() != version.feature_count() {
+            return Err(SiftError::InvalidConfig {
+                reason: "model dimension does not match detector version",
+            });
+        }
+        Ok(Self {
+            name: format!("sift-{version}"),
+            version,
+            model,
+            config,
+            costs: OpCosts::default(),
+            state: State::PeaksDataCheck,
+            pending_snippet: None,
+            pending_features: None,
+            stats: SiftAppStats::default(),
+        })
+    }
+
+    /// The detector version this app runs.
+    pub fn version(&self) -> Version {
+        self.version
+    }
+
+    /// Running statistics.
+    pub fn stats(&self) -> SiftAppStats {
+        self.stats
+    }
+
+    fn stage_cycles(&self) -> StageCycles {
+        detector_cycles(self.version, &self.config, &self.costs, 4.0)
+    }
+}
+
+impl App for SiftApp {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn resource_spec(&self) -> AppResourceSpec {
+        sift_app_spec(self.version, &self.config, self.model.footprint_bytes())
+    }
+
+    fn current_state(&self) -> &'static str {
+        match self.state {
+            State::PeaksDataCheck => "PeaksDataCheck",
+            State::FeatureExtraction => "FeatureExtraction",
+            State::MlClassifier => "MLClassifier",
+        }
+    }
+
+    fn handle(&mut self, event: &AmuletEvent, ctx: &mut AppContext<'_>) {
+        match (self.state, event) {
+            (State::PeaksDataCheck, AmuletEvent::SnippetReady(snippet)) => {
+                ctx.charge_cycles(self.stage_cycles().peaks_data_check);
+                if snippet.len() != self.config.window_samples() {
+                    self.stats.rejected += 1;
+                    ctx.display(Severity::Debug, "snippet length mismatch; dropped");
+                    return;
+                }
+                ctx.display(
+                    Severity::Info,
+                    format!("ecg/abp window ({} samples)", snippet.len()),
+                );
+                self.pending_snippet = Some(snippet.clone());
+                self.state = State::FeatureExtraction;
+                ctx.post(AmuletEvent::Signal(SIG_EXTRACT));
+            }
+            (State::FeatureExtraction, AmuletEvent::Signal(sig)) if *sig == SIG_EXTRACT => {
+                ctx.charge_cycles(self.stage_cycles().feature_extraction);
+                let snippet = self
+                    .pending_snippet
+                    .take()
+                    .expect("FeatureExtraction entered without a snippet");
+                match extract_amulet_f32(self.version, &snippet, &self.config) {
+                    Ok(features) => {
+                        self.pending_features = Some(features);
+                        self.state = State::MlClassifier;
+                        ctx.post(AmuletEvent::Signal(SIG_CLASSIFY));
+                    }
+                    Err(SiftError::DegenerateSignal) => {
+                        // A flat-lined channel cannot be genuine: alert
+                        // directly and return to the idle state.
+                        self.stats.windows += 1;
+                        self.stats.alerts += 1;
+                        ctx.raise_alert("ECG ALTERED (degenerate signal)");
+                        self.state = State::PeaksDataCheck;
+                    }
+                    Err(_) => {
+                        self.stats.rejected += 1;
+                        ctx.display(Severity::Debug, "feature extraction failed; dropped");
+                        self.state = State::PeaksDataCheck;
+                    }
+                }
+            }
+            (State::MlClassifier, AmuletEvent::Signal(sig)) if *sig == SIG_CLASSIFY => {
+                ctx.charge_cycles(self.stage_cycles().ml_classifier);
+                let features = self
+                    .pending_features
+                    .take()
+                    .expect("MLClassifier entered without features");
+                let label = self.model.predict_f32(&features);
+                self.stats.windows += 1;
+                if label == Label::Positive {
+                    self.stats.alerts += 1;
+                    ctx.raise_alert("ECG ALTERED");
+                } else {
+                    ctx.display(Severity::Info, "ecg ok");
+                }
+                self.state = State::PeaksDataCheck;
+            }
+            // Snippets arriving mid-pipeline are dropped (the device
+            // cannot buffer more than one window).
+            (_, AmuletEvent::SnippetReady(_)) => {
+                self.stats.rejected += 1;
+                ctx.display(Severity::Debug, "busy; window dropped");
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::os::AmuletOs;
+    use crate::profiler::ResourceProfiler;
+    use crate::toolchain::FirmwareImage;
+    use physio_sim::record::Record;
+    use physio_sim::subject::bank;
+    use sift::trainer::train_for_subject;
+
+    fn quick_config() -> SiftConfig {
+        SiftConfig {
+            train_s: 60.0,
+            max_positive_per_donor: Some(15),
+            ..SiftConfig::default()
+        }
+    }
+
+    fn make_app(version: Version) -> SiftApp {
+        let cfg = quick_config();
+        let model = train_for_subject(&bank(), 0, version, &cfg, 77).unwrap();
+        SiftApp::new(version, model.embedded().clone(), cfg).unwrap()
+    }
+
+    fn os_with_app(app: SiftApp) -> AmuletOs {
+        let mut os = AmuletOs::new();
+        let image =
+            FirmwareImage::build(vec![app.resource_spec()], &ResourceProfiler::default()).unwrap();
+        os.install(&image, vec![Box::new(app)]).unwrap();
+        os
+    }
+
+    fn snippets(subject: usize, seed: u64, secs: f64) -> Vec<Snippet> {
+        let r = Record::synthesize(&bank()[subject], secs, seed);
+        physio_sim::dataset::windows(&r, 3.0)
+            .unwrap()
+            .iter()
+            .map(|w| Snippet::from_record(w).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn three_state_pipeline_processes_windows() {
+        let mut os = os_with_app(make_app(Version::Simplified));
+        for sn in snippets(0, 101, 15.0) {
+            os.post(AmuletEvent::SnippetReady(sn));
+            os.run_until_idle().unwrap();
+            os.advance_time(3000);
+        }
+        // Each window = 3 dispatches (snippet + two signals).
+        assert_eq!(os.dispatched(), 15);
+        assert_eq!(os.app_state("sift-simplified").unwrap(), "PeaksDataCheck");
+    }
+
+    #[test]
+    fn own_data_rarely_alerts_donor_data_usually_alerts() {
+        let app = make_app(Version::Simplified);
+        let mut os = os_with_app(app);
+        // Genuine windows.
+        for sn in snippets(0, 2024, 30.0) {
+            os.post(AmuletEvent::SnippetReady(sn));
+            os.run_until_idle().unwrap();
+        }
+        let genuine_alerts = os.alerts().len();
+        assert!(genuine_alerts <= 3, "false alerts: {genuine_alerts}");
+
+        // Altered windows: own ABP + donor ECG.
+        let own = Record::synthesize(&bank()[0], 30.0, 2024);
+        let donor = Record::synthesize(&bank()[4], 30.0, 4048);
+        let vw = physio_sim::dataset::windows(&own, 3.0).unwrap();
+        let dw = physio_sim::dataset::windows(&donor, 3.0).unwrap();
+        for (v, d) in vw.iter().zip(&dw) {
+            let sn = Snippet::new(
+                d.ecg.clone(),
+                v.abp.clone(),
+                d.r_peaks.clone(),
+                v.sys_peaks.clone(),
+            )
+            .unwrap();
+            os.post(AmuletEvent::SnippetReady(sn));
+            os.run_until_idle().unwrap();
+        }
+        let attack_alerts = os.alerts().len() - genuine_alerts;
+        assert!(attack_alerts >= 7, "only {attack_alerts}/10 attacks caught");
+    }
+
+    #[test]
+    fn busy_pipeline_drops_extra_snippets() {
+        let app = make_app(Version::Reduced);
+        let mut os = os_with_app(app);
+        let sns = snippets(0, 5, 6.0);
+        // Post two windows without draining — the second arrives while
+        // the app is mid-pipeline.
+        os.post(AmuletEvent::SnippetReady(sns[0].clone()));
+        os.step().unwrap(); // PeaksDataCheck of window 0
+        os.post(AmuletEvent::SnippetReady(sns[1].clone()));
+        os.run_until_idle().unwrap();
+        // One processed, one rejected — observable on the debug display.
+        let dropped = os
+            .display()
+            .lines()
+            .iter()
+            .filter(|l| l.text.contains("busy"))
+            .count();
+        assert_eq!(dropped, 1);
+    }
+
+    #[test]
+    fn degenerate_snippet_alerts() {
+        let app = make_app(Version::Simplified);
+        let mut os = os_with_app(app);
+        let flat = Snippet::new(vec![0.5; 1080], vec![80.0; 1080], vec![], vec![]).unwrap();
+        os.post(AmuletEvent::SnippetReady(flat));
+        os.run_until_idle().unwrap();
+        assert_eq!(os.alerts().len(), 1);
+        assert!(os.alerts()[0].message.contains("degenerate"));
+    }
+
+    #[test]
+    fn wrong_length_snippet_rejected() {
+        let app = make_app(Version::Simplified);
+        let mut os = os_with_app(app);
+        let short = Snippet::new(vec![0.1, 0.9, 0.2], vec![70.0, 80.0, 75.0], vec![1], vec![1])
+            .unwrap();
+        os.post(AmuletEvent::SnippetReady(short));
+        os.run_until_idle().unwrap();
+        assert!(os.alerts().is_empty());
+        assert_eq!(os.app_state("sift-simplified").unwrap(), "PeaksDataCheck");
+    }
+
+    #[test]
+    fn model_dimension_checked_at_construction() {
+        let cfg = quick_config();
+        let model = train_for_subject(&bank(), 0, Version::Reduced, &cfg, 77).unwrap();
+        // A 5-feature model cannot drive the 8-feature original app.
+        assert!(SiftApp::new(Version::Original, model.embedded().clone(), cfg).is_err());
+    }
+
+    #[test]
+    fn energy_is_charged_per_window() {
+        let app = make_app(Version::Original);
+        let mut os = os_with_app(app);
+        let before = os.meter().consumed_mah();
+        for sn in snippets(0, 6, 6.0) {
+            os.post(AmuletEvent::SnippetReady(sn));
+            os.run_until_idle().unwrap();
+        }
+        assert!(os.meter().consumed_mah() > before);
+        assert!(os.meter().active_cycles() > 1e6);
+    }
+}

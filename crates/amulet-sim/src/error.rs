@@ -1,0 +1,107 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for the platform simulation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum AmuletError {
+    /// An allocation would exceed a memory region's capacity.
+    OutOfMemory {
+        /// Which region overflowed ("fram" or "sram").
+        region: &'static str,
+        /// Bytes requested.
+        requested: usize,
+        /// Bytes still available.
+        available: usize,
+    },
+    /// The platform rejects arrays above its element limit (the paper's
+    /// Insight #1: "it does not allow large array size nor did it
+    /// support 2D arrays").
+    ArrayTooLarge {
+        /// Elements requested.
+        requested: usize,
+        /// Maximum allowed.
+        max: usize,
+    },
+    /// A firmware image failed compile-time predictive analysis.
+    StaticCheckFailed {
+        /// Human-readable description of the violated budget.
+        reason: String,
+    },
+    /// An app name was not found in the OS registry.
+    UnknownApp {
+        /// The name that failed to resolve.
+        name: String,
+    },
+    /// An app with the same name is already installed.
+    DuplicateApp {
+        /// The conflicting name.
+        name: String,
+    },
+    /// The battery is exhausted; no further execution is possible.
+    BatteryExhausted,
+    /// An error from the SIFT pipeline running inside an app.
+    Sift(sift::SiftError),
+}
+
+impl fmt::Display for AmuletError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AmuletError::OutOfMemory {
+                region,
+                requested,
+                available,
+            } => write!(
+                f,
+                "out of {region}: requested {requested} bytes, {available} available"
+            ),
+            AmuletError::ArrayTooLarge { requested, max } => {
+                write!(f, "array of {requested} elements exceeds platform limit of {max}")
+            }
+            AmuletError::StaticCheckFailed { reason } => {
+                write!(f, "firmware static check failed: {reason}")
+            }
+            AmuletError::UnknownApp { name } => write!(f, "unknown app `{name}`"),
+            AmuletError::DuplicateApp { name } => write!(f, "app `{name}` already installed"),
+            AmuletError::BatteryExhausted => write!(f, "battery exhausted"),
+            AmuletError::Sift(e) => write!(f, "sift error: {e}"),
+        }
+    }
+}
+
+impl Error for AmuletError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            AmuletError::Sift(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<sift::SiftError> for AmuletError {
+    fn from(e: sift::SiftError) -> Self {
+        AmuletError::Sift(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = AmuletError::OutOfMemory {
+            region: "fram",
+            requested: 10,
+            available: 5,
+        };
+        assert!(e.to_string().contains("fram"));
+        assert!(AmuletError::BatteryExhausted.to_string().contains("battery"));
+    }
+
+    #[test]
+    fn sift_errors_chain() {
+        let e = AmuletError::from(sift::SiftError::DegenerateSignal);
+        assert!(e.source().is_some());
+    }
+}

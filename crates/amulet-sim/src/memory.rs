@@ -1,0 +1,286 @@
+//! FRAM/SRAM accounting and the platform's array restrictions.
+//!
+//! The MSP430FR5989 unifies code and data in 128 KB of FRAM and has just
+//! 2 KB of SRAM for the stack. AmuletOS additionally restricts arrays:
+//! the paper's Insight #1 reports that large arrays and 2-D arrays are
+//! rejected. [`MemoryModel`] tracks region usage for the firmware
+//! toolchain's static checks; [`Arena`] provides a peak-tracking
+//! allocator apps use to model their runtime buffers.
+
+use crate::{AmuletError, FRAM_BYTES, SRAM_BYTES};
+
+/// Maximum elements AmuletOS allows in a single array. The paper's
+/// authors could not allocate beyond their two 1080-element float arrays;
+/// the limit here gives exactly that much headroom.
+pub const MAX_ARRAY_ELEMS: usize = 1100;
+
+/// One memory region with a fixed capacity and a usage high-water mark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Region {
+    name: &'static str,
+    capacity: usize,
+    used: usize,
+    peak: usize,
+}
+
+impl Region {
+    /// Create a region of `capacity` bytes.
+    pub fn new(name: &'static str, capacity: usize) -> Self {
+        Self {
+            name,
+            capacity,
+            used: 0,
+            peak: 0,
+        }
+    }
+
+    /// Reserve `bytes`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AmuletError::OutOfMemory`] when the region cannot fit
+    /// the request.
+    pub fn reserve(&mut self, bytes: usize) -> Result<(), AmuletError> {
+        if self.used + bytes > self.capacity {
+            return Err(AmuletError::OutOfMemory {
+                region: self.name,
+                requested: bytes,
+                available: self.capacity - self.used,
+            });
+        }
+        self.used += bytes;
+        self.peak = self.peak.max(self.used);
+        Ok(())
+    }
+
+    /// Release `bytes` (saturating at zero).
+    pub fn release(&mut self, bytes: usize) {
+        self.used = self.used.saturating_sub(bytes);
+    }
+
+    /// Bytes currently reserved.
+    pub fn used(&self) -> usize {
+        self.used
+    }
+
+    /// High-water mark since creation.
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Bytes still available.
+    pub fn available(&self) -> usize {
+        self.capacity - self.used
+    }
+}
+
+/// The device's two memory regions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemoryModel {
+    fram: Region,
+    sram: Region,
+}
+
+impl Default for MemoryModel {
+    fn default() -> Self {
+        Self::new(FRAM_BYTES, SRAM_BYTES)
+    }
+}
+
+impl MemoryModel {
+    /// Create a model with explicit capacities (tests shrink them).
+    pub fn new(fram_bytes: usize, sram_bytes: usize) -> Self {
+        Self {
+            fram: Region::new("fram", fram_bytes),
+            sram: Region::new("sram", sram_bytes),
+        }
+    }
+
+    /// The FRAM region.
+    pub fn fram(&self) -> &Region {
+        &self.fram
+    }
+
+    /// The FRAM region, mutably.
+    pub fn fram_mut(&mut self) -> &mut Region {
+        &mut self.fram
+    }
+
+    /// The SRAM region.
+    pub fn sram(&self) -> &Region {
+        &self.sram
+    }
+
+    /// The SRAM region, mutably.
+    pub fn sram_mut(&mut self) -> &mut Region {
+        &mut self.sram
+    }
+
+    /// Validate an array allocation request of `elems` elements of
+    /// `elem_bytes` each against the platform's rules, then reserve it
+    /// in FRAM (arrays live in FRAM; SRAM is stack only).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AmuletError::ArrayTooLarge`] beyond
+    /// [`MAX_ARRAY_ELEMS`], or [`AmuletError::OutOfMemory`].
+    pub fn alloc_array(&mut self, elems: usize, elem_bytes: usize) -> Result<(), AmuletError> {
+        if elems > MAX_ARRAY_ELEMS {
+            return Err(AmuletError::ArrayTooLarge {
+                requested: elems,
+                max: MAX_ARRAY_ELEMS,
+            });
+        }
+        self.fram.reserve(elems * elem_bytes)
+    }
+}
+
+/// A bump arena with peak tracking, modelling an app's scratch memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Arena {
+    capacity: usize,
+    used: usize,
+    peak: usize,
+}
+
+impl Arena {
+    /// Create an arena of `capacity` bytes.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            used: 0,
+            peak: 0,
+        }
+    }
+
+    /// Allocate `bytes`, returning the offset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AmuletError::OutOfMemory`] when full.
+    pub fn alloc(&mut self, bytes: usize) -> Result<usize, AmuletError> {
+        if self.used + bytes > self.capacity {
+            return Err(AmuletError::OutOfMemory {
+                region: "arena",
+                requested: bytes,
+                available: self.capacity - self.used,
+            });
+        }
+        let offset = self.used;
+        self.used += bytes;
+        self.peak = self.peak.max(self.used);
+        Ok(offset)
+    }
+
+    /// Reset the arena (end of a run-to-completion step); the peak
+    /// persists.
+    pub fn reset(&mut self) {
+        self.used = 0;
+    }
+
+    /// Current bytes in use.
+    pub fn used(&self) -> usize {
+        self.used
+    }
+
+    /// High-water mark since creation.
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn region_reserve_release_and_peak() {
+        let mut r = Region::new("fram", 100);
+        r.reserve(60).unwrap();
+        r.release(20);
+        assert_eq!(r.used(), 40);
+        assert_eq!(r.peak(), 60);
+        assert_eq!(r.available(), 60);
+        r.reserve(60).unwrap();
+        assert_eq!(r.peak(), 100);
+    }
+
+    #[test]
+    fn region_overflow_errors_without_mutation() {
+        let mut r = Region::new("sram", 10);
+        r.reserve(8).unwrap();
+        let err = r.reserve(3).unwrap_err();
+        assert_eq!(
+            err,
+            AmuletError::OutOfMemory {
+                region: "sram",
+                requested: 3,
+                available: 2
+            }
+        );
+        assert_eq!(r.used(), 8);
+    }
+
+    #[test]
+    fn release_saturates() {
+        let mut r = Region::new("fram", 10);
+        r.reserve(4).unwrap();
+        r.release(100);
+        assert_eq!(r.used(), 0);
+    }
+
+    #[test]
+    fn default_model_has_device_capacities() {
+        let m = MemoryModel::default();
+        assert_eq!(m.fram().capacity(), 128 * 1024);
+        assert_eq!(m.sram().capacity(), 2 * 1024);
+    }
+
+    #[test]
+    fn papers_detector_arrays_fit_exactly() {
+        // "the 3 seconds ECG and ABP data had to be stored into two
+        // floating type arrays (each has a size of 1080)".
+        let mut m = MemoryModel::default();
+        m.alloc_array(1080, 4).unwrap();
+        m.alloc_array(1080, 4).unwrap();
+        assert_eq!(m.fram().used(), 2 * 1080 * 4);
+    }
+
+    #[test]
+    fn oversized_array_rejected() {
+        let mut m = MemoryModel::default();
+        let err = m.alloc_array(MAX_ARRAY_ELEMS + 1, 4).unwrap_err();
+        assert!(matches!(err, AmuletError::ArrayTooLarge { .. }));
+    }
+
+    #[test]
+    fn arena_alloc_reset_peak() {
+        let mut a = Arena::new(64);
+        assert_eq!(a.alloc(16).unwrap(), 0);
+        assert_eq!(a.alloc(16).unwrap(), 16);
+        assert_eq!(a.peak(), 32);
+        a.reset();
+        assert_eq!(a.used(), 0);
+        assert_eq!(a.peak(), 32, "peak survives reset");
+        a.alloc(64).unwrap();
+        assert_eq!(a.peak(), 64);
+    }
+
+    #[test]
+    fn arena_overflow() {
+        let mut a = Arena::new(8);
+        a.alloc(8).unwrap();
+        assert!(a.alloc(1).is_err());
+        assert_eq!(a.capacity(), 8);
+    }
+}

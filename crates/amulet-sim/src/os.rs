@@ -1,0 +1,404 @@
+//! AmuletOS: the application container and event dispatcher.
+//!
+//! The OS owns the device's display, battery meter, memory model and
+//! event queue. Apps are installed from a statically checked
+//! [`FirmwareImage`] and then receive events one at a time,
+//! run-to-completion, in installation order — exactly the concurrency
+//! model of the real platform (no threads, no preemption).
+
+use crate::display::Display;
+use crate::energy::{EnergyMeter, EnergyModel};
+use crate::event::{AmuletEvent, EventQueue};
+use crate::machine::{Alert, App, AppContext};
+use crate::memory::MemoryModel;
+use crate::toolchain::FirmwareImage;
+use crate::AmuletError;
+
+/// The operating system instance for one simulated device.
+pub struct AmuletOs {
+    clock_ms: u64,
+    apps: Vec<Box<dyn App>>,
+    queue: EventQueue,
+    display: Display,
+    meter: EnergyMeter,
+    energy_model: EnergyModel,
+    memory: MemoryModel,
+    alerts: Vec<Alert>,
+    dispatched: u64,
+}
+
+impl std::fmt::Debug for AmuletOs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AmuletOs")
+            .field("clock_ms", &self.clock_ms)
+            .field("apps", &self.apps.iter().map(|a| a.name().to_string()).collect::<Vec<_>>())
+            .field("queued", &self.queue.len())
+            .field("dispatched", &self.dispatched)
+            .finish()
+    }
+}
+
+impl AmuletOs {
+    /// Boot an OS with the default energy model and device memory.
+    pub fn new() -> Self {
+        Self::with_energy_model(EnergyModel::default())
+    }
+
+    /// Boot with an explicit energy model.
+    pub fn with_energy_model(energy_model: EnergyModel) -> Self {
+        Self {
+            clock_ms: 0,
+            apps: Vec::new(),
+            queue: EventQueue::default(),
+            display: Display::new(),
+            meter: EnergyMeter::new(),
+            energy_model,
+            memory: MemoryModel::default(),
+            alerts: Vec::new(),
+            dispatched: 0,
+        }
+    }
+
+    /// Install a statically checked firmware image together with the app
+    /// instances implementing it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AmuletError::StaticCheckFailed`] if the image's specs do
+    /// not match the provided apps, [`AmuletError::DuplicateApp`] for a
+    /// name collision with an installed app, and memory errors from
+    /// flashing.
+    pub fn install(
+        &mut self,
+        image: &FirmwareImage,
+        apps: Vec<Box<dyn App>>,
+    ) -> Result<(), AmuletError> {
+        if image.specs().len() != apps.len()
+            || !image
+                .specs()
+                .iter()
+                .zip(&apps)
+                .all(|(s, a)| s.name == a.name())
+        {
+            return Err(AmuletError::StaticCheckFailed {
+                reason: "firmware image does not match the provided app instances".to_string(),
+            });
+        }
+        for a in &apps {
+            if self.apps.iter().any(|b| b.name() == a.name()) {
+                return Err(AmuletError::DuplicateApp {
+                    name: a.name().to_string(),
+                });
+            }
+        }
+        image.flash(&mut self.memory)?;
+        self.apps.extend(apps);
+        Ok(())
+    }
+
+    /// Queue an event for dispatch. Returns `false` if the queue is full
+    /// (the event is dropped, as on the device).
+    pub fn post(&mut self, event: AmuletEvent) -> bool {
+        self.queue.post(event)
+    }
+
+    /// Dispatch one queued event to every app, run-to-completion.
+    /// Returns `Ok(true)` if an event was processed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AmuletError::BatteryExhausted`] once the battery is
+    /// empty.
+    pub fn step(&mut self) -> Result<bool, AmuletError> {
+        self.meter.check_battery(&self.energy_model)?;
+        let Some(event) = self.queue.pop() else {
+            return Ok(false);
+        };
+        self.dispatched += 1;
+        let mut followups = Vec::new();
+        for app in &mut self.apps {
+            let mut ctx = AppContext::new(
+                self.clock_ms,
+                app.name(),
+                &mut self.display,
+                &mut self.meter,
+                &self.energy_model,
+                &mut self.alerts,
+            );
+            app.handle(&event, &mut ctx);
+            followups.extend(ctx.take_posted());
+        }
+        for e in followups {
+            self.queue.post(e);
+        }
+        Ok(true)
+    }
+
+    /// Dispatch until the queue drains; returns the number of events
+    /// processed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`AmuletError::BatteryExhausted`].
+    pub fn run_until_idle(&mut self) -> Result<usize, AmuletError> {
+        let mut n = 0;
+        while self.step()? {
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// Advance the wall clock by `ms`, charging baseline (sleep) current.
+    pub fn advance_time(&mut self, ms: u64) {
+        self.clock_ms += ms;
+        self.meter
+            .charge_sleep(ms as f64 / 1000.0, &self.energy_model);
+    }
+
+    /// OS uptime in ms.
+    pub fn now_ms(&self) -> u64 {
+        self.clock_ms
+    }
+
+    /// All alerts raised so far.
+    pub fn alerts(&self) -> &[Alert] {
+        &self.alerts
+    }
+
+    /// The screen.
+    pub fn display(&self) -> &Display {
+        &self.display
+    }
+
+    /// The battery meter.
+    pub fn meter(&self) -> &EnergyMeter {
+        &self.meter
+    }
+
+    /// The energy model in force.
+    pub fn energy_model(&self) -> &EnergyModel {
+        &self.energy_model
+    }
+
+    /// The memory model (post-flash usage).
+    pub fn memory(&self) -> &MemoryModel {
+        &self.memory
+    }
+
+    /// Total events dispatched.
+    pub fn dispatched(&self) -> u64 {
+        self.dispatched
+    }
+
+    /// Names of installed apps, in dispatch order.
+    pub fn app_names(&self) -> Vec<&str> {
+        self.apps.iter().map(|a| a.name()).collect()
+    }
+
+    /// Current state of a named app.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AmuletError::UnknownApp`] if no app has that name.
+    pub fn app_state(&self, name: &str) -> Result<&'static str, AmuletError> {
+        self.apps
+            .iter()
+            .find(|a| a.name() == name)
+            .map(|a| a.current_state())
+            .ok_or_else(|| AmuletError::UnknownApp {
+                name: name.to_string(),
+            })
+    }
+
+    /// Replace the entire firmware image — the real Amulet's only way to
+    /// change the app set ("the Amulet device has to be flashed every
+    /// time when switching to another version of SIFT is needed",
+    /// Insight #4). Device state (clock, battery meter, display
+    /// scrollback, alert log) persists across the reflash; memory
+    /// reservations are rebuilt from the new image.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AmuletError::StaticCheckFailed`] if the image does not
+    /// match the provided apps, and propagates flash errors (leaving the
+    /// previous installation untouched in that case).
+    pub fn reflash(
+        &mut self,
+        image: &FirmwareImage,
+        apps: Vec<Box<dyn App>>,
+    ) -> Result<(), AmuletError> {
+        if image.specs().len() != apps.len()
+            || !image
+                .specs()
+                .iter()
+                .zip(&apps)
+                .all(|(s, a)| s.name == a.name())
+        {
+            return Err(AmuletError::StaticCheckFailed {
+                reason: "firmware image does not match the provided app instances".to_string(),
+            });
+        }
+        let mut fresh = MemoryModel::new(
+            self.memory.fram().capacity(),
+            self.memory.sram().capacity(),
+        );
+        image.flash(&mut fresh)?;
+        self.memory = fresh;
+        self.apps = apps;
+        self.queue = EventQueue::default();
+        Ok(())
+    }
+
+    /// Remove an installed app from the registry. Note that this does
+    /// *not* reclaim flash — apps are baked into the firmware image on
+    /// the real device; use [`AmuletOs::reflash`] to actually change the
+    /// deployed set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AmuletError::UnknownApp`] if no app has that name.
+    pub fn uninstall(&mut self, name: &str) -> Result<Box<dyn App>, AmuletError> {
+        let idx = self
+            .apps
+            .iter()
+            .position(|a| a.name() == name)
+            .ok_or_else(|| AmuletError::UnknownApp {
+                name: name.to_string(),
+            })?;
+        Ok(self.apps.remove(idx))
+    }
+}
+
+impl Default for AmuletOs {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiler::{AppResourceSpec, ResourceProfiler};
+    use crate::display::Severity;
+
+    struct EchoApp;
+
+    impl App for EchoApp {
+        fn name(&self) -> &str {
+            "echo"
+        }
+        fn resource_spec(&self) -> AppResourceSpec {
+            AppResourceSpec {
+                name: "echo".into(),
+                fram_code_bytes: 64,
+                fram_data_bytes: 0,
+                sram_peak_bytes: 8,
+                cycles_per_period: 100.0,
+                period_s: 1.0,
+                libs: vec![],
+            }
+        }
+        fn current_state(&self) -> &'static str {
+            "idle"
+        }
+        fn handle(&mut self, event: &AmuletEvent, ctx: &mut AppContext<'_>) {
+            ctx.display(Severity::Info, event.kind_name());
+            ctx.charge_cycles(100.0);
+        }
+    }
+
+    fn os_with_echo() -> AmuletOs {
+        let mut os = AmuletOs::new();
+        let image = FirmwareImage::build(vec![EchoApp.resource_spec()], &ResourceProfiler::default())
+            .unwrap();
+        os.install(&image, vec![Box::new(EchoApp)]).unwrap();
+        os
+    }
+
+    #[test]
+    fn install_and_dispatch() {
+        let mut os = os_with_echo();
+        assert_eq!(os.app_names(), vec!["echo"]);
+        os.post(AmuletEvent::ButtonPress);
+        os.post(AmuletEvent::Tick { ms: 0 });
+        assert_eq!(os.run_until_idle().unwrap(), 2);
+        assert_eq!(os.display().lines().len(), 2);
+        assert_eq!(os.dispatched(), 2);
+    }
+
+    #[test]
+    fn step_on_empty_queue_is_noop() {
+        let mut os = os_with_echo();
+        assert!(!os.step().unwrap());
+    }
+
+    #[test]
+    fn mismatched_image_rejected() {
+        let mut os = AmuletOs::new();
+        let image = FirmwareImage::build(vec![EchoApp.resource_spec()], &ResourceProfiler::default())
+            .unwrap();
+        assert!(matches!(
+            os.install(&image, vec![]),
+            Err(AmuletError::StaticCheckFailed { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_install_rejected() {
+        let mut os = os_with_echo();
+        let image = FirmwareImage::build(vec![EchoApp.resource_spec()], &ResourceProfiler::default())
+            .unwrap();
+        assert!(matches!(
+            os.install(&image, vec![Box::new(EchoApp)]),
+            Err(AmuletError::DuplicateApp { .. })
+        ));
+    }
+
+    #[test]
+    fn advance_time_charges_sleep() {
+        let mut os = os_with_echo();
+        let before = os.meter().consumed_mah();
+        os.advance_time(3_600_000); // one hour
+        assert!(os.meter().consumed_mah() > before);
+        assert_eq!(os.now_ms(), 3_600_000);
+    }
+
+    #[test]
+    fn battery_exhaustion_stops_dispatch() {
+        let mut os = AmuletOs::with_energy_model(EnergyModel {
+            battery_mah: 1e-9,
+            ..EnergyModel::default()
+        });
+        let image = FirmwareImage::build(vec![EchoApp.resource_spec()], &ResourceProfiler::default())
+            .unwrap();
+        os.install(&image, vec![Box::new(EchoApp)]).unwrap();
+        os.advance_time(10_000);
+        os.post(AmuletEvent::ButtonPress);
+        assert_eq!(os.step(), Err(AmuletError::BatteryExhausted));
+    }
+
+    #[test]
+    fn app_state_lookup() {
+        let os = os_with_echo();
+        assert_eq!(os.app_state("echo").unwrap(), "idle");
+        assert!(matches!(
+            os.app_state("nope"),
+            Err(AmuletError::UnknownApp { .. })
+        ));
+    }
+
+    #[test]
+    fn uninstall_removes_app() {
+        let mut os = os_with_echo();
+        let app = os.uninstall("echo").unwrap();
+        assert_eq!(app.name(), "echo");
+        assert!(os.app_names().is_empty());
+        assert!(os.uninstall("echo").is_err());
+    }
+
+    #[test]
+    fn memory_reflects_flash() {
+        let os = os_with_echo();
+        assert!(os.memory().fram().used() > 0);
+    }
+}

@@ -1,0 +1,85 @@
+//! End-to-end detector benchmarks: one full classify pass per version
+//! and flavor (the host-side cost corresponding to the on-device numbers
+//! Table III derives), and the QM app pipeline through AmuletOS.
+
+use amulet_sim::apps::SiftApp;
+use amulet_sim::event::AmuletEvent;
+use amulet_sim::machine::App;
+use amulet_sim::os::AmuletOs;
+use amulet_sim::profiler::ResourceProfiler;
+use amulet_sim::toolchain::FirmwareImage;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use physio_sim::dataset::windows;
+use physio_sim::record::Record;
+use physio_sim::subject::bank;
+use sift::config::SiftConfig;
+use sift::detector::Detector;
+use sift::features::Version;
+use sift::flavor::PlatformFlavor;
+use sift::snippet::Snippet;
+use sift::trainer::train_for_subject;
+use std::hint::black_box;
+
+fn quick_config() -> SiftConfig {
+    SiftConfig {
+        train_s: 60.0,
+        max_positive_per_donor: Some(15),
+        ..SiftConfig::default()
+    }
+}
+
+fn bench_classify(c: &mut Criterion) {
+    let cfg = quick_config();
+    let r = Record::synthesize(&bank()[0], 30.0, 7);
+    let sn = Snippet::from_record(&windows(&r, 3.0).unwrap()[2]).unwrap();
+    let mut group = c.benchmark_group("detector_classify");
+    for version in Version::ALL {
+        let model = train_for_subject(&bank(), 0, version, &cfg, 7).unwrap();
+        for flavor in [PlatformFlavor::Gold, PlatformFlavor::Amulet] {
+            let det = Detector::new(model.clone(), flavor, cfg.clone()).unwrap();
+            group.bench_with_input(
+                BenchmarkId::new(flavor.to_string(), version.to_string()),
+                &det,
+                |b, det| b.iter(|| det.classify(black_box(&sn)).unwrap()),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_amulet_pipeline(c: &mut Criterion) {
+    let cfg = quick_config();
+    let model = train_for_subject(&bank(), 0, Version::Simplified, &cfg, 7).unwrap();
+    let r = Record::synthesize(&bank()[0], 30.0, 9);
+    let sn = Snippet::from_record(&windows(&r, 3.0).unwrap()[0]).unwrap();
+    c.bench_function("amulet_os_full_window_dispatch", |b| {
+        b.iter_batched(
+            || {
+                let app =
+                    SiftApp::new(Version::Simplified, model.embedded().clone(), cfg.clone())
+                        .unwrap();
+                let image = FirmwareImage::build(
+                    vec![app.resource_spec()],
+                    &ResourceProfiler::default(),
+                )
+                .unwrap();
+                let mut os = AmuletOs::new();
+                os.install(&image, vec![Box::new(app)]).unwrap();
+                os
+            },
+            |mut os| {
+                os.post(AmuletEvent::SnippetReady(sn.clone()));
+                os.run_until_idle().unwrap();
+                os
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_classify, bench_amulet_pipeline
+}
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Benchmarks of the embedded substrate: model codec, libm-free math
+//! replacements vs `std`, and Q16.16 fixed-point arithmetic.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dsp::embedded_math::{atan2_approx, isqrt_u64, sqrt_newton, sqrt_newton_f32};
+use dsp::fixed::Q16;
+use ml::embedded::EmbeddedModel;
+use ml::linear_svm::LinearSvmTrainer;
+use ml::scaler::StandardScaler;
+use ml::{Dataset, Label};
+use std::hint::black_box;
+
+fn model() -> EmbeddedModel {
+    let mut d = Dataset::new(8).unwrap();
+    for i in 0..40 {
+        let t = i as f64 * 0.04;
+        d.push(vec![t; 8], Label::Negative).unwrap();
+        d.push(vec![2.0 + t; 8], Label::Positive).unwrap();
+    }
+    let scaler = StandardScaler::fit(&d).unwrap();
+    let svm = LinearSvmTrainer::default()
+        .fit(&scaler.transform_dataset(&d).unwrap())
+        .unwrap();
+    EmbeddedModel::translate(&scaler, &svm).unwrap()
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let m = model();
+    c.bench_function("embedded_model_encode", |b| b.iter(|| black_box(&m).encode()));
+    let bytes = m.encode();
+    c.bench_function("embedded_model_decode", |b| {
+        b.iter(|| EmbeddedModel::decode(black_box(&bytes)).unwrap())
+    });
+}
+
+fn bench_math(c: &mut Criterion) {
+    c.bench_function("sqrt_std_f64", |b| b.iter(|| black_box(1234.567f64).sqrt()));
+    c.bench_function("sqrt_newton_f64", |b| b.iter(|| sqrt_newton(black_box(1234.567))));
+    c.bench_function("sqrt_newton_f32", |b| {
+        b.iter(|| sqrt_newton_f32(black_box(1234.567f32)))
+    });
+    c.bench_function("isqrt_u64", |b| b.iter(|| isqrt_u64(black_box(123_456_789))));
+    c.bench_function("atan2_std", |b| b.iter(|| f64::atan2(black_box(0.7), black_box(0.3))));
+    c.bench_function("atan2_approx", |b| {
+        b.iter(|| atan2_approx(black_box(0.7), black_box(0.3)))
+    });
+}
+
+fn bench_fixed_point(c: &mut Criterion) {
+    let a = Q16::from_f64(3.25);
+    let b2 = Q16::from_f64(1.5);
+    c.bench_function("q16_mul", |b| b.iter(|| black_box(a) * black_box(b2)));
+    c.bench_function("q16_div", |b| b.iter(|| black_box(a) / black_box(b2)));
+    c.bench_function("q16_sqrt", |b| b.iter(|| black_box(a).sqrt()));
+}
+
+criterion_group!(benches, bench_codec, bench_math, bench_fixed_point);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Criterion micro-benchmarks of the feature-extraction stage — the
+//! dominant cost on the device (Fig. 3) — across the three detector
+//! versions and both platform flavors.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use physio_sim::dataset::windows;
+use physio_sim::record::Record;
+use physio_sim::subject::bank;
+use sift::config::SiftConfig;
+use sift::features::{extract, Version};
+use sift::flavor::{extract_amulet_f32, PlatformFlavor};
+use sift::snippet::Snippet;
+use std::hint::black_box;
+
+fn snippet() -> Snippet {
+    let r = Record::synthesize(&bank()[0], 30.0, 7);
+    Snippet::from_record(&windows(&r, 3.0).unwrap()[2]).unwrap()
+}
+
+fn bench_versions(c: &mut Criterion) {
+    let cfg = SiftConfig::default();
+    let sn = snippet();
+    let mut group = c.benchmark_group("feature_extraction");
+    for version in Version::ALL {
+        group.bench_with_input(
+            BenchmarkId::new("gold", version.to_string()),
+            &version,
+            |b, &v| b.iter(|| extract(black_box(v), black_box(&sn), &cfg).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("amulet_f32", version.to_string()),
+            &version,
+            |b, &v| b.iter(|| extract_amulet_f32(black_box(v), black_box(&sn), &cfg).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_grid_sizes(c: &mut Criterion) {
+    let sn = snippet();
+    let mut group = c.benchmark_group("feature_extraction_grid_n");
+    for n in [10usize, 50, 100] {
+        let cfg = SiftConfig {
+            grid_n: n,
+            ..SiftConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(n), &cfg, |b, cfg| {
+            b.iter(|| extract(Version::Original, black_box(&sn), cfg).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_flavor_parity(c: &mut Criterion) {
+    // Sanity: the flavored entry point should not add overhead for gold.
+    let cfg = SiftConfig::default();
+    let sn = snippet();
+    c.bench_function("extract_flavored_gold_simplified", |b| {
+        b.iter(|| {
+            sift::flavor::extract_flavored(
+                Version::Simplified,
+                PlatformFlavor::Gold,
+                black_box(&sn),
+                &cfg,
+            )
+            .unwrap()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_versions, bench_grid_sizes, bench_flavor_parity
+}
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Benchmarks of the live peak detectors (the paper's "run-time based on
+//! live data" extension).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use physio_sim::record::Record;
+use physio_sim::rpeak::{detect as detect_r, RPeakConfig};
+use physio_sim::subject::bank;
+use physio_sim::syspeak::{detect as detect_sys, SysPeakConfig};
+use std::hint::black_box;
+
+fn bench_rpeak(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rpeak_detect");
+    for secs in [3.0f64, 30.0, 120.0] {
+        let r = Record::synthesize(&bank()[0], secs, 5);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{secs}s")),
+            &r,
+            |b, r| b.iter(|| detect_r(black_box(&r.ecg), r.fs, &RPeakConfig::default()).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_syspeak(c: &mut Criterion) {
+    let r = Record::synthesize(&bank()[0], 30.0, 5);
+    c.bench_function("syspeak_detect_30s", |b| {
+        b.iter(|| detect_sys(black_box(&r.abp), r.fs, &SysPeakConfig::default()).unwrap())
+    });
+}
+
+fn bench_synthesis(c: &mut Criterion) {
+    let s = &bank()[0];
+    c.bench_function("record_synthesize_30s", |b| {
+        b.iter(|| Record::synthesize(black_box(s), 30.0, 9))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_rpeak, bench_syspeak, bench_synthesis
+}
+criterion_main!(benches);

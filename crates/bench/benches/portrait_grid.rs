@@ -1,0 +1,49 @@
+//! Benchmarks of portrait construction and occupancy-grid binning.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use physio_sim::dataset::windows;
+use physio_sim::record::Record;
+use physio_sim::subject::bank;
+use sift::portrait::{GridMatrix, Portrait};
+use sift::snippet::Snippet;
+use std::hint::black_box;
+
+fn snippet() -> Snippet {
+    let r = Record::synthesize(&bank()[0], 30.0, 7);
+    Snippet::from_record(&windows(&r, 3.0).unwrap()[1]).unwrap()
+}
+
+fn bench_portrait(c: &mut Criterion) {
+    let sn = snippet();
+    c.bench_function("portrait_from_snippet", |b| {
+        b.iter(|| Portrait::from_snippet(black_box(&sn)).unwrap())
+    });
+}
+
+fn bench_grid(c: &mut Criterion) {
+    let sn = snippet();
+    let portrait = Portrait::from_snippet(&sn).unwrap();
+    let mut group = c.benchmark_group("grid_matrix");
+    for n in [10usize, 50, 200] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| GridMatrix::from_portrait(black_box(&portrait), n).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_column_averages(c: &mut Criterion) {
+    let sn = snippet();
+    let portrait = Portrait::from_snippet(&sn).unwrap();
+    let grid = GridMatrix::from_portrait(&portrait, 50).unwrap();
+    c.bench_function("grid_column_averages", |b| {
+        b.iter(|| black_box(&grid).column_averages())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(40);
+    targets = bench_portrait, bench_grid, bench_column_averages
+}
+criterion_main!(benches);

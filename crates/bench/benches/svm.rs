@@ -1,0 +1,59 @@
+//! SVM training and inference benchmarks: the offline trainer (dual
+//! coordinate descent vs SMO) and the deployed prediction path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ml::dataset::{Dataset, Label};
+use ml::linear_svm::LinearSvmTrainer;
+use ml::smo::SmoTrainer;
+use ml::Classifier;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn gaussian_blobs(n_per_class: usize, dim: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut d = Dataset::new(dim).unwrap();
+    for _ in 0..n_per_class {
+        let neg: Vec<f64> = (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        d.push(neg, Label::Negative).unwrap();
+        let pos: Vec<f64> = (0..dim).map(|_| 1.5 + rng.gen_range(-1.0..1.0)).collect();
+        d.push(pos, Label::Positive).unwrap();
+    }
+    d
+}
+
+fn bench_training(c: &mut Criterion) {
+    let mut group = c.benchmark_group("svm_train");
+    group.sample_size(10);
+    for n in [100usize, 400] {
+        let data = gaussian_blobs(n, 8, 1);
+        group.bench_with_input(BenchmarkId::new("dual_cd", n * 2), &data, |b, d| {
+            b.iter(|| LinearSvmTrainer::default().fit(black_box(d)).unwrap())
+        });
+    }
+    // SMO is O(n²) in the kernel cache; bench at the smaller size only.
+    let data = gaussian_blobs(100, 8, 1);
+    group.bench_function("smo_linear_200", |b| {
+        b.iter(|| SmoTrainer::default().fit(black_box(&data)).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_prediction(c: &mut Criterion) {
+    let data = gaussian_blobs(200, 8, 2);
+    let svm = LinearSvmTrainer::default().fit(&data).unwrap();
+    let x = vec![0.4; 8];
+    c.bench_function("svm_predict_f64", |b| {
+        b.iter(|| svm.decision_function(black_box(&x)))
+    });
+
+    let scaler = ml::scaler::StandardScaler::fit(&data).unwrap();
+    let embedded = ml::embedded::EmbeddedModel::translate(&scaler, &svm).unwrap();
+    let xf: Vec<f32> = x.iter().map(|&v| v as f32).collect();
+    c.bench_function("embedded_predict_f32", |b| {
+        b.iter(|| embedded.decision_function_f32(black_box(&xf)))
+    });
+}
+
+criterion_group!(benches, bench_training, bench_prediction);
+criterion_main!(benches);

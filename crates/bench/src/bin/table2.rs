@@ -1,0 +1,34 @@
+//! Table II reproduction: detection performance of the three detector
+//! versions on both platforms (Amulet flavor vs. MATLAB gold standard).
+//!
+//! Protocol (paper §IV): 12 subjects; Δ = 20 min of training data per
+//! subject; 2 min of unseen test data with 50 % of windows altered by
+//! substituting another subject's ECG at random locations; w = 3 s
+//! windows ⇒ 40 test examples per subject; linear-kernel SVM.
+//!
+//! Run: `cargo run --release -p bench --bin table2` (add `--smoke` for a
+//! fast 4-subject / 1-minute-training variant).
+
+use bench::{format_table2, paper_table2_reference, run_table2, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    println!(
+        "TABLE II reproduction ({:?} scale: {} subjects, {:.0} s training)\n",
+        scale,
+        scale.subject_count(),
+        scale.config().train_s
+    );
+    let started = std::time::Instant::now();
+    match run_table2(scale) {
+        Ok(rows) => {
+            println!("{}", format_table2(&rows));
+            println!("{}", paper_table2_reference());
+            println!("\ncompleted in {:.1} s", started.elapsed().as_secs_f64());
+        }
+        Err(e) => {
+            eprintln!("experiment failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

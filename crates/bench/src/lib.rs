@@ -1,0 +1,180 @@
+//! Shared harness code for the table/figure reproduction binaries.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the
+//! paper's evaluation (see `DESIGN.md` §3 for the index); this library
+//! holds the experiment drivers and the text-table formatting they
+//! share.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use ml::metrics::AveragedMetrics;
+use physio_sim::subject::bank;
+use sift::config::SiftConfig;
+use sift::features::Version;
+use sift::flavor::PlatformFlavor;
+use sift::pipeline::{evaluate_with_models, train_models, EvalProtocol, EvaluationResult};
+use sift::SiftError;
+
+/// Scale of an experiment run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// The paper's protocol: 12 subjects, Δ = 20 min training.
+    Paper,
+    /// A fast smoke-scale run (4 subjects, 1 min training) for CI and
+    /// quick iteration.
+    Smoke,
+}
+
+impl Scale {
+    /// Parse from the CLI arguments (`--smoke` selects the fast run).
+    /// Unrecognized arguments abort with a usage message rather than
+    /// being silently ignored (a typo'd `--smok` must not quietly start
+    /// the 12-subject run).
+    pub fn from_args() -> Self {
+        let mut scale = Scale::Paper;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--smoke" => scale = Scale::Smoke,
+                other => {
+                    eprintln!("unrecognized argument `{other}` (supported: --smoke)");
+                    std::process::exit(2);
+                }
+            }
+        }
+        scale
+    }
+
+    /// Pipeline configuration for this scale.
+    pub fn config(self) -> SiftConfig {
+        match self {
+            Scale::Paper => SiftConfig::default(),
+            Scale::Smoke => SiftConfig {
+                train_s: 60.0,
+                max_positive_per_donor: Some(15),
+                ..SiftConfig::default()
+            },
+        }
+    }
+
+    /// Number of subjects evaluated at this scale.
+    pub fn subject_count(self) -> usize {
+        match self {
+            Scale::Paper => 12,
+            Scale::Smoke => 4,
+        }
+    }
+}
+
+/// One row of the Table II reproduction.
+#[derive(Debug, Clone)]
+pub struct Table2Row {
+    /// Detector version.
+    pub version: Version,
+    /// Platform flavor.
+    pub flavor: PlatformFlavor,
+    /// Subject-averaged metrics.
+    pub metrics: AveragedMetrics,
+}
+
+/// Run the full Table II experiment: every version × flavor cell.
+///
+/// Models are trained once per version (training is platform-independent,
+/// as in the paper) and evaluated under both flavors.
+///
+/// # Errors
+///
+/// Propagates training/evaluation errors.
+pub fn run_table2(scale: Scale) -> Result<Vec<Table2Row>, SiftError> {
+    let subjects: Vec<_> = bank().into_iter().take(scale.subject_count()).collect();
+    let config = scale.config();
+    let protocol = EvalProtocol::default();
+    let mut rows = Vec::new();
+    for version in Version::ALL {
+        let models = train_models(&subjects, version, &config)?;
+        for flavor in [PlatformFlavor::Amulet, PlatformFlavor::Gold] {
+            let result: EvaluationResult =
+                evaluate_with_models(&subjects, &models, flavor, &config, &protocol)?;
+            rows.push(Table2Row {
+                version,
+                flavor,
+                metrics: result.averaged,
+            });
+        }
+    }
+    Ok(rows)
+}
+
+/// Format the Table II rows in the paper's layout.
+pub fn format_table2(rows: &[Table2Row]) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "| {:<10} | {:<8} | {:>7} | {:>7} | {:>8} | {:>7} |",
+        "Version", "Platform", "Avg FP", "Avg FN", "Avg Acc", "Avg F1"
+    );
+    let _ = writeln!(out, "|{}|", "-".repeat(66));
+    for r in rows {
+        let m = &r.metrics;
+        let _ = writeln!(
+            out,
+            "| {:<10} | {:<8} | {:>6.2}% | {:>6.2}% | {:>7.2}% | {:>6.2}% |",
+            r.version.to_string(),
+            r.flavor.to_string(),
+            m.fp_rate * 100.0,
+            m.fn_rate * 100.0,
+            m.accuracy * 100.0,
+            m.f1 * 100.0,
+        );
+    }
+    out
+}
+
+/// Paper reference values for Table II (for the side-by-side print).
+pub fn paper_table2_reference() -> &'static str {
+    "paper reference (Table II):\n\
+     | original   | amulet   |   0.83% |  12.50% |   93.06% |  92.77% |\n\
+     | original   | matlab   |   5.83% |  10.23% |   91.97% |  91.97% |\n\
+     | simplified | amulet   |   6.67% |   7.58% |   92.86% |  93.43% |\n\
+     | simplified | matlab   |   5.00% |  12.88% |   91.06% |  90.28% |\n\
+     | reduced    | amulet   |  12.08% |  15.15% |   86.31% |  87.10% |\n\
+     | reduced    | matlab   |  22.08% |  14.39% |   81.76% |  84.04% |"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_scale_table2_runs_and_beats_chance() {
+        let rows = run_table2(Scale::Smoke).unwrap();
+        assert_eq!(rows.len(), 6);
+        for r in &rows {
+            assert!(
+                r.metrics.accuracy > 0.6,
+                "{} {} accuracy {}",
+                r.version,
+                r.flavor,
+                r.metrics.accuracy
+            );
+        }
+        let table = format_table2(&rows);
+        assert!(table.contains("original"));
+        assert!(table.contains("amulet"));
+        assert_eq!(table.lines().count(), 8);
+    }
+
+    #[test]
+    fn scale_parameters() {
+        assert_eq!(Scale::Paper.subject_count(), 12);
+        assert_eq!(Scale::Paper.config().train_s, 1200.0);
+        assert_eq!(Scale::Smoke.config().train_s, 60.0);
+    }
+
+    #[test]
+    fn reference_table_is_complete() {
+        let r = paper_table2_reference();
+        assert_eq!(r.lines().count(), 7);
+    }
+}

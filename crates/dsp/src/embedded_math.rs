@@ -1,0 +1,360 @@
+//! Libm-free math replacements.
+//!
+//! Early AmuletOS versions shipped without the C math library, forcing the
+//! paper's authors to hand-roll numeric helpers (Insight #2: the authors
+//! even "wrote our own APIs … that convert the string to float, float to
+//! string"). This module reproduces those building blocks so the embedded
+//! ("Amulet") execution flavor of the detector never calls into `std`'s
+//! transcendental functions:
+//!
+//! * [`sqrt_newton`] / [`sqrt_newton_f32`] — Newton–Raphson square roots,
+//! * [`isqrt_u64`] — integer square root (used by the Q16.16 fixed-point
+//!   type),
+//! * [`atan_approx`] / [`atan2_approx`] — polynomial arctangent,
+//! * [`atof`] / [`ftoa`] — the string/float conversions from Insight #2.
+
+/// Newton–Raphson square root for `f64`.
+///
+/// Converges to within a few ULP in ≤ 32 iterations for all finite
+/// non-negative inputs. Negative inputs return NaN, matching `f64::sqrt`.
+///
+/// # Examples
+///
+/// ```
+/// let y = dsp::embedded_math::sqrt_newton(2.0);
+/// assert!((y - std::f64::consts::SQRT_2).abs() < 1e-12);
+/// ```
+pub fn sqrt_newton(x: f64) -> f64 {
+    if x < 0.0 {
+        return f64::NAN;
+    }
+    if x == 0.0 || !x.is_finite() {
+        return x;
+    }
+    // Seed from the bit pattern (halve the exponent) for fast convergence.
+    let bits = x.to_bits();
+    let seed = f64::from_bits((bits >> 1) + (1023u64 << 51));
+    let mut y = if seed > 0.0 { seed } else { x };
+    for _ in 0..32 {
+        let next = 0.5 * (y + x / y);
+        if (next - y).abs() <= f64::EPSILON * next {
+            return next;
+        }
+        y = next;
+    }
+    y
+}
+
+/// Newton–Raphson square root for `f32` (the Amulet flavor runs in
+/// single precision).
+pub fn sqrt_newton_f32(x: f32) -> f32 {
+    if x < 0.0 {
+        return f32::NAN;
+    }
+    if x == 0.0 || !x.is_finite() {
+        return x;
+    }
+    let bits = x.to_bits();
+    let seed = f32::from_bits((bits >> 1) + (127u32 << 22));
+    let mut y = if seed > 0.0 { seed } else { x };
+    for _ in 0..24 {
+        let next = 0.5 * (y + x / y);
+        if (next - y).abs() <= f32::EPSILON * next {
+            return next;
+        }
+        y = next;
+    }
+    y
+}
+
+/// Integer square root: the largest `r` with `r * r <= x`, computed with
+/// the digit-by-digit (binary restoring) method — no floating point at
+/// all, as an MSP430 without a math library would do it.
+pub fn isqrt_u64(x: u64) -> u64 {
+    if x < 2 {
+        return x;
+    }
+    let mut bit = 1u64 << ((63 - x.leading_zeros()) & !1);
+    let mut n = x;
+    let mut res = 0u64;
+    while bit != 0 {
+        if n >= res + bit {
+            n -= res + bit;
+            res = (res >> 1) + bit;
+        } else {
+            res >>= 1;
+        }
+        bit >>= 2;
+    }
+    res
+}
+
+/// Polynomial arctangent approximation on the full real line.
+///
+/// Uses the order-7 minimax polynomial on `[-1, 1]` and the identity
+/// `atan(x) = π/2 − atan(1/x)` outside it. Maximum absolute error is
+/// below `2e-4` rad, which is far tighter than the feature-level noise in
+/// the detector.
+pub fn atan_approx(x: f64) -> f64 {
+    const FRAC_PI_2: f64 = std::f64::consts::FRAC_PI_2;
+    if x.is_nan() {
+        return f64::NAN;
+    }
+    if x > 1.0 {
+        return FRAC_PI_2 - atan_core(1.0 / x);
+    }
+    if x < -1.0 {
+        return -FRAC_PI_2 - atan_core(1.0 / x);
+    }
+    atan_core(x)
+}
+
+fn atan_core(x: f64) -> f64 {
+    // Minimax-style odd polynomial for atan on [-1, 1].
+    let x2 = x * x;
+    x * (0.99997726 + x2 * (-0.33262347 + x2 * (0.19354346 + x2 * (-0.11643287 + x2 * (0.05265332 + x2 * -0.01172120)))))
+}
+
+/// Quadrant-aware arctangent built on [`atan_approx`].
+///
+/// Follows the `f64::atan2` convention: `atan2_approx(y, x)` is the angle
+/// of the point `(x, y)` in `(-π, π]`.
+pub fn atan2_approx(y: f64, x: f64) -> f64 {
+    use std::f64::consts::PI;
+    if x == 0.0 && y == 0.0 {
+        return 0.0;
+    }
+    if x > 0.0 {
+        atan_approx(y / x)
+    } else if x < 0.0 {
+        if y >= 0.0 {
+            atan_approx(y / x) + PI
+        } else {
+            atan_approx(y / x) - PI
+        }
+    } else if y > 0.0 {
+        PI / 2.0
+    } else {
+        -PI / 2.0
+    }
+}
+
+/// Parse a decimal string into `f64` without the standard parser —
+/// supports an optional sign, integer part, fractional part, and no
+/// exponent, mirroring the minimal `atof` the paper's authors wrote for
+/// AmuletOS.
+///
+/// Returns `None` on any malformed input.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(dsp::embedded_math::atof("-12.25"), Some(-12.25));
+/// assert_eq!(dsp::embedded_math::atof("1.5e3"), None); // no exponents
+/// ```
+pub fn atof(s: &str) -> Option<f64> {
+    let s = s.trim();
+    if s.is_empty() {
+        return None;
+    }
+    let bytes = s.as_bytes();
+    let (sign, rest) = match bytes[0] {
+        b'-' => (-1.0, &bytes[1..]),
+        b'+' => (1.0, &bytes[1..]),
+        _ => (1.0, bytes),
+    };
+    if rest.is_empty() {
+        return None;
+    }
+    let mut int_part = 0.0f64;
+    let mut i = 0;
+    let mut saw_digit = false;
+    while i < rest.len() && rest[i].is_ascii_digit() {
+        int_part = int_part * 10.0 + (rest[i] - b'0') as f64;
+        i += 1;
+        saw_digit = true;
+    }
+    let mut frac_part = 0.0f64;
+    if i < rest.len() && rest[i] == b'.' {
+        i += 1;
+        let mut scale = 0.1f64;
+        while i < rest.len() && rest[i].is_ascii_digit() {
+            frac_part += (rest[i] - b'0') as f64 * scale;
+            scale *= 0.1;
+            i += 1;
+            saw_digit = true;
+        }
+    }
+    if i != rest.len() || !saw_digit {
+        return None;
+    }
+    Some(sign * (int_part + frac_part))
+}
+
+/// Format `x` with `decimals` fractional digits without the standard
+/// formatter (rounds half away from zero) — the `ftoa` counterpart of
+/// [`atof`].
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(dsp::embedded_math::ftoa(3.14159, 2), "3.14");
+/// assert_eq!(dsp::embedded_math::ftoa(-0.005, 2), "-0.01");
+/// ```
+pub fn ftoa(x: f64, decimals: u32) -> String {
+    if x.is_nan() {
+        return "nan".to_string();
+    }
+    if x.is_infinite() {
+        return if x > 0.0 { "inf" } else { "-inf" }.to_string();
+    }
+    let neg = x < 0.0;
+    let mut scale = 1.0f64;
+    for _ in 0..decimals {
+        scale *= 10.0;
+    }
+    let scaled = (x.abs() * scale + 0.5).floor() as u64;
+    let int_part = scaled / scale as u64;
+    let frac_part = scaled % scale as u64;
+    let mut out = String::new();
+    if neg && scaled > 0 {
+        out.push('-');
+    }
+    out.push_str(&int_part.to_string());
+    if decimals > 0 {
+        out.push('.');
+        let frac_str = frac_part.to_string();
+        for _ in 0..(decimals as usize - frac_str.len()) {
+            out.push('0');
+        }
+        out.push_str(&frac_str);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sqrt_matches_std_across_range() {
+        for i in 0..2000 {
+            let x = i as f64 * 0.37 + 0.001;
+            let want = x.sqrt();
+            let got = sqrt_newton(x);
+            assert!(
+                (want - got).abs() <= want * 1e-14 + 1e-300,
+                "x={x} want={want} got={got}"
+            );
+        }
+    }
+
+    #[test]
+    fn sqrt_edge_cases() {
+        assert_eq!(sqrt_newton(0.0), 0.0);
+        assert!(sqrt_newton(-1.0).is_nan());
+        assert_eq!(sqrt_newton(f64::INFINITY), f64::INFINITY);
+        assert_eq!(sqrt_newton(1.0), 1.0);
+    }
+
+    #[test]
+    fn sqrt_f32_matches_std() {
+        for i in 0..500 {
+            let x = i as f32 * 0.13 + 0.01;
+            let want = x.sqrt();
+            let got = sqrt_newton_f32(x);
+            assert!((want - got).abs() <= want * 1e-6, "x={x}");
+        }
+    }
+
+    #[test]
+    fn isqrt_exact_squares_and_neighbors() {
+        assert_eq!(isqrt_u64(0), 0);
+        for r in 1u64..2000 {
+            let sq = r * r;
+            assert_eq!(isqrt_u64(sq), r);
+            assert_eq!(isqrt_u64(sq - 1), r - 1);
+            assert_eq!(isqrt_u64(sq + 1), r);
+        }
+    }
+
+    #[test]
+    fn isqrt_u64_max() {
+        let r = isqrt_u64(u64::MAX);
+        assert_eq!(r, (1u64 << 32) - 1);
+        assert!(r.checked_mul(r).is_some(), "floor sqrt must not overflow");
+        assert!(r.checked_add(1).and_then(|s| s.checked_mul(s)).is_none());
+    }
+
+    #[test]
+    fn atan_error_bounded() {
+        for i in -1000..=1000 {
+            let x = i as f64 * 0.01;
+            let err = (atan_approx(x) - x.atan()).abs();
+            assert!(err < 2e-4, "x={x} err={err}");
+        }
+        // Outside [-1, 1] via the reciprocal identity.
+        for i in 1..100 {
+            let x = i as f64 * 3.7;
+            assert!((atan_approx(x) - x.atan()).abs() < 2e-4);
+            assert!((atan_approx(-x) - (-x).atan()).abs() < 2e-4);
+        }
+    }
+
+    #[test]
+    fn atan2_quadrants() {
+        let cases = [
+            (1.0, 1.0),
+            (1.0, -1.0),
+            (-1.0, -1.0),
+            (-1.0, 1.0),
+            (0.0, 1.0),
+            (1.0, 0.0),
+            (-1.0, 0.0),
+            (0.5, 2.0),
+        ];
+        for (y, x) in cases {
+            let want = f64::atan2(y, x);
+            let got = atan2_approx(y, x);
+            assert!((want - got).abs() < 3e-4, "y={y} x={x} want={want} got={got}");
+        }
+        assert_eq!(atan2_approx(0.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn atof_round_trips_simple_decimals() {
+        assert_eq!(atof("42"), Some(42.0));
+        assert_eq!(atof("-0.5"), Some(-0.5));
+        assert_eq!(atof("+3.25"), Some(3.25));
+        assert_eq!(atof("  7.0  "), Some(7.0));
+    }
+
+    #[test]
+    fn atof_rejects_garbage() {
+        assert_eq!(atof(""), None);
+        assert_eq!(atof("abc"), None);
+        assert_eq!(atof("1.2.3"), None);
+        assert_eq!(atof("-"), None);
+        assert_eq!(atof("."), None);
+        assert_eq!(atof("1e5"), None);
+    }
+
+    #[test]
+    fn ftoa_formats_and_rounds() {
+        assert_eq!(ftoa(0.0, 2), "0.00");
+        assert_eq!(ftoa(1.25, 1), "1.3");
+        assert_eq!(ftoa(-2.5, 0), "-3");
+        assert_eq!(ftoa(12.3456, 3), "12.346");
+        assert_eq!(ftoa(9.999, 2), "10.00");
+    }
+
+    #[test]
+    fn ftoa_atof_round_trip() {
+        for i in -50..50 {
+            let x = i as f64 * 0.73;
+            let s = ftoa(x, 6);
+            let back = atof(&s).unwrap();
+            assert!((back - x).abs() < 1e-6, "x={x} s={s}");
+        }
+    }
+}

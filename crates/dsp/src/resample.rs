@@ -1,0 +1,109 @@
+//! Linear-interpolation resampling.
+//!
+//! The Fantasia database records ECG at 250 Hz while many wearable ECG
+//! front-ends sample at other rates; the WIoT simulation resamples sensor
+//! streams to the base station's processing rate before windowing.
+
+use crate::DspError;
+
+/// Resample `signal` from `from_hz` to `to_hz` using linear interpolation.
+///
+/// The output covers the same time span as the input; the first sample is
+/// preserved exactly.
+///
+/// # Errors
+///
+/// Returns [`DspError::EmptyInput`] on empty input and
+/// [`DspError::InvalidParameter`] if either rate is not positive.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), dsp::DspError> {
+/// let up = dsp::resample::linear(&[0.0, 1.0], 1.0, 2.0)?;
+/// assert_eq!(up, vec![0.0, 0.5, 1.0]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn linear(signal: &[f64], from_hz: f64, to_hz: f64) -> Result<Vec<f64>, DspError> {
+    if signal.is_empty() {
+        return Err(DspError::EmptyInput);
+    }
+    if from_hz <= 0.0 || to_hz <= 0.0 {
+        return Err(DspError::InvalidParameter {
+            name: "rate",
+            reason: "sample rates must be positive",
+        });
+    }
+    if signal.len() == 1 {
+        return Ok(vec![signal[0]]);
+    }
+    let duration = (signal.len() - 1) as f64 / from_hz;
+    let out_len = (duration * to_hz + 1e-9).floor() as usize + 1;
+    let mut out = Vec::with_capacity(out_len);
+    for i in 0..out_len {
+        let t = i as f64 / to_hz;
+        let pos = t * from_hz;
+        let idx = pos.floor() as usize;
+        if idx >= signal.len() - 1 {
+            out.push(*signal.last().expect("nonempty checked"));
+        } else {
+            let frac = pos - idx as f64;
+            out.push(signal[idx] * (1.0 - frac) + signal[idx + 1] * frac);
+        }
+    }
+    Ok(out)
+}
+
+/// Map a sample index from one sample rate to the nearest index at another
+/// rate. Used to carry ground-truth peak annotations through resampling.
+pub fn map_index(index: usize, from_hz: f64, to_hz: f64) -> usize {
+    (index as f64 / from_hz * to_hz).round() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_resample_preserves_signal() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let out = linear(&xs, 100.0, 100.0).unwrap();
+        assert_eq!(out, xs.to_vec());
+    }
+
+    #[test]
+    fn upsample_doubles_length_minus_one() {
+        let xs = [0.0, 2.0, 4.0];
+        let out = linear(&xs, 1.0, 2.0).unwrap();
+        assert_eq!(out, vec![0.0, 1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn downsample_linear_ramp_stays_linear() {
+        let xs: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let out = linear(&xs, 100.0, 50.0).unwrap();
+        for (i, y) in out.iter().enumerate() {
+            assert!((y - 2.0 * i as f64).abs() < 1e-9, "i={i} y={y}");
+        }
+    }
+
+    #[test]
+    fn single_sample_passthrough() {
+        assert_eq!(linear(&[7.0], 10.0, 20.0).unwrap(), vec![7.0]);
+    }
+
+    #[test]
+    fn rejects_bad_rates() {
+        assert!(linear(&[1.0, 2.0], 0.0, 10.0).is_err());
+        assert!(linear(&[1.0, 2.0], 10.0, -1.0).is_err());
+    }
+
+    #[test]
+    fn map_index_round_trip() {
+        let idx = 750; // 3 s at 250 Hz
+        let at_360 = map_index(idx, 250.0, 360.0);
+        assert_eq!(at_360, 1080); // 3 s at 360 Hz
+        assert_eq!(map_index(at_360, 360.0, 250.0), idx);
+    }
+}

@@ -1,0 +1,357 @@
+//! Spectral analysis: an in-place radix-2 FFT and helpers.
+//!
+//! The paper's Insight #2 asks WIoT platforms to "provide built-in
+//! support for FFT or audio processing API"; this module is that
+//! building block. It is used by the noise-quality analysis and
+//! available to apps (e.g. respiration-rate estimation from baseline
+//! wander).
+
+use crate::DspError;
+
+/// A complex number as a bare `(re, im)` pair — sufficient for the FFT
+/// without pulling in a numerics crate.
+pub type Complex = (f64, f64);
+
+fn c_add(a: Complex, b: Complex) -> Complex {
+    (a.0 + b.0, a.1 + b.1)
+}
+
+fn c_sub(a: Complex, b: Complex) -> Complex {
+    (a.0 - b.0, a.1 - b.1)
+}
+
+fn c_mul(a: Complex, b: Complex) -> Complex {
+    (a.0 * b.0 - a.1 * b.1, a.0 * b.1 + a.1 * b.0)
+}
+
+/// In-place iterative radix-2 Cooley–Tukey FFT.
+///
+/// # Errors
+///
+/// Returns [`DspError::InvalidParameter`] unless the length is a power
+/// of two of at least 2.
+pub fn fft_in_place(buf: &mut [Complex]) -> Result<(), DspError> {
+    let n = buf.len();
+    if n < 2 || !n.is_power_of_two() {
+        return Err(DspError::InvalidParameter {
+            name: "len",
+            reason: "fft length must be a power of two >= 2",
+        });
+    }
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i.reverse_bits() >> (usize::BITS - bits)) & (n - 1);
+        if j > i {
+            buf.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let mut len = 2;
+    while len <= n {
+        let ang = -2.0 * std::f64::consts::PI / len as f64;
+        let w_len = (ang.cos(), ang.sin());
+        for chunk in buf.chunks_mut(len) {
+            let mut w = (1.0, 0.0);
+            let half = len / 2;
+            for k in 0..half {
+                let u = chunk[k];
+                let v = c_mul(chunk[k + half], w);
+                chunk[k] = c_add(u, v);
+                chunk[k + half] = c_sub(u, v);
+                w = c_mul(w, w_len);
+            }
+        }
+        len *= 2;
+    }
+    Ok(())
+}
+
+/// Inverse FFT (in place), normalized by `1/n`.
+///
+/// # Errors
+///
+/// Same conditions as [`fft_in_place`].
+pub fn ifft_in_place(buf: &mut [Complex]) -> Result<(), DspError> {
+    for v in buf.iter_mut() {
+        v.1 = -v.1;
+    }
+    fft_in_place(buf)?;
+    let n = buf.len() as f64;
+    for v in buf.iter_mut() {
+        v.0 /= n;
+        v.1 = -v.1 / n;
+    }
+    Ok(())
+}
+
+/// The Hann window of length `n` — the standard taper for reducing
+/// spectral leakage before an FFT of a non-periodic snippet.
+pub fn hann_window(n: usize) -> Vec<f64> {
+    if n <= 1 {
+        return vec![1.0; n];
+    }
+    (0..n)
+        .map(|i| {
+            let x = std::f64::consts::PI * i as f64 / (n - 1) as f64;
+            x.sin() * x.sin()
+        })
+        .collect()
+}
+
+/// One-sided power spectrum of a real signal (zero-padded to the next
+/// power of two). Returns `(frequency_hz, power)` pairs for bins
+/// `0..=n/2`.
+///
+/// # Errors
+///
+/// Returns [`DspError::EmptyInput`] on empty input and
+/// [`DspError::InvalidParameter`] for a non-positive sample rate.
+pub fn power_spectrum(signal: &[f64], fs: f64) -> Result<Vec<(f64, f64)>, DspError> {
+    power_spectrum_inner(signal, fs, false)
+}
+
+/// [`power_spectrum`] with a Hann taper applied first — use for
+/// snippets that are not integer periods of their content (leakage
+/// otherwise smears narrow lines across neighbouring bins).
+///
+/// # Errors
+///
+/// Same conditions as [`power_spectrum`].
+pub fn power_spectrum_windowed(signal: &[f64], fs: f64) -> Result<Vec<(f64, f64)>, DspError> {
+    power_spectrum_inner(signal, fs, true)
+}
+
+fn power_spectrum_inner(
+    signal: &[f64],
+    fs: f64,
+    windowed: bool,
+) -> Result<Vec<(f64, f64)>, DspError> {
+    if signal.is_empty() {
+        return Err(DspError::EmptyInput);
+    }
+    if fs <= 0.0 {
+        return Err(DspError::InvalidParameter {
+            name: "fs",
+            reason: "sample rate must be positive",
+        });
+    }
+    let n = signal.len().next_power_of_two().max(2);
+    let mut buf: Vec<Complex> = if windowed {
+        let w = hann_window(signal.len());
+        // Compensate the window's coherent gain (mean of the taper) so
+        // tone amplitudes stay comparable with the rectangular case.
+        let gain = w.iter().sum::<f64>() / w.len() as f64;
+        signal
+            .iter()
+            .zip(&w)
+            .map(|(&x, &wi)| (x * wi / gain, 0.0))
+            .collect()
+    } else {
+        signal.iter().map(|&x| (x, 0.0)).collect()
+    };
+    buf.resize(n, (0.0, 0.0));
+    fft_in_place(&mut buf)?;
+    let scale = 1.0 / (signal.len() as f64);
+    Ok(buf[..=n / 2]
+        .iter()
+        .enumerate()
+        .map(|(k, &(re, im))| {
+            let freq = k as f64 * fs / n as f64;
+            let power = (re * re + im * im) * scale * scale;
+            (freq, power)
+        })
+        .collect())
+}
+
+/// Frequency (Hz) of the strongest non-DC component.
+///
+/// # Errors
+///
+/// Same conditions as [`power_spectrum`].
+pub fn dominant_frequency(signal: &[f64], fs: f64) -> Result<f64, DspError> {
+    let spectrum = power_spectrum(signal, fs)?;
+    Ok(spectrum
+        .iter()
+        .skip(1)
+        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .map(|&(f, _)| f)
+        .unwrap_or(0.0))
+}
+
+/// Fraction of total (non-DC) spectral power above `cutoff_hz` — a
+/// broadband-noise indicator used by signal-quality assessment.
+///
+/// # Errors
+///
+/// Same conditions as [`power_spectrum`].
+pub fn high_frequency_fraction(signal: &[f64], fs: f64, cutoff_hz: f64) -> Result<f64, DspError> {
+    let spectrum = power_spectrum(signal, fs)?;
+    let total: f64 = spectrum.iter().skip(1).map(|&(_, p)| p).sum();
+    if total == 0.0 {
+        return Ok(0.0);
+    }
+    let high: f64 = spectrum
+        .iter()
+        .skip(1)
+        .filter(|&&(f, _)| f >= cutoff_hz)
+        .map(|&(_, p)| p)
+        .sum();
+    Ok(high / total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tone(freq: f64, fs: f64, n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * freq * i as f64 / fs).sin())
+            .collect()
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut buf = vec![(0.0, 0.0); 8];
+        buf[0] = (1.0, 0.0);
+        fft_in_place(&mut buf).unwrap();
+        for &(re, im) in &buf {
+            assert!((re - 1.0).abs() < 1e-12);
+            assert!(im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fft_matches_dft_definition() {
+        // Compare against a naive DFT on a small random-ish signal.
+        let x: Vec<f64> = (0..16).map(|i| ((i * 7 + 3) % 11) as f64 - 5.0).collect();
+        let mut buf: Vec<Complex> = x.iter().map(|&v| (v, 0.0)).collect();
+        fft_in_place(&mut buf).unwrap();
+        for (k, &(re, im)) in buf.iter().enumerate() {
+            let mut acc = (0.0f64, 0.0f64);
+            for (n_idx, &v) in x.iter().enumerate() {
+                let ang = -2.0 * std::f64::consts::PI * (k * n_idx) as f64 / 16.0;
+                acc.0 += v * ang.cos();
+                acc.1 += v * ang.sin();
+            }
+            assert!((re - acc.0).abs() < 1e-9, "bin {k}");
+            assert!((im - acc.1).abs() < 1e-9, "bin {k}");
+        }
+    }
+
+    #[test]
+    fn fft_ifft_round_trip() {
+        let x: Vec<Complex> = (0..64).map(|i| ((i as f64 * 0.3).sin(), (i as f64 * 0.17).cos())).collect();
+        let mut buf = x.clone();
+        fft_in_place(&mut buf).unwrap();
+        ifft_in_place(&mut buf).unwrap();
+        for (a, b) in x.iter().zip(&buf) {
+            assert!((a.0 - b.0).abs() < 1e-9);
+            assert!((a.1 - b.1).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn non_power_of_two_rejected() {
+        let mut buf = vec![(0.0, 0.0); 12];
+        assert!(fft_in_place(&mut buf).is_err());
+        let mut one = vec![(0.0, 0.0); 1];
+        assert!(fft_in_place(&mut one).is_err());
+    }
+
+    #[test]
+    fn dominant_frequency_of_pure_tone() {
+        let fs = 360.0;
+        let sig = tone(11.0, fs, 1024);
+        let f = dominant_frequency(&sig, fs).unwrap();
+        assert!((f - 11.0).abs() < fs / 1024.0 * 1.5, "f={f}");
+    }
+
+    #[test]
+    fn parseval_energy_agreement() {
+        let fs = 100.0;
+        let sig = tone(7.0, fs, 256);
+        let spectrum = power_spectrum(&sig, fs).unwrap();
+        // A unit sine's mean-square power is 0.5; the one-sided spectrum
+        // carries it split between the ±f bins (so the visible bin holds
+        // ~0.25).
+        let peak = spectrum
+            .iter()
+            .map(|&(_, p)| p)
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!((peak - 0.25).abs() < 0.01, "peak {peak}");
+    }
+
+    #[test]
+    fn high_frequency_fraction_separates_noise_from_tone() {
+        let fs = 360.0;
+        let clean = tone(1.2, fs, 1024);
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(1);
+        let noisy: Vec<f64> = clean.iter().map(|&v| v + rng.gen_range(-1.0..1.0)).collect();
+        let hf_clean = high_frequency_fraction(&clean, fs, 40.0).unwrap();
+        let hf_noisy = high_frequency_fraction(&noisy, fs, 40.0).unwrap();
+        assert!(hf_clean < 0.05, "clean {hf_clean}");
+        assert!(hf_noisy > 0.3, "noisy {hf_noisy}");
+    }
+
+    #[test]
+    fn hann_window_shape() {
+        let w = hann_window(64);
+        assert_eq!(w.len(), 64);
+        assert!(w[0].abs() < 1e-12 && w[63].abs() < 1e-12, "tapers to zero");
+        let mid = w[31].max(w[32]);
+        assert!(mid > 0.99, "peaks near one, got {mid}");
+        assert_eq!(hann_window(1), vec![1.0]);
+        assert!(hann_window(0).is_empty());
+    }
+
+    #[test]
+    fn windowing_reduces_leakage_on_off_bin_tone() {
+        // 7.3 Hz is not an FFT bin of a 256-sample / 100 Hz snippet:
+        // rectangular analysis smears it; Hann concentrates it.
+        let fs = 100.0;
+        let sig = tone(7.3, fs, 256);
+        let rect = power_spectrum(&sig, fs).unwrap();
+        let hann = power_spectrum_windowed(&sig, fs).unwrap();
+        // Fraction of energy within ±1 Hz of the tone.
+        let near = |sp: &[(f64, f64)]| -> f64 {
+            let total: f64 = sp.iter().skip(1).map(|&(_, p)| p).sum();
+            let near: f64 = sp
+                .iter()
+                .skip(1)
+                .filter(|&&(f, _)| (f - 7.3).abs() < 1.0)
+                .map(|&(_, p)| p)
+                .sum();
+            near / total
+        };
+        assert!(near(&hann) > near(&rect), "hann {} vs rect {}", near(&hann), near(&rect));
+        assert!(near(&hann) > 0.9, "hann concentration {}", near(&hann));
+    }
+
+    #[test]
+    fn zero_signal_high_fraction_is_zero() {
+        assert_eq!(high_frequency_fraction(&[0.0; 64], 100.0, 10.0).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn spectrum_rejects_bad_input() {
+        assert!(power_spectrum(&[], 100.0).is_err());
+        assert!(power_spectrum(&[1.0], 0.0).is_err());
+    }
+
+    #[test]
+    fn dominant_frequency_picks_the_stronger_tone() {
+        let fs = 360.0;
+        let strong = tone(3.0, fs, 1024);
+        let weak = tone(40.0, fs, 1024);
+        let mix: Vec<f64> = strong
+            .iter()
+            .zip(&weak)
+            .map(|(a, b)| 3.0 * a + 0.5 * b)
+            .collect();
+        let f = dominant_frequency(&mix, fs).unwrap();
+        assert!((f - 3.0).abs() < 0.6, "f={f}");
+    }
+}

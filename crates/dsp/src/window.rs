@@ -1,0 +1,170 @@
+//! Sliding-window iteration.
+//!
+//! SIFT's trainer slides a window of `w` time-units over Δ time-units of
+//! synchronously measured ECG and ABP, producing one portrait (and hence
+//! one feature point) per window position (paper §II-A, "Training step").
+
+use crate::DspError;
+
+/// Iterator over fixed-length windows of a slice advanced by a fixed step.
+///
+/// Produced by [`sliding`]; windows that would run past the end of the
+/// slice are not yielded (no partial windows).
+#[derive(Debug, Clone)]
+pub struct Sliding<'a, T> {
+    data: &'a [T],
+    len: usize,
+    step: usize,
+    pos: usize,
+}
+
+impl<'a, T> Iterator for Sliding<'a, T> {
+    type Item = &'a [T];
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.pos + self.len > self.data.len() {
+            return None;
+        }
+        let w = &self.data[self.pos..self.pos + self.len];
+        self.pos += self.step;
+        Some(w)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = count_windows_from(self.data.len(), self.len, self.step, self.pos);
+        (n, Some(n))
+    }
+}
+
+impl<T> ExactSizeIterator for Sliding<'_, T> {}
+
+fn count_windows_from(total: usize, len: usize, step: usize, pos: usize) -> usize {
+    if pos + len > total {
+        0
+    } else {
+        (total - pos - len) / step + 1
+    }
+}
+
+/// Iterate fixed-length windows of `data`, each `len` elements long,
+/// advancing by `step` elements between windows.
+///
+/// With `step == len` the windows tile the slice without overlap, which is
+/// how both the trainer (over Δ) and the detector (over the live stream)
+/// consume signals in this reproduction.
+///
+/// # Errors
+///
+/// Returns [`DspError::InvalidParameter`] if `len == 0` or `step == 0`.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), dsp::DspError> {
+/// let xs = [1, 2, 3, 4, 5];
+/// let windows: Vec<&[i32]> = dsp::window::sliding(&xs, 2, 2)?.collect();
+/// assert_eq!(windows, vec![&[1, 2][..], &[3, 4][..]]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn sliding<T>(data: &[T], len: usize, step: usize) -> Result<Sliding<'_, T>, DspError> {
+    if len == 0 {
+        return Err(DspError::InvalidParameter {
+            name: "len",
+            reason: "window length must be positive",
+        });
+    }
+    if step == 0 {
+        return Err(DspError::InvalidParameter {
+            name: "step",
+            reason: "window step must be positive",
+        });
+    }
+    Ok(Sliding {
+        data,
+        len,
+        step,
+        pos: 0,
+    })
+}
+
+/// Number of windows [`sliding`] will yield for the given geometry.
+pub fn window_count(total: usize, len: usize, step: usize) -> usize {
+    if len == 0 || step == 0 {
+        0
+    } else {
+        count_windows_from(total, len, step, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn non_overlapping_tiles() {
+        let xs: Vec<u32> = (0..10).collect();
+        let w: Vec<&[u32]> = sliding(&xs, 5, 5).unwrap().collect();
+        assert_eq!(w.len(), 2);
+        assert_eq!(w[0], &[0, 1, 2, 3, 4]);
+        assert_eq!(w[1], &[5, 6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn overlapping_half_step() {
+        let xs: Vec<u32> = (0..6).collect();
+        let w: Vec<&[u32]> = sliding(&xs, 4, 2).unwrap().collect();
+        assert_eq!(w, vec![&[0, 1, 2, 3][..], &[2, 3, 4, 5][..]]);
+    }
+
+    #[test]
+    fn no_partial_windows() {
+        let xs = [1, 2, 3, 4, 5];
+        let w: Vec<&[i32]> = sliding(&xs, 3, 3).unwrap().collect();
+        assert_eq!(w.len(), 1);
+    }
+
+    #[test]
+    fn window_longer_than_data_yields_nothing() {
+        let xs = [1, 2];
+        assert_eq!(sliding(&xs, 3, 1).unwrap().count(), 0);
+    }
+
+    #[test]
+    fn zero_len_or_step_rejected() {
+        let xs = [1, 2, 3];
+        assert!(sliding(&xs, 0, 1).is_err());
+        assert!(sliding(&xs, 1, 0).is_err());
+    }
+
+    #[test]
+    fn size_hint_is_exact() {
+        let xs: Vec<u32> = (0..100).collect();
+        let it = sliding(&xs, 7, 3).unwrap();
+        let hint = it.size_hint().0;
+        assert_eq!(hint, it.count());
+    }
+
+    #[test]
+    fn window_count_matches_iterator() {
+        for total in 0..30 {
+            let xs: Vec<u32> = (0..total as u32).collect();
+            for len in 1..6 {
+                for step in 1..6 {
+                    assert_eq!(
+                        window_count(total, len, step),
+                        sliding(&xs, len, step).unwrap().count(),
+                        "total={total} len={len} step={step}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn paper_geometry_forty_test_windows() {
+        // 2 minutes at 360 Hz with w = 3 s, non-overlapping → 40 windows,
+        // matching the paper's "40 test examples in total for each subject".
+        assert_eq!(window_count(120 * 360, 3 * 360, 3 * 360), 40);
+    }
+}

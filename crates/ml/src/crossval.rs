@@ -1,0 +1,151 @@
+//! k-fold cross-validation.
+
+use crate::metrics::ConfusionMatrix;
+use crate::{Classifier, Dataset, MlError};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Index split for one fold: everything not in `test` is training
+/// material.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fold {
+    /// Row indices for training.
+    pub train: Vec<usize>,
+    /// Row indices for testing.
+    pub test: Vec<usize>,
+}
+
+/// Produce `k` shuffled folds over `n` samples.
+///
+/// Fold sizes differ by at most one; every index appears in exactly one
+/// test set.
+///
+/// # Errors
+///
+/// Returns [`MlError::InvalidParameter`] unless `2 <= k <= n`.
+pub fn k_folds(n: usize, k: usize, seed: u64) -> Result<Vec<Fold>, MlError> {
+    if k < 2 {
+        return Err(MlError::InvalidParameter {
+            name: "k",
+            reason: "need at least 2 folds",
+        });
+    }
+    if k > n {
+        return Err(MlError::InvalidParameter {
+            name: "k",
+            reason: "cannot have more folds than samples",
+        });
+    }
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.shuffle(&mut StdRng::seed_from_u64(seed));
+    let mut folds = Vec::with_capacity(k);
+    let base = n / k;
+    let extra = n % k;
+    let mut start = 0;
+    for f in 0..k {
+        let size = base + usize::from(f < extra);
+        let test: Vec<usize> = idx[start..start + size].to_vec();
+        let train: Vec<usize> = idx[..start]
+            .iter()
+            .chain(&idx[start + size..])
+            .copied()
+            .collect();
+        folds.push(Fold { train, test });
+        start += size;
+    }
+    Ok(folds)
+}
+
+/// Cross-validate a trainer: fit on each fold's training rows, evaluate
+/// on its test rows, and return the per-fold confusion matrices.
+///
+/// `fit` receives the training subset and returns a boxed classifier;
+/// folds whose training subset is single-class are skipped (this can
+/// happen with tiny datasets).
+///
+/// # Errors
+///
+/// Propagates [`k_folds`] errors; training errors other than
+/// [`MlError::SingleClass`] are returned.
+pub fn cross_validate<F>(
+    data: &Dataset,
+    k: usize,
+    seed: u64,
+    mut fit: F,
+) -> Result<Vec<ConfusionMatrix>, MlError>
+where
+    F: FnMut(&Dataset) -> Result<Box<dyn Classifier>, MlError>,
+{
+    let folds = k_folds(data.len(), k, seed)?;
+    let mut out = Vec::with_capacity(folds.len());
+    for fold in folds {
+        let train = data.subset(&fold.train);
+        let test = data.subset(&fold.test);
+        match fit(&train) {
+            Ok(model) => out.push(crate::metrics::evaluate(model.as_ref(), &test)),
+            Err(MlError::SingleClass) => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear_svm::LinearSvmTrainer;
+    use crate::Label;
+
+    #[test]
+    fn folds_partition_indices() {
+        let folds = k_folds(103, 5, 1).unwrap();
+        assert_eq!(folds.len(), 5);
+        let mut all: Vec<usize> = folds.iter().flat_map(|f| f.test.clone()).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..103).collect::<Vec<_>>());
+        for f in &folds {
+            assert_eq!(f.train.len() + f.test.len(), 103);
+            // Train and test are disjoint.
+            assert!(f.test.iter().all(|t| !f.train.contains(t)));
+        }
+    }
+
+    #[test]
+    fn fold_sizes_balanced() {
+        let folds = k_folds(10, 3, 2).unwrap();
+        let sizes: Vec<usize> = folds.iter().map(|f| f.test.len()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 10);
+        assert!(sizes.iter().all(|&s| s == 3 || s == 4));
+    }
+
+    #[test]
+    fn rejects_degenerate_k() {
+        assert!(k_folds(10, 1, 0).is_err());
+        assert!(k_folds(3, 5, 0).is_err());
+    }
+
+    #[test]
+    fn deterministic_folds() {
+        assert_eq!(k_folds(50, 5, 9).unwrap(), k_folds(50, 5, 9).unwrap());
+    }
+
+    #[test]
+    fn cross_validate_svm_on_separable_data() {
+        let mut d = Dataset::new(1).unwrap();
+        for i in 0..30 {
+            d.push(vec![-1.0 - 0.01 * i as f64], Label::Negative).unwrap();
+            d.push(vec![1.0 + 0.01 * i as f64], Label::Positive).unwrap();
+        }
+        let matrices = cross_validate(&d, 5, 3, |train| {
+            LinearSvmTrainer::default()
+                .fit(train)
+                .map(|m| Box::new(m) as Box<dyn Classifier>)
+        })
+        .unwrap();
+        assert_eq!(matrices.len(), 5);
+        for m in &matrices {
+            assert_eq!(m.accuracy(), Some(1.0), "{m}");
+        }
+    }
+}

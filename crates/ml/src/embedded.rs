@@ -1,0 +1,265 @@
+//! The "translated" embedded model.
+//!
+//! The paper does not ship liblinear to the Amulet: "we then translate the
+//! prediction function of the trained model into C code" (§III,
+//! MLClassifier state). [`EmbeddedModel`] is that artifact in this
+//! reproduction — a flat, single-precision record of the standardization
+//! constants and the separating hyperplane, with a byte-level codec so the
+//! simulated firmware can store it in FRAM and account for its exact
+//! footprint.
+
+use crate::linear_svm::LinearSvm;
+use crate::scaler::StandardScaler;
+use crate::{Classifier, Label, MlError};
+
+/// Magic bytes identifying an encoded model (`SIFTMDL` + version 1).
+pub const MAGIC: [u8; 8] = *b"SIFTMDL1";
+
+/// A deployed user-specific model: scaler constants folded together with
+/// the SVM hyperplane, all in `f32`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EmbeddedModel {
+    weights: Vec<f32>,
+    bias: f32,
+    means: Vec<f32>,
+    inv_stds: Vec<f32>,
+}
+
+impl EmbeddedModel {
+    /// Translate a trained scaler + SVM pair into the embedded form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::DimensionMismatch`] if the scaler and model
+    /// dimensions disagree.
+    pub fn translate(scaler: &StandardScaler, svm: &LinearSvm) -> Result<Self, MlError> {
+        if scaler.dim() != svm.dim() {
+            return Err(MlError::DimensionMismatch {
+                expected: scaler.dim(),
+                actual: svm.dim(),
+            });
+        }
+        Ok(Self {
+            weights: svm.weights().iter().map(|&w| w as f32).collect(),
+            bias: svm.bias() as f32,
+            means: scaler.means().iter().map(|&m| m as f32).collect(),
+            inv_stds: scaler.stds().iter().map(|&s| (1.0 / s) as f32).collect(),
+        })
+    }
+
+    /// Feature dimension.
+    pub fn dim(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Single-precision decision value for a raw (unscaled) feature
+    /// vector: standardization happens inside, exactly as the generated C
+    /// code would do it on-device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != dim()` (on the device this is a compile-time
+    /// guarantee; the simulation asserts it).
+    pub fn decision_function_f32(&self, x: &[f32]) -> f32 {
+        assert_eq!(x.len(), self.dim(), "feature dimension mismatch");
+        let mut acc = self.bias;
+        for (((&xi, &m), &inv), &w) in x
+            .iter()
+            .zip(&self.means)
+            .zip(&self.inv_stds)
+            .zip(&self.weights)
+        {
+            acc += w * ((xi - m) * inv);
+        }
+        acc
+    }
+
+    /// Hard label for a raw `f32` feature vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != dim()`.
+    pub fn predict_f32(&self, x: &[f32]) -> Label {
+        Label::from_sign(self.decision_function_f32(x) as f64)
+    }
+
+    /// Exact serialized size in bytes (what the detector contributes to
+    /// FRAM for its model constants).
+    pub fn footprint_bytes(&self) -> usize {
+        MAGIC.len() + 4 + 4 * (3 * self.dim() + 1)
+    }
+
+    /// Serialize to the on-flash byte format (little-endian).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.footprint_bytes());
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&(self.dim() as u32).to_le_bytes());
+        for &w in &self.weights {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        out.extend_from_slice(&self.bias.to_le_bytes());
+        for &m in &self.means {
+            out.extend_from_slice(&m.to_le_bytes());
+        }
+        for &s in &self.inv_stds {
+            out.extend_from_slice(&s.to_le_bytes());
+        }
+        out
+    }
+
+    /// Decode a model previously produced by [`EmbeddedModel::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::MalformedModel`] for any framing violation.
+    pub fn decode(bytes: &[u8]) -> Result<Self, MlError> {
+        if bytes.len() < MAGIC.len() + 4 {
+            return Err(MlError::MalformedModel {
+                reason: "too short for header",
+            });
+        }
+        if bytes[..8] != MAGIC {
+            return Err(MlError::MalformedModel {
+                reason: "bad magic",
+            });
+        }
+        let dim = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes")) as usize;
+        if dim == 0 {
+            return Err(MlError::MalformedModel {
+                reason: "zero dimension",
+            });
+        }
+        let expect = MAGIC.len() + 4 + 4 * (3 * dim + 1);
+        if bytes.len() != expect {
+            return Err(MlError::MalformedModel {
+                reason: "length does not match dimension",
+            });
+        }
+        let mut off = 12;
+        let mut read = |n: usize| -> Vec<f32> {
+            let mut v = Vec::with_capacity(n);
+            for _ in 0..n {
+                v.push(f32::from_le_bytes(
+                    bytes[off..off + 4].try_into().expect("4 bytes"),
+                ));
+                off += 4;
+            }
+            v
+        };
+        let weights = read(dim);
+        let bias = read(1)[0];
+        let means = read(dim);
+        let inv_stds = read(dim);
+        Ok(Self {
+            weights,
+            bias,
+            means,
+            inv_stds,
+        })
+    }
+}
+
+impl Classifier for EmbeddedModel {
+    fn decision_function(&self, x: &[f64]) -> f64 {
+        let xs: Vec<f32> = x.iter().map(|&v| v as f32).collect();
+        self.decision_function_f32(&xs) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear_svm::LinearSvmTrainer;
+    use crate::{Dataset, Label};
+
+    fn trained() -> (StandardScaler, LinearSvm, Dataset) {
+        let mut d = Dataset::new(3).unwrap();
+        for i in 0..25 {
+            let t = i as f64 * 0.04;
+            d.push(vec![t, 10.0 * t, -t], Label::Negative).unwrap();
+            d.push(vec![2.0 + t, 25.0 + 10.0 * t, 2.0 - t], Label::Positive)
+                .unwrap();
+        }
+        let scaler = StandardScaler::fit(&d).unwrap();
+        let scaled = scaler.transform_dataset(&d).unwrap();
+        let svm = LinearSvmTrainer::default().fit(&scaled).unwrap();
+        (scaler, svm, d)
+    }
+
+    #[test]
+    fn translated_model_matches_reference_pipeline() {
+        let (scaler, svm, d) = trained();
+        let em = EmbeddedModel::translate(&scaler, &svm).unwrap();
+        for (x, _) in d.iter() {
+            let reference = svm.predict(&scaler.transform(x).unwrap());
+            let xs: Vec<f32> = x.iter().map(|&v| v as f32).collect();
+            assert_eq!(em.predict_f32(&xs), reference);
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let (scaler, svm, _) = trained();
+        let em = EmbeddedModel::translate(&scaler, &svm).unwrap();
+        let bytes = em.encode();
+        assert_eq!(bytes.len(), em.footprint_bytes());
+        let back = EmbeddedModel::decode(&bytes).unwrap();
+        assert_eq!(back, em);
+    }
+
+    #[test]
+    fn footprint_formula() {
+        let (scaler, svm, _) = trained();
+        let em = EmbeddedModel::translate(&scaler, &svm).unwrap();
+        // 8 magic + 4 dim + 4 * (3*3 + 1) floats.
+        assert_eq!(em.footprint_bytes(), 8 + 4 + 4 * 10);
+    }
+
+    #[test]
+    fn decode_rejects_corruption() {
+        let (scaler, svm, _) = trained();
+        let em = EmbeddedModel::translate(&scaler, &svm).unwrap();
+        let good = em.encode();
+
+        assert!(EmbeddedModel::decode(&[]).is_err());
+        assert!(EmbeddedModel::decode(&good[..10]).is_err());
+
+        let mut bad_magic = good.clone();
+        bad_magic[0] = b'X';
+        assert!(EmbeddedModel::decode(&bad_magic).is_err());
+
+        let mut truncated = good.clone();
+        truncated.pop();
+        assert!(EmbeddedModel::decode(&truncated).is_err());
+
+        let mut bad_dim = good.clone();
+        bad_dim[8..12].copy_from_slice(&0u32.to_le_bytes());
+        assert!(EmbeddedModel::decode(&bad_dim).is_err());
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected_at_translate() {
+        let (_, svm, _) = trained();
+        let wrong = StandardScaler::identity(7);
+        assert!(EmbeddedModel::translate(&wrong, &svm).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "feature dimension mismatch")]
+    fn predict_panics_on_wrong_dim() {
+        let (scaler, svm, _) = trained();
+        let em = EmbeddedModel::translate(&scaler, &svm).unwrap();
+        let _ = em.predict_f32(&[1.0]);
+    }
+
+    #[test]
+    fn classifier_impl_consistent_with_f32_path() {
+        let (scaler, svm, d) = trained();
+        let em = EmbeddedModel::translate(&scaler, &svm).unwrap();
+        for (x, _) in d.iter() {
+            let via_f64 = em.predict(x);
+            let xs: Vec<f32> = x.iter().map(|&v| v as f32).collect();
+            assert_eq!(via_f64, em.predict_f32(&xs));
+        }
+    }
+}

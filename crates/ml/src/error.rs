@@ -1,0 +1,75 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for dataset construction, training, and model decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MlError {
+    /// A dataset operation needed at least one sample.
+    EmptyDataset,
+    /// A feature vector's length did not match the dataset dimension.
+    DimensionMismatch {
+        /// Expected feature count.
+        expected: usize,
+        /// Received feature count.
+        actual: usize,
+    },
+    /// Training requires both classes to be present.
+    SingleClass,
+    /// A hyperparameter was outside its valid domain.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Violated constraint.
+        reason: &'static str,
+    },
+    /// A feature value was NaN or infinite.
+    NonFiniteFeature,
+    /// An encoded model could not be decoded.
+    MalformedModel {
+        /// What went wrong.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for MlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MlError::EmptyDataset => write!(f, "dataset is empty"),
+            MlError::DimensionMismatch { expected, actual } => {
+                write!(f, "feature dimension mismatch: expected {expected}, got {actual}")
+            }
+            MlError::SingleClass => write!(f, "training data contains only one class"),
+            MlError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            MlError::NonFiniteFeature => write!(f, "feature vector contains non-finite values"),
+            MlError::MalformedModel { reason } => write!(f, "malformed model bytes: {reason}"),
+        }
+    }
+}
+
+impl Error for MlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_meaningful() {
+        assert!(MlError::EmptyDataset.to_string().contains("empty"));
+        assert!(MlError::SingleClass.to_string().contains("one class"));
+        assert!(MlError::DimensionMismatch {
+            expected: 8,
+            actual: 5
+        }
+        .to_string()
+        .contains("8"));
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn assert_bounds<T: Send + Sync + 'static>() {}
+        assert_bounds::<MlError>();
+    }
+}

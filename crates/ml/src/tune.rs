@@ -1,0 +1,172 @@
+//! Hyperparameter selection: grid search over the SVM cost `C` with
+//! k-fold cross-validation.
+//!
+//! The paper trains per-user models offline; this module is the offline
+//! step that picks `C` before the model is translated and flashed.
+
+use crate::crossval::cross_validate;
+use crate::linear_svm::LinearSvmTrainer;
+use crate::metrics::AveragedMetrics;
+use crate::{Classifier, Dataset, MlError};
+
+/// Result of evaluating one grid point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridPoint {
+    /// The cost value evaluated.
+    pub c: f64,
+    /// Cross-validated metrics at this cost.
+    pub metrics: AveragedMetrics,
+}
+
+/// Outcome of a grid search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridSearchResult {
+    /// All evaluated points, in input order.
+    pub points: Vec<GridPoint>,
+    /// The cost with the best cross-validated accuracy.
+    pub best_c: f64,
+}
+
+/// Grid-search the SVM cost over `candidates` with `k`-fold CV.
+///
+/// Ties break toward the smaller `C` (stronger regularization → smaller
+/// deployed weights).
+///
+/// # Errors
+///
+/// Returns [`MlError::InvalidParameter`] for an empty candidate list or
+/// invalid `k`, and propagates training errors.
+pub fn grid_search_c(
+    data: &Dataset,
+    candidates: &[f64],
+    k: usize,
+    seed: u64,
+) -> Result<GridSearchResult, MlError> {
+    if candidates.is_empty() {
+        return Err(MlError::InvalidParameter {
+            name: "candidates",
+            reason: "need at least one cost value",
+        });
+    }
+    let mut points = Vec::with_capacity(candidates.len());
+    let mut best: Option<(f64, f64)> = None; // (accuracy, c)
+    for &c in candidates {
+        if c <= 0.0 {
+            return Err(MlError::InvalidParameter {
+                name: "c",
+                reason: "costs must be positive",
+            });
+        }
+        let matrices = cross_validate(data, k, seed, |train| {
+            LinearSvmTrainer {
+                c,
+                ..LinearSvmTrainer::default()
+            }
+            .fit(train)
+            .map(|m| Box::new(m) as Box<dyn Classifier>)
+        })?;
+        let metrics = AveragedMetrics::from_matrices(&matrices).ok_or(
+            MlError::InvalidParameter {
+                name: "k",
+                reason: "no usable folds",
+            },
+        )?;
+        let better = match best {
+            None => true,
+            Some((acc, best_c)) => {
+                metrics.accuracy > acc + 1e-12
+                    || ((metrics.accuracy - acc).abs() <= 1e-12 && c < best_c)
+            }
+        };
+        if better {
+            best = Some((metrics.accuracy, c));
+        }
+        points.push(GridPoint { c, metrics });
+    }
+    Ok(GridSearchResult {
+        points,
+        best_c: best.expect("candidates nonempty").1,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Label;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn noisy_blobs(n: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut d = Dataset::new(2).unwrap();
+        for _ in 0..n {
+            d.push(
+                vec![rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)],
+                Label::Negative,
+            )
+            .unwrap();
+            d.push(
+                vec![
+                    1.0 + rng.gen_range(-1.0..1.0),
+                    1.0 + rng.gen_range(-1.0..1.0),
+                ],
+                Label::Positive,
+            )
+            .unwrap();
+        }
+        d
+    }
+
+    #[test]
+    fn grid_search_returns_all_points_and_a_best() {
+        let d = noisy_blobs(60, 1);
+        let r = grid_search_c(&d, &[0.01, 0.1, 1.0, 10.0], 5, 7).unwrap();
+        assert_eq!(r.points.len(), 4);
+        assert!(r.points.iter().any(|p| p.c == r.best_c));
+        for p in &r.points {
+            assert!(p.metrics.accuracy > 0.5, "c={} acc={}", p.c, p.metrics.accuracy);
+        }
+    }
+
+    #[test]
+    fn best_accuracy_is_maximal() {
+        let d = noisy_blobs(80, 2);
+        let r = grid_search_c(&d, &[0.01, 1.0, 100.0], 4, 3).unwrap();
+        let best_acc = r
+            .points
+            .iter()
+            .find(|p| p.c == r.best_c)
+            .unwrap()
+            .metrics
+            .accuracy;
+        assert!(r.points.iter().all(|p| p.metrics.accuracy <= best_acc + 1e-12));
+    }
+
+    #[test]
+    fn ties_break_toward_smaller_c() {
+        // A trivially separable set: every C achieves 100 %.
+        let mut d = Dataset::new(1).unwrap();
+        for i in 0..20 {
+            d.push(vec![-2.0 - i as f64 * 0.1], Label::Negative).unwrap();
+            d.push(vec![2.0 + i as f64 * 0.1], Label::Positive).unwrap();
+        }
+        let r = grid_search_c(&d, &[10.0, 1.0, 0.1], 4, 5).unwrap();
+        assert_eq!(r.best_c, 0.1);
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        let d = noisy_blobs(20, 3);
+        assert!(grid_search_c(&d, &[], 3, 0).is_err());
+        assert!(grid_search_c(&d, &[-1.0], 3, 0).is_err());
+        assert!(grid_search_c(&d, &[1.0], 1, 0).is_err());
+    }
+
+    #[test]
+    fn deterministic() {
+        let d = noisy_blobs(40, 4);
+        let a = grid_search_c(&d, &[0.1, 1.0], 4, 9).unwrap();
+        let b = grid_search_c(&d, &[0.1, 1.0], 4, 9).unwrap();
+        assert_eq!(a, b);
+    }
+}

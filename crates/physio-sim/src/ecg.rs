@@ -1,0 +1,224 @@
+//! ECG waveform synthesis.
+//!
+//! Each cardiac cycle is rendered as a sum of five Gaussian bumps — the
+//! P, Q, R, S and T waves — positioned relative to the beat's R peak and
+//! mildly stretched with the instantaneous RR interval (long beats have
+//! proportionally later T waves, as in real ECG). This is the
+//! sum-of-Gaussians morphology used by the well-known ECGSYN model,
+//! without its phase-oscillator integration, which is unnecessary at the
+//! fidelity SIFT needs.
+
+/// Shape of one wave component: a Gaussian bump.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Wave {
+    /// Peak amplitude in millivolts (negative for Q and S).
+    pub amplitude_mv: f64,
+    /// Center offset from the R peak, in seconds (negative = before R).
+    /// Offsets of the P and T waves scale with the RR interval.
+    pub offset_s: f64,
+    /// Gaussian standard deviation, in seconds.
+    pub width_s: f64,
+}
+
+impl Wave {
+    /// Evaluate the bump at `tau` seconds from the R peak, for a beat of
+    /// length `rr` seconds.
+    ///
+    /// `rr_scaling` is the exponent applied to `rr / rr_ref` when
+    /// stretching the offset: `1.0` moves the wave proportionally with the
+    /// beat length, `0.0` pins it.
+    fn eval(&self, tau: f64, rr: f64, rr_scaling: f64) -> f64 {
+        const RR_REF: f64 = 60.0 / 65.0;
+        let stretch = (rr / RR_REF).powf(rr_scaling);
+        let d = tau - self.offset_s * stretch;
+        self.amplitude_mv * (-d * d / (2.0 * self.width_s * self.width_s)).exp()
+    }
+}
+
+/// Morphology of one subject's ECG: the five PQRST components.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EcgMorphology {
+    /// P wave (atrial depolarization).
+    pub p: Wave,
+    /// Q wave.
+    pub q: Wave,
+    /// R wave (the dominant spike SIFT keys on).
+    pub r: Wave,
+    /// S wave.
+    pub s: Wave,
+    /// T wave (ventricular repolarization).
+    pub t: Wave,
+}
+
+impl Default for EcgMorphology {
+    fn default() -> Self {
+        Self {
+            p: Wave {
+                amplitude_mv: 0.12,
+                offset_s: -0.17,
+                width_s: 0.025,
+            },
+            q: Wave {
+                amplitude_mv: -0.10,
+                offset_s: -0.035,
+                width_s: 0.010,
+            },
+            r: Wave {
+                amplitude_mv: 1.0,
+                offset_s: 0.0,
+                width_s: 0.011,
+            },
+            s: Wave {
+                amplitude_mv: -0.17,
+                offset_s: 0.035,
+                width_s: 0.010,
+            },
+            t: Wave {
+                amplitude_mv: 0.30,
+                offset_s: 0.30,
+                width_s: 0.055,
+            },
+        }
+    }
+}
+
+impl EcgMorphology {
+    /// Evaluate the full PQRST complex at `tau` seconds from the R peak
+    /// of a beat with interval `rr`.
+    pub fn eval(&self, tau: f64, rr: f64) -> f64 {
+        // P and T track the beat length; the QRS complex is rigid.
+        self.p.eval(tau, rr, 1.0)
+            + self.q.eval(tau, rr, 0.0)
+            + self.r.eval(tau, rr, 0.0)
+            + self.s.eval(tau, rr, 0.0)
+            + self.t.eval(tau, rr, 0.6)
+    }
+
+    /// Iterate over the five waves (P, Q, R, S, T order).
+    pub fn waves(&self) -> [&Wave; 5] {
+        [&self.p, &self.q, &self.r, &self.s, &self.t]
+    }
+}
+
+/// Render a noise-free ECG trace.
+///
+/// `r_times` are R-peak times in seconds (as produced by
+/// [`crate::rr::RrProcess::beat_times`]); the output covers
+/// `duration_s` at `fs` Hz. Returns the samples and the ground-truth
+/// R-peak sample indices that fall inside the rendered range.
+pub fn render(
+    morph: &EcgMorphology,
+    r_times: &[f64],
+    duration_s: f64,
+    fs: f64,
+) -> (Vec<f64>, Vec<usize>) {
+    let n = (duration_s * fs).round() as usize;
+    let mut out = vec![0.0f64; n];
+    // Each beat contributes only within ±0.6·RR of its R peak, so render
+    // beat-locally instead of summing all beats per sample.
+    for (k, &rt) in r_times.iter().enumerate() {
+        let rr_prev = if k > 0 { rt - r_times[k - 1] } else { 0.9 };
+        let rr_next = if k + 1 < r_times.len() {
+            r_times[k + 1] - rt
+        } else {
+            rr_prev
+        };
+        let lo = ((rt - 0.6 * rr_prev) * fs).floor().max(0.0) as usize;
+        let hi = (((rt + 0.75 * rr_next) * fs).ceil() as usize).min(n);
+        for (i, sample) in out.iter_mut().enumerate().take(hi).skip(lo) {
+            let tau = i as f64 / fs - rt;
+            // The beat whose R peak this is: use next RR for waves after
+            // R (T wave), previous RR for waves before it (P wave).
+            let rr = if tau >= 0.0 { rr_next } else { rr_prev };
+            *sample += morph.eval(tau, rr);
+        }
+    }
+    let r_peaks = r_times
+        .iter()
+        .map(|t| (t * fs).round() as usize)
+        .filter(|&i| i < n)
+        .collect();
+    (out, r_peaks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn r_peak_is_global_max_of_clean_beat() {
+        let m = EcgMorphology::default();
+        let fs = 360.0;
+        let (sig, peaks) = render(&m, &[1.0, 1.9, 2.8], 3.5, fs);
+        for &p in &peaks {
+            // R sample should dominate its ±0.3 s neighbourhood.
+            let lo = p.saturating_sub(100);
+            let hi = (p + 100).min(sig.len());
+            let local_max = sig[lo..hi]
+                .iter()
+                .cloned()
+                .fold(f64::NEG_INFINITY, f64::max);
+            assert!((sig[p] - local_max).abs() < 1e-9, "peak at {p}");
+        }
+    }
+
+    #[test]
+    fn morphology_eval_far_from_beat_is_tiny() {
+        let m = EcgMorphology::default();
+        assert!(m.eval(5.0, 0.9).abs() < 1e-12);
+        assert!(m.eval(-5.0, 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r_amplitude_dominates() {
+        let m = EcgMorphology::default();
+        let at_r = m.eval(0.0, 0.9);
+        assert!(at_r > 0.9, "R amplitude {at_r}");
+    }
+
+    #[test]
+    fn t_wave_visible_after_r() {
+        let m = EcgMorphology::default();
+        let at_t = m.eval(0.30, 60.0 / 65.0);
+        assert!(at_t > 0.2, "T amplitude {at_t}");
+    }
+
+    #[test]
+    fn render_length_matches_duration() {
+        let m = EcgMorphology::default();
+        let (sig, _) = render(&m, &[0.5], 2.0, 360.0);
+        assert_eq!(sig.len(), 720);
+    }
+
+    #[test]
+    fn peaks_outside_duration_are_dropped() {
+        let m = EcgMorphology::default();
+        let (_, peaks) = render(&m, &[0.5, 1.5, 9.0], 2.0, 360.0);
+        assert_eq!(peaks.len(), 2);
+    }
+
+    #[test]
+    fn longer_rr_delays_t_wave() {
+        let m = EcgMorphology::default();
+        // Find T peak for short and long beats by scanning after R.
+        let t_peak = |rr: f64| {
+            let mut best = (0.0, f64::NEG_INFINITY);
+            let mut tau = 0.1;
+            while tau < 0.6 {
+                let v = m.eval(tau, rr);
+                if v > best.1 {
+                    best = (tau, v);
+                }
+                tau += 0.001;
+            }
+            best.0
+        };
+        assert!(t_peak(1.2) > t_peak(0.6) + 0.02);
+    }
+
+    #[test]
+    fn waves_accessor_returns_five() {
+        let m = EcgMorphology::default();
+        assert_eq!(m.waves().len(), 5);
+    }
+}

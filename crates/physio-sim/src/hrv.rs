@@ -1,0 +1,174 @@
+//! Heart-rate-variability (HRV) analytics.
+//!
+//! The WIoT sink stores "historical patient information" (paper §I);
+//! HRV summaries are the canonical derived record for cardiac
+//! monitoring. These are the standard time-domain measures (SDNN, RMSSD,
+//! pNN50) over an RR-interval series, plus a respiration-rate estimate
+//! from the RSA modulation — which doubles as a physiological validity
+//! check on the synthesizer itself.
+
+use dsp::DspError;
+
+/// Time-domain HRV summary of an RR-interval series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HrvSummary {
+    /// Number of intervals analyzed.
+    pub intervals: usize,
+    /// Mean RR interval, seconds.
+    pub mean_rr_s: f64,
+    /// Mean heart rate, bpm.
+    pub mean_hr_bpm: f64,
+    /// SDNN: standard deviation of RR intervals, milliseconds.
+    pub sdnn_ms: f64,
+    /// RMSSD: root-mean-square of successive differences, milliseconds.
+    pub rmssd_ms: f64,
+    /// pNN50: fraction of successive differences exceeding 50 ms.
+    pub pnn50: f64,
+}
+
+/// RR intervals (seconds) from peak sample indices.
+pub fn rr_intervals(peaks: &[usize], fs: f64) -> Vec<f64> {
+    peaks
+        .windows(2)
+        .map(|w| (w[1] - w[0]) as f64 / fs)
+        .collect()
+}
+
+/// Compute the time-domain HRV summary of `rr` (seconds).
+///
+/// # Errors
+///
+/// Returns [`DspError::EmptyInput`] with fewer than two intervals.
+pub fn summarize(rr: &[f64]) -> Result<HrvSummary, DspError> {
+    if rr.len() < 2 {
+        return Err(DspError::EmptyInput);
+    }
+    let mean_rr = dsp::stats::mean(rr)?;
+    let sdnn = dsp::stats::std_dev(rr)?;
+    let diffs: Vec<f64> = rr.windows(2).map(|w| w[1] - w[0]).collect();
+    let rmssd = (diffs.iter().map(|d| d * d).sum::<f64>() / diffs.len() as f64).sqrt();
+    let nn50 = diffs.iter().filter(|d| d.abs() > 0.050).count();
+    Ok(HrvSummary {
+        intervals: rr.len(),
+        mean_rr_s: mean_rr,
+        mean_hr_bpm: 60.0 / mean_rr,
+        sdnn_ms: sdnn * 1000.0,
+        rmssd_ms: rmssd * 1000.0,
+        pnn50: nn50 as f64 / diffs.len() as f64,
+    })
+}
+
+/// Estimate the respiration rate (breaths/minute) from the RSA
+/// oscillation of the RR series, via the dominant frequency of the
+/// evenly-resampled tachogram.
+///
+/// # Errors
+///
+/// Returns [`DspError::EmptyInput`] with fewer than eight intervals.
+pub fn respiration_rate_bpm(rr: &[f64]) -> Result<f64, DspError> {
+    if rr.len() < 8 {
+        return Err(DspError::EmptyInput);
+    }
+    // Resample the tachogram to a uniform 4 Hz grid.
+    let mut times = Vec::with_capacity(rr.len());
+    let mut t = 0.0;
+    for &x in rr {
+        t += x;
+        times.push(t);
+    }
+    let fs = 4.0;
+    let total = *times.last().expect("nonempty");
+    let n = (total * fs) as usize;
+    if n < 8 {
+        return Err(DspError::EmptyInput);
+    }
+    let mut uniform = Vec::with_capacity(n);
+    let mut k = 0usize;
+    for i in 0..n {
+        let ti = i as f64 / fs;
+        while k + 1 < times.len() && times[k] < ti {
+            k += 1;
+        }
+        uniform.push(rr[k]);
+    }
+    // Remove the mean so DC does not dominate.
+    let m = dsp::stats::mean(&uniform)?;
+    for v in &mut uniform {
+        *v -= m;
+    }
+    let f = dsp::spectrum::dominant_frequency(&uniform, fs)?;
+    Ok(f * 60.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::Record;
+    use crate::subject::bank;
+
+    #[test]
+    fn summary_of_constant_rr() {
+        let rr = vec![1.0; 10];
+        let s = summarize(&rr).unwrap();
+        assert_eq!(s.mean_hr_bpm, 60.0);
+        assert_eq!(s.sdnn_ms, 0.0);
+        assert_eq!(s.rmssd_ms, 0.0);
+        assert_eq!(s.pnn50, 0.0);
+        assert_eq!(s.intervals, 10);
+    }
+
+    #[test]
+    fn alternating_rr_has_high_rmssd() {
+        let rr: Vec<f64> = (0..20).map(|i| if i % 2 == 0 { 0.9 } else { 1.0 }).collect();
+        let s = summarize(&rr).unwrap();
+        assert!((s.rmssd_ms - 100.0).abs() < 1e-6, "{}", s.rmssd_ms);
+        assert_eq!(s.pnn50, 1.0);
+    }
+
+    #[test]
+    fn needs_two_intervals() {
+        assert!(summarize(&[1.0]).is_err());
+        assert!(summarize(&[]).is_err());
+    }
+
+    #[test]
+    fn rr_intervals_from_peaks() {
+        let rr = rr_intervals(&[0, 360, 720, 1080], 360.0);
+        assert_eq!(rr, vec![1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn young_subjects_show_more_hrv_than_elderly() {
+        let b = bank();
+        let hrv_of = |idx: usize| {
+            let r = Record::synthesize(&b[idx], 120.0, 9);
+            summarize(&rr_intervals(&r.r_peaks, r.fs)).unwrap()
+        };
+        let young: f64 = (0..6).map(|i| hrv_of(i).sdnn_ms).sum::<f64>() / 6.0;
+        let elderly: f64 = (6..12).map(|i| hrv_of(i).sdnn_ms).sum::<f64>() / 6.0;
+        assert!(
+            young > elderly,
+            "young SDNN {young:.1} ms vs elderly {elderly:.1} ms"
+        );
+    }
+
+    #[test]
+    fn respiration_rate_recovers_breath_parameter() {
+        let b = bank();
+        // Use a young subject (strong RSA) and a long record.
+        let subject = &b[0];
+        let r = Record::synthesize(subject, 180.0, 21);
+        let rr = rr_intervals(&r.r_peaks, r.fs);
+        let est = respiration_rate_bpm(&rr).unwrap();
+        let true_bpm = subject.rr.breath_hz * 60.0;
+        assert!(
+            (est - true_bpm).abs() < 5.0,
+            "estimated {est:.1} vs configured {true_bpm:.1} breaths/min"
+        );
+    }
+
+    #[test]
+    fn respiration_needs_enough_data() {
+        assert!(respiration_rate_bpm(&[1.0; 4]).is_err());
+    }
+}

@@ -1,0 +1,151 @@
+//! Measurement-noise models applied to the clean synthetic signals.
+//!
+//! Three additive components reproduce what a wearable front-end sees:
+//! white sensor noise, slow baseline wander (respiration/motion), and
+//! power-line hum.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the additive noise mix.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseParams {
+    /// Standard deviation of white Gaussian noise, in signal units.
+    pub white_sigma: f64,
+    /// Amplitude of the baseline-wander sinusoid, in signal units.
+    pub wander_amp: f64,
+    /// Baseline-wander frequency in Hz (respiration band, ~0.1–0.4 Hz).
+    pub wander_hz: f64,
+    /// Amplitude of power-line hum, in signal units.
+    pub hum_amp: f64,
+    /// Power-line frequency in Hz (50 or 60).
+    pub hum_hz: f64,
+}
+
+impl Default for NoiseParams {
+    fn default() -> Self {
+        Self {
+            white_sigma: 0.01,
+            wander_amp: 0.04,
+            wander_hz: 0.23,
+            hum_amp: 0.004,
+            hum_hz: 60.0,
+        }
+    }
+}
+
+impl NoiseParams {
+    /// A silent configuration (no noise at all); useful in tests.
+    pub fn none() -> Self {
+        Self {
+            white_sigma: 0.0,
+            wander_amp: 0.0,
+            wander_hz: 0.25,
+            hum_amp: 0.0,
+            hum_hz: 60.0,
+        }
+    }
+
+    /// Scale every amplitude by `k` (e.g. ABP noise in mmHg units).
+    pub fn scaled(self, k: f64) -> Self {
+        Self {
+            white_sigma: self.white_sigma * k,
+            wander_amp: self.wander_amp * k,
+            hum_amp: self.hum_amp * k,
+            ..self
+        }
+    }
+}
+
+/// Add the configured noise mix to `signal` in place, deterministically
+/// from `seed`.
+pub fn apply(signal: &mut [f64], params: &NoiseParams, fs: f64, seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let two_pi = 2.0 * std::f64::consts::PI;
+    // Random phases so different records don't share wander alignment.
+    let wander_phase: f64 = rng.gen_range(0.0..two_pi);
+    let hum_phase: f64 = rng.gen_range(0.0..two_pi);
+    for (i, x) in signal.iter_mut().enumerate() {
+        let t = i as f64 / fs;
+        let mut add = 0.0;
+        if params.white_sigma > 0.0 {
+            let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let u2: f64 = rng.gen_range(0.0..1.0);
+            let gauss = (-2.0 * u1.ln()).sqrt() * (two_pi * u2).cos();
+            add += params.white_sigma * gauss;
+        }
+        add += params.wander_amp * (two_pi * params.wander_hz * t + wander_phase).sin();
+        add += params.hum_amp * (two_pi * params.hum_hz * t + hum_phase).sin();
+        *x += add;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_identity() {
+        let mut sig = vec![1.0; 100];
+        apply(&mut sig, &NoiseParams::none(), 360.0, 1);
+        assert!(sig.iter().all(|x| (*x - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = vec![0.0; 500];
+        let mut b = vec![0.0; 500];
+        let p = NoiseParams::default();
+        apply(&mut a, &p, 360.0, 9);
+        apply(&mut b, &p, 360.0, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = vec![0.0; 500];
+        let mut b = vec![0.0; 500];
+        let p = NoiseParams::default();
+        apply(&mut a, &p, 360.0, 1);
+        apply(&mut b, &p, 360.0, 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn white_noise_sigma_approximately_respected() {
+        let mut sig = vec![0.0; 20000];
+        let p = NoiseParams {
+            white_sigma: 0.5,
+            wander_amp: 0.0,
+            hum_amp: 0.0,
+            ..NoiseParams::default()
+        };
+        apply(&mut sig, &p, 360.0, 4);
+        let sd = dsp::stats::std_dev(&sig).unwrap();
+        assert!((sd - 0.5).abs() < 0.05, "sd={sd}");
+    }
+
+    #[test]
+    fn scaled_multiplies_amplitudes() {
+        let p = NoiseParams::default().scaled(10.0);
+        assert!((p.white_sigma - 0.1).abs() < 1e-12);
+        assert!((p.wander_amp - 0.4).abs() < 1e-12);
+        assert!((p.hum_amp - 0.04).abs() < 1e-12);
+        assert_eq!(p.hum_hz, 60.0);
+    }
+
+    #[test]
+    fn wander_bounded_by_amplitude() {
+        let mut sig = vec![0.0; 5000];
+        let p = NoiseParams {
+            white_sigma: 0.0,
+            wander_amp: 0.3,
+            hum_amp: 0.0,
+            ..NoiseParams::default()
+        };
+        apply(&mut sig, &p, 360.0, 5);
+        let (lo, hi) = dsp::stats::min_max(&sig).unwrap();
+        assert!(lo >= -0.31 && hi <= 0.31);
+        assert!(hi - lo > 0.3, "wander should actually oscillate");
+    }
+}

@@ -1,0 +1,242 @@
+//! Signal-quality assessment (SQI).
+//!
+//! Wearable channels fail in recognizable ways — flat-lining leads,
+//! rail-clipped amplifiers, motion noise, implausible beat rates. A base
+//! station should grade windows *before* spending detector cycles on
+//! them (the paper's Insight #1 is about exactly this kind of sensor
+//! data stewardship). [`assess`] computes a small set of interpretable
+//! quality indicators and an overall score in `[0, 1]`.
+
+use dsp::DspError;
+
+/// Configuration of the quality assessment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QualityConfig {
+    /// A run of identical samples longer than this fraction of the
+    /// window counts as flat-lining.
+    pub max_flat_run_frac: f64,
+    /// Fraction of samples allowed at the extreme rails.
+    pub max_clip_frac: f64,
+    /// Plausible heart-rate band (bpm) for the peak-rate check.
+    pub hr_band_bpm: (f64, f64),
+    /// Weight of the high-frequency-noise indicator in the score.
+    pub noise_weight: f64,
+}
+
+impl Default for QualityConfig {
+    fn default() -> Self {
+        Self {
+            max_flat_run_frac: 0.1,
+            max_clip_frac: 0.05,
+            hr_band_bpm: (30.0, 180.0),
+            noise_weight: 0.3,
+        }
+    }
+}
+
+/// Quality indicators for one window of one channel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QualityReport {
+    /// Longest run of identical samples, as a fraction of the window.
+    pub flat_run_frac: f64,
+    /// Fraction of samples at the window's min or max value.
+    pub rail_frac: f64,
+    /// Beat rate implied by the annotated peaks, bpm (`None` if < 2
+    /// peaks).
+    pub peak_rate_bpm: Option<f64>,
+    /// First-difference RMS relative to signal span (noise indicator).
+    pub roughness: f64,
+    /// Overall quality score in `[0, 1]` (1 = clean).
+    pub score: f64,
+}
+
+impl QualityReport {
+    /// Whether this window should be processed by the detector.
+    pub fn is_usable(&self) -> bool {
+        self.score >= 0.5
+    }
+}
+
+/// Assess one channel of a window, with peak annotations if available.
+///
+/// # Errors
+///
+/// Returns [`DspError::EmptyInput`] on an empty window.
+pub fn assess(
+    samples: &[f64],
+    peaks: &[usize],
+    fs: f64,
+    config: &QualityConfig,
+) -> Result<QualityReport, DspError> {
+    if samples.is_empty() {
+        return Err(DspError::EmptyInput);
+    }
+    let n = samples.len() as f64;
+
+    // Longest flat run.
+    let mut longest = 1usize;
+    let mut run = 1usize;
+    for w in samples.windows(2) {
+        if w[0] == w[1] {
+            run += 1;
+            longest = longest.max(run);
+        } else {
+            run = 1;
+        }
+    }
+    let flat_run_frac = longest as f64 / n;
+
+    // Rail clipping.
+    let (lo, hi) = dsp::stats::min_max(samples)?;
+    let span = hi - lo;
+    let rail_frac = if span == 0.0 {
+        1.0
+    } else {
+        samples.iter().filter(|&&v| v == lo || v == hi).count() as f64 / n
+    };
+
+    // Peak-rate plausibility.
+    let peak_rate_bpm = if peaks.len() >= 2 {
+        let beats = (peaks.len() - 1) as f64;
+        let dur_s = (peaks[peaks.len() - 1] - peaks[0]) as f64 / fs;
+        (dur_s > 0.0).then(|| 60.0 * beats / dur_s)
+    } else {
+        None
+    };
+
+    // Roughness: first-difference RMS over span; heavy broadband noise
+    // inflates this far beyond a physiological waveform's value. A
+    // zero-span (flat) signal has zero roughness — flatness is the
+    // flat-run indicator's job, not this one's.
+    let diff_rms = if samples.len() > 1 && span > 0.0 {
+        let ss: f64 = samples.windows(2).map(|w| (w[1] - w[0]).powi(2)).sum();
+        (ss / (n - 1.0)).sqrt() / span
+    } else {
+        0.0
+    };
+
+    // Score: start at 1, subtract penalties.
+    let mut score = 1.0f64;
+    if flat_run_frac > config.max_flat_run_frac {
+        score -= 0.5 * (flat_run_frac - config.max_flat_run_frac).min(1.0) * 5.0;
+    }
+    if rail_frac > config.max_clip_frac {
+        score -= 0.4 * (rail_frac - config.max_clip_frac).min(1.0) * 5.0;
+    }
+    if let Some(bpm) = peak_rate_bpm {
+        if bpm < config.hr_band_bpm.0 || bpm > config.hr_band_bpm.1 {
+            score -= 0.4;
+        }
+    }
+    // Clean synthetic ECG has roughness ≈ 0.01–0.05; penalize above 0.1.
+    if diff_rms > 0.1 {
+        score -= config.noise_weight * ((diff_rms - 0.1) * 5.0).min(1.0);
+    }
+
+    Ok(QualityReport {
+        flat_run_frac,
+        rail_frac,
+        peak_rate_bpm,
+        roughness: diff_rms,
+        score: score.clamp(0.0, 1.0),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::Record;
+    use crate::subject::bank;
+
+    fn cfg() -> QualityConfig {
+        QualityConfig::default()
+    }
+
+    #[test]
+    fn clean_synthetic_window_scores_high() {
+        let r = Record::synthesize(&bank()[0], 3.0, 1);
+        let q = assess(&r.ecg, &r.r_peaks, r.fs, &cfg()).unwrap();
+        assert!(q.score > 0.8, "{q:?}");
+        assert!(q.is_usable());
+        let bpm = q.peak_rate_bpm.unwrap();
+        assert!((40.0..120.0).contains(&bpm), "bpm {bpm}");
+    }
+
+    #[test]
+    fn flatline_scores_low() {
+        let mut sig = Record::synthesize(&bank()[0], 3.0, 1).ecg;
+        let n = sig.len();
+        // Freeze the middle half.
+        let v = sig[n / 4];
+        for s in sig.iter_mut().skip(n / 4).take(n / 2) {
+            *s = v;
+        }
+        let q = assess(&sig, &[], 360.0, &cfg()).unwrap();
+        assert!(q.flat_run_frac > 0.4);
+        assert!(!q.is_usable(), "{q:?}");
+    }
+
+    #[test]
+    fn fully_constant_is_worst_case() {
+        let q = assess(&[1.0; 100], &[], 360.0, &cfg()).unwrap();
+        assert_eq!(q.rail_frac, 1.0);
+        assert!(q.score < 0.2, "{q:?}");
+    }
+
+    #[test]
+    fn clipped_signal_detected() {
+        let mut sig = Record::synthesize(&bank()[0], 3.0, 2).ecg;
+        // Clip aggressively: everything above 25 % of the range hits the
+        // rail (a badly saturated amplifier).
+        let (lo, hi) = dsp::stats::min_max(&sig).unwrap();
+        let rail = lo + 0.25 * (hi - lo);
+        for s in sig.iter_mut() {
+            *s = s.min(rail);
+        }
+        let q = assess(&sig, &[], 360.0, &cfg()).unwrap();
+        assert!(q.rail_frac > 0.05, "{q:?}");
+    }
+
+    #[test]
+    fn broadband_noise_raises_roughness() {
+        use rand::Rng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        use rand::SeedableRng;
+        let clean = Record::synthesize(&bank()[0], 3.0, 3).ecg;
+        let noisy: Vec<f64> = clean
+            .iter()
+            .map(|&v| v + rng.gen_range(-0.5..0.5))
+            .collect();
+        let qc = assess(&clean, &[], 360.0, &cfg()).unwrap();
+        let qn = assess(&noisy, &[], 360.0, &cfg()).unwrap();
+        assert!(qn.roughness > 3.0 * qc.roughness, "{qc:?} vs {qn:?}");
+        assert!(qn.score < qc.score);
+    }
+
+    #[test]
+    fn implausible_peak_rate_penalized() {
+        let r = Record::synthesize(&bank()[0], 3.0, 4);
+        // Claim a peak every 4 samples → absurd rate.
+        let fake: Vec<usize> = (0..200).map(|i| i * 4).collect();
+        let q_fake = assess(&r.ecg, &fake, r.fs, &cfg()).unwrap();
+        let q_real = assess(&r.ecg, &r.r_peaks, r.fs, &cfg()).unwrap();
+        assert!(q_fake.score < q_real.score);
+        assert!(q_fake.peak_rate_bpm.unwrap() > 180.0);
+    }
+
+    #[test]
+    fn empty_window_rejected() {
+        assert_eq!(assess(&[], &[], 360.0, &cfg()), Err(DspError::EmptyInput));
+    }
+
+    #[test]
+    fn all_subjects_produce_usable_windows() {
+        for s in bank() {
+            let r = Record::synthesize(&s, 3.0, 6);
+            let qe = assess(&r.ecg, &r.r_peaks, r.fs, &cfg()).unwrap();
+            let qa = assess(&r.abp, &r.sys_peaks, r.fs, &cfg()).unwrap();
+            assert!(qe.is_usable(), "{}: ecg {qe:?}", s.name);
+            assert!(qa.is_usable(), "{}: abp {qa:?}", s.name);
+        }
+    }
+}

@@ -1,0 +1,269 @@
+//! Synchronized ECG+ABP recordings.
+//!
+//! A [`Record`] is the unit the rest of the system consumes: a pair of
+//! equal-length, synchronously sampled ECG and ABP traces plus their
+//! ground-truth peak annotations, exactly like one PhysioBank record with
+//! its `.atr` annotation file.
+
+use crate::abp;
+use crate::ecg;
+use crate::noise;
+use crate::rr::RrProcess;
+use crate::subject::{Subject, SubjectId};
+use crate::SAMPLE_RATE_HZ;
+
+/// A synchronized ECG + ABP recording with ground-truth annotations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Record {
+    /// Subject this record belongs to.
+    pub subject: SubjectId,
+    /// Sample rate in Hz (shared by both channels).
+    pub fs: f64,
+    /// ECG channel, millivolts.
+    pub ecg: Vec<f64>,
+    /// ABP channel, mmHg.
+    pub abp: Vec<f64>,
+    /// Ground-truth R-peak sample indices (ascending).
+    pub r_peaks: Vec<usize>,
+    /// Ground-truth systolic-peak sample indices (ascending).
+    pub sys_peaks: Vec<usize>,
+}
+
+impl Record {
+    /// Synthesize `duration_s` seconds of data for `subject` at the
+    /// default [`SAMPLE_RATE_HZ`], deterministically from `seed`.
+    ///
+    /// The same `(subject, duration, seed)` triple always yields the same
+    /// record. Different seeds yield different beat trains and noise, so
+    /// train/test material can be drawn independently.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use physio_sim::{record::Record, subject::bank};
+    ///
+    /// let rec = Record::synthesize(&bank()[0], 6.0, 42);
+    /// assert_eq!(rec.len(), (6.0 * physio_sim::SAMPLE_RATE_HZ) as usize);
+    /// assert!(rec.mean_heart_rate_bpm().unwrap() > 40.0);
+    /// ```
+    pub fn synthesize(subject: &Subject, duration_s: f64, seed: u64) -> Self {
+        Self::synthesize_at(subject, duration_s, seed, SAMPLE_RATE_HZ)
+    }
+
+    /// Synthesize at an explicit sample rate.
+    pub fn synthesize_at(subject: &Subject, duration_s: f64, seed: u64, fs: f64) -> Self {
+        let mut rr = RrProcess::new(subject.rr, seed);
+        // First beat a fraction of a second in so the P wave is complete.
+        let r_times = rr.beat_times(0.4, duration_s);
+        Self::synthesize_from_times(subject, &r_times, duration_s, seed, fs)
+    }
+
+    /// Render a record from an explicit beat-time train (used by the
+    /// ectopy model and by tests that need hand-placed beats).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r_times` is not strictly increasing.
+    pub fn synthesize_from_times(
+        subject: &Subject,
+        r_times: &[f64],
+        duration_s: f64,
+        seed: u64,
+        fs: f64,
+    ) -> Self {
+        assert!(
+            r_times.windows(2).all(|w| w[1] > w[0]),
+            "beat times must be strictly increasing"
+        );
+        let (mut ecg_sig, r_peaks) = ecg::render(&subject.ecg, r_times, duration_s, fs);
+        let (mut abp_sig, sys_peaks) = abp::render(&subject.abp, r_times, duration_s, fs);
+        noise::apply(&mut ecg_sig, &subject.ecg_noise, fs, seed ^ 0xEC6);
+        noise::apply(&mut abp_sig, &subject.abp_noise, fs, seed ^ 0xAB9);
+        Record {
+            subject: subject.id,
+            fs,
+            ecg: ecg_sig,
+            abp: abp_sig,
+            r_peaks,
+            sys_peaks,
+        }
+    }
+
+    /// Duration of the record in seconds.
+    pub fn duration_s(&self) -> f64 {
+        self.ecg.len() as f64 / self.fs
+    }
+
+    /// Number of samples per channel.
+    pub fn len(&self) -> usize {
+        self.ecg.len()
+    }
+
+    /// Whether the record contains no samples.
+    pub fn is_empty(&self) -> bool {
+        self.ecg.is_empty()
+    }
+
+    /// Mean heart rate over the record, in bpm, from the ground-truth
+    /// R peaks. Returns `None` with fewer than two beats.
+    pub fn mean_heart_rate_bpm(&self) -> Option<f64> {
+        if self.r_peaks.len() < 2 {
+            return None;
+        }
+        let beats = (self.r_peaks.len() - 1) as f64;
+        let span_s = (self.r_peaks[self.r_peaks.len() - 1] - self.r_peaks[0]) as f64 / self.fs;
+        Some(60.0 * beats / span_s)
+    }
+
+    /// Slice out the half-open sample range `[start, end)` of both
+    /// channels, re-indexing the peak annotations to the slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end` or `end > self.len()`.
+    pub fn slice(&self, start: usize, end: usize) -> Record {
+        assert!(start <= end && end <= self.len(), "slice out of bounds");
+        let shift = |peaks: &[usize]| -> Vec<usize> {
+            peaks
+                .iter()
+                .filter(|&&p| p >= start && p < end)
+                .map(|&p| p - start)
+                .collect()
+        };
+        Record {
+            subject: self.subject,
+            fs: self.fs,
+            ecg: self.ecg[start..end].to_vec(),
+            abp: self.abp[start..end].to_vec(),
+            r_peaks: shift(&self.r_peaks),
+            sys_peaks: shift(&self.sys_peaks),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::subject::bank;
+
+    #[test]
+    fn channels_have_equal_length() {
+        let s = &bank()[0];
+        let r = Record::synthesize(s, 12.0, 1);
+        assert_eq!(r.ecg.len(), r.abp.len());
+        assert_eq!(r.len(), (12.0 * SAMPLE_RATE_HZ) as usize);
+    }
+
+    #[test]
+    fn synthesis_is_deterministic() {
+        let s = &bank()[3];
+        assert_eq!(
+            Record::synthesize(s, 5.0, 42),
+            Record::synthesize(s, 5.0, 42)
+        );
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let s = &bank()[3];
+        assert_ne!(
+            Record::synthesize(s, 5.0, 1).ecg,
+            Record::synthesize(s, 5.0, 2).ecg
+        );
+    }
+
+    #[test]
+    fn peaks_are_sorted_and_in_range() {
+        let s = &bank()[5];
+        let r = Record::synthesize(s, 30.0, 11);
+        assert!(r.r_peaks.windows(2).all(|w| w[0] < w[1]));
+        assert!(r.sys_peaks.windows(2).all(|w| w[0] < w[1]));
+        assert!(r.r_peaks.iter().all(|&p| p < r.len()));
+        assert!(r.sys_peaks.iter().all(|&p| p < r.len()));
+    }
+
+    #[test]
+    fn heart_rate_matches_subject_parameter() {
+        let s = &bank()[2];
+        let r = Record::synthesize(s, 120.0, 5);
+        let hr = r.mean_heart_rate_bpm().unwrap();
+        assert!(
+            (hr - s.rr.mean_hr_bpm).abs() < 6.0,
+            "hr={hr} configured={}",
+            s.rr.mean_hr_bpm
+        );
+    }
+
+    #[test]
+    fn each_r_peak_has_following_systolic_peak() {
+        let s = &bank()[7];
+        let r = Record::synthesize(s, 30.0, 3);
+        let expected_lag = (s.abp.ptt_s * r.fs).round() as usize;
+        // Peaks pair one-to-one with the configured PTT lag (±1 sample of
+        // independent rounding).
+        for (&rp, &sp) in r.r_peaks.iter().zip(&r.sys_peaks) {
+            assert!(
+                sp.abs_diff(rp + expected_lag) <= 1,
+                "r={rp} sys={sp} lag={expected_lag}"
+            );
+        }
+    }
+
+    #[test]
+    fn ecg_abp_beat_synchrony_via_correlation() {
+        // Envelope correlation: a subject's own ABP should correlate with
+        // their ECG more than with a different subject's ECG (the SIFT
+        // premise). Compare beat-interval sequences instead of raw
+        // samples for robustness.
+        let b = bank();
+        let r1 = Record::synthesize(&b[0], 60.0, 10);
+        let r2 = Record::synthesize(&b[6], 60.0, 20);
+        let rr_of = |peaks: &[usize]| -> Vec<f64> {
+            peaks.windows(2).map(|w| (w[1] - w[0]) as f64).collect()
+        };
+        let own_ecg = rr_of(&r1.r_peaks);
+        let own_abp = rr_of(&r1.sys_peaks);
+        let n = own_ecg.len().min(own_abp.len());
+        let corr_own = dsp::stats::pearson(&own_ecg[..n], &own_abp[..n]).unwrap();
+        assert!(corr_own > 0.99, "own-beat synchrony {corr_own}");
+        let other_ecg = rr_of(&r2.r_peaks);
+        let m = own_abp.len().min(other_ecg.len());
+        let corr_cross = dsp::stats::pearson(&other_ecg[..m], &own_abp[..m]).unwrap();
+        assert!(
+            corr_cross < corr_own - 0.2,
+            "cross-subject correlation {corr_cross} vs own {corr_own}"
+        );
+    }
+
+    #[test]
+    fn slice_reindexes_peaks() {
+        let s = &bank()[1];
+        let r = Record::synthesize(s, 20.0, 8);
+        let start = 3600; // 10 s
+        let end = 5400;
+        let sub = r.slice(start, end);
+        assert_eq!(sub.len(), end - start);
+        for &p in &sub.r_peaks {
+            assert!(p < sub.len());
+            // Original index must have been annotated too.
+            assert!(r.r_peaks.contains(&(p + start)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "slice out of bounds")]
+    fn slice_panics_out_of_bounds() {
+        let s = &bank()[0];
+        let r = Record::synthesize(s, 2.0, 1);
+        let _ = r.slice(0, r.len() + 1);
+    }
+
+    #[test]
+    fn empty_slice_allowed() {
+        let s = &bank()[0];
+        let r = Record::synthesize(s, 2.0, 1);
+        let e = r.slice(10, 10);
+        assert!(e.is_empty());
+        assert_eq!(e.mean_heart_rate_bpm(), None);
+    }
+}

@@ -1,0 +1,287 @@
+//! The synthetic subject bank.
+//!
+//! The paper uses 12 subjects from the Fantasia database (average age
+//! 46.5 ± 25.5 years — i.e. a mix of young and elderly adults, which is
+//! exactly Fantasia's design). This module provides 12 deterministic
+//! synthetic subjects with the same young/elderly split. Each subject has
+//! distinct ECG morphology, blood-pressure profile, pulse-transit time,
+//! heart rate and variability, so a detector trained on one subject sees
+//! any other subject's ECG as out-of-distribution — the property the
+//! sensor-hijacking simulation (ECG replacement) relies on.
+
+use crate::abp::AbpMorphology;
+use crate::ecg::{EcgMorphology, Wave};
+use crate::noise::NoiseParams;
+use crate::rr::RrParams;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Identifier of a synthetic subject (index into [`bank`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SubjectId(pub usize);
+
+impl std::fmt::Display for SubjectId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "s{:02}", self.0)
+    }
+}
+
+/// Age group, mirroring Fantasia's young/elderly cohorts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AgeGroup {
+    /// 21–34 years.
+    Young,
+    /// 60–80 years.
+    Elderly,
+}
+
+/// Complete parameterization of one synthetic subject.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Subject {
+    /// Stable identifier (position in the bank).
+    pub id: SubjectId,
+    /// Human-readable name in the Fantasia style (`f1y03`, `f1o05`, …).
+    pub name: String,
+    /// Age in years.
+    pub age: u32,
+    /// Cohort.
+    pub group: AgeGroup,
+    /// ECG waveform morphology.
+    pub ecg: EcgMorphology,
+    /// ABP waveform morphology.
+    pub abp: AbpMorphology,
+    /// Beat-timing process parameters.
+    pub rr: RrParams,
+    /// ECG-channel noise (millivolt units).
+    pub ecg_noise: NoiseParams,
+    /// ABP-channel noise (mmHg units).
+    pub abp_noise: NoiseParams,
+}
+
+/// Build the deterministic 12-subject bank (6 young, 6 elderly).
+///
+/// The bank is a pure function: every call returns identical subjects, so
+/// all experiments in the repository are reproducible bit-for-bit.
+pub fn bank() -> Vec<Subject> {
+    let young_ages = [21u32, 23, 26, 28, 31, 34];
+    let elderly_ages = [60u32, 64, 68, 72, 76, 80];
+    let mut subjects = Vec::with_capacity(12);
+    for (i, &age) in young_ages.iter().enumerate() {
+        subjects.push(make_subject(i, age, AgeGroup::Young));
+    }
+    for (i, &age) in elderly_ages.iter().enumerate() {
+        subjects.push(make_subject(6 + i, age, AgeGroup::Elderly));
+    }
+    subjects
+}
+
+/// Construct subject `index` deterministically.
+///
+/// Parameters are drawn from physiologically motivated ranges with a
+/// per-subject RNG; elderly subjects get lower heart-rate variability,
+/// higher systolic pressure, flatter T waves and longer pulse-transit
+/// times, consistent with the cardiovascular-aging literature.
+fn make_subject(index: usize, age: u32, group: AgeGroup) -> Subject {
+    let mut rng = StdRng::seed_from_u64(0xF0_57_00 + index as u64);
+    let elderly = matches!(group, AgeGroup::Elderly);
+
+    let mean_hr_bpm = if elderly {
+        rng.gen_range(57.0..67.0)
+    } else {
+        rng.gen_range(59.0..70.0)
+    };
+    let rsa_depth = if elderly {
+        rng.gen_range(0.015..0.04)
+    } else {
+        rng.gen_range(0.05..0.12)
+    };
+    let drift_sigma = if elderly {
+        rng.gen_range(0.004..0.010)
+    } else {
+        rng.gen_range(0.008..0.018)
+    };
+
+    let base = EcgMorphology::default();
+    let ecg = EcgMorphology {
+        p: Wave {
+            amplitude_mv: base.p.amplitude_mv * rng.gen_range(0.8..1.2),
+            offset_s: base.p.offset_s * rng.gen_range(0.94..1.06),
+            width_s: base.p.width_s * rng.gen_range(0.9..1.12),
+        },
+        q: Wave {
+            amplitude_mv: base.q.amplitude_mv * rng.gen_range(0.75..1.25),
+            offset_s: base.q.offset_s * rng.gen_range(0.94..1.06),
+            width_s: base.q.width_s * rng.gen_range(0.92..1.1),
+        },
+        r: Wave {
+            amplitude_mv: base.r.amplitude_mv * rng.gen_range(0.88..1.14),
+            offset_s: 0.0,
+            width_s: base.r.width_s * rng.gen_range(0.9..1.12),
+        },
+        s: Wave {
+            amplitude_mv: base.s.amplitude_mv * rng.gen_range(0.75..1.25),
+            offset_s: base.s.offset_s * rng.gen_range(0.94..1.06),
+            width_s: base.s.width_s * rng.gen_range(0.92..1.1),
+        },
+        t: Wave {
+            amplitude_mv: base.t.amplitude_mv
+                * if elderly {
+                    rng.gen_range(0.7..0.95)
+                } else {
+                    rng.gen_range(0.92..1.2)
+                },
+            offset_s: base.t.offset_s * rng.gen_range(0.94..1.07),
+            width_s: base.t.width_s * rng.gen_range(0.9..1.15),
+        },
+    };
+
+    let systolic = if elderly {
+        rng.gen_range(122.0..140.0)
+    } else {
+        rng.gen_range(108.0..126.0)
+    };
+    let diastolic = systolic - rng.gen_range(38.0..50.0);
+    let abp = AbpMorphology {
+        systolic_mmhg: systolic,
+        diastolic_mmhg: diastolic,
+        ptt_s: if elderly {
+            rng.gen_range(0.20..0.27)
+        } else {
+            rng.gen_range(0.17..0.23)
+        },
+        rise_s: rng.gen_range(0.08..0.10),
+        decay_s: rng.gen_range(0.30..0.40),
+        notch_frac: rng.gen_range(0.08..0.15),
+        notch_delay_s: rng.gen_range(0.20..0.25),
+    };
+
+    let rr = RrParams {
+        mean_hr_bpm,
+        rsa_depth,
+        breath_hz: rng.gen_range(0.18..0.30),
+        drift_sigma,
+        drift_pole: rng.gen_range(0.90..0.97),
+    };
+
+    let ecg_noise = NoiseParams {
+        white_sigma: rng.gen_range(0.015..0.03),
+        wander_amp: rng.gen_range(0.05..0.11),
+        wander_hz: rr.breath_hz,
+        hum_amp: rng.gen_range(0.004..0.01),
+        hum_hz: 60.0,
+    };
+    // ABP noise in mmHg: white noise plus respiratory modulation.
+    let abp_noise = NoiseParams {
+        white_sigma: rng.gen_range(0.6..1.4),
+        wander_amp: rng.gen_range(1.5..3.5),
+        wander_hz: rr.breath_hz,
+        hum_amp: 0.0,
+        hum_hz: 60.0,
+    };
+
+    let name = if elderly {
+        format!("f1o{:02}", index - 5)
+    } else {
+        format!("f1y{:02}", index + 1)
+    };
+
+    Subject {
+        id: SubjectId(index),
+        name,
+        age,
+        group,
+        ecg,
+        abp,
+        rr,
+        ecg_noise,
+        abp_noise,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bank_has_twelve_subjects_six_per_group() {
+        let b = bank();
+        assert_eq!(b.len(), 12);
+        assert_eq!(b.iter().filter(|s| s.group == AgeGroup::Young).count(), 6);
+        assert_eq!(
+            b.iter().filter(|s| s.group == AgeGroup::Elderly).count(),
+            6
+        );
+    }
+
+    #[test]
+    fn bank_is_deterministic() {
+        assert_eq!(bank(), bank());
+    }
+
+    #[test]
+    fn ids_are_positional_and_names_unique() {
+        let b = bank();
+        for (i, s) in b.iter().enumerate() {
+            assert_eq!(s.id, SubjectId(i));
+        }
+        let mut names: Vec<&str> = b.iter().map(|s| s.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 12);
+    }
+
+    #[test]
+    fn average_age_near_papers_cohort() {
+        let b = bank();
+        let mean = b.iter().map(|s| s.age as f64).sum::<f64>() / b.len() as f64;
+        // Paper: 46.5 ± 25.5. Ours lands in the same mixed-cohort zone.
+        assert!((40.0..55.0).contains(&mean), "mean age {mean}");
+        let var = b
+            .iter()
+            .map(|s| (s.age as f64 - mean).powi(2))
+            .sum::<f64>()
+            / b.len() as f64;
+        assert!(var.sqrt() > 18.0, "age spread {}", var.sqrt());
+    }
+
+    #[test]
+    fn elderly_have_reduced_hrv_and_higher_pressure() {
+        let b = bank();
+        let avg = |g: AgeGroup, f: fn(&Subject) -> f64| {
+            let xs: Vec<f64> = b.iter().filter(|s| s.group == g).map(f).collect();
+            xs.iter().sum::<f64>() / xs.len() as f64
+        };
+        assert!(
+            avg(AgeGroup::Elderly, |s| s.rr.rsa_depth) < avg(AgeGroup::Young, |s| s.rr.rsa_depth)
+        );
+        assert!(
+            avg(AgeGroup::Elderly, |s| s.abp.systolic_mmhg)
+                > avg(AgeGroup::Young, |s| s.abp.systolic_mmhg)
+        );
+        assert!(avg(AgeGroup::Elderly, |s| s.abp.ptt_s) > avg(AgeGroup::Young, |s| s.abp.ptt_s));
+    }
+
+    #[test]
+    fn pressures_are_physiologic() {
+        for s in bank() {
+            assert!(s.abp.diastolic_mmhg > 50.0, "{}", s.name);
+            assert!(s.abp.systolic_mmhg < 160.0, "{}", s.name);
+            assert!(s.abp.pulse_pressure() > 25.0, "{}", s.name);
+        }
+    }
+
+    #[test]
+    fn subject_display_is_stable() {
+        assert_eq!(SubjectId(3).to_string(), "s03");
+        assert_eq!(SubjectId(11).to_string(), "s11");
+    }
+
+    #[test]
+    fn names_follow_fantasia_convention() {
+        let b = bank();
+        assert_eq!(b[0].name, "f1y01");
+        assert_eq!(b[5].name, "f1y06");
+        assert_eq!(b[6].name, "f1o01");
+        assert_eq!(b[11].name, "f1o06");
+    }
+}

@@ -1,0 +1,155 @@
+//! Systolic-peak detection on ABP.
+//!
+//! ABP is far smoother than ECG, so a prominence-based local-maximum
+//! search with a refractory period is sufficient: find samples that
+//! dominate their neighbourhood and rise sufficiently above the
+//! surrounding diastolic trough.
+
+use dsp::DspError;
+
+/// Configuration for [`detect`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SysPeakConfig {
+    /// Minimum spacing between peaks in seconds (refractory).
+    pub min_spacing_s: f64,
+    /// Required prominence as a fraction of the signal's global span.
+    pub prominence_frac: f64,
+    /// Neighbourhood half-width (seconds) a peak must dominate.
+    pub neighborhood_s: f64,
+}
+
+impl Default for SysPeakConfig {
+    fn default() -> Self {
+        Self {
+            min_spacing_s: 0.35,
+            prominence_frac: 0.3,
+            neighborhood_s: 0.15,
+        }
+    }
+}
+
+/// Detect systolic peaks in `abp` sampled at `fs` Hz.
+///
+/// Returns ascending sample indices.
+///
+/// # Errors
+///
+/// Returns [`DspError::EmptyInput`] for an empty signal,
+/// [`DspError::InvalidParameter`] for a non-positive `fs`, and
+/// [`DspError::ConstantSignal`] when the signal has no span to measure
+/// prominence against.
+pub fn detect(abp: &[f64], fs: f64, config: &SysPeakConfig) -> Result<Vec<usize>, DspError> {
+    if abp.is_empty() {
+        return Err(DspError::EmptyInput);
+    }
+    if fs <= 0.0 {
+        return Err(DspError::InvalidParameter {
+            name: "fs",
+            reason: "sample rate must be positive",
+        });
+    }
+    let (lo, hi) = dsp::stats::min_max(abp)?;
+    let span = hi - lo;
+    if span == 0.0 {
+        return Err(DspError::ConstantSignal);
+    }
+    let radius = ((config.neighborhood_s * fs).round() as usize).max(1);
+    let spacing = (config.min_spacing_s * fs).round() as usize;
+    let min_height = lo + config.prominence_frac * span;
+
+    let mut peaks: Vec<usize> = Vec::new();
+    for i in 1..abp.len().saturating_sub(1) {
+        if abp[i] < min_height || abp[i] < abp[i - 1] || abp[i] < abp[i + 1] {
+            continue;
+        }
+        let from = i.saturating_sub(radius);
+        let to = (i + radius + 1).min(abp.len());
+        let neighborhood_max = abp[from..to]
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
+        if abp[i] < neighborhood_max {
+            continue;
+        }
+        match peaks.last() {
+            Some(&last) if i - last < spacing => {
+                // Keep the taller of the two contenders.
+                if abp[i] > abp[last] {
+                    *peaks.last_mut().expect("nonempty") = i;
+                }
+            }
+            _ => peaks.push(i),
+        }
+    }
+    Ok(peaks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::Record;
+    use crate::rpeak::score;
+    use crate::subject::bank;
+
+    #[test]
+    fn detects_synthetic_systolic_peaks() {
+        let s = &bank()[0];
+        let r = Record::synthesize(s, 30.0, 21);
+        let detected = detect(&r.abp, r.fs, &SysPeakConfig::default()).unwrap();
+        let sc = score(&detected, &r.sys_peaks, (0.06 * r.fs) as usize);
+        assert!(sc.sensitivity().unwrap() > 0.95, "{sc:?}");
+        assert!(sc.ppv().unwrap() > 0.95, "{sc:?}");
+    }
+
+    #[test]
+    fn works_across_all_subjects() {
+        for s in bank() {
+            let r = Record::synthesize(&s, 20.0, 31);
+            let detected = detect(&r.abp, r.fs, &SysPeakConfig::default()).unwrap();
+            let sc = score(&detected, &r.sys_peaks, (0.06 * r.fs) as usize);
+            assert!(
+                sc.sensitivity().unwrap() > 0.9 && sc.ppv().unwrap() > 0.9,
+                "subject {} score {:?}",
+                s.name,
+                sc
+            );
+        }
+    }
+
+    #[test]
+    fn constant_signal_rejected() {
+        assert_eq!(
+            detect(&[80.0; 1000], 360.0, &SysPeakConfig::default()),
+            Err(DspError::ConstantSignal)
+        );
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert_eq!(
+            detect(&[], 360.0, &SysPeakConfig::default()),
+            Err(DspError::EmptyInput)
+        );
+    }
+
+    #[test]
+    fn spacing_enforced() {
+        let s = &bank()[8];
+        let r = Record::synthesize(s, 30.0, 41);
+        let cfg = SysPeakConfig::default();
+        let detected = detect(&r.abp, r.fs, &cfg).unwrap();
+        let min_gap = (cfg.min_spacing_s * r.fs) as usize;
+        assert!(detected.windows(2).all(|w| w[1] - w[0] >= min_gap));
+    }
+
+    #[test]
+    fn single_triangle_peak_found() {
+        let mut sig = vec![0.0f64; 200];
+        for (i, x) in sig.iter_mut().enumerate() {
+            let d = (i as f64 - 100.0).abs();
+            *x = (50.0 - d).max(0.0);
+        }
+        let detected = detect(&sig, 360.0, &SysPeakConfig::default()).unwrap();
+        assert_eq!(detected, vec![100]);
+    }
+}

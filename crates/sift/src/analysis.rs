@@ -1,0 +1,212 @@
+//! Score-level analysis beyond the paper's hard-label metrics.
+//!
+//! The paper reports threshold-fixed FP/FN/accuracy/F1; this module
+//! keeps the SVM's continuous decision values and derives ROC curves and
+//! AUC, which describe the detector independent of the deployed
+//! threshold — useful when tuning the alert threshold for a specific
+//! clinical FP budget.
+
+use crate::attack::substitution_test_set;
+use crate::config::SiftConfig;
+use crate::detector::Detector;
+use crate::flavor::PlatformFlavor;
+use crate::pipeline::EvalProtocol;
+use crate::trainer::SiftModel;
+use crate::SiftError;
+use ml::metrics::{roc_auc, roc_curve, RocPoint};
+use ml::Label;
+use physio_sim::record::Record;
+use physio_sim::subject::{Subject, SubjectId};
+
+/// Scored evaluation of one (version, flavor) cell.
+#[derive(Debug, Clone)]
+pub struct ScoredEvaluation {
+    /// Per-subject ROC AUC.
+    pub per_subject_auc: Vec<(SubjectId, f64)>,
+    /// Mean AUC over subjects.
+    pub mean_auc: f64,
+    /// Pooled ROC curve over all subjects' windows.
+    pub pooled_curve: Vec<RocPoint>,
+    /// All pooled `(score, truth)` pairs, for further analysis.
+    pub scored: Vec<(f64, Label)>,
+}
+
+/// Run the Table II protocol but keep the decision scores.
+///
+/// # Errors
+///
+/// Same conditions as [`crate::pipeline::evaluate_with_models`].
+pub fn scored_evaluation(
+    subjects: &[Subject],
+    models: &[SiftModel],
+    flavor: PlatformFlavor,
+    config: &SiftConfig,
+    protocol: &EvalProtocol,
+) -> Result<ScoredEvaluation, SiftError> {
+    if models.len() != subjects.len() {
+        return Err(SiftError::InvalidConfig {
+            reason: "one model per subject required",
+        });
+    }
+    let mut per_subject_auc = Vec::with_capacity(subjects.len());
+    let mut pooled: Vec<(f64, Label)> = Vec::new();
+    for (i, subject) in subjects.iter().enumerate() {
+        let detector = Detector::new(models[i].clone(), flavor, config.clone())?;
+        let victim_test = Record::synthesize(
+            subject,
+            protocol.test_s,
+            protocol.seed.wrapping_add(1000 + i as u64),
+        );
+        let donor_idx = (i + 1) % subjects.len();
+        let donor_test = Record::synthesize(
+            &subjects[donor_idx],
+            protocol.test_s,
+            protocol.seed.wrapping_add(5000 + donor_idx as u64),
+        );
+        let test_set = substitution_test_set(
+            &victim_test,
+            &donor_test,
+            config.window_s,
+            protocol.altered_fraction,
+            protocol.seed.wrapping_add(9000 + i as u64),
+        )?;
+        let mut scored: Vec<(f64, Label)> = Vec::with_capacity(test_set.len());
+        for w in &test_set {
+            let d = detector.classify(&w.snippet)?;
+            // Degenerate windows carry f64::MAX; cap for numeric hygiene.
+            let score = d.score.clamp(-1e6, 1e6);
+            scored.push((score, w.truth));
+        }
+        let auc = roc_auc(&scored).ok_or(SiftError::InvalidConfig {
+            reason: "test set must contain both classes",
+        })?;
+        per_subject_auc.push((subject.id, auc));
+        pooled.extend(scored);
+    }
+    let mean_auc =
+        per_subject_auc.iter().map(|(_, a)| a).sum::<f64>() / per_subject_auc.len() as f64;
+    let pooled_curve = roc_curve(&pooled).ok_or(SiftError::InvalidConfig {
+        reason: "pooled scores must contain both classes",
+    })?;
+    Ok(ScoredEvaluation {
+        per_subject_auc,
+        mean_auc,
+        pooled_curve,
+        scored: pooled,
+    })
+}
+
+/// The threshold on the pooled curve whose FP rate does not exceed
+/// `max_fpr`, maximizing TP rate. Returns `None` if no point qualifies.
+pub fn threshold_for_fpr(curve: &[RocPoint], max_fpr: f64) -> Option<RocPoint> {
+    curve
+        .iter()
+        .filter(|p| p.fpr <= max_fpr)
+        .max_by(|a, b| {
+            a.tpr
+                .partial_cmp(&b.tpr)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+        .copied()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::Version;
+    use crate::pipeline::train_models;
+    use physio_sim::subject::bank;
+
+    fn quick_config() -> SiftConfig {
+        SiftConfig {
+            train_s: 60.0,
+            max_positive_per_donor: Some(15),
+            ..SiftConfig::default()
+        }
+    }
+
+    #[test]
+    fn auc_is_high_and_bounded() {
+        let subjects = &bank()[..3];
+        let cfg = quick_config();
+        let models = train_models(subjects, Version::Simplified, &cfg).unwrap();
+        let ev = scored_evaluation(
+            subjects,
+            &models,
+            PlatformFlavor::Gold,
+            &cfg,
+            &EvalProtocol::default(),
+        )
+        .unwrap();
+        assert_eq!(ev.per_subject_auc.len(), 3);
+        for (id, auc) in &ev.per_subject_auc {
+            assert!((0.0..=1.0).contains(auc), "{id}: {auc}");
+            assert!(*auc > 0.8, "{id}: auc {auc}");
+        }
+        assert!(ev.mean_auc > 0.85, "mean auc {}", ev.mean_auc);
+        assert_eq!(ev.scored.len(), 3 * 40);
+    }
+
+    #[test]
+    fn curve_endpoints() {
+        let subjects = &bank()[..2];
+        let cfg = quick_config();
+        let models = train_models(subjects, Version::Reduced, &cfg).unwrap();
+        let ev = scored_evaluation(
+            subjects,
+            &models,
+            PlatformFlavor::Amulet,
+            &cfg,
+            &EvalProtocol::default(),
+        )
+        .unwrap();
+        let first = ev.pooled_curve.first().unwrap();
+        let last = ev.pooled_curve.last().unwrap();
+        assert_eq!((first.fpr, first.tpr), (1.0, 1.0));
+        assert_eq!((last.fpr, last.tpr), (0.0, 0.0));
+    }
+
+    #[test]
+    fn threshold_selection_respects_fpr_budget() {
+        let curve = vec![
+            RocPoint {
+                threshold: -1.0,
+                fpr: 1.0,
+                tpr: 1.0,
+            },
+            RocPoint {
+                threshold: 0.0,
+                fpr: 0.2,
+                tpr: 0.9,
+            },
+            RocPoint {
+                threshold: 0.5,
+                fpr: 0.05,
+                tpr: 0.7,
+            },
+            RocPoint {
+                threshold: 1.0,
+                fpr: 0.0,
+                tpr: 0.4,
+            },
+        ];
+        let p = threshold_for_fpr(&curve, 0.1).unwrap();
+        assert_eq!(p.threshold, 0.5);
+        assert!(threshold_for_fpr(&curve, -0.1).is_none());
+    }
+
+    #[test]
+    fn model_count_checked() {
+        let subjects = &bank()[..3];
+        let cfg = quick_config();
+        let models = train_models(&subjects[..2], Version::Reduced, &cfg).unwrap();
+        assert!(scored_evaluation(
+            subjects,
+            &models,
+            PlatformFlavor::Gold,
+            &cfg,
+            &EvalProtocol::default()
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,111 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for the SIFT pipeline.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SiftError {
+    /// A snippet failed validation (wrong length, mismatched channels,
+    /// out-of-range peak indices…).
+    InvalidSnippet {
+        /// What was wrong with it.
+        reason: &'static str,
+    },
+    /// A signal could not be normalized (constant or non-finite); the
+    /// detector treats this as suspicious rather than erroring at the
+    /// alert layer.
+    DegenerateSignal,
+    /// An error bubbled up from the DSP substrate.
+    Dsp(dsp::DspError),
+    /// An error bubbled up from the ML substrate.
+    Ml(ml::MlError),
+    /// The experiment configuration is inconsistent.
+    InvalidConfig {
+        /// Violated constraint.
+        reason: &'static str,
+    },
+    /// Training requires at least one donor subject besides the wearer.
+    NoDonors,
+}
+
+impl fmt::Display for SiftError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SiftError::InvalidSnippet { reason } => write!(f, "invalid snippet: {reason}"),
+            SiftError::DegenerateSignal => write!(f, "signal is degenerate (constant or non-finite)"),
+            SiftError::Dsp(e) => write!(f, "dsp error: {e}"),
+            SiftError::Ml(e) => write!(f, "ml error: {e}"),
+            SiftError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            SiftError::NoDonors => write!(f, "training requires at least one donor subject"),
+        }
+    }
+}
+
+impl Error for SiftError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SiftError::Dsp(e) => Some(e),
+            SiftError::Ml(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<dsp::DspError> for SiftError {
+    fn from(e: dsp::DspError) -> Self {
+        match e {
+            dsp::DspError::ConstantSignal | dsp::DspError::NonFiniteInput => {
+                SiftError::DegenerateSignal
+            }
+            other => SiftError::Dsp(other),
+        }
+    }
+}
+
+impl From<ml::MlError> for SiftError {
+    fn from(e: ml::MlError) -> Self {
+        SiftError::Ml(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degenerate_conversions() {
+        assert_eq!(
+            SiftError::from(dsp::DspError::ConstantSignal),
+            SiftError::DegenerateSignal
+        );
+        assert_eq!(
+            SiftError::from(dsp::DspError::NonFiniteInput),
+            SiftError::DegenerateSignal
+        );
+        assert!(matches!(
+            SiftError::from(dsp::DspError::EmptyInput),
+            SiftError::Dsp(_)
+        ));
+    }
+
+    #[test]
+    fn source_chains() {
+        let e = SiftError::from(ml::MlError::EmptyDataset);
+        assert!(e.source().is_some());
+        assert!(SiftError::NoDonors.source().is_none());
+    }
+
+    #[test]
+    fn display_nonempty_lowercase() {
+        for e in [
+            SiftError::DegenerateSignal,
+            SiftError::NoDonors,
+            SiftError::InvalidSnippet { reason: "x" },
+            SiftError::InvalidConfig { reason: "y" },
+        ] {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+}

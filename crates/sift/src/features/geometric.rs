@@ -1,0 +1,144 @@
+//! Geometric features of the characteristic points (paper Table I,
+//! bottom half, and §III's simplified replacements).
+//!
+//! In the portrait, every R peak and every systolic peak is a point in
+//! the unit square. The *original* features use the angle of each peak's
+//! position vector and Euclidean distances; the *simplified* features
+//! replace the angle with the slope `y/x` and every distance with its
+//! square, eliminating `atan2` and `sqrt` on the Amulet.
+//!
+//! Windows that contain no peaks (possible at very low heart rates or
+//! under freeze attacks) yield zeros for the affected features; the
+//! trainer additionally skips windows without at least one R/systolic
+//! pair.
+
+use crate::portrait::Portrait;
+
+/// Guard for the slope denominator: normalized ABP can be exactly zero at
+/// the window minimum.
+const SLOPE_EPS: f64 = 1e-6;
+
+/// The five original geometric features, in Table I order:
+/// `[angle_r, angle_sys, dist_r_origin, dist_sys_origin, dist_r_sys]`.
+pub fn original(portrait: &Portrait) -> [f64; 5] {
+    let angle = |pts: &[(f64, f64)]| mean(pts.iter().map(|&(x, y)| f64::atan2(y, x)));
+    let dist = |pts: &[(f64, f64)]| mean(pts.iter().map(|&(x, y)| (x * x + y * y).sqrt()));
+    let pair_dist = mean(portrait.paired_points().iter().map(|&((xr, yr), (xs, ys))| {
+        ((xr - xs) * (xr - xs) + (yr - ys) * (yr - ys)).sqrt()
+    }));
+    [
+        angle(portrait.r_peak_points()),
+        angle(portrait.sys_peak_points()),
+        dist(portrait.r_peak_points()),
+        dist(portrait.sys_peak_points()),
+        pair_dist,
+    ]
+}
+
+/// The five simplified geometric features (paper §III, items i–v):
+/// `[slope_r, slope_sys, sqdist_r_origin, sqdist_sys_origin, sqdist_r_sys]`.
+pub fn simplified(portrait: &Portrait) -> [f64; 5] {
+    let slope = |pts: &[(f64, f64)]| mean(pts.iter().map(|&(x, y)| y / x.max(SLOPE_EPS)));
+    let sqdist = |pts: &[(f64, f64)]| mean(pts.iter().map(|&(x, y)| x * x + y * y));
+    let pair_sqdist = mean(portrait.paired_points().iter().map(|&((xr, yr), (xs, ys))| {
+        (xr - xs) * (xr - xs) + (yr - ys) * (yr - ys)
+    }));
+    [
+        slope(portrait.r_peak_points()),
+        slope(portrait.sys_peak_points()),
+        sqdist(portrait.r_peak_points()),
+        sqdist(portrait.sys_peak_points()),
+        pair_sqdist,
+    ]
+}
+
+fn mean(iter: impl Iterator<Item = f64>) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for v in iter {
+        sum += v;
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snippet::Snippet;
+
+    /// A synthetic snippet with hand-placed peaks so the geometry is
+    /// verifiable by hand. The ECG ramps 0→1 and ABP ramps 10→20, so the
+    /// portrait is the diagonal and sample `i` maps to
+    /// `(i/(n-1), i/(n-1))`.
+    fn diagonal_snippet() -> Snippet {
+        let n = 11;
+        let ecg: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let abp: Vec<f64> = (0..n).map(|i| 10.0 + i as f64).collect();
+        // R peak at index 10 → (1.0, 1.0); systolic at 10 as well.
+        Snippet::new(ecg, abp, vec![10], vec![10]).unwrap()
+    }
+
+    #[test]
+    fn original_on_diagonal_peak() {
+        let p = crate::portrait::Portrait::from_snippet(&diagonal_snippet()).unwrap();
+        let f = original(&p);
+        // Angle of (1,1) is π/4; distance is √2; pair distance 0.
+        assert!((f[0] - std::f64::consts::FRAC_PI_4).abs() < 1e-12);
+        assert!((f[1] - std::f64::consts::FRAC_PI_4).abs() < 1e-12);
+        assert!((f[2] - std::f64::consts::SQRT_2).abs() < 1e-12);
+        assert!((f[3] - std::f64::consts::SQRT_2).abs() < 1e-12);
+        assert_eq!(f[4], 0.0);
+    }
+
+    #[test]
+    fn simplified_on_diagonal_peak() {
+        let p = crate::portrait::Portrait::from_snippet(&diagonal_snippet()).unwrap();
+        let f = simplified(&p);
+        // Slope of (1,1) is 1; squared distance 2; pair 0.
+        assert!((f[0] - 1.0).abs() < 1e-12);
+        assert!((f[1] - 1.0).abs() < 1e-12);
+        assert!((f[2] - 2.0).abs() < 1e-12);
+        assert!((f[3] - 2.0).abs() < 1e-12);
+        assert_eq!(f[4], 0.0);
+    }
+
+    #[test]
+    fn no_peaks_gives_zeros() {
+        let n = 11;
+        let ecg: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let abp: Vec<f64> = (0..n).map(|i| 10.0 + i as f64).collect();
+        let sn = Snippet::new(ecg, abp, vec![], vec![]).unwrap();
+        let p = crate::portrait::Portrait::from_snippet(&sn).unwrap();
+        assert_eq!(original(&p), [0.0; 5]);
+        assert_eq!(simplified(&p), [0.0; 5]);
+    }
+
+    #[test]
+    fn slope_guard_handles_zero_x() {
+        // Peak at the ABP minimum: normalized x = 0 exactly.
+        let ecg = vec![0.0, 5.0, 1.0, 2.0];
+        let abp = vec![30.0, 10.0, 20.0, 25.0]; // min at index 1
+        let sn = Snippet::new(ecg, abp, vec![1], vec![]).unwrap();
+        let p = crate::portrait::Portrait::from_snippet(&sn).unwrap();
+        let f = simplified(&p);
+        assert!(f[0].is_finite());
+        assert!(f[0] > 0.0, "guarded slope should be large, got {}", f[0]);
+    }
+
+    #[test]
+    fn separated_peaks_have_positive_pair_distance() {
+        let ecg = vec![0.0, 10.0, 3.0, 1.0, 2.0];
+        let abp = vec![10.0, 12.0, 11.0, 30.0, 15.0];
+        let sn = Snippet::new(ecg, abp, vec![1], vec![3]).unwrap();
+        let p = crate::portrait::Portrait::from_snippet(&sn).unwrap();
+        let fo = original(&p);
+        let fs = simplified(&p);
+        assert!(fo[4] > 0.0);
+        assert!((fs[4] - fo[4] * fo[4]).abs() < 1e-12, "square relation");
+    }
+}

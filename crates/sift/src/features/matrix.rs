@@ -1,0 +1,112 @@
+//! Matrix features of the occupancy grid `C` (paper Table I, top half).
+
+use crate::portrait::GridMatrix;
+
+/// Spatial filling index of `C`: the occupancy concentration
+/// `Σᵢⱼ p(i,j)²` with `p = c / total` — the inverse participation ratio
+/// of the portrait over the grid. A tight, repetitive portrait (strong
+/// ECG/ABP coupling) concentrates mass in few cells and scores high; a
+/// scattered portrait (decorrelated signals) scores low.
+///
+/// Identical in the original and simplified versions (paper §III).
+pub fn spatial_filling_index(grid: &GridMatrix) -> f64 {
+    grid.probabilities().iter().map(|p| p * p).sum()
+}
+
+/// Standard deviation of the column averages of `C` (original version).
+/// `cols` is the precomputed [`GridMatrix::column_averages`] — callers
+/// compute it once and feed every column feature from it.
+pub fn column_average_std(cols: &[f64]) -> f64 {
+    dsp::stats::std_dev(cols).expect("grid has at least 2 columns")
+}
+
+/// Variance of the column averages of `C` — the simplified version's
+/// replacement, which "avoids using the square root computation"
+/// (paper §III).
+pub fn column_average_variance(cols: &[f64]) -> f64 {
+    dsp::stats::variance(cols).expect("grid has at least 2 columns")
+}
+
+/// Area under the curve of the column averages via the classic
+/// trapezoidal rule with unit column spacing (original version).
+pub fn column_average_auc_trapezoid(cols: &[f64]) -> f64 {
+    dsp::integrate::trapezoid(cols, 1.0).expect("grid has at least 2 columns")
+}
+
+/// Area under the curve of the column averages via the paper's
+/// single-pass composite form `(b−a)/(2N) · Σ (f(xₙ) + f(xₙ₊₁))`
+/// (simplified version). Algebraically equal to the trapezoid on this
+/// uniform grid — the simplification in the paper is about code
+/// structure on the Amulet, not about the value.
+pub fn column_average_auc_simplified(cols: &[f64]) -> f64 {
+    dsp::integrate::simplified_trapezoid(cols, 0.0, (cols.len() - 1) as f64)
+        .expect("grid has at least 2 columns")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::portrait::Portrait;
+    use crate::snippet::Snippet;
+    use physio_sim::dataset::windows;
+    use physio_sim::record::Record;
+    use physio_sim::subject::bank;
+
+    fn sample_grid() -> GridMatrix {
+        let b = bank();
+        let r = Record::synthesize(&b[0], 30.0, 7);
+        let sn = Snippet::from_record(&windows(&r, 3.0).unwrap()[0]).unwrap();
+        let p = Portrait::from_snippet(&sn).unwrap();
+        GridMatrix::from_portrait(&p, 50).unwrap()
+    }
+
+    #[test]
+    fn sfi_bounds() {
+        let g = sample_grid();
+        let sfi = spatial_filling_index(&g);
+        // Bounds: 1/(n·n) ≤ SFI ≤ 1 for any distribution.
+        assert!(sfi > 1.0 / 2500.0 && sfi <= 1.0, "sfi={sfi}");
+    }
+
+    #[test]
+    fn sfi_maximal_when_concentrated() {
+        // All points in one cell → probabilities = [1, 0, …] → SFI = 1.
+        let sn = Snippet::new(
+            vec![0.0, 0.001, 0.0005, 1.0],
+            vec![0.0, 0.001, 0.0005, 1.0],
+            vec![],
+            vec![],
+        )
+        .unwrap();
+        let p = Portrait::from_snippet(&sn).unwrap();
+        let g = GridMatrix::from_portrait(&p, 50).unwrap();
+        // 3 points in cell (0,0), 1 in (49,49): SFI = (3/4)² + (1/4)².
+        let sfi = spatial_filling_index(&g);
+        assert!((sfi - (0.5625 + 0.0625)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn variance_is_square_of_std() {
+        let cols = sample_grid().column_averages();
+        let sd = column_average_std(&cols);
+        let var = column_average_variance(&cols);
+        assert!((var - sd * sd).abs() < 1e-9);
+    }
+
+    #[test]
+    fn simplified_auc_equals_trapezoid() {
+        let cols = sample_grid().column_averages();
+        assert!(
+            (column_average_auc_trapezoid(&cols) - column_average_auc_simplified(&cols)).abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn auc_scales_with_point_count() {
+        // Column averages sum to total/n, so the AUC grows with the
+        // number of points; verify positivity at least.
+        let cols = sample_grid().column_averages();
+        assert!(column_average_auc_trapezoid(&cols) > 0.0);
+    }
+}

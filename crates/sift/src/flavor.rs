@@ -1,0 +1,495 @@
+//! Platform flavors: the gold-standard pipeline vs. the embedded port.
+//!
+//! The paper evaluates every detector version on two platforms
+//! (Table II): the MATLAB gold standard and the Amulet implementation.
+//! The differences are arithmetic, not algorithmic:
+//!
+//! * **Gold** — `f64` everywhere, `std` transcendentals. This is
+//!   [`crate::features::extract`].
+//! * **Amulet** — `f32` end to end (the MSP430 does single-precision
+//!   software floats), square roots via Newton iteration and `atan2` via
+//!   a polynomial ([`dsp::embedded_math`]), because early AmuletOS had no
+//!   C math library. The implementation here is deliberately a separate,
+//!   self-contained `f32` code path: it models the hand-written C port,
+//!   and its small numeric divergence from the gold path is exactly what
+//!   Table II measures.
+
+use crate::config::SiftConfig;
+use crate::features::Version;
+use crate::snippet::Snippet;
+use crate::SiftError;
+use dsp::embedded_math::{atan2_approx, sqrt_newton_f32};
+use dsp::fixed::Q16;
+
+/// Which platform's arithmetic to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PlatformFlavor {
+    /// Double-precision reference (the paper's MATLAB implementation).
+    Gold,
+    /// Single-precision, libm-free embedded path (the Amulet
+    /// implementation).
+    Amulet,
+}
+
+impl std::fmt::Display for PlatformFlavor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlatformFlavor::Gold => write!(f, "matlab"),
+            PlatformFlavor::Amulet => write!(f, "amulet"),
+        }
+    }
+}
+
+/// Extract a feature vector with the chosen platform's arithmetic.
+///
+/// The Amulet flavor computes in `f32` and widens at the end, so the
+/// returned values carry single-precision rounding exactly as the device
+/// would produce.
+///
+/// # Errors
+///
+/// Same conditions as [`crate::features::extract`].
+pub fn extract_flavored(
+    version: Version,
+    flavor: PlatformFlavor,
+    snippet: &Snippet,
+    config: &SiftConfig,
+) -> Result<Vec<f64>, SiftError> {
+    match flavor {
+        PlatformFlavor::Gold => crate::features::extract(version, snippet, config),
+        PlatformFlavor::Amulet => Ok(extract_amulet_f32(version, snippet, config)?
+            .into_iter()
+            .map(f64::from)
+            .collect()),
+    }
+}
+
+/// The embedded (`f32`) feature extractor — the code that would be
+/// generated C on the real device.
+///
+/// # Errors
+///
+/// Returns [`SiftError::DegenerateSignal`] for constant/non-finite
+/// channels and [`SiftError::InvalidConfig`] for a grid smaller than 2.
+pub fn extract_amulet_f32(
+    version: Version,
+    snippet: &Snippet,
+    config: &SiftConfig,
+) -> Result<Vec<f32>, SiftError> {
+    if config.grid_n < 2 {
+        return Err(SiftError::InvalidConfig {
+            reason: "grid size must be at least 2",
+        });
+    }
+    ensure_finite(snippet)?;
+    // The reduced version never enters the float pipeline at all: it
+    // streams the ADC codes through the Q16.16 fixed-point path (which
+    // is also what the platform cost model prices for it).
+    if version == Version::Reduced {
+        return extract_reduced_q16(snippet).map(|q| q.map(Q16::to_f32).to_vec());
+    }
+    // --- ADC quantization + normalization (min–max, f32) -----------------
+    // The device never sees the continuous waveform: its front end is a
+    // 12-bit ADC over a fixed input range (±2.5 mV for ECG after
+    // amplification, 0–250 mmHg for ABP). The gold pipeline skips this —
+    // it is one of the real sources of Amulet-vs-MATLAB divergence in
+    // Table II.
+    let e_quant = quantize_12bit(&snippet.ecg, -2.5, 2.5);
+    let a_quant = quantize_12bit(&snippet.abp, 0.0, 250.0);
+    let a = normalize_f32(&a_quant)?;
+    let e = normalize_f32(&e_quant)?;
+
+    // --- geometric features ----------------------------------------------
+    let r_pts: Vec<(f32, f32)> = snippet.r_peaks.iter().map(|&i| (a[i], e[i])).collect();
+    let s_pts: Vec<(f32, f32)> = snippet.sys_peaks.iter().map(|&i| (a[i], e[i])).collect();
+    let pairs: Vec<((f32, f32), (f32, f32))> = snippet
+        .paired_peaks()
+        .into_iter()
+        .map(|(r, s)| ((a[r], e[r]), (a[s], e[s])))
+        .collect();
+
+    let geo: [f32; 5] = match version {
+        Version::Original => {
+            let angle = |pts: &[(f32, f32)]| {
+                mean_f32(pts.iter().map(|&(x, y)| atan2_approx(y as f64, x as f64) as f32))
+            };
+            let dist = |pts: &[(f32, f32)]| {
+                mean_f32(pts.iter().map(|&(x, y)| sqrt_newton_f32(x * x + y * y)))
+            };
+            let pair_dist = mean_f32(pairs.iter().map(|&((xr, yr), (xs, ys))| {
+                sqrt_newton_f32((xr - xs) * (xr - xs) + (yr - ys) * (yr - ys))
+            }));
+            [
+                angle(&r_pts),
+                angle(&s_pts),
+                dist(&r_pts),
+                dist(&s_pts),
+                pair_dist,
+            ]
+        }
+        // Reduced was dispatched to the Q16 path above.
+        Version::Simplified | Version::Reduced => {
+            let slope =
+                |pts: &[(f32, f32)]| mean_f32(pts.iter().map(|&(x, y)| y / x.max(1e-6f32)));
+            let sqdist = |pts: &[(f32, f32)]| mean_f32(pts.iter().map(|&(x, y)| x * x + y * y));
+            let pair_sq = mean_f32(pairs.iter().map(|&((xr, yr), (xs, ys))| {
+                (xr - xs) * (xr - xs) + (yr - ys) * (yr - ys)
+            }));
+            [slope(&r_pts), slope(&s_pts), sqdist(&r_pts), sqdist(&s_pts), pair_sq]
+        }
+    };
+
+    // --- matrix features ---------------------------------------------------
+    let n = config.grid_n;
+    let mut counts = vec![0u32; n * n];
+    for (&x, &y) in a.iter().zip(&e) {
+        let col = ((x * n as f32) as usize).min(n - 1);
+        let row = ((y * n as f32) as usize).min(n - 1);
+        counts[row * n + col] += 1;
+    }
+    let total = a.len() as f32;
+    let sfi: f32 = counts
+        .iter()
+        .map(|&c| {
+            let p = c as f32 / total;
+            p * p
+        })
+        .sum();
+    let col_avgs: Vec<f32> = (0..n)
+        .map(|col| {
+            let sum: u32 = (0..n).map(|row| counts[row * n + col]).sum();
+            sum as f32 / n as f32
+        })
+        .collect();
+    let mean_cols = col_avgs.iter().sum::<f32>() / n as f32;
+    let variance = col_avgs
+        .iter()
+        .map(|&v| (v - mean_cols) * (v - mean_cols))
+        .sum::<f32>()
+        / n as f32;
+    let spread = match version {
+        Version::Original => sqrt_newton_f32(variance),
+        _ => variance,
+    };
+    // Single-pass composite trapezoid over [0, n-1].
+    let auc = {
+        let n_intervals = (n - 1) as f32;
+        let sum: f32 = col_avgs.windows(2).map(|w| w[0] + w[1]).sum();
+        n_intervals / (2.0 * n_intervals) * sum
+    };
+
+    let mut out = Vec::with_capacity(8);
+    out.push(sfi);
+    out.push(spread);
+    out.push(auc);
+    out.extend_from_slice(&geo);
+    Ok(out)
+}
+
+/// The reduced detector's fixed-point pipeline: the five simplified
+/// geometric features computed entirely in Q16.16 over streamed 12-bit
+/// ADC codes — no floating point at all, matching the 69-byte SRAM
+/// footprint and fixed-point cycle pricing of Table III.
+///
+/// The ABP channel is streamed (only its running min/max and the peak
+/// samples are kept); the ECG channel's peak samples are read from the
+/// single buffered channel.
+///
+/// # Errors
+///
+/// Returns [`SiftError::DegenerateSignal`] when either channel has no
+/// span after quantization (flat-lined sensor).
+pub fn extract_reduced_q16(snippet: &Snippet) -> Result<[Q16; 5], SiftError> {
+    ensure_finite(snippet)?;
+    let e_codes = adc_codes(&snippet.ecg, -2.5, 2.5);
+    let a_codes = adc_codes(&snippet.abp, 0.0, 250.0);
+    let span = |codes: &[u16]| -> Result<(i32, i32), SiftError> {
+        let lo = *codes.iter().min().ok_or(SiftError::InvalidSnippet {
+            reason: "empty channel",
+        })? as i32;
+        let hi = *codes.iter().max().expect("nonempty") as i32;
+        if hi <= lo {
+            return Err(SiftError::DegenerateSignal);
+        }
+        Ok((lo, hi))
+    };
+    let (e_lo, e_hi) = span(&e_codes)?;
+    let (a_lo, a_hi) = span(&a_codes)?;
+    let e_span = Q16::from_int(e_hi - e_lo);
+    let a_span = Q16::from_int(a_hi - a_lo);
+
+    // Normalize only the peak coordinates (the streaming optimization).
+    let at = |codes: &[u16], i: usize, lo: i32, span: Q16| -> Q16 {
+        Q16::from_int(codes[i] as i32 - lo).saturating_div(span)
+    };
+    let point = |i: usize| -> (Q16, Q16) {
+        (
+            at(&a_codes, i, a_lo, a_span),
+            at(&e_codes, i, e_lo, e_span),
+        )
+    };
+
+    let r_pts: Vec<(Q16, Q16)> = snippet.r_peaks.iter().map(|&i| point(i)).collect();
+    let s_pts: Vec<(Q16, Q16)> = snippet.sys_peaks.iter().map(|&i| point(i)).collect();
+    let pairs: Vec<((Q16, Q16), (Q16, Q16))> = snippet
+        .paired_peaks()
+        .into_iter()
+        .map(|(r, s)| (point(r), point(s)))
+        .collect();
+
+    let slope_of = |(x, y): (Q16, Q16)| -> Q16 {
+        let denom = if x <= Q16::EPSILON { Q16::EPSILON } else { x };
+        y.saturating_div(denom)
+    };
+    let sqdist_of = |(x, y): (Q16, Q16)| -> Q16 { x.squared().saturating_add(y.squared()) };
+    let pair_sqdist_of = |((xr, yr), (xs, ys)): ((Q16, Q16), (Q16, Q16))| -> Q16 {
+        (xr - xs).squared().saturating_add((yr - ys).squared())
+    };
+
+    Ok([
+        mean_q16(r_pts.iter().copied().map(slope_of)),
+        mean_q16(s_pts.iter().copied().map(slope_of)),
+        mean_q16(r_pts.iter().copied().map(sqdist_of)),
+        mean_q16(s_pts.iter().copied().map(sqdist_of)),
+        mean_q16(pairs.iter().copied().map(pair_sqdist_of)),
+    ])
+}
+
+/// Corrupt driver data (NaN/∞) cannot be meaningfully quantized; treat
+/// it as a degenerate signal so the detector alerts instead of silently
+/// classifying a rail-clamped artifact.
+fn ensure_finite(snippet: &Snippet) -> Result<(), SiftError> {
+    if snippet.ecg.iter().chain(&snippet.abp).all(|v| v.is_finite()) {
+        Ok(())
+    } else {
+        Err(SiftError::DegenerateSignal)
+    }
+}
+
+/// Convert a signal to raw 12-bit ADC codes over the given input range.
+fn adc_codes(signal: &[f64], lo: f64, hi: f64) -> Vec<u16> {
+    let span = hi - lo;
+    signal
+        .iter()
+        .map(|&v| {
+            let clamped = v.clamp(lo, hi);
+            ((clamped - lo) / span * 4095.0).round() as u16
+        })
+        .collect()
+}
+
+fn mean_q16(iter: impl Iterator<Item = Q16>) -> Q16 {
+    let mut sum = Q16::ZERO;
+    let mut n = 0i32;
+    for v in iter {
+        sum = sum.saturating_add(v);
+        n += 1;
+    }
+    if n == 0 {
+        Q16::ZERO
+    } else {
+        sum.saturating_div(Q16::from_int(n))
+    }
+}
+
+/// Model the 12-bit ADC: clamp to the input range and round to one of
+/// 4096 codes, then map the code back to the signal's units. Shares the
+/// code law with the fixed-point path's [`adc_codes`].
+fn quantize_12bit(signal: &[f64], lo: f64, hi: f64) -> Vec<f64> {
+    let span = hi - lo;
+    adc_codes(signal, lo, hi)
+        .into_iter()
+        .map(|code| lo + code as f64 / 4095.0 * span)
+        .collect()
+}
+
+fn normalize_f32(signal: &[f64]) -> Result<Vec<f32>, SiftError> {
+    if signal.is_empty() {
+        return Err(SiftError::InvalidSnippet {
+            reason: "empty channel",
+        });
+    }
+    let mut lo = f32::INFINITY;
+    let mut hi = f32::NEG_INFINITY;
+    for &v in signal {
+        let v = v as f32;
+        if !v.is_finite() {
+            return Err(SiftError::DegenerateSignal);
+        }
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    if hi <= lo {
+        return Err(SiftError::DegenerateSignal);
+    }
+    let span = hi - lo;
+    Ok(signal.iter().map(|&v| (v as f32 - lo) / span).collect())
+}
+
+fn mean_f32(iter: impl Iterator<Item = f32>) -> f32 {
+    let mut sum = 0.0f32;
+    let mut n = 0u32;
+    for v in iter {
+        sum += v;
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use physio_sim::dataset::windows;
+    use physio_sim::record::Record;
+    use physio_sim::subject::bank;
+
+    fn snippet() -> Snippet {
+        let b = bank();
+        let r = Record::synthesize(&b[0], 30.0, 17);
+        Snippet::from_record(&windows(&r, 3.0).unwrap()[2]).unwrap()
+    }
+
+    #[test]
+    fn amulet_close_to_gold_for_every_version() {
+        // The embedded path quantizes to the 12-bit ADC and computes in
+        // f32, so features agree with the gold pipeline to a few percent
+        // — close enough that the same hyperplane classifies both, far
+        // enough that Table II's platform rows can differ.
+        let cfg = SiftConfig::default();
+        let sn = snippet();
+        for v in Version::ALL {
+            let gold = extract_flavored(v, PlatformFlavor::Gold, &sn, &cfg).unwrap();
+            let amulet = extract_flavored(v, PlatformFlavor::Amulet, &sn, &cfg).unwrap();
+            assert_eq!(gold.len(), amulet.len());
+            for (i, (g, a)) in gold.iter().zip(&amulet).enumerate() {
+                let tol = 0.05 * g.abs().max(0.5);
+                assert!((g - a).abs() < tol, "{v} feature {i}: gold={g} amulet={a}");
+            }
+        }
+    }
+
+    #[test]
+    fn amulet_differs_from_gold_at_the_ulp_level() {
+        // The flavors must not be bit-identical — that difference is the
+        // point of Table II's platform comparison.
+        let cfg = SiftConfig::default();
+        let sn = snippet();
+        let gold = extract_flavored(Version::Original, PlatformFlavor::Gold, &sn, &cfg).unwrap();
+        let amulet =
+            extract_flavored(Version::Original, PlatformFlavor::Amulet, &sn, &cfg).unwrap();
+        assert_ne!(gold, amulet);
+    }
+
+    #[test]
+    fn feature_counts_preserved() {
+        let cfg = SiftConfig::default();
+        let sn = snippet();
+        for v in Version::ALL {
+            let f = extract_amulet_f32(v, &sn, &cfg).unwrap();
+            assert_eq!(f.len(), v.feature_count());
+            assert!(f.iter().all(|x| x.is_finite()));
+        }
+    }
+
+    #[test]
+    fn degenerate_rejected() {
+        let cfg = SiftConfig::default();
+        let sn = Snippet::new(vec![1.0; 50], vec![2.0; 50], vec![], vec![]).unwrap();
+        assert_eq!(
+            extract_amulet_f32(Version::Simplified, &sn, &cfg).unwrap_err(),
+            SiftError::DegenerateSignal
+        );
+    }
+
+    #[test]
+    fn display_flavors() {
+        assert_eq!(PlatformFlavor::Gold.to_string(), "matlab");
+        assert_eq!(PlatformFlavor::Amulet.to_string(), "amulet");
+    }
+
+    #[test]
+    fn bad_grid_rejected() {
+        let cfg = SiftConfig {
+            grid_n: 1,
+            ..SiftConfig::default()
+        };
+        assert!(extract_amulet_f32(Version::Original, &snippet(), &cfg).is_err());
+    }
+}
+
+#[cfg(test)]
+mod q16_tests {
+    use super::*;
+    use physio_sim::dataset::windows;
+    use physio_sim::record::Record;
+    use physio_sim::subject::bank;
+
+    fn snippet() -> Snippet {
+        let b = bank();
+        let r = Record::synthesize(&b[0], 30.0, 17);
+        Snippet::from_record(&windows(&r, 3.0).unwrap()[2]).unwrap()
+    }
+
+    #[test]
+    fn q16_reduced_close_to_gold_reduced() {
+        let cfg = SiftConfig::default();
+        let sn = snippet();
+        let gold = crate::features::extract(Version::Reduced, &sn, &cfg).unwrap();
+        let fixed = extract_reduced_q16(&sn).unwrap();
+        for (i, (g, q)) in gold.iter().zip(&fixed).enumerate() {
+            let got = q.to_f64();
+            let tol = 0.05 * g.abs().max(0.5);
+            assert!((g - got).abs() < tol, "feature {i}: gold={g} q16={got}");
+        }
+    }
+
+    #[test]
+    fn amulet_reduced_flavor_uses_q16_path() {
+        let cfg = SiftConfig::default();
+        let sn = snippet();
+        let via_flavor = extract_amulet_f32(Version::Reduced, &sn, &cfg).unwrap();
+        let direct = extract_reduced_q16(&sn).unwrap();
+        for (a, b) in via_flavor.iter().zip(&direct) {
+            assert_eq!(*a, b.to_f32());
+        }
+    }
+
+    #[test]
+    fn q16_path_flags_flat_channel() {
+        let sn = Snippet::new(vec![0.5; 1080], vec![80.0; 1080], vec![], vec![]).unwrap();
+        assert_eq!(
+            extract_reduced_q16(&sn).unwrap_err(),
+            SiftError::DegenerateSignal
+        );
+    }
+
+    #[test]
+    fn q16_values_stay_in_plausible_range() {
+        let sn = snippet();
+        let fixed = extract_reduced_q16(&sn).unwrap();
+        // Slopes of near-origin points can be large but must not hit the
+        // saturation rail on ordinary data; squared distances are <= 2.
+        assert!(fixed[2].to_f64() <= 2.0 + 1e-3);
+        assert!(fixed[3].to_f64() <= 2.0 + 1e-3);
+        assert!(fixed[4].to_f64() <= 8.0);
+    }
+
+    #[test]
+    fn adc_codes_cover_range() {
+        let codes = adc_codes(&[-3.0, -2.5, 0.0, 2.5, 3.0], -2.5, 2.5);
+        assert_eq!(codes[0], 0, "below range clamps to 0");
+        assert_eq!(codes[1], 0);
+        assert_eq!(codes[2], 2048);
+        assert_eq!(codes[3], 4095);
+        assert_eq!(codes[4], 4095, "above range clamps to max");
+    }
+
+    #[test]
+    fn mean_q16_of_empty_is_zero() {
+        assert_eq!(mean_q16(std::iter::empty()), Q16::ZERO);
+    }
+}

@@ -1,0 +1,263 @@
+//! End-to-end evaluation pipeline: the code behind Table II.
+//!
+//! For every subject in the bank the paper (§IV): trains a user-specific
+//! model on Δ = 20 min of data; loads it on the platform; replays 2 min
+//! of unseen data of which 50 % (in random locations) had the ECG
+//! replaced with another subject's; and scores the 40 resulting 3-second
+//! windows. Metrics are averaged over the 12 subjects.
+
+use crate::attack::substitution_test_set;
+use crate::config::SiftConfig;
+use crate::detector::Detector;
+use crate::features::Version;
+use crate::flavor::PlatformFlavor;
+use crate::trainer::SiftModel;
+use crate::SiftError;
+use ml::metrics::{AveragedMetrics, ConfusionMatrix};
+use physio_sim::record::Record;
+use physio_sim::subject::{Subject, SubjectId};
+
+/// Protocol parameters for the Table II experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalProtocol {
+    /// Unseen test duration in seconds (paper: 120 s).
+    pub test_s: f64,
+    /// Fraction of test windows whose ECG is replaced (paper: 0.5).
+    pub altered_fraction: f64,
+    /// Base seed deriving all per-subject seeds.
+    pub seed: u64,
+}
+
+impl Default for EvalProtocol {
+    fn default() -> Self {
+        Self {
+            test_s: 120.0,
+            altered_fraction: 0.5,
+            seed: 0x007A_B1E2,
+        }
+    }
+}
+
+/// Per-subject outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubjectResult {
+    /// The subject evaluated.
+    pub subject: SubjectId,
+    /// Confusion matrix over the 40 test windows.
+    pub matrix: ConfusionMatrix,
+}
+
+/// Result of evaluating one (version, flavor) cell of Table II.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvaluationResult {
+    /// Detector version evaluated.
+    pub version: Version,
+    /// Platform flavor evaluated.
+    pub flavor: PlatformFlavor,
+    /// Per-subject confusion matrices.
+    pub per_subject: Vec<SubjectResult>,
+    /// Subject-averaged FP/FN/accuracy/F1 (the Table II row).
+    pub averaged: AveragedMetrics,
+}
+
+/// Evaluate one version on one platform flavor over all `subjects`,
+/// reusing `models` trained by [`train_models`].
+///
+/// # Errors
+///
+/// Propagates training/extraction errors; returns
+/// [`SiftError::InvalidConfig`] if `models` does not align with
+/// `subjects`.
+pub fn evaluate_with_models(
+    subjects: &[Subject],
+    models: &[SiftModel],
+    flavor: PlatformFlavor,
+    config: &SiftConfig,
+    protocol: &EvalProtocol,
+) -> Result<EvaluationResult, SiftError> {
+    if models.len() != subjects.len() {
+        return Err(SiftError::InvalidConfig {
+            reason: "one model per subject required",
+        });
+    }
+    let version = models
+        .first()
+        .map(SiftModel::version)
+        .ok_or(SiftError::InvalidConfig {
+            reason: "at least one subject required",
+        })?;
+    let mut per_subject = Vec::with_capacity(subjects.len());
+    for (i, subject) in subjects.iter().enumerate() {
+        let detector = Detector::new(models[i].clone(), flavor, config.clone())?;
+        // Unseen victim data and an unseen donor (the next subject).
+        let victim_test = Record::synthesize(
+            subject,
+            protocol.test_s,
+            protocol.seed.wrapping_add(1000 + i as u64),
+        );
+        let donor_idx = (i + 1) % subjects.len();
+        let donor_test = Record::synthesize(
+            &subjects[donor_idx],
+            protocol.test_s,
+            protocol.seed.wrapping_add(5000 + donor_idx as u64),
+        );
+        let test_set = substitution_test_set(
+            &victim_test,
+            &donor_test,
+            config.window_s,
+            protocol.altered_fraction,
+            protocol.seed.wrapping_add(9000 + i as u64),
+        )?;
+        let mut matrix = ConfusionMatrix::default();
+        for w in &test_set {
+            let detection = detector.classify(&w.snippet)?;
+            matrix.record(w.truth, detection.label);
+        }
+        per_subject.push(SubjectResult {
+            subject: subject.id,
+            matrix,
+        });
+    }
+    let averaged = AveragedMetrics::from_matrices(
+        &per_subject.iter().map(|s| s.matrix).collect::<Vec<_>>(),
+    )
+    .ok_or(SiftError::InvalidConfig {
+        reason: "no subjects evaluated",
+    })?;
+    Ok(EvaluationResult {
+        version,
+        flavor,
+        per_subject,
+        averaged,
+    })
+}
+
+/// Train one model per subject for `version` (each subject's model uses
+/// all other subjects as donors).
+///
+/// # Errors
+///
+/// Propagates [`crate::trainer::train`] errors.
+pub fn train_models(
+    subjects: &[Subject],
+    version: Version,
+    config: &SiftConfig,
+) -> Result<Vec<SiftModel>, SiftError> {
+    // Synthesize each subject's Δ training record once and share it
+    // across victims (seeds match train_for_subject exactly).
+    let records: Vec<Record> = subjects
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            Record::synthesize(s, config.train_s, config.seed.wrapping_add(i as u64 * 7919))
+        })
+        .collect();
+    (0..subjects.len())
+        .map(|victim| {
+            let donors: Vec<&Record> = records
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != victim)
+                .map(|(_, r)| r)
+                .collect();
+            crate::trainer::train(&records[victim], &donors, version, config)
+        })
+        .collect()
+}
+
+/// Evaluate one (version, flavor) cell end to end: train then test.
+///
+/// # Errors
+///
+/// Propagates training and evaluation errors.
+pub fn evaluate(
+    subjects: &[Subject],
+    version: Version,
+    flavor: PlatformFlavor,
+    config: &SiftConfig,
+    protocol: &EvalProtocol,
+) -> Result<EvaluationResult, SiftError> {
+    let models = train_models(subjects, version, config)?;
+    evaluate_with_models(subjects, &models, flavor, config, protocol)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use physio_sim::subject::bank;
+
+    fn quick_config() -> SiftConfig {
+        SiftConfig {
+            train_s: 60.0,
+            max_positive_per_donor: Some(15),
+            ..SiftConfig::default()
+        }
+    }
+
+    /// A reduced-scale end-to-end run: 4 subjects, 1 minute of training.
+    /// The full-scale run lives in the bench harness.
+    #[test]
+    fn small_scale_evaluation_beats_chance_by_wide_margin() {
+        let subjects = &bank()[..4];
+        let cfg = quick_config();
+        let result = evaluate(
+            subjects,
+            Version::Simplified,
+            PlatformFlavor::Gold,
+            &cfg,
+            &EvalProtocol::default(),
+        )
+        .unwrap();
+        assert_eq!(result.per_subject.len(), 4);
+        for s in &result.per_subject {
+            assert_eq!(s.matrix.total(), 40, "40 windows per subject");
+        }
+        assert!(
+            result.averaged.accuracy > 0.75,
+            "accuracy {}",
+            result.averaged.accuracy
+        );
+    }
+
+    #[test]
+    fn amulet_flavor_tracks_gold() {
+        let subjects = &bank()[..3];
+        let cfg = quick_config();
+        let models = train_models(subjects, Version::Reduced, &cfg).unwrap();
+        let protocol = EvalProtocol::default();
+        let gold =
+            evaluate_with_models(subjects, &models, PlatformFlavor::Gold, &cfg, &protocol)
+                .unwrap();
+        let amulet =
+            evaluate_with_models(subjects, &models, PlatformFlavor::Amulet, &cfg, &protocol)
+                .unwrap();
+        assert!(
+            (gold.averaged.accuracy - amulet.averaged.accuracy).abs() < 0.15,
+            "gold {} vs amulet {}",
+            gold.averaged.accuracy,
+            amulet.averaged.accuracy
+        );
+    }
+
+    #[test]
+    fn model_count_must_match() {
+        let subjects = &bank()[..3];
+        let cfg = quick_config();
+        let models = train_models(&subjects[..2], Version::Reduced, &cfg).unwrap();
+        assert!(evaluate_with_models(
+            subjects,
+            &models,
+            PlatformFlavor::Gold,
+            &cfg,
+            &EvalProtocol::default()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn protocol_defaults_match_paper() {
+        let p = EvalProtocol::default();
+        assert_eq!(p.test_s, 120.0);
+        assert_eq!(p.altered_fraction, 0.5);
+    }
+}

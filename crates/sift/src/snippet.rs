@@ -1,0 +1,220 @@
+//! Detection-window snippets.
+//!
+//! A [`Snippet`] is one `w`-second window of synchronously measured ECG
+//! and ABP together with the R-peak and systolic-peak indices inside it —
+//! exactly what the paper's *PeaksDataCheck* state fetches from memory
+//! every 3 seconds.
+
+use crate::SiftError;
+use physio_sim::record::Record;
+use physio_sim::rpeak::{self, RPeakConfig};
+use physio_sim::syspeak::{self, SysPeakConfig};
+
+/// One detection window of paired signals plus peak annotations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snippet {
+    /// ECG samples (millivolts).
+    pub ecg: Vec<f64>,
+    /// ABP samples (mmHg), same length as `ecg`.
+    pub abp: Vec<f64>,
+    /// R-peak indices into `ecg`, ascending.
+    pub r_peaks: Vec<usize>,
+    /// Systolic-peak indices into `abp`, ascending.
+    pub sys_peaks: Vec<usize>,
+}
+
+impl Snippet {
+    /// Build a snippet from raw parts, validating the invariants the
+    /// feature extractors rely on.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SiftError::InvalidSnippet`] when channels are empty or
+    /// unequal in length, or peak indices are out of range / unsorted.
+    pub fn new(
+        ecg: Vec<f64>,
+        abp: Vec<f64>,
+        r_peaks: Vec<usize>,
+        sys_peaks: Vec<usize>,
+    ) -> Result<Self, SiftError> {
+        if ecg.is_empty() {
+            return Err(SiftError::InvalidSnippet {
+                reason: "channels are empty",
+            });
+        }
+        if ecg.len() != abp.len() {
+            return Err(SiftError::InvalidSnippet {
+                reason: "ecg and abp lengths differ",
+            });
+        }
+        let sorted_in_range = |peaks: &[usize], len: usize| {
+            peaks.windows(2).all(|w| w[0] < w[1]) && peaks.iter().all(|&p| p < len)
+        };
+        if !sorted_in_range(&r_peaks, ecg.len()) {
+            return Err(SiftError::InvalidSnippet {
+                reason: "r peaks unsorted or out of range",
+            });
+        }
+        if !sorted_in_range(&sys_peaks, abp.len()) {
+            return Err(SiftError::InvalidSnippet {
+                reason: "systolic peaks unsorted or out of range",
+            });
+        }
+        Ok(Self {
+            ecg,
+            abp,
+            r_peaks,
+            sys_peaks,
+        })
+    }
+
+    /// Build from a (windowed) [`Record`], trusting its ground-truth peak
+    /// annotations — the paper's "pre-stored peak indexes" path.
+    ///
+    /// # Errors
+    ///
+    /// Same validation as [`Snippet::new`].
+    pub fn from_record(window: &Record) -> Result<Self, SiftError> {
+        Self::new(
+            window.ecg.clone(),
+            window.abp.clone(),
+            window.r_peaks.clone(),
+            window.sys_peaks.clone(),
+        )
+    }
+
+    /// Build from raw signals, detecting the peaks on the fly (the "live
+    /// data" extension the paper mentions).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SiftError::InvalidSnippet`] on malformed channels and
+    /// propagates detector errors (degenerate signals map to
+    /// [`SiftError::DegenerateSignal`]).
+    pub fn from_signals(ecg: Vec<f64>, abp: Vec<f64>, fs: f64) -> Result<Self, SiftError> {
+        if ecg.is_empty() || ecg.len() != abp.len() {
+            return Err(SiftError::InvalidSnippet {
+                reason: "channels empty or unequal",
+            });
+        }
+        let r_peaks = rpeak::detect(&ecg, fs, &RPeakConfig::default())?;
+        let sys_peaks = syspeak::detect(&abp, fs, &SysPeakConfig::default())?;
+        Self::new(ecg, abp, r_peaks, sys_peaks)
+    }
+
+    /// Number of samples per channel.
+    pub fn len(&self) -> usize {
+        self.ecg.len()
+    }
+
+    /// Whether the snippet has no samples (never true for a validated
+    /// snippet).
+    pub fn is_empty(&self) -> bool {
+        self.ecg.is_empty()
+    }
+
+    /// Pair each R peak with the first systolic peak at or after it (the
+    /// pressure pulse launched by that contraction). R peaks with no
+    /// following systolic peak in the window are unpaired.
+    pub fn paired_peaks(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        let mut sys_iter = self.sys_peaks.iter().copied().peekable();
+        for &r in &self.r_peaks {
+            while let Some(&s) = sys_iter.peek() {
+                if s < r {
+                    sys_iter.next();
+                } else {
+                    break;
+                }
+            }
+            if let Some(&s) = sys_iter.peek() {
+                out.push((r, s));
+                sys_iter.next();
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use physio_sim::dataset::windows;
+    use physio_sim::record::Record;
+    use physio_sim::subject::bank;
+
+    fn sample_snippet() -> Snippet {
+        let s = &bank()[0];
+        let r = Record::synthesize(s, 30.0, 3);
+        let w = &windows(&r, 3.0).unwrap()[2];
+        Snippet::from_record(w).unwrap()
+    }
+
+    #[test]
+    fn from_record_carries_annotations() {
+        let sn = sample_snippet();
+        assert_eq!(sn.len(), 1080);
+        assert!(!sn.r_peaks.is_empty());
+        assert!(!sn.sys_peaks.is_empty());
+    }
+
+    #[test]
+    fn validation_rejects_mismatched_channels() {
+        assert!(matches!(
+            Snippet::new(vec![1.0; 10], vec![1.0; 9], vec![], vec![]),
+            Err(SiftError::InvalidSnippet { .. })
+        ));
+    }
+
+    #[test]
+    fn validation_rejects_empty() {
+        assert!(Snippet::new(vec![], vec![], vec![], vec![]).is_err());
+    }
+
+    #[test]
+    fn validation_rejects_bad_peaks() {
+        assert!(Snippet::new(vec![0.0; 10], vec![0.0; 10], vec![10], vec![]).is_err());
+        assert!(Snippet::new(vec![0.0; 10], vec![0.0; 10], vec![5, 5], vec![]).is_err());
+        assert!(Snippet::new(vec![0.0; 10], vec![0.0; 10], vec![], vec![3, 2]).is_err());
+    }
+
+    #[test]
+    fn pairing_is_causal_and_monotone() {
+        let sn = sample_snippet();
+        let pairs = sn.paired_peaks();
+        assert!(!pairs.is_empty());
+        for (r, s) in &pairs {
+            assert!(s >= r, "systolic {s} before r {r}");
+        }
+        // No systolic peak is used twice.
+        let mut sys_used: Vec<usize> = pairs.iter().map(|p| p.1).collect();
+        sys_used.dedup();
+        assert_eq!(sys_used.len(), pairs.len());
+    }
+
+    #[test]
+    fn pairing_handles_empty_peaks() {
+        let sn = Snippet::new(vec![0.0; 10], vec![0.0; 10], vec![], vec![]).unwrap();
+        assert!(sn.paired_peaks().is_empty());
+    }
+
+    #[test]
+    fn from_signals_detects_peaks() {
+        let s = &bank()[1];
+        let r = Record::synthesize(s, 10.0, 5);
+        let sn = Snippet::from_signals(r.ecg.clone(), r.abp.clone(), r.fs).unwrap();
+        // Detected counts should be near ground truth.
+        let diff = sn.r_peaks.len().abs_diff(r.r_peaks.len());
+        assert!(diff <= 2, "detected {} truth {}", sn.r_peaks.len(), r.r_peaks.len());
+    }
+
+    #[test]
+    fn from_signals_flat_abp_is_degenerate() {
+        let ecg = vec![0.0; 1080];
+        let abp = vec![80.0; 1080];
+        assert!(matches!(
+            Snippet::from_signals(ecg, abp, 360.0),
+            Err(SiftError::DegenerateSignal)
+        ));
+    }
+}

@@ -1,0 +1,178 @@
+//! Sample-level streaming detection.
+//!
+//! [`StreamingDetector`] wraps a [`Detector`] behind a push interface:
+//! feed synchronized ECG/ABP samples one at a time (as a driver ISR
+//! would), and every `w` seconds a detection is emitted for the
+//! completed window, with peaks found by the live detectors — the
+//! "simple extension to perform these tasks at run-time based on live
+//! data" the paper describes.
+
+use crate::detector::{Detection, Detector};
+use crate::snippet::Snippet;
+use crate::SiftError;
+
+/// Push-based wrapper around a [`Detector`].
+#[derive(Debug, Clone)]
+pub struct StreamingDetector {
+    detector: Detector,
+    ecg: Vec<f64>,
+    abp: Vec<f64>,
+    window_samples: usize,
+    windows_emitted: u64,
+    degenerate_windows: u64,
+}
+
+impl StreamingDetector {
+    /// Wrap `detector` for streaming use.
+    pub fn new(detector: Detector) -> Self {
+        let window_samples = detector.config().window_samples();
+        Self {
+            detector,
+            ecg: Vec::with_capacity(window_samples),
+            abp: Vec::with_capacity(window_samples),
+            window_samples,
+            windows_emitted: 0,
+            degenerate_windows: 0,
+        }
+    }
+
+    /// Push one synchronized sample pair. Returns `Some(detection)` when
+    /// this sample completes a window.
+    ///
+    /// # Errors
+    ///
+    /// Propagates non-degenerate pipeline failures; degenerate windows
+    /// yield an alerting detection, not an error.
+    pub fn push(&mut self, ecg: f64, abp: f64) -> Result<Option<Detection>, SiftError> {
+        self.ecg.push(ecg);
+        self.abp.push(abp);
+        if self.ecg.len() < self.window_samples {
+            return Ok(None);
+        }
+        let ecg = std::mem::replace(&mut self.ecg, Vec::with_capacity(self.window_samples));
+        let abp = std::mem::replace(&mut self.abp, Vec::with_capacity(self.window_samples));
+        let detection = match Snippet::from_signals(ecg, abp, self.detector.config().fs) {
+            Ok(snippet) => self.detector.classify(&snippet)?,
+            // A window whose channels cannot even be peak-searched is
+            // degenerate: alert, as the block detector would.
+            Err(SiftError::DegenerateSignal) => {
+                self.degenerate_windows += 1;
+                Detection {
+                    label: ml::Label::Positive,
+                    score: f64::MAX,
+                    degenerate: true,
+                }
+            }
+            Err(e) => return Err(e),
+        };
+        self.windows_emitted += 1;
+        Ok(Some(detection))
+    }
+
+    /// Samples currently buffered toward the next window.
+    pub fn buffered(&self) -> usize {
+        self.ecg.len()
+    }
+
+    /// Complete windows classified so far.
+    pub fn windows_emitted(&self) -> u64 {
+        self.windows_emitted
+    }
+
+    /// Windows that were degenerate (flat/non-finite).
+    pub fn degenerate_windows(&self) -> u64 {
+        self.degenerate_windows
+    }
+
+    /// Discard any partially buffered window (e.g. after a stream gap —
+    /// samples across the gap must not be stitched together).
+    pub fn reset_window(&mut self) {
+        self.ecg.clear();
+        self.abp.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SiftConfig;
+    use crate::features::Version;
+    use crate::flavor::PlatformFlavor;
+    use crate::trainer::train_for_subject;
+    use physio_sim::record::Record;
+    use physio_sim::subject::bank;
+
+    fn streaming(version: Version) -> StreamingDetector {
+        let cfg = SiftConfig {
+            train_s: 60.0,
+            max_positive_per_donor: Some(15),
+            ..SiftConfig::default()
+        };
+        let model = train_for_subject(&bank(), 0, version, &cfg, 99).unwrap();
+        StreamingDetector::new(Detector::new(model, PlatformFlavor::Gold, cfg).unwrap())
+    }
+
+    #[test]
+    fn emits_one_detection_per_window() {
+        let mut s = streaming(Version::Simplified);
+        let r = Record::synthesize(&bank()[0], 9.5, 5);
+        let mut detections = Vec::new();
+        for (&e, &a) in r.ecg.iter().zip(&r.abp) {
+            if let Some(d) = s.push(e, a).unwrap() {
+                detections.push(d);
+            }
+        }
+        assert_eq!(detections.len(), 3); // 9.5 s → 3 complete 3 s windows
+        assert_eq!(s.windows_emitted(), 3);
+        assert_eq!(s.buffered(), r.len() - 3 * 1080);
+        // Genuine stream: mostly no alerts.
+        let alerts = detections.iter().filter(|d| d.is_alert()).count();
+        assert!(alerts <= 1, "{alerts} false alerts in 3 windows");
+    }
+
+    #[test]
+    fn hijacked_stream_alerts() {
+        let mut s = streaming(Version::Simplified);
+        let own = Record::synthesize(&bank()[0], 12.0, 6);
+        let donor = Record::synthesize(&bank()[7], 12.0, 7);
+        let mut alerts = 0;
+        let mut windows = 0;
+        // Donor's ECG against the wearer's ABP, streamed sample by sample.
+        for (&e, &a) in donor.ecg.iter().zip(&own.abp) {
+            if let Some(d) = s.push(e, a).unwrap() {
+                windows += 1;
+                alerts += usize::from(d.is_alert());
+            }
+        }
+        assert_eq!(windows, 4);
+        assert!(alerts >= 2, "only {alerts}/{windows} hijacked windows caught");
+    }
+
+    #[test]
+    fn frozen_stream_is_degenerate_alert() {
+        let mut s = streaming(Version::Reduced);
+        let mut saw = None;
+        for _ in 0..1080 {
+            if let Some(d) = s.push(0.5, 80.0).unwrap() {
+                saw = Some(d);
+            }
+        }
+        let d = saw.expect("window completed");
+        assert!(d.is_alert());
+        assert!(d.degenerate);
+        assert_eq!(s.degenerate_windows(), 1);
+    }
+
+    #[test]
+    fn reset_discards_partial_window() {
+        let mut s = streaming(Version::Reduced);
+        let r = Record::synthesize(&bank()[0], 2.0, 8);
+        for (&e, &a) in r.ecg.iter().zip(&r.abp) {
+            s.push(e, a).unwrap();
+        }
+        assert!(s.buffered() > 0);
+        s.reset_window();
+        assert_eq!(s.buffered(), 0);
+        assert_eq!(s.windows_emitted(), 0);
+    }
+}

@@ -1,0 +1,350 @@
+//! Offline training of user-specific models (paper §II-A, "Training
+//! step").
+//!
+//! For a wearer (the *victim*):
+//!
+//! * **negative** feature points come from sliding a `w`-second window
+//!   over Δ time-units of the wearer's own synchronized ECG + ABP;
+//! * **positive** feature points come from portraits of the wearer's ABP
+//!   paired with *other users'* ECG (the donors), windowed the same way.
+//!
+//! Training always runs on the gold (double-precision) features — it is
+//! offline, "need not be done on amulet platform itself" — and the
+//! resulting scaler + linear SVM are then *translated* into the flat
+//! [`EmbeddedModel`] that ships to the device.
+
+use crate::config::SiftConfig;
+use crate::features::{self, Version};
+use crate::snippet::Snippet;
+use crate::SiftError;
+use ml::embedded::EmbeddedModel;
+use ml::linear_svm::{LinearSvm, LinearSvmTrainer};
+use ml::scaler::StandardScaler;
+use ml::{Dataset, Label};
+use physio_sim::record::Record;
+use physio_sim::subject::Subject;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A trained user-specific SIFT model: the detector version it was built
+/// for, the fitted scaler, the SVM hyperplane, and its embedded
+/// translation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SiftModel {
+    version: Version,
+    scaler: StandardScaler,
+    svm: LinearSvm,
+    embedded: EmbeddedModel,
+}
+
+impl SiftModel {
+    /// Detector version this model classifies features of.
+    pub fn version(&self) -> Version {
+        self.version
+    }
+
+    /// The fitted standardizer.
+    pub fn scaler(&self) -> &StandardScaler {
+        &self.scaler
+    }
+
+    /// The trained hyperplane.
+    pub fn svm(&self) -> &LinearSvm {
+        &self.svm
+    }
+
+    /// The translated single-precision model deployed on the Amulet.
+    pub fn embedded(&self) -> &EmbeddedModel {
+        &self.embedded
+    }
+
+    /// Gold-path decision value for a raw (unscaled) `f64` feature
+    /// vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SiftError::Ml`] on a dimension mismatch.
+    pub fn decision(&self, features: &[f64]) -> Result<f64, SiftError> {
+        use ml::Classifier;
+        let scaled = self.scaler.transform(features)?;
+        Ok(self.svm.decision_function(&scaled))
+    }
+}
+
+/// Train a model for `victim_train` against the given donors' training
+/// records.
+///
+/// # Errors
+///
+/// Returns [`SiftError::NoDonors`] with an empty donor list,
+/// [`SiftError::InvalidConfig`] for inconsistent configuration, and
+/// propagates feature-extraction and SVM errors.
+pub fn train(
+    victim_train: &Record,
+    donor_trains: &[&Record],
+    version: Version,
+    config: &SiftConfig,
+) -> Result<SiftModel, SiftError> {
+    let data = build_training_set(victim_train, donor_trains, version, config)?;
+    if !data.has_both_classes() {
+        return Err(SiftError::Ml(ml::MlError::SingleClass));
+    }
+
+    let scaler = StandardScaler::fit(&data)?;
+    let scaled = scaler.transform_dataset(&data)?;
+    let trainer = LinearSvmTrainer {
+        c: config.svm_c,
+        seed: config.seed ^ 0x57A1,
+        ..LinearSvmTrainer::default()
+    };
+    let svm = trainer.fit(&scaled)?;
+    let embedded = EmbeddedModel::translate(&scaler, &svm)?;
+    Ok(SiftModel {
+        version,
+        scaler,
+        svm,
+        embedded,
+    })
+}
+
+/// Assemble the labeled training set for a wearer (the positive/negative
+/// feature points of the paper's training step) without fitting a model.
+/// Exposed so ablations can feed the same points to other classifiers.
+///
+/// # Errors
+///
+/// Same conditions as [`train`], except that a single-class result is
+/// returned as-is rather than an error.
+pub fn build_training_set(
+    victim_train: &Record,
+    donor_trains: &[&Record],
+    version: Version,
+    config: &SiftConfig,
+) -> Result<Dataset, SiftError> {
+    config.validate()?;
+    if donor_trains.is_empty() {
+        return Err(SiftError::NoDonors);
+    }
+
+    let mut data = Dataset::new(version.feature_count())?;
+
+    // Negative class: the wearer's own windows.
+    for window in
+        physio_sim::dataset::sliding_windows(victim_train, config.window_s, config.train_step_s)?
+    {
+        let snippet = Snippet::from_record(&window)?;
+        if let Some(f) = extract_usable(version, &snippet, config) {
+            data.push(f, Label::Negative)?;
+        }
+    }
+
+    // Positive class: wearer ABP × donor ECG.
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0xD030);
+    for donor in donor_trains {
+        let len = victim_train.len().min(donor.len());
+        let victim_part = victim_train.slice(0, len);
+        let donor_part = donor.slice(0, len);
+        let v_windows = physio_sim::dataset::sliding_windows(
+            &victim_part,
+            config.window_s,
+            config.train_step_s,
+        )?;
+        let d_windows = physio_sim::dataset::sliding_windows(
+            &donor_part,
+            config.window_s,
+            config.train_step_s,
+        )?;
+        let mut idx: Vec<usize> = (0..v_windows.len().min(d_windows.len())).collect();
+        if let Some(cap) = config.max_positive_per_donor {
+            idx.shuffle(&mut rng);
+            idx.truncate(cap);
+        }
+        for i in idx {
+            let vw = &v_windows[i];
+            let dw = &d_windows[i];
+            let snippet = Snippet::new(
+                dw.ecg.clone(),
+                vw.abp.clone(),
+                dw.r_peaks.clone(),
+                vw.sys_peaks.clone(),
+            )?;
+            if let Some(f) = extract_usable(version, &snippet, config) {
+                data.push(f, Label::Positive)?;
+            }
+        }
+    }
+
+    Ok(data)
+}
+
+/// Extract features, treating degenerate windows (flat channel, no
+/// peaks to pair) as unusable rather than fatal.
+fn extract_usable(version: Version, snippet: &Snippet, config: &SiftConfig) -> Option<Vec<f64>> {
+    if snippet.paired_peaks().is_empty() {
+        return None;
+    }
+    match features::extract(version, snippet, config) {
+        Ok(f) if f.iter().all(|x| x.is_finite()) => Some(f),
+        _ => None,
+    }
+}
+
+/// Convenience for experiments: train a model for `subjects[victim]`
+/// using every other subject in the bank as a donor, synthesizing Δ
+/// training records deterministically from `seed`.
+///
+/// # Errors
+///
+/// Same conditions as [`train`]; additionally returns
+/// [`SiftError::InvalidConfig`] if `victim` is out of range.
+pub fn train_for_subject(
+    subjects: &[Subject],
+    victim: usize,
+    version: Version,
+    config: &SiftConfig,
+    seed: u64,
+) -> Result<SiftModel, SiftError> {
+    if victim >= subjects.len() {
+        return Err(SiftError::InvalidConfig {
+            reason: "victim index out of range",
+        });
+    }
+    let records: Vec<Record> = subjects
+        .iter()
+        .enumerate()
+        .map(|(i, s)| Record::synthesize(s, config.train_s, seed.wrapping_add(i as u64 * 7919)))
+        .collect();
+    let donors: Vec<&Record> = records
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i != victim)
+        .map(|(_, r)| r)
+        .collect();
+    train(&records[victim], &donors, version, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ml::Classifier;
+    use physio_sim::subject::bank;
+
+    fn quick_config() -> SiftConfig {
+        SiftConfig {
+            train_s: 60.0,
+            max_positive_per_donor: Some(20),
+            ..SiftConfig::default()
+        }
+    }
+
+    fn two_records() -> (Record, Record) {
+        let b = bank();
+        (
+            Record::synthesize(&b[0], 60.0, 1),
+            Record::synthesize(&b[1], 60.0, 2),
+        )
+    }
+
+    #[test]
+    fn training_produces_consistent_model() {
+        let (v, d) = two_records();
+        let cfg = quick_config();
+        let m = train(&v, &[&d], Version::Simplified, &cfg).unwrap();
+        assert_eq!(m.version(), Version::Simplified);
+        assert_eq!(m.svm().dim(), 8);
+        assert_eq!(m.embedded().dim(), 8);
+    }
+
+    #[test]
+    fn model_separates_own_vs_donor_windows() {
+        let b = bank();
+        let cfg = quick_config();
+        let m = train_for_subject(&b, 0, Version::Original, &cfg, 42).unwrap();
+
+        // Fresh (unseen) data for checking.
+        let own = Record::synthesize(&b[0], 30.0, 999);
+        let donor = Record::synthesize(&b[3], 30.0, 888);
+        let own_windows = physio_sim::dataset::windows(&own, 3.0).unwrap();
+        let mut correct = 0;
+        let mut total = 0;
+        for w in &own_windows {
+            let sn = Snippet::from_record(w).unwrap();
+            if let Some(f) = extract_usable(Version::Original, &sn, &cfg) {
+                total += 1;
+                if m.decision(&f).unwrap() <= 0.0 {
+                    correct += 1;
+                }
+            }
+        }
+        // Altered: own ABP + donor ECG.
+        let dw = physio_sim::dataset::windows(&donor, 3.0).unwrap();
+        for (vw, dwi) in own_windows.iter().zip(&dw) {
+            let sn = Snippet::new(
+                dwi.ecg.clone(),
+                vw.abp.clone(),
+                dwi.r_peaks.clone(),
+                vw.sys_peaks.clone(),
+            )
+            .unwrap();
+            if let Some(f) = extract_usable(Version::Original, &sn, &cfg) {
+                total += 1;
+                if m.decision(&f).unwrap() > 0.0 {
+                    correct += 1;
+                }
+            }
+        }
+        let acc = correct as f64 / total as f64;
+        assert!(acc > 0.8, "accuracy {acc} ({correct}/{total})");
+    }
+
+    #[test]
+    fn embedded_translation_agrees_with_gold_model() {
+        let (v, d) = two_records();
+        let cfg = quick_config();
+        let m = train(&v, &[&d], Version::Reduced, &cfg).unwrap();
+        let test = Record::synthesize(&bank()[0], 12.0, 77);
+        for w in physio_sim::dataset::windows(&test, 3.0).unwrap() {
+            let sn = Snippet::from_record(&w).unwrap();
+            if let Some(f) = extract_usable(Version::Reduced, &sn, &cfg) {
+                let gold = m.decision(&f).unwrap() > 0.0;
+                let embedded = m.embedded().predict(&f) == Label::Positive;
+                assert_eq!(gold, embedded);
+            }
+        }
+    }
+
+    #[test]
+    fn no_donors_rejected() {
+        let (v, _) = two_records();
+        assert_eq!(
+            train(&v, &[], Version::Original, &quick_config()).unwrap_err(),
+            SiftError::NoDonors
+        );
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let (v, d) = two_records();
+        let cfg = SiftConfig {
+            grid_n: 0,
+            ..quick_config()
+        };
+        assert!(train(&v, &[&d], Version::Original, &cfg).is_err());
+    }
+
+    #[test]
+    fn victim_out_of_range_rejected() {
+        let b = bank();
+        assert!(train_for_subject(&b, 99, Version::Original, &quick_config(), 1).is_err());
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let (v, d) = two_records();
+        let cfg = quick_config();
+        let a = train(&v, &[&d], Version::Simplified, &cfg).unwrap();
+        let b = train(&v, &[&d], Version::Simplified, &cfg).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,430 @@
+//! Adaptive security: the paper's Insight #4, implemented.
+//!
+//! "We envision an adaptive security model with the ability to
+//! automatically adjust the security level by switching between different
+//! versions of one security app based on the available resources. …
+//! The core of this model is a *decision engine*, which can automatically
+//! detect any types of constraints during compile time and runtime, and
+//! decide which version of security app to run."
+//!
+//! [`DecisionEngine`] consumes a [`ResourceSnapshot`] (the dynamic
+//! constraints) plus the per-version footprints (the static constraints)
+//! and picks the strongest detector version the device can currently
+//! afford, with hysteresis and a minimum dwell time so the system does
+//! not thrash at a threshold.
+
+use sift::features::Version;
+
+/// Dynamic resource constraints sampled at runtime.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResourceSnapshot {
+    /// Battery state of charge, `[0, 1]`.
+    pub battery_fraction: f64,
+    /// FRAM still available for app installation, bytes.
+    pub fram_free_bytes: usize,
+    /// Fraction of CPU time not yet committed, `[0, 1]`.
+    pub cpu_headroom: f64,
+}
+
+/// Static per-version requirements the engine checks installability
+/// against.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VersionRequirements {
+    /// Version described.
+    pub version: Version,
+    /// FRAM the version needs (app + extra libraries), bytes.
+    pub fram_bytes: usize,
+    /// CPU duty cycle the version needs, `[0, 1]`.
+    pub duty_cycle: f64,
+}
+
+/// Decision-engine policy knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Policy {
+    /// Battery fraction above which the full detector runs.
+    pub original_above: f64,
+    /// Battery fraction above which at least the simplified detector
+    /// runs (below it, reduced).
+    pub simplified_above: f64,
+    /// Hysteresis margin applied when *upgrading* (the battery must
+    /// exceed the threshold by this much).
+    pub hysteresis: f64,
+    /// Minimum time between switches, ms.
+    pub min_dwell_ms: u64,
+}
+
+impl Default for Policy {
+    fn default() -> Self {
+        Self {
+            original_above: 0.5,
+            simplified_above: 0.2,
+            hysteresis: 0.05,
+            min_dwell_ms: 60_000,
+        }
+    }
+}
+
+/// A recorded version switch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Switch {
+    /// When it happened, ms.
+    pub at_ms: u64,
+    /// Version switched away from.
+    pub from: Version,
+    /// Version switched to.
+    pub to: Version,
+}
+
+/// The adaptive-security decision engine.
+#[derive(Debug, Clone)]
+pub struct DecisionEngine {
+    policy: Policy,
+    requirements: Vec<VersionRequirements>,
+    current: Version,
+    last_switch_ms: Option<u64>,
+    history: Vec<Switch>,
+}
+
+impl DecisionEngine {
+    /// Create an engine currently running `initial`, with the static
+    /// requirements of every available version.
+    pub fn new(initial: Version, requirements: Vec<VersionRequirements>, policy: Policy) -> Self {
+        Self {
+            policy,
+            requirements,
+            current: initial,
+            last_switch_ms: None,
+            history: Vec::new(),
+        }
+    }
+
+    /// The version currently deployed.
+    pub fn current(&self) -> Version {
+        self.current
+    }
+
+    /// All switches performed.
+    pub fn history(&self) -> &[Switch] {
+        &self.history
+    }
+
+    /// Whether `version` satisfies the static constraints under `snap`.
+    fn installable(&self, version: Version, snap: &ResourceSnapshot) -> bool {
+        self.requirements
+            .iter()
+            .find(|r| r.version == version)
+            .is_some_and(|r| r.fram_bytes <= snap.fram_free_bytes && r.duty_cycle <= snap.cpu_headroom)
+    }
+
+    /// The version the dynamic (battery) policy asks for, ignoring
+    /// static constraints.
+    fn desired_by_battery(&self, battery: f64) -> Version {
+        let p = &self.policy;
+        // Hysteresis: upgrading requires clearing the threshold by the
+        // margin; downgrading happens at the bare threshold.
+        let (orig_cut, simp_cut) = match self.current {
+            Version::Original => (p.original_above, p.simplified_above),
+            Version::Simplified => (p.original_above + p.hysteresis, p.simplified_above),
+            Version::Reduced => (
+                p.original_above + p.hysteresis,
+                p.simplified_above + p.hysteresis,
+            ),
+        };
+        if battery >= orig_cut {
+            Version::Original
+        } else if battery >= simp_cut {
+            Version::Simplified
+        } else {
+            Version::Reduced
+        }
+    }
+
+    /// Evaluate the constraints at `now_ms`; returns `Some(new_version)`
+    /// when the engine decides to switch (and records it).
+    pub fn decide(&mut self, now_ms: u64, snap: &ResourceSnapshot) -> Option<Version> {
+        if let Some(last) = self.last_switch_ms {
+            if now_ms.saturating_sub(last) < self.policy.min_dwell_ms {
+                return None;
+            }
+        }
+        let mut target = self.desired_by_battery(snap.battery_fraction);
+        // Degrade until the static constraints are satisfiable.
+        let order = [Version::Original, Version::Simplified, Version::Reduced];
+        let mut idx = order.iter().position(|&v| v == target).expect("in order");
+        while idx < order.len() && !self.installable(order[idx], snap) {
+            idx += 1;
+        }
+        if idx == order.len() {
+            // Nothing fits; hold the current version.
+            return None;
+        }
+        target = order[idx];
+        if target == self.current {
+            return None;
+        }
+        self.history.push(Switch {
+            at_ms: now_ms,
+            from: self.current,
+            to: target,
+        });
+        self.current = target;
+        self.last_switch_ms = Some(now_ms);
+        Some(target)
+    }
+}
+
+/// Requirements derived from the platform's own profiler — the
+/// "compile time" half of the engine's inputs.
+pub fn requirements_from_profiler(config: &sift::config::SiftConfig) -> Vec<VersionRequirements> {
+    Version::ALL
+        .iter()
+        .map(|&v| {
+            let model_bytes = match v {
+                Version::Reduced => 76,
+                _ => 112,
+            };
+            let spec = amulet_sim::profiler::sift_app_spec(v, config, model_bytes);
+            let libs: usize = spec.libs.iter().map(|l| l.fram_bytes()).sum();
+            VersionRequirements {
+                version: v,
+                fram_bytes: spec.fram_total_bytes() + libs,
+                duty_cycle: spec.duty_cycle(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roomy(battery: f64) -> ResourceSnapshot {
+        ResourceSnapshot {
+            battery_fraction: battery,
+            fram_free_bytes: 60_000,
+            cpu_headroom: 1.0,
+        }
+    }
+
+    fn engine() -> DecisionEngine {
+        DecisionEngine::new(
+            Version::Original,
+            requirements_from_profiler(&sift::config::SiftConfig::default()),
+            Policy {
+                min_dwell_ms: 0,
+                ..Policy::default()
+            },
+        )
+    }
+
+    #[test]
+    fn battery_drain_degrades_versions_in_order() {
+        let mut e = engine();
+        assert_eq!(e.decide(0, &roomy(0.9)), None, "already original");
+        assert_eq!(e.decide(1, &roomy(0.45)), Some(Version::Simplified));
+        assert_eq!(e.decide(2, &roomy(0.15)), Some(Version::Reduced));
+        assert_eq!(e.history().len(), 2);
+    }
+
+    #[test]
+    fn recharge_upgrades_with_hysteresis() {
+        let mut e = engine();
+        e.decide(0, &roomy(0.1)); // → reduced
+        // At exactly the simplified threshold the upgrade is held back by
+        // the hysteresis margin…
+        assert_eq!(e.decide(1, &roomy(0.21)), None);
+        // …but clears it with margin.
+        assert_eq!(e.decide(2, &roomy(0.30)), Some(Version::Simplified));
+        assert_eq!(e.decide(3, &roomy(0.56)), Some(Version::Original));
+    }
+
+    #[test]
+    fn static_constraint_overrides_battery() {
+        let mut e = engine();
+        e.decide(0, &roomy(0.1)); // reduced
+        // Full battery but almost no free FRAM: the float versions need
+        // their libraries, which don't fit — stay reduced.
+        let tight = ResourceSnapshot {
+            battery_fraction: 1.0,
+            fram_free_bytes: 4_000,
+            cpu_headroom: 1.0,
+        };
+        assert_eq!(e.decide(1, &tight), None);
+        assert_eq!(e.current(), Version::Reduced);
+    }
+
+    #[test]
+    fn cpu_headroom_is_a_constraint() {
+        let mut e = engine();
+        e.decide(0, &roomy(0.1)); // reduced
+        let busy = ResourceSnapshot {
+            battery_fraction: 1.0,
+            fram_free_bytes: 60_000,
+            cpu_headroom: 0.01,
+        };
+        // Original needs ~5–8 % duty; with 1 % headroom only reduced fits.
+        assert_eq!(e.decide(1, &busy), None);
+        assert_eq!(e.current(), Version::Reduced);
+    }
+
+    #[test]
+    fn dwell_time_prevents_thrashing() {
+        let mut e = DecisionEngine::new(
+            Version::Original,
+            requirements_from_profiler(&sift::config::SiftConfig::default()),
+            Policy {
+                min_dwell_ms: 10_000,
+                ..Policy::default()
+            },
+        );
+        assert_eq!(e.decide(0, &roomy(0.1)), Some(Version::Reduced));
+        // Battery recovers immediately, but the dwell gate holds.
+        assert_eq!(e.decide(5_000, &roomy(0.9)), None);
+        assert_eq!(e.decide(10_000, &roomy(0.9)), Some(Version::Original));
+    }
+
+    #[test]
+    fn nothing_fits_holds_current() {
+        let mut e = engine();
+        let hopeless = ResourceSnapshot {
+            battery_fraction: 0.9,
+            fram_free_bytes: 0,
+            cpu_headroom: 0.0,
+        };
+        assert_eq!(e.decide(0, &hopeless), None);
+        assert_eq!(e.current(), Version::Original);
+    }
+
+    #[test]
+    fn requirements_cover_all_versions_and_order_by_weight() {
+        let reqs = requirements_from_profiler(&sift::config::SiftConfig::default());
+        assert_eq!(reqs.len(), 3);
+        let get = |v: Version| reqs.iter().find(|r| r.version == v).unwrap();
+        assert!(get(Version::Original).fram_bytes > get(Version::Simplified).fram_bytes);
+        assert!(get(Version::Simplified).fram_bytes > get(Version::Reduced).fram_bytes);
+        assert!(get(Version::Original).duty_cycle > get(Version::Reduced).duty_cycle);
+    }
+}
+
+/// Outcome of one phase of an adaptive deployment (the stretch between
+/// two version switches).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptivePhase {
+    /// Version deployed during the phase.
+    pub version: Version,
+    /// Phase start, simulated hours.
+    pub from_hour: f64,
+    /// Phase end, simulated hours.
+    pub to_hour: f64,
+}
+
+/// Result of [`simulate_adaptive_deployment`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptiveReport {
+    /// The deployment phases, in order.
+    pub phases: Vec<AdaptivePhase>,
+    /// Total lifetime achieved, days.
+    pub lifetime_days: f64,
+    /// Lifetime of the strongest static deployment (original), days.
+    pub static_original_days: f64,
+}
+
+/// Fast-forward a whole-battery adaptive deployment: each simulated hour
+/// drains the battery by the deployed version's average current; the
+/// engine reevaluates and switches as thresholds are crossed. This is
+/// the quantified version of the paper's Insight-#4 vision.
+pub fn simulate_adaptive_deployment(
+    config: &sift::config::SiftConfig,
+    policy: Policy,
+) -> AdaptiveReport {
+    use amulet_sim::energy::EnergyModel;
+    use amulet_sim::profiler::{sift_app_spec, ResourceProfiler};
+
+    let energy = EnergyModel::default();
+    let profiler = ResourceProfiler::default();
+    let reqs = requirements_from_profiler(config);
+    let mut engine = DecisionEngine::new(Version::Original, reqs, policy);
+
+    let avg_current = |v: Version| {
+        let model_bytes = if v == Version::Reduced { 76 } else { 112 };
+        let spec = sift_app_spec(v, config, model_bytes);
+        profiler.profile(&[&spec]).avg_current_ua
+    };
+    let static_original_days = energy.lifetime_days(avg_current(Version::Original));
+
+    let mut phases = Vec::new();
+    let mut phase_start = 0.0f64;
+    let mut battery_mah = energy.battery_mah;
+    let mut hour = 0u64;
+    while battery_mah > 0.0 && hour < 24 * 365 {
+        let version = engine.current();
+        battery_mah -= avg_current(version) / 1000.0;
+        hour += 1;
+        let snap = ResourceSnapshot {
+            battery_fraction: (battery_mah / energy.battery_mah).max(0.0),
+            fram_free_bytes: 60_000,
+            cpu_headroom: 0.9,
+        };
+        if let Some(_next) = engine.decide(hour * 3_600_000, &snap) {
+            phases.push(AdaptivePhase {
+                version,
+                from_hour: phase_start,
+                to_hour: hour as f64,
+            });
+            phase_start = hour as f64;
+        }
+    }
+    phases.push(AdaptivePhase {
+        version: engine.current(),
+        from_hour: phase_start,
+        to_hour: hour as f64,
+    });
+    AdaptiveReport {
+        phases,
+        lifetime_days: hour as f64 / 24.0,
+        static_original_days,
+    }
+}
+
+#[cfg(test)]
+mod deployment_tests {
+    use super::*;
+
+    #[test]
+    fn adaptive_deployment_outlives_static_original() {
+        let report = simulate_adaptive_deployment(
+            &sift::config::SiftConfig::default(),
+            Policy::default(),
+        );
+        assert!(
+            report.lifetime_days > report.static_original_days * 1.2,
+            "adaptive {:.1} d vs static {:.1} d",
+            report.lifetime_days,
+            report.static_original_days
+        );
+        // Three phases in version order, covering the whole deployment.
+        let versions: Vec<Version> = report.phases.iter().map(|p| p.version).collect();
+        assert_eq!(
+            versions,
+            vec![Version::Original, Version::Simplified, Version::Reduced]
+        );
+        assert_eq!(report.phases[0].from_hour, 0.0);
+        for w in report.phases.windows(2) {
+            assert_eq!(w[0].to_hour, w[1].from_hour, "phases must tile");
+        }
+    }
+
+    #[test]
+    fn dwell_policy_limits_switch_cadence() {
+        let report = simulate_adaptive_deployment(
+            &sift::config::SiftConfig::default(),
+            Policy {
+                min_dwell_ms: 24 * 3_600_000, // at most one switch a day
+                ..Policy::default()
+            },
+        );
+        for w in report.phases.windows(2) {
+            assert!(w[1].from_hour - w[0].from_hour >= 24.0 - 1e-9);
+        }
+    }
+}

@@ -1,0 +1,335 @@
+//! Sensor-hijacking attacker models.
+//!
+//! The paper defines sensor-hijacking as "attacks that prevent sensors
+//! from accurately collecting or reporting their measurements" and lists
+//! four vulnerability classes (§I): the communication channel, the
+//! firmware-update process, the unprotected sensory channel, and direct
+//! physical compromise. Each attack mode here is the canonical payload of
+//! one class, applied as an on-path transformation of the victim's ECG
+//! packet stream (the ABP reference is assumed trustworthy, as in the
+//! paper's threat model).
+
+use crate::device::{SensorPacket, Stream};
+use physio_sim::record::Record;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// What the adversary does to hijacked ECG packets.
+#[derive(Debug, Clone)]
+pub enum AttackMode {
+    /// Channel compromise: substitute another person's ECG (the paper's
+    /// Table II attack).
+    Substitute {
+        /// The donor recording supplying the fake waveform.
+        donor: Record,
+    },
+    /// Firmware compromise: replay the victim's own ECG from `offset_s`
+    /// seconds earlier (reporting *old* measurements).
+    Replay {
+        /// How far back the replayed data comes from.
+        offset_s: f64,
+        /// The victim's own recording the replay is cut from.
+        source: Record,
+    },
+    /// Physical compromise: the sensor freezes at its last value.
+    Freeze,
+    /// Sensory-channel injection: additive interference of the given
+    /// amplitude (EMI-style, cf. Ghost Talk).
+    NoiseInject {
+        /// Amplitude of the injected disturbance, in millivolts.
+        amplitude_mv: f64,
+    },
+}
+
+impl AttackMode {
+    /// Short name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AttackMode::Substitute { .. } => "substitute",
+            AttackMode::Replay { .. } => "replay",
+            AttackMode::Freeze => "freeze",
+            AttackMode::NoiseInject { .. } => "noise-inject",
+        }
+    }
+}
+
+/// An adversary active during `[start_ms, end_ms)` on the ECG stream.
+#[derive(Debug, Clone)]
+pub struct Attacker {
+    mode: AttackMode,
+    start_ms: u64,
+    end_ms: u64,
+    rng: StdRng,
+    hijacked_packets: u64,
+    last_value: f64,
+}
+
+impl Attacker {
+    /// Create an attacker active over the given window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start_ms >= end_ms`.
+    pub fn new(mode: AttackMode, start_ms: u64, end_ms: u64, seed: u64) -> Self {
+        assert!(start_ms < end_ms, "attack window must be non-empty");
+        Self {
+            mode,
+            start_ms,
+            end_ms,
+            rng: StdRng::seed_from_u64(seed),
+            hijacked_packets: 0,
+            last_value: 0.0,
+        }
+    }
+
+    /// Whether the attack is active at `now_ms`.
+    pub fn active_at(&self, now_ms: u64) -> bool {
+        (self.start_ms..self.end_ms).contains(&now_ms)
+    }
+
+    /// The attack window `[start_ms, end_ms)`.
+    pub fn window_ms(&self) -> (u64, u64) {
+        (self.start_ms, self.end_ms)
+    }
+
+    /// The attack mode.
+    pub fn mode(&self) -> &AttackMode {
+        &self.mode
+    }
+
+    /// Packets tampered with so far.
+    pub fn hijacked_packets(&self) -> u64 {
+        self.hijacked_packets
+    }
+
+    /// Intercept a packet in flight at `now_ms`. ECG packets inside the
+    /// attack window are tampered with; everything else passes through.
+    pub fn intercept(&mut self, now_ms: u64, mut packet: SensorPacket, fs: f64) -> SensorPacket {
+        if packet.stream != Stream::Ecg || !self.active_at(now_ms) {
+            if packet.stream == Stream::Ecg {
+                self.last_value = *packet.samples.last().unwrap_or(&0.0);
+            }
+            return packet;
+        }
+        self.hijacked_packets += 1;
+        match &self.mode {
+            AttackMode::Substitute { donor } => {
+                let len = packet.samples.len();
+                if donor.ecg.len() < len {
+                    // Not enough donor material for even one chunk: the
+                    // attack degrades to a passthrough.
+                    self.hijacked_packets -= 1;
+                    return packet;
+                }
+                let start = packet.start_sample % (donor.ecg.len() - len).max(1);
+                packet.samples.copy_from_slice(&donor.ecg[start..start + len]);
+                packet.peaks = donor
+                    .r_peaks
+                    .iter()
+                    .filter(|&&p| p >= start && p < start + len)
+                    .map(|&p| p - start)
+                    .collect();
+            }
+            AttackMode::Replay { offset_s, source } => {
+                let len = packet.samples.len();
+                if source.ecg.len() < len {
+                    self.hijacked_packets -= 1;
+                    return packet;
+                }
+                let shift = (offset_s * fs).round() as usize;
+                let start = packet.start_sample.saturating_sub(shift);
+                let start = start.min(source.ecg.len() - len);
+                packet.samples.copy_from_slice(&source.ecg[start..start + len]);
+                packet.peaks = source
+                    .r_peaks
+                    .iter()
+                    .filter(|&&p| p >= start && p < start + len)
+                    .map(|&p| p - start)
+                    .collect();
+            }
+            AttackMode::Freeze => {
+                let v = self.last_value;
+                packet.samples.fill(v);
+                packet.peaks.clear();
+            }
+            AttackMode::NoiseInject { amplitude_mv } => {
+                let a = *amplitude_mv;
+                for s in &mut packet.samples {
+                    *s += self.rng.gen_range(-a..a);
+                }
+                // Injected interference corrupts the sensor's local peak
+                // detection: spurious peaks appear.
+                let extra = self.rng.gen_range(0..3);
+                for _ in 0..extra {
+                    let idx = self.rng.gen_range(0..packet.samples.len());
+                    packet.peaks.push(idx);
+                }
+                packet.peaks.sort_unstable();
+                packet.peaks.dedup();
+            }
+        }
+        packet
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use physio_sim::subject::bank;
+
+    fn ecg_packet(start_sample: usize, len: usize) -> SensorPacket {
+        SensorPacket {
+            stream: Stream::Ecg,
+            seq: (start_sample / len) as u64,
+            start_sample,
+            samples: vec![0.5; len],
+            peaks: vec![len / 2],
+        }
+    }
+
+    #[test]
+    fn inactive_outside_window() {
+        let donor = physio_sim::record::Record::synthesize(&bank()[1], 10.0, 1);
+        let mut a = Attacker::new(AttackMode::Substitute { donor }, 1000, 2000, 0);
+        let p = ecg_packet(0, 180);
+        let out = a.intercept(500, p.clone(), 360.0);
+        assert_eq!(out, p);
+        assert_eq!(a.hijacked_packets(), 0);
+        assert!(a.active_at(1500));
+        assert!(!a.active_at(2000), "end is exclusive");
+    }
+
+    #[test]
+    fn substitute_swaps_waveform() {
+        let donor = physio_sim::record::Record::synthesize(&bank()[1], 10.0, 1);
+        let mut a = Attacker::new(
+            AttackMode::Substitute {
+                donor: donor.clone(),
+            },
+            0,
+            10_000,
+            0,
+        );
+        let out = a.intercept(100, ecg_packet(360, 180), 360.0);
+        assert_eq!(out.samples[..], donor.ecg[360..540]);
+        assert_eq!(a.hijacked_packets(), 1);
+    }
+
+    #[test]
+    fn abp_packets_pass_untouched() {
+        let mut a = Attacker::new(AttackMode::Freeze, 0, 10_000, 0);
+        let p = SensorPacket {
+            stream: Stream::Abp,
+            seq: 0,
+            start_sample: 0,
+            samples: vec![80.0; 100],
+            peaks: vec![50],
+        };
+        assert_eq!(a.intercept(100, p.clone(), 360.0), p);
+    }
+
+    #[test]
+    fn freeze_holds_last_seen_value() {
+        let mut a = Attacker::new(AttackMode::Freeze, 1000, 2000, 0);
+        // Before the window: attacker observes the stream.
+        let mut warm = ecg_packet(0, 10);
+        warm.samples = vec![0.1, 0.2, 0.9];
+        a.intercept(500, warm, 360.0);
+        let out = a.intercept(1500, ecg_packet(360, 10), 360.0);
+        assert!(out.samples.iter().all(|&v| v == 0.9));
+        assert!(out.peaks.is_empty());
+    }
+
+    #[test]
+    fn replay_shifts_backwards() {
+        let source = physio_sim::record::Record::synthesize(&bank()[0], 20.0, 3);
+        let mut a = Attacker::new(
+            AttackMode::Replay {
+                offset_s: 5.0,
+                source: source.clone(),
+            },
+            0,
+            60_000,
+            0,
+        );
+        let out = a.intercept(100, ecg_packet(3600, 360), 360.0);
+        // 3600 − 5·360 = 1800.
+        assert_eq!(out.samples[..], source.ecg[1800..2160]);
+    }
+
+    #[test]
+    fn noise_injection_perturbs_samples() {
+        let mut a = Attacker::new(
+            AttackMode::NoiseInject { amplitude_mv: 0.5 },
+            0,
+            10_000,
+            9,
+        );
+        let clean = ecg_packet(0, 360);
+        let out = a.intercept(1, clean.clone(), 360.0);
+        assert_ne!(out.samples, clean.samples);
+        assert!(out
+            .samples
+            .iter()
+            .zip(&clean.samples)
+            .all(|(o, c)| (o - c).abs() <= 0.5));
+    }
+
+    #[test]
+    fn mode_names() {
+        assert_eq!(AttackMode::Freeze.name(), "freeze");
+        assert_eq!(
+            AttackMode::NoiseInject { amplitude_mv: 1.0 }.name(),
+            "noise-inject"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "attack window")]
+    fn empty_window_rejected() {
+        let _ = Attacker::new(AttackMode::Freeze, 5, 5, 0);
+    }
+}
+
+#[cfg(test)]
+mod short_source_tests {
+    use super::*;
+    use crate::device::{SensorPacket, Stream};
+    use physio_sim::record::Record;
+    use physio_sim::subject::bank;
+
+    fn big_packet() -> SensorPacket {
+        SensorPacket {
+            stream: Stream::Ecg,
+            seq: 0,
+            start_sample: 0,
+            samples: vec![0.3; 720],
+            peaks: vec![],
+        }
+    }
+
+    #[test]
+    fn substitute_with_short_donor_passes_through() {
+        let donor = Record::synthesize(&bank()[1], 1.0, 1); // 360 samples < 720
+        let mut a = Attacker::new(AttackMode::Substitute { donor }, 0, 10_000, 0);
+        let p = big_packet();
+        let out = a.intercept(5, p.clone(), 360.0);
+        assert_eq!(out, p, "short donor cannot tamper");
+        assert_eq!(a.hijacked_packets(), 0);
+    }
+
+    #[test]
+    fn replay_with_short_source_passes_through() {
+        let source = Record::synthesize(&bank()[0], 1.0, 2);
+        let mut a = Attacker::new(
+            AttackMode::Replay { offset_s: 5.0, source },
+            0,
+            10_000,
+            0,
+        );
+        let p = big_packet();
+        let out = a.intercept(5, p.clone(), 360.0);
+        assert_eq!(out, p);
+        assert_eq!(a.hijacked_packets(), 0);
+    }
+}

@@ -1,0 +1,516 @@
+//! The base station: an Amulet reassembling sensor streams into
+//! detection windows and running the SIFT app on them.
+//!
+//! Incoming ECG/ABP packets are slotted into `w`-second windows; once a
+//! window has every chunk of both channels, it is posted to the OS as a
+//! `SnippetReady` event for the detector (and any other installed app).
+//! Windows with missing chunks — lost packets — are dropped and counted:
+//! a real device cannot fabricate samples.
+
+use crate::channel::Delivery;
+use crate::device::Stream;
+use crate::WiotError;
+use amulet_sim::apps::{HeartRateApp, SiftApp};
+use amulet_sim::event::AmuletEvent;
+use amulet_sim::machine::{Alert, App};
+use amulet_sim::os::AmuletOs;
+use amulet_sim::profiler::ResourceProfiler;
+use amulet_sim::toolchain::FirmwareImage;
+use physio_sim::quality::{assess, QualityConfig};
+use sift::config::SiftConfig;
+use sift::snippet::Snippet;
+use std::collections::BTreeMap;
+
+/// Window-assembly state for one channel.
+#[derive(Debug, Clone)]
+struct PartialWindow {
+    chunks: Vec<Option<Vec<f64>>>,
+    peaks: Vec<usize>,
+}
+
+/// Statistics of the base station's stream reassembly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BaseStationStats {
+    /// Complete windows delivered to the apps.
+    pub windows_emitted: u64,
+    /// Windows discarded due to missing chunks.
+    pub windows_dropped: u64,
+    /// Packets accepted into windows.
+    pub packets_received: u64,
+    /// Windows rejected by the quality gate.
+    pub windows_rejected: u64,
+}
+
+/// What happened to one detection window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WindowOutcome {
+    /// The window reached the apps; `alerted` records whether the
+    /// detector raised an alert on it.
+    Emitted {
+        /// Whether the detector alerted.
+        alerted: bool,
+    },
+    /// The window was dropped (missing chunks).
+    Dropped,
+    /// The window was rejected by the quality gate before reaching the
+    /// detector (excess noise / clipping).
+    Rejected,
+}
+
+/// The base station device.
+pub struct BaseStation {
+    os: AmuletOs,
+    config: SiftConfig,
+    chunk_len: usize,
+    chunks_per_window: usize,
+    ecg: BTreeMap<usize, PartialWindow>,
+    abp: BTreeMap<usize, PartialWindow>,
+    emitted_through: usize,
+    stats: BaseStationStats,
+    window_log: Vec<(usize, WindowOutcome)>,
+    quality_gate: Option<QualityConfig>,
+}
+
+impl std::fmt::Debug for BaseStation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BaseStation")
+            .field("stats", &self.stats)
+            .field("apps", &self.os.app_names())
+            .finish()
+    }
+}
+
+impl BaseStation {
+    /// Boot a base station running `detector` (and a heart-rate app) for
+    /// packets of `chunk_s` seconds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WiotError::InvalidScenario`] if the chunk does not
+    /// evenly divide the detection window, and propagates firmware
+    /// static-check failures.
+    pub fn new(detector: SiftApp, config: SiftConfig, chunk_s: f64) -> Result<Self, WiotError> {
+        let window_samples = config.window_samples();
+        let chunk_len = (chunk_s * config.fs).round() as usize;
+        if chunk_len == 0 || !window_samples.is_multiple_of(chunk_len) {
+            return Err(WiotError::InvalidScenario {
+                reason: "chunk length must evenly divide the detection window",
+            });
+        }
+        let mut os = AmuletOs::new();
+        let hr = HeartRateApp::with_sample_rate(config.fs);
+        let image = FirmwareImage::build(
+            vec![detector.resource_spec(), hr.resource_spec()],
+            &ResourceProfiler::default(),
+        )
+        .map_err(WiotError::from)?;
+        os.install(&image, vec![Box::new(detector), Box::new(hr)])?;
+        Ok(Self {
+            os,
+            chunks_per_window: window_samples / chunk_len,
+            chunk_len,
+            config,
+            ecg: BTreeMap::new(),
+            abp: BTreeMap::new(),
+            emitted_through: 0,
+            stats: BaseStationStats::default(),
+            window_log: Vec::new(),
+            quality_gate: None,
+        })
+    }
+
+    /// Enable the signal-quality gate: windows whose channels fail the
+    /// assessment are rejected before spending detector cycles.
+    ///
+    /// The gate intentionally does **not** screen out flat-lined
+    /// channels — a frozen sensor must reach the detector so it can
+    /// raise a security alert rather than being silently discarded; the
+    /// provided configuration should therefore keep
+    /// [`QualityConfig::max_flat_run_frac`] at `1.0`.
+    pub fn with_quality_gate(mut self, config: QualityConfig) -> Self {
+        self.quality_gate = Some(config);
+        self
+    }
+
+    /// Accept one delivered packet and dispatch any completed windows.
+    ///
+    /// # Errors
+    ///
+    /// Propagates platform errors (e.g. battery exhaustion).
+    pub fn receive(&mut self, delivery: Delivery) -> Result<(), WiotError> {
+        let packet = delivery.packet;
+        if packet.samples.len() != self.chunk_len {
+            return Err(WiotError::InvalidScenario {
+                reason: "packet length does not match configured chunk size",
+            });
+        }
+        self.stats.packets_received += 1;
+        let window_samples = self.config.window_samples();
+        let window_idx = packet.start_sample / window_samples;
+        let chunk_idx = (packet.start_sample % window_samples) / self.chunk_len;
+        let chunks_per_window = self.chunks_per_window;
+        let map = match packet.stream {
+            Stream::Ecg => &mut self.ecg,
+            Stream::Abp => &mut self.abp,
+        };
+        let w = map.entry(window_idx).or_insert_with(|| PartialWindow {
+            chunks: vec![None; chunks_per_window],
+            peaks: Vec::new(),
+        });
+        let offset = chunk_idx * self.chunk_len;
+        for &rel in &packet.peaks {
+            w.peaks.push(offset + rel);
+        }
+        w.chunks[chunk_idx] = Some(packet.samples);
+        self.try_emit()?;
+        Ok(())
+    }
+
+    /// Whether window `idx` has every chunk of both channels.
+    fn window_complete(&self, idx: usize) -> bool {
+        self.ecg.get(&idx).is_some_and(complete) && self.abp.get(&idx).is_some_and(complete)
+    }
+
+    /// Assemble, gate, and dispatch the complete window `idx`, recording
+    /// its outcome and advancing the emission cursor.
+    fn emit_window(&mut self, idx: usize) -> Result<(), WiotError> {
+        let e = self.ecg.remove(&idx).expect("caller verified completeness");
+        let a = self.abp.remove(&idx).expect("caller verified completeness");
+        let snippet = assemble(e, a)?;
+        if let Some(gate) = &self.quality_gate {
+            let fs = self.config.fs;
+            let noisy = |samples: &[f64], peaks: &[usize]| {
+                assess(samples, peaks, fs, gate)
+                    .map(|q| !q.is_usable())
+                    .unwrap_or(false)
+            };
+            if noisy(&snippet.ecg, &snippet.r_peaks) || noisy(&snippet.abp, &snippet.sys_peaks) {
+                self.window_log.push((idx, WindowOutcome::Rejected));
+                self.stats.windows_rejected += 1;
+                self.emitted_through = self.emitted_through.max(idx + 1);
+                return Ok(());
+            }
+        }
+        let alerts_before = self.os.alerts().len();
+        self.os.post(AmuletEvent::SnippetReady(snippet));
+        self.os.run_until_idle()?;
+        let alerted = self.os.alerts().len() > alerts_before;
+        self.window_log.push((idx, WindowOutcome::Emitted { alerted }));
+        self.stats.windows_emitted += 1;
+        self.emitted_through = self.emitted_through.max(idx + 1);
+        Ok(())
+    }
+
+    /// Emit every window (in order) whose both channels are complete;
+    /// windows older than a completed one that are still incomplete are
+    /// dropped.
+    fn try_emit(&mut self) -> Result<(), WiotError> {
+        loop {
+            let idx = self.emitted_through;
+            if self.window_complete(idx) {
+                self.emit_window(idx)?;
+                continue;
+            }
+            // If any later window completed while this one is missing
+            // chunks whose packets can no longer arrive (we assume
+            // bounded reordering of one window), drop the stale one.
+            let newer_complete = self
+                .ecg
+                .range(idx + 2..)
+                .any(|(_, w)| complete(w))
+                || self.abp.range(idx + 2..).any(|(_, w)| complete(w));
+            if newer_complete {
+                self.ecg.remove(&idx);
+                self.abp.remove(&idx);
+                self.window_log.push((idx, WindowOutcome::Dropped));
+                self.stats.windows_dropped += 1;
+                self.emitted_through += 1;
+                continue;
+            }
+            return Ok(());
+        }
+    }
+
+    /// Advance the device clock (charging sleep current).
+    pub fn advance_time(&mut self, ms: u64) {
+        self.os.advance_time(ms);
+    }
+
+    /// End of session: dispatch any still-pending windows that are in
+    /// fact complete (they may have been blocked behind a lost one),
+    /// then drop the rest — their missing chunks can no longer arrive.
+    ///
+    /// # Errors
+    ///
+    /// Propagates platform errors from dispatching the complete windows.
+    pub fn flush(&mut self) -> Result<(), WiotError> {
+        let mut pending: Vec<usize> = self.ecg.keys().chain(self.abp.keys()).copied().collect();
+        pending.sort_unstable();
+        pending.dedup();
+        for idx in pending {
+            if self.window_complete(idx) {
+                self.emit_window(idx)?;
+            } else {
+                self.ecg.remove(&idx);
+                self.abp.remove(&idx);
+                self.window_log.push((idx, WindowOutcome::Dropped));
+                self.stats.windows_dropped += 1;
+                self.emitted_through = self.emitted_through.max(idx + 1);
+            }
+        }
+        Ok(())
+    }
+
+    /// Alerts raised by the installed apps so far.
+    pub fn alerts(&self) -> &[Alert] {
+        self.os.alerts()
+    }
+
+    /// Reassembly statistics.
+    pub fn stats(&self) -> BaseStationStats {
+        self.stats
+    }
+
+    /// Per-window outcomes `(window index, outcome)`, in window order —
+    /// the ground truth-free record the scenario runner scores against.
+    pub fn window_log(&self) -> &[(usize, WindowOutcome)] {
+        &self.window_log
+    }
+
+    /// The underlying OS (for inspection: display, meter, memory).
+    pub fn os(&self) -> &AmuletOs {
+        &self.os
+    }
+
+    /// The underlying OS, mutably (used by the adaptive engine to swap
+    /// detector apps).
+    pub fn os_mut(&mut self) -> &mut AmuletOs {
+        &mut self.os
+    }
+
+    /// The pipeline configuration.
+    pub fn config(&self) -> &SiftConfig {
+        &self.config
+    }
+}
+
+fn complete(w: &PartialWindow) -> bool {
+    w.chunks.iter().all(Option::is_some)
+}
+
+fn assemble(ecg: PartialWindow, abp: PartialWindow) -> Result<Snippet, WiotError> {
+    let mut e = Vec::new();
+    for c in ecg.chunks {
+        e.extend(c.expect("window verified complete"));
+    }
+    let mut a = Vec::new();
+    for c in abp.chunks {
+        a.extend(c.expect("window verified complete"));
+    }
+    let mut r_peaks = ecg.peaks;
+    r_peaks.sort_unstable();
+    r_peaks.dedup();
+    let mut sys_peaks = abp.peaks;
+    sys_peaks.sort_unstable();
+    sys_peaks.dedup();
+    Snippet::new(e, a, r_peaks, sys_peaks).map_err(WiotError::from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::Channel;
+    use crate::device::SensorDevice;
+    use physio_sim::record::Record;
+    use physio_sim::subject::bank;
+    use sift::features::Version;
+    use sift::trainer::train_for_subject;
+
+    fn quick_config() -> SiftConfig {
+        SiftConfig {
+            train_s: 60.0,
+            max_positive_per_donor: Some(15),
+            ..SiftConfig::default()
+        }
+    }
+
+    fn station() -> BaseStation {
+        let cfg = quick_config();
+        let model = train_for_subject(&bank(), 0, Version::Simplified, &cfg, 7).unwrap();
+        let app = SiftApp::new(Version::Simplified, model.embedded().clone(), cfg.clone()).unwrap();
+        BaseStation::new(app, cfg, 0.5).unwrap()
+    }
+
+    fn stream_record(bs: &mut BaseStation, record: &Record, channel: &mut Channel) {
+        let mut ecg = SensorDevice::ecg(record, 0.5);
+        let mut abp = SensorDevice::abp(record, 0.5);
+        let mut now = 0u64;
+        loop {
+            let (pe, pa) = (ecg.poll(), abp.poll());
+            if pe.is_none() && pa.is_none() {
+                break;
+            }
+            for p in [pe, pa].into_iter().flatten() {
+                if let Some(d) = channel.transmit(now, p) {
+                    bs.receive(d).unwrap();
+                }
+            }
+            now += 500;
+            bs.advance_time(500);
+        }
+    }
+
+    #[test]
+    fn perfect_channel_emits_every_window() {
+        let mut bs = station();
+        let r = Record::synthesize(&bank()[0], 30.0, 99);
+        stream_record(&mut bs, &r, &mut Channel::perfect());
+        assert_eq!(bs.stats().windows_emitted, 10);
+        assert_eq!(bs.stats().windows_dropped, 0);
+        // Genuine data: few alerts.
+        assert!(bs.alerts().len() <= 2, "{} alerts", bs.alerts().len());
+    }
+
+    #[test]
+    fn lossy_channel_drops_windows_not_correctness() {
+        let mut bs = station();
+        let r = Record::synthesize(&bank()[0], 60.0, 99);
+        let mut ch = Channel::new(0.1, 0, 0, 5);
+        stream_record(&mut bs, &r, &mut ch);
+        let s = bs.stats();
+        assert!(s.windows_dropped > 0, "{s:?}");
+        assert!(s.windows_emitted > 0, "{s:?}");
+        assert!(s.windows_emitted + s.windows_dropped <= 20);
+    }
+
+    #[test]
+    fn misaligned_chunk_rejected() {
+        let cfg = quick_config();
+        let model = train_for_subject(&bank(), 0, Version::Reduced, &cfg, 7).unwrap();
+        let app = SiftApp::new(Version::Reduced, model.embedded().clone(), cfg.clone()).unwrap();
+        // 0.7 s chunks do not divide a 3 s window.
+        assert!(matches!(
+            BaseStation::new(app, cfg, 0.7),
+            Err(WiotError::InvalidScenario { .. })
+        ));
+    }
+
+    #[test]
+    fn heart_rate_app_sees_the_same_windows() {
+        let mut bs = station();
+        let r = Record::synthesize(&bank()[0], 15.0, 3);
+        stream_record(&mut bs, &r, &mut Channel::perfect());
+        let hr_lines = bs
+            .os()
+            .display()
+            .lines()
+            .iter()
+            .filter(|l| l.app == "heartrate")
+            .count();
+        assert_eq!(hr_lines, 5);
+    }
+}
+
+#[cfg(test)]
+mod quality_gate_tests {
+    use super::*;
+    use crate::channel::Channel;
+    use crate::device::SensorDevice;
+    use physio_sim::record::Record;
+    use physio_sim::subject::bank;
+    use sift::features::Version;
+    use sift::trainer::train_for_subject;
+
+    fn quick_config() -> SiftConfig {
+        SiftConfig {
+            train_s: 60.0,
+            max_positive_per_donor: Some(15),
+            ..SiftConfig::default()
+        }
+    }
+
+    /// A gate config that screens noise but deliberately ignores
+    /// flat-lining (frozen sensors must reach the detector).
+    fn noise_only_gate() -> QualityConfig {
+        QualityConfig {
+            max_flat_run_frac: 1.0,
+            max_clip_frac: 1.0,
+            hr_band_bpm: (0.0, 10_000.0),
+            noise_weight: 1.0,
+        }
+    }
+
+    fn gated_station() -> BaseStation {
+        let cfg = quick_config();
+        let model = train_for_subject(&bank(), 0, Version::Simplified, &cfg, 7).unwrap();
+        let app =
+            SiftApp::new(Version::Simplified, model.embedded().clone(), cfg.clone()).unwrap();
+        BaseStation::new(app, cfg, 0.5)
+            .unwrap()
+            .with_quality_gate(noise_only_gate())
+    }
+
+    fn stream(bs: &mut BaseStation, record: &Record) {
+        let mut ecg = SensorDevice::ecg(record, 0.5);
+        let mut abp = SensorDevice::abp(record, 0.5);
+        let mut ch = Channel::perfect();
+        let mut now = 0u64;
+        loop {
+            let (pe, pa) = (ecg.poll(), abp.poll());
+            if pe.is_none() && pa.is_none() {
+                break;
+            }
+            for p in [pe, pa].into_iter().flatten() {
+                if let Some(d) = ch.transmit(now, p) {
+                    bs.receive(d).unwrap();
+                }
+            }
+            now += 500;
+        }
+    }
+
+    #[test]
+    fn clean_windows_pass_the_gate() {
+        let mut bs = gated_station();
+        let r = Record::synthesize(&bank()[0], 15.0, 42);
+        stream(&mut bs, &r);
+        assert_eq!(bs.stats().windows_rejected, 0);
+        assert_eq!(bs.stats().windows_emitted, 5);
+    }
+
+    #[test]
+    fn heavy_broadband_noise_is_rejected_before_the_detector() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut bs = gated_station();
+        let mut r = Record::synthesize(&bank()[0], 15.0, 42);
+        let mut rng = StdRng::seed_from_u64(9);
+        for s in r.ecg.iter_mut() {
+            *s += rng.gen_range(-2.0..2.0);
+        }
+        stream(&mut bs, &r);
+        let stats = bs.stats();
+        assert!(
+            stats.windows_rejected >= 4,
+            "expected rejects, got {stats:?}"
+        );
+    }
+
+    #[test]
+    fn frozen_channel_still_reaches_the_detector_and_alerts() {
+        let mut bs = gated_station();
+        let mut r = Record::synthesize(&bank()[0], 15.0, 42);
+        // Flat-line the entire ECG: a physical-compromise freeze.
+        for s in r.ecg.iter_mut() {
+            *s = 0.42;
+        }
+        r.r_peaks.clear();
+        stream(&mut bs, &r);
+        let stats = bs.stats();
+        assert_eq!(stats.windows_rejected, 0, "gate must not eat freezes");
+        assert!(
+            bs.alerts().len() >= 4,
+            "detector should alert on frozen windows: {stats:?}"
+        );
+    }
+}

@@ -1,0 +1,156 @@
+//! The wireless hop between a sensor and the base station.
+//!
+//! A simple but honest link model: independent packet loss and bounded
+//! random delay. Losses matter to the detector because a missing chunk
+//! leaves a hole in the 3-second window; the base station must handle
+//! incomplete windows (and does — see
+//! [`crate::basestation::BaseStation`]).
+
+use crate::device::SensorPacket;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A packet annotated with its delivery time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Delivery {
+    /// When the packet arrives at the base station, in ms.
+    pub at_ms: u64,
+    /// The packet.
+    pub packet: SensorPacket,
+}
+
+/// Lossy, jittery wireless channel.
+#[derive(Debug, Clone)]
+pub struct Channel {
+    loss_prob: f64,
+    base_delay_ms: u64,
+    jitter_ms: u64,
+    rng: StdRng,
+    sent: u64,
+    lost: u64,
+}
+
+impl Channel {
+    /// Create a channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss_prob` is outside `[0, 1]`.
+    pub fn new(loss_prob: f64, base_delay_ms: u64, jitter_ms: u64, seed: u64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&loss_prob),
+            "loss probability must lie in [0, 1]"
+        );
+        Self {
+            loss_prob,
+            base_delay_ms,
+            jitter_ms,
+            rng: StdRng::seed_from_u64(seed),
+            sent: 0,
+            lost: 0,
+        }
+    }
+
+    /// A perfect channel (no loss, no delay) for baseline scenarios.
+    pub fn perfect() -> Self {
+        Self::new(0.0, 0, 0, 0)
+    }
+
+    /// Transmit `packet` at `now_ms`; returns the delivery or `None` if
+    /// the packet was lost.
+    pub fn transmit(&mut self, now_ms: u64, packet: SensorPacket) -> Option<Delivery> {
+        self.sent += 1;
+        if self.loss_prob > 0.0 && self.rng.gen_range(0.0..1.0) < self.loss_prob {
+            self.lost += 1;
+            return None;
+        }
+        let jitter = if self.jitter_ms > 0 {
+            self.rng.gen_range(0..=self.jitter_ms)
+        } else {
+            0
+        };
+        Some(Delivery {
+            at_ms: now_ms + self.base_delay_ms + jitter,
+            packet,
+        })
+    }
+
+    /// Packets offered to the channel so far.
+    pub fn sent(&self) -> u64 {
+        self.sent
+    }
+
+    /// Packets lost so far.
+    pub fn lost(&self) -> u64 {
+        self.lost
+    }
+
+    /// Observed loss rate.
+    pub fn loss_rate(&self) -> f64 {
+        if self.sent == 0 {
+            0.0
+        } else {
+            self.lost as f64 / self.sent as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::Stream;
+
+    fn packet(seq: u64) -> SensorPacket {
+        SensorPacket {
+            stream: Stream::Ecg,
+            seq,
+            start_sample: 0,
+            samples: vec![0.0; 8],
+            peaks: vec![],
+        }
+    }
+
+    #[test]
+    fn perfect_channel_delivers_everything_instantly() {
+        let mut ch = Channel::perfect();
+        for i in 0..100 {
+            let d = ch.transmit(50, packet(i)).unwrap();
+            assert_eq!(d.at_ms, 50);
+        }
+        assert_eq!(ch.loss_rate(), 0.0);
+    }
+
+    #[test]
+    fn loss_rate_converges() {
+        let mut ch = Channel::new(0.3, 0, 0, 42);
+        for i in 0..5000 {
+            ch.transmit(0, packet(i));
+        }
+        assert!((ch.loss_rate() - 0.3).abs() < 0.03, "{}", ch.loss_rate());
+    }
+
+    #[test]
+    fn delay_within_bounds() {
+        let mut ch = Channel::new(0.0, 10, 5, 7);
+        for i in 0..200 {
+            let d = ch.transmit(100, packet(i)).unwrap();
+            assert!((110..=115).contains(&d.at_ms), "{}", d.at_ms);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let run = |seed: u64| -> Vec<bool> {
+            let mut ch = Channel::new(0.5, 0, 0, seed);
+            (0..50).map(|i| ch.transmit(0, packet(i)).is_some()).collect()
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "loss probability")]
+    fn invalid_loss_rejected() {
+        let _ = Channel::new(1.5, 0, 0, 0);
+    }
+}

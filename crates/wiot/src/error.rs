@@ -1,0 +1,63 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for the WIoT environment simulation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum WiotError {
+    /// A scenario was configured inconsistently.
+    InvalidScenario {
+        /// Violated constraint.
+        reason: &'static str,
+    },
+    /// An error from the platform simulation.
+    Amulet(amulet_sim::AmuletError),
+    /// An error from the SIFT pipeline.
+    Sift(sift::SiftError),
+}
+
+impl fmt::Display for WiotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WiotError::InvalidScenario { reason } => write!(f, "invalid scenario: {reason}"),
+            WiotError::Amulet(e) => write!(f, "platform error: {e}"),
+            WiotError::Sift(e) => write!(f, "sift error: {e}"),
+        }
+    }
+}
+
+impl Error for WiotError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            WiotError::Amulet(e) => Some(e),
+            WiotError::Sift(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<amulet_sim::AmuletError> for WiotError {
+    fn from(e: amulet_sim::AmuletError) -> Self {
+        WiotError::Amulet(e)
+    }
+}
+
+impl From<sift::SiftError> for WiotError {
+    fn from(e: sift::SiftError) -> Self {
+        WiotError::Sift(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_source() {
+        let e = WiotError::from(sift::SiftError::NoDonors);
+        assert!(e.source().is_some());
+        let e = WiotError::from(amulet_sim::AmuletError::BatteryExhausted);
+        assert!(e.to_string().contains("battery"));
+        assert!(WiotError::InvalidScenario { reason: "x" }.source().is_none());
+    }
+}

@@ -1,0 +1,39 @@
+//! The wearable-IoT environment around the Amulet base station
+//! (paper Fig. 1, realized as an executable system).
+//!
+//! A WIoT environment is "various types of low-cost medical devices
+//! (i.e., sensors) that form a distributed wireless network around the
+//! user", forwarding measurements to an always-present, safety-critical
+//! **base station**, which in turn forwards data to a resource-rich
+//! **sink**. This crate builds that whole loop:
+//!
+//! * [`device`] — the ECG and ABP body sensors, packetizing their
+//!   measurements,
+//! * [`channel`] — the lossy, jittery wireless hop between sensor and
+//!   base station,
+//! * [`attacker`] — sensor-hijacking adversaries covering the paper's
+//!   four vulnerability classes (§I): channel compromise, firmware
+//!   compromise (replay), sensory-channel injection (noise), and
+//!   physical compromise (freeze),
+//! * [`basestation`] — the Amulet running the SIFT detector app on the
+//!   reassembled sensor streams,
+//! * [`sink`] — history storage and alert collection,
+//! * [`adaptive`] — the paper's Insight #4: a decision engine that picks
+//!   the detector version from static and dynamic resource constraints,
+//! * [`scenario`] — a deterministic scenario runner gluing everything
+//!   together and scoring detection performance end to end.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adaptive;
+pub mod attacker;
+pub mod basestation;
+pub mod channel;
+pub mod device;
+pub mod scenario;
+pub mod sink;
+
+mod error;
+
+pub use error::WiotError;

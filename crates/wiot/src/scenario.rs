@@ -1,0 +1,355 @@
+//! Deterministic end-to-end scenarios: sensors → attacker → channel →
+//! base station → sink, scored against ground truth.
+
+use crate::attacker::{AttackMode, Attacker};
+use crate::basestation::{BaseStation, WindowOutcome};
+use crate::channel::Channel;
+use crate::device::SensorDevice;
+use crate::sink::Sink;
+use crate::WiotError;
+use amulet_sim::apps::SiftApp;
+use ml::metrics::ConfusionMatrix;
+use ml::Label;
+use physio_sim::record::Record;
+use physio_sim::subject::bank;
+use sift::config::SiftConfig;
+use sift::features::Version;
+use sift::trainer::train_for_subject;
+
+/// Wireless-link parameters for a scenario.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkParams {
+    /// Packet-loss probability.
+    pub loss_prob: f64,
+    /// Base one-way delay, ms.
+    pub base_delay_ms: u64,
+    /// Uniform jitter bound, ms.
+    pub jitter_ms: u64,
+}
+
+impl Default for LinkParams {
+    fn default() -> Self {
+        Self {
+            loss_prob: 0.0,
+            base_delay_ms: 5,
+            jitter_ms: 3,
+        }
+    }
+}
+
+/// An attack to stage during the scenario.
+#[derive(Debug, Clone)]
+pub struct AttackSpec {
+    /// What the adversary does.
+    pub mode: AttackMode,
+    /// Attack start, seconds into the session.
+    pub start_s: f64,
+    /// Attack end, seconds into the session.
+    pub end_s: f64,
+}
+
+/// A full scenario description.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Index of the wearer in the subject bank.
+    pub victim: usize,
+    /// Detector version deployed on the base station.
+    pub version: Version,
+    /// Session length in seconds.
+    pub duration_s: f64,
+    /// Optional staged attack.
+    pub attack: Option<AttackSpec>,
+    /// Wireless link parameters.
+    pub link: LinkParams,
+    /// Pipeline/training configuration.
+    pub config: SiftConfig,
+    /// Sensor packet length in seconds (must divide the window).
+    pub chunk_s: f64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Scenario {
+    /// A baseline scenario for `victim` with sensible defaults and a
+    /// shortened training phase (callers doing full Table II scale use
+    /// [`SiftConfig::default`]).
+    pub fn new(victim: usize, version: Version, duration_s: f64) -> Self {
+        Self {
+            victim,
+            version,
+            duration_s,
+            attack: None,
+            link: LinkParams::default(),
+            config: SiftConfig {
+                train_s: 60.0,
+                max_positive_per_donor: Some(15),
+                ..SiftConfig::default()
+            },
+            chunk_s: 0.5,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// Result of running a scenario.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Window-level confusion matrix (truth: ≥ 50 % of the window inside
+    /// the attack interval ⇒ altered; 0 % ⇒ genuine).
+    pub confusion: ConfusionMatrix,
+    /// Windows excluded from scoring because the attack covered only
+    /// part of them.
+    pub ambiguous_windows: usize,
+    /// Windows dropped by the base station (lost packets).
+    pub dropped_windows: usize,
+    /// Latency from attack start to the first alert on an attacked
+    /// window, ms (None when no attack or never detected).
+    pub detection_latency_ms: Option<u64>,
+    /// Observed channel loss rate.
+    pub channel_loss_rate: f64,
+    /// Battery fraction remaining at the end of the session.
+    pub battery_left: f64,
+    /// The sink with the archived alerts.
+    pub sink: Sink,
+}
+
+/// Run `scenario` to completion.
+///
+/// # Errors
+///
+/// Returns [`WiotError::InvalidScenario`] for inconsistent parameters
+/// and propagates training and platform errors.
+pub fn run(scenario: &Scenario) -> Result<SimReport, WiotError> {
+    let subjects = bank();
+    if scenario.victim >= subjects.len() {
+        return Err(WiotError::InvalidScenario {
+            reason: "victim index out of range",
+        });
+    }
+    if let Some(a) = &scenario.attack {
+        if a.start_s >= a.end_s || a.end_s > scenario.duration_s {
+            return Err(WiotError::InvalidScenario {
+                reason: "attack interval must be non-empty and inside the session",
+            });
+        }
+    }
+
+    // Offline training, then deployment.
+    let model = train_for_subject(
+        &subjects,
+        scenario.victim,
+        scenario.version,
+        &scenario.config,
+        scenario.seed,
+    )?;
+    let app = SiftApp::new(
+        scenario.version,
+        model.embedded().clone(),
+        scenario.config.clone(),
+    )?;
+    let mut station = BaseStation::new(app, scenario.config.clone(), scenario.chunk_s)?;
+
+    // Live session data (unseen by training).
+    let live = Record::synthesize(
+        &subjects[scenario.victim],
+        scenario.duration_s,
+        scenario.seed ^ 0x11FE,
+    );
+    let mut ecg_dev = SensorDevice::ecg(&live, scenario.chunk_s);
+    let mut abp_dev = SensorDevice::abp(&live, scenario.chunk_s);
+
+    let mut attacker = scenario.attack.as_ref().map(|spec| {
+        Attacker::new(
+            spec.mode.clone(),
+            (spec.start_s * 1000.0) as u64,
+            (spec.end_s * 1000.0) as u64,
+            scenario.seed ^ 0xA77,
+        )
+    });
+
+    let mut ecg_channel = Channel::new(
+        scenario.link.loss_prob,
+        scenario.link.base_delay_ms,
+        scenario.link.jitter_ms,
+        scenario.seed ^ 0xC41,
+    );
+    let mut abp_channel = Channel::new(
+        scenario.link.loss_prob,
+        scenario.link.base_delay_ms,
+        scenario.link.jitter_ms,
+        scenario.seed ^ 0xC42,
+    );
+
+    // Drive the session chunk by chunk.
+    let chunk_ms = (scenario.chunk_s * 1000.0) as u64;
+    let mut now_ms = 0u64;
+    loop {
+        let pe = ecg_dev.poll();
+        let pa = abp_dev.poll();
+        if pe.is_none() && pa.is_none() {
+            break;
+        }
+        if let Some(mut p) = pe {
+            if let Some(att) = attacker.as_mut() {
+                p = att.intercept(now_ms, p, live.fs);
+            }
+            if let Some(d) = ecg_channel.transmit(now_ms, p) {
+                station.receive(d)?;
+            }
+        }
+        if let Some(p) = pa {
+            if let Some(d) = abp_channel.transmit(now_ms, p) {
+                station.receive(d)?;
+            }
+        }
+        now_ms += chunk_ms;
+        station.advance_time(chunk_ms);
+    }
+    station.flush()?;
+
+    // Score the window log against ground truth.
+    let window_ms = (scenario.config.window_s * 1000.0) as u64;
+    let attack_span = scenario
+        .attack
+        .as_ref()
+        .map(|a| ((a.start_s * 1000.0) as u64, (a.end_s * 1000.0) as u64));
+    let mut confusion = ConfusionMatrix::default();
+    let mut ambiguous = 0usize;
+    let mut dropped = 0usize;
+    let mut latency: Option<u64> = None;
+    for &(idx, outcome) in station.window_log() {
+        let w_start = idx as u64 * window_ms;
+        let w_end = w_start + window_ms;
+        let overlap = attack_span
+            .map(|(a0, a1)| {
+                let lo = w_start.max(a0);
+                let hi = w_end.min(a1);
+                hi.saturating_sub(lo) as f64 / window_ms as f64
+            })
+            .unwrap_or(0.0);
+        let truth = if overlap >= 0.5 {
+            Some(Label::Positive)
+        } else if overlap == 0.0 {
+            Some(Label::Negative)
+        } else {
+            None
+        };
+        match outcome {
+            WindowOutcome::Dropped | WindowOutcome::Rejected => dropped += 1,
+            WindowOutcome::Emitted { alerted } => {
+                let predicted = if alerted {
+                    Label::Positive
+                } else {
+                    Label::Negative
+                };
+                match truth {
+                    Some(t) => confusion.record(t, predicted),
+                    None => ambiguous += 1,
+                }
+                if alerted && overlap > 0.0 && latency.is_none() {
+                    let (a0, _) = attack_span.expect("overlap implies attack");
+                    latency = Some(w_end.saturating_sub(a0));
+                }
+            }
+        }
+    }
+
+    let mut sink = Sink::new();
+    sink.archive_alerts(station.alerts());
+
+    Ok(SimReport {
+        confusion,
+        ambiguous_windows: ambiguous,
+        dropped_windows: dropped,
+        detection_latency_ms: latency,
+        channel_loss_rate: (ecg_channel.loss_rate() + abp_channel.loss_rate()) / 2.0,
+        battery_left: station
+            .os()
+            .meter()
+            .battery_fraction_left(station.os().energy_model()),
+        sink,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiet_session_has_few_false_alerts() {
+        let s = Scenario::new(0, Version::Simplified, 60.0);
+        let r = run(&s).unwrap();
+        assert!(r.confusion.fp + r.confusion.tn == 20);
+        let fp_rate = r.confusion.false_positive_rate().unwrap();
+        assert!(fp_rate < 0.3, "fp rate {fp_rate}");
+        assert!(r.detection_latency_ms.is_none());
+        assert!(r.battery_left > 0.99);
+    }
+
+    #[test]
+    fn substitution_attack_is_detected() {
+        let donor = Record::synthesize(&bank()[5], 60.0, 4242);
+        let mut s = Scenario::new(0, Version::Simplified, 60.0);
+        s.attack = Some(AttackSpec {
+            mode: AttackMode::Substitute { donor },
+            start_s: 21.0,
+            end_s: 45.0,
+        });
+        let r = run(&s).unwrap();
+        assert!(r.confusion.tp + r.confusion.fn_ >= 7, "{:?}", r.confusion);
+        let fn_rate = r.confusion.false_negative_rate().unwrap();
+        assert!(fn_rate < 0.4, "fn rate {fn_rate}");
+        let latency = r.detection_latency_ms.expect("attack should be seen");
+        assert!(latency <= 9_000, "latency {latency} ms");
+        assert!(!r.sink.alerts().is_empty());
+    }
+
+    #[test]
+    fn freeze_attack_triggers_degenerate_alerts() {
+        let mut s = Scenario::new(1, Version::Simplified, 30.0);
+        s.attack = Some(AttackSpec {
+            mode: AttackMode::Freeze,
+            start_s: 9.0,
+            end_s: 21.0,
+        });
+        let r = run(&s).unwrap();
+        assert!(
+            r.confusion.tp >= 3,
+            "freeze should be flagged: {:?}",
+            r.confusion
+        );
+    }
+
+    #[test]
+    fn lossy_link_degrades_gracefully() {
+        let mut s = Scenario::new(0, Version::Reduced, 60.0);
+        s.link.loss_prob = 0.08;
+        let r = run(&s).unwrap();
+        assert!(r.dropped_windows > 0);
+        assert!(r.channel_loss_rate > 0.02);
+        // Still scores the windows that survived.
+        assert!(r.confusion.total() > 0);
+    }
+
+    #[test]
+    fn invalid_scenarios_rejected() {
+        let mut s = Scenario::new(99, Version::Original, 10.0);
+        assert!(run(&s).is_err());
+        s = Scenario::new(0, Version::Original, 10.0);
+        s.attack = Some(AttackSpec {
+            mode: AttackMode::Freeze,
+            start_s: 5.0,
+            end_s: 3.0,
+        });
+        assert!(run(&s).is_err());
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let s = Scenario::new(2, Version::Reduced, 30.0);
+        let a = run(&s).unwrap();
+        let b = run(&s).unwrap();
+        assert_eq!(a.confusion, b.confusion);
+        assert_eq!(a.dropped_windows, b.dropped_windows);
+    }
+}

@@ -1,0 +1,119 @@
+//! The sink: the resource-rich endpoint of the WIoT environment.
+//!
+//! "The sink is \[a\] resource-rich device responsible for providing
+//! expensive but non safety-critical operations such as local storage of
+//! historical patient information" (paper §I). Here it archives what the
+//! base station forwards: alerts and periodic vitals history.
+
+use amulet_sim::machine::Alert;
+
+/// One archived vitals sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VitalsEntry {
+    /// Timestamp, ms.
+    pub at_ms: u64,
+    /// Heart rate, bpm.
+    pub heart_rate_bpm: f64,
+}
+
+/// The sink's storage.
+#[derive(Debug, Clone, Default)]
+pub struct Sink {
+    alerts: Vec<Alert>,
+    vitals: Vec<VitalsEntry>,
+}
+
+impl Sink {
+    /// Fresh, empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Archive alerts forwarded from the base station; duplicates
+    /// (same app + timestamp) are kept only once.
+    pub fn archive_alerts(&mut self, alerts: &[Alert]) {
+        for a in alerts {
+            if !self
+                .alerts
+                .iter()
+                .any(|b| b.at_ms == a.at_ms && b.app == a.app && b.message == a.message)
+            {
+                self.alerts.push(a.clone());
+            }
+        }
+    }
+
+    /// Archive one vitals sample.
+    pub fn archive_vitals(&mut self, at_ms: u64, heart_rate_bpm: f64) {
+        self.vitals.push(VitalsEntry {
+            at_ms,
+            heart_rate_bpm,
+        });
+    }
+
+    /// All archived alerts, in arrival order.
+    pub fn alerts(&self) -> &[Alert] {
+        &self.alerts
+    }
+
+    /// All archived vitals.
+    pub fn vitals(&self) -> &[VitalsEntry] {
+        &self.vitals
+    }
+
+    /// Alerts within `[from_ms, to_ms)`.
+    pub fn alerts_between(&self, from_ms: u64, to_ms: u64) -> Vec<&Alert> {
+        self.alerts
+            .iter()
+            .filter(|a| (from_ms..to_ms).contains(&a.at_ms))
+            .collect()
+    }
+
+    /// Mean heart rate over the archive, if any samples exist.
+    pub fn mean_heart_rate(&self) -> Option<f64> {
+        if self.vitals.is_empty() {
+            return None;
+        }
+        Some(self.vitals.iter().map(|v| v.heart_rate_bpm).sum::<f64>() / self.vitals.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alert(at_ms: u64, msg: &str) -> Alert {
+        Alert {
+            at_ms,
+            app: "sift-simplified".into(),
+            message: msg.into(),
+        }
+    }
+
+    #[test]
+    fn archives_and_dedups_alerts() {
+        let mut s = Sink::new();
+        s.archive_alerts(&[alert(1, "a"), alert(2, "b")]);
+        s.archive_alerts(&[alert(1, "a"), alert(3, "c")]);
+        assert_eq!(s.alerts().len(), 3);
+    }
+
+    #[test]
+    fn alert_range_query() {
+        let mut s = Sink::new();
+        s.archive_alerts(&[alert(5, "x"), alert(15, "y"), alert(25, "z")]);
+        let hits = s.alerts_between(10, 20);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].message, "y");
+    }
+
+    #[test]
+    fn vitals_history_and_mean() {
+        let mut s = Sink::new();
+        assert_eq!(s.mean_heart_rate(), None);
+        s.archive_vitals(0, 60.0);
+        s.archive_vitals(3000, 70.0);
+        assert_eq!(s.vitals().len(), 2);
+        assert_eq!(s.mean_heart_rate(), Some(65.0));
+    }
+}

@@ -1,0 +1,56 @@
+//! Visualize what the detector actually sees: ASCII renderings of
+//! ECG/ABP portraits — genuine vs. hijacked — plus the feature values
+//! that separate them. (The paper's Insight #3 wishes for "a desktop
+//! based simulator"; this is it, for the portrait stage.)
+//!
+//! Run: `cargo run --release --example portrait_gallery`
+
+use physio_sim::dataset::windows;
+use physio_sim::record::Record;
+use physio_sim::subject::bank;
+use sift::config::SiftConfig;
+use sift::features::{extract, Version};
+use sift::portrait::{GridMatrix, Portrait};
+use sift::snippet::Snippet;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let subjects = bank();
+    let config = SiftConfig::default();
+    let render_n = 32; // coarser than the detector's 50×50, for terminals
+
+    let own = Record::synthesize(&subjects[0], 30.0, 1234);
+    let donor = Record::synthesize(&subjects[8], 30.0, 5678);
+    let vw = &windows(&own, config.window_s)?[3];
+    let dw = &windows(&donor, config.window_s)?[3];
+
+    let genuine = Snippet::from_record(vw)?;
+    let hijacked = Snippet::new(
+        dw.ecg.clone(),
+        vw.abp.clone(),
+        dw.r_peaks.clone(),
+        vw.sys_peaks.clone(),
+    )?;
+
+    for (title, snippet) in [
+        (format!("GENUINE: {}'s ECG x {}'s ABP", subjects[0].name, subjects[0].name), &genuine),
+        (format!("HIJACKED: {}'s ECG x {}'s ABP", subjects[8].name, subjects[0].name), &hijacked),
+    ] {
+        println!("=== {title} ===");
+        let portrait = Portrait::from_snippet(snippet)?;
+        let grid = GridMatrix::from_portrait(&portrait, render_n)?;
+        print!("{}", grid.to_ascii());
+        println!(
+            "peaks: {} R, {} systolic, {} paired",
+            portrait.r_peak_points().len(),
+            portrait.sys_peak_points().len(),
+            portrait.paired_points().len()
+        );
+        let f = extract(Version::Simplified, snippet, &config)?;
+        println!("simplified features: {:?}\n", f.iter().map(|x| (x * 1000.0).round() / 1000.0).collect::<Vec<_>>());
+    }
+    println!(
+        "(the hijacked portrait scatters: donor R peaks land at arbitrary ABP phases,\n\
+         which is exactly the correlation loss the SVM separates on)"
+    );
+    Ok(())
+}

@@ -1,0 +1,125 @@
+//! Integration of the adaptive-security decision engine with the real
+//! platform apps: hot-swapping detector versions on a running AmuletOS.
+
+use amulet_sim::apps::SiftApp;
+use amulet_sim::event::AmuletEvent;
+use amulet_sim::machine::App;
+use amulet_sim::os::AmuletOs;
+use amulet_sim::profiler::ResourceProfiler;
+use amulet_sim::toolchain::FirmwareImage;
+use physio_sim::dataset::windows;
+use physio_sim::record::Record;
+use physio_sim::subject::bank;
+use sift::config::SiftConfig;
+use sift::features::Version;
+use sift::trainer::{train_for_subject, SiftModel};
+use wiot::adaptive::{requirements_from_profiler, DecisionEngine, Policy, ResourceSnapshot};
+
+fn quick_config() -> SiftConfig {
+    SiftConfig {
+        train_s: 60.0,
+        max_positive_per_donor: Some(15),
+        ..SiftConfig::default()
+    }
+}
+
+fn train_all(cfg: &SiftConfig) -> Vec<(Version, SiftModel)> {
+    Version::ALL
+        .iter()
+        .map(|&v| (v, train_for_subject(&bank(), 0, v, cfg, 3).unwrap()))
+        .collect()
+}
+
+fn build_app(
+    version: Version,
+    models: &[(Version, SiftModel)],
+    cfg: &SiftConfig,
+) -> (SiftApp, FirmwareImage) {
+    let model = &models.iter().find(|(v, _)| *v == version).unwrap().1;
+    let app = SiftApp::new(version, model.embedded().clone(), cfg.clone()).unwrap();
+    let image =
+        FirmwareImage::build(vec![app.resource_spec()], &ResourceProfiler::default()).unwrap();
+    (app, image)
+}
+
+/// The full adaptive loop: the engine degrades the detector as the
+/// battery drains, and the OS actually swaps the apps.
+#[test]
+fn engine_hot_swaps_apps_on_the_running_os() {
+    let cfg = quick_config();
+    let models = train_all(&cfg);
+    let mut os = AmuletOs::new();
+    let (app, image) = build_app(Version::Original, &models, &cfg);
+    os.install(&image, vec![Box::new(app)]).unwrap();
+
+    let mut engine = DecisionEngine::new(
+        Version::Original,
+        requirements_from_profiler(&cfg),
+        Policy {
+            min_dwell_ms: 0,
+            ..Policy::default()
+        },
+    );
+
+    let live = Record::synthesize(&bank()[0], 30.0, 1);
+    let snippets: Vec<_> = windows(&live, 3.0)
+        .unwrap()
+        .iter()
+        .map(|w| sift::snippet::Snippet::from_record(w).unwrap())
+        .collect();
+
+    // Battery levels sampled over a simulated discharge.
+    let levels = [0.9, 0.7, 0.45, 0.3, 0.15, 0.05];
+    let mut deployed = Version::Original;
+    for (step, &battery) in levels.iter().enumerate() {
+        // Process a window with the currently deployed app.
+        os.post(AmuletEvent::SnippetReady(snippets[step % snippets.len()].clone()));
+        os.run_until_idle().unwrap();
+
+        let snap = ResourceSnapshot {
+            battery_fraction: battery,
+            fram_free_bytes: 60_000,
+            cpu_headroom: 0.9,
+        };
+        if let Some(next) = engine.decide(step as u64 * 1000, &snap) {
+            // Version switch = reflash with the new image (Insight #4).
+            let (app, image) = build_app(next, &models, &cfg);
+            os.reflash(&image, vec![Box::new(app)]).unwrap();
+            deployed = next;
+        }
+    }
+    assert_eq!(deployed, Version::Reduced, "should end on the cheapest version");
+    assert_eq!(os.app_names(), vec!["sift-reduced"]);
+    assert_eq!(engine.history().len(), 2);
+    // The swapped-in app still works.
+    os.post(AmuletEvent::SnippetReady(snippets[0].clone()));
+    os.run_until_idle().unwrap();
+    assert_eq!(os.app_state("sift-reduced").unwrap(), "PeaksDataCheck");
+}
+
+#[test]
+fn engine_respects_static_memory_constraints_of_real_specs() {
+    let cfg = quick_config();
+    let reqs = requirements_from_profiler(&cfg);
+    let mut engine = DecisionEngine::new(
+        Version::Reduced,
+        reqs.clone(),
+        Policy {
+            min_dwell_ms: 0,
+            ..Policy::default()
+        },
+    );
+    // Free FRAM only fits the reduced version (its requirement + slack).
+    let reduced_req = reqs
+        .iter()
+        .find(|r| r.version == Version::Reduced)
+        .unwrap()
+        .fram_bytes;
+    let snap = ResourceSnapshot {
+        battery_fraction: 1.0,
+        fram_free_bytes: reduced_req + 100,
+        cpu_headroom: 1.0,
+    };
+    assert_eq!(engine.decide(0, &snap), None);
+    assert_eq!(engine.current(), Version::Reduced);
+}

@@ -1,0 +1,71 @@
+//! Reproducibility guarantees: every layer of the stack is a pure
+//! function of its seeds.
+
+use physio_sim::record::Record;
+use physio_sim::subject::bank;
+use sift::config::SiftConfig;
+use sift::features::Version;
+use sift::pipeline::{evaluate, EvalProtocol};
+use sift::flavor::PlatformFlavor;
+use sift::trainer::train_for_subject;
+use wiot::scenario::{run, Scenario};
+
+fn quick_config() -> SiftConfig {
+    SiftConfig {
+        train_s: 60.0,
+        max_positive_per_donor: Some(15),
+        ..SiftConfig::default()
+    }
+}
+
+#[test]
+fn subject_bank_is_stable_across_calls() {
+    assert_eq!(bank(), bank());
+}
+
+#[test]
+fn record_synthesis_is_pure() {
+    let s = &bank()[5];
+    assert_eq!(
+        Record::synthesize(s, 10.0, 99),
+        Record::synthesize(s, 10.0, 99)
+    );
+}
+
+#[test]
+fn trained_models_are_bit_identical() {
+    let b = bank();
+    let cfg = quick_config();
+    let a = train_for_subject(&b, 0, Version::Simplified, &cfg, 1).unwrap();
+    let c = train_for_subject(&b, 0, Version::Simplified, &cfg, 1).unwrap();
+    assert_eq!(a, c);
+    assert_eq!(a.embedded().encode(), c.embedded().encode());
+}
+
+#[test]
+fn full_evaluation_is_reproducible() {
+    let subjects = &bank()[..3];
+    let cfg = quick_config();
+    let p = EvalProtocol::default();
+    let a = evaluate(subjects, Version::Reduced, PlatformFlavor::Amulet, &cfg, &p).unwrap();
+    let b = evaluate(subjects, Version::Reduced, PlatformFlavor::Amulet, &cfg, &p).unwrap();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn wiot_scenarios_are_reproducible() {
+    let s = Scenario::new(1, Version::Simplified, 30.0);
+    let a = run(&s).unwrap();
+    let b = run(&s).unwrap();
+    assert_eq!(a.confusion, b.confusion);
+    assert_eq!(a.sink.alerts().len(), b.sink.alerts().len());
+}
+
+#[test]
+fn distinct_seeds_change_outcomes() {
+    let b = bank();
+    let cfg = quick_config();
+    let m1 = train_for_subject(&b, 0, Version::Simplified, &cfg, 1).unwrap();
+    let m2 = train_for_subject(&b, 0, Version::Simplified, &cfg, 2).unwrap();
+    assert_ne!(m1.svm().weights(), m2.svm().weights());
+}

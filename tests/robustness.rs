@@ -1,0 +1,142 @@
+//! Robustness studies: conditions the paper does not evaluate but a
+//! deployed detector must survive.
+
+use physio_sim::dataset::windows;
+use physio_sim::ectopy::{synthesize_with_ectopy, EctopyParams};
+use physio_sim::record::Record;
+use physio_sim::subject::bank;
+use sift::config::SiftConfig;
+use sift::detector::Detector;
+use sift::features::Version;
+use sift::flavor::PlatformFlavor;
+use sift::snippet::Snippet;
+use sift::trainer::train_for_subject;
+
+fn quick_config() -> SiftConfig {
+    SiftConfig {
+        train_s: 60.0,
+        max_positive_per_donor: Some(15),
+        ..SiftConfig::default()
+    }
+}
+
+fn false_alert_rate(detector: &Detector, record: &Record) -> f64 {
+    let mut alerts = 0usize;
+    let mut total = 0usize;
+    for w in windows(record, 3.0).unwrap() {
+        let sn = Snippet::from_record(&w).unwrap();
+        total += 1;
+        alerts += usize::from(detector.classify(&sn).unwrap().is_alert());
+    }
+    alerts as f64 / total as f64
+}
+
+/// Premature beats perturb ECG and ABP *coherently*, so SIFT — which
+/// tests joint structure — should tolerate them far better than it
+/// reacts to actual substitution.
+#[test]
+fn ectopic_beats_do_not_flood_false_alarms() {
+    let subjects = bank();
+    let cfg = quick_config();
+    let model = train_for_subject(&subjects, 0, Version::Simplified, &cfg, 1).unwrap();
+    let det = Detector::new(model, PlatformFlavor::Amulet, cfg).unwrap();
+
+    let clean = Record::synthesize(&subjects[0], 60.0, 777);
+    let fp_clean = false_alert_rate(&det, &clean);
+
+    let (ectopic, beats) = synthesize_with_ectopy(
+        &subjects[0],
+        60.0,
+        777,
+        &EctopyParams {
+            rate_per_min: 6.0,
+            prematurity: 0.3,
+        },
+    );
+    assert!(!beats.is_empty());
+    let fp_ectopic = false_alert_rate(&det, &ectopic);
+
+    assert!(
+        fp_ectopic <= fp_clean + 0.25,
+        "ectopy raised FP rate from {fp_clean:.2} to {fp_ectopic:.2}"
+    );
+    // And for contrast, true substitution must still alert strongly.
+    let donor = Record::synthesize(&subjects[6], 60.0, 888);
+    let vw = windows(&clean, 3.0).unwrap();
+    let dw = windows(&donor, 3.0).unwrap();
+    let mut caught = 0usize;
+    for (v, d) in vw.iter().zip(&dw) {
+        let sn = Snippet::new(
+            d.ecg.clone(),
+            v.abp.clone(),
+            d.r_peaks.clone(),
+            v.sys_peaks.clone(),
+        )
+        .unwrap();
+        caught += usize::from(det.classify(&sn).unwrap().is_alert());
+    }
+    assert!(
+        caught as f64 / vw.len() as f64 > fp_ectopic + 0.3,
+        "substitution ({caught}/{}) should stand far above ectopy FP ({fp_ectopic:.2})",
+        vw.len()
+    );
+}
+
+/// Heart-rate drift between training and deployment (exercise, stress)
+/// must not by itself raise alarms.
+#[test]
+fn moderate_heart_rate_drift_tolerated() {
+    let subjects = bank();
+    let cfg = quick_config();
+    let model = train_for_subject(&subjects, 1, Version::Simplified, &cfg, 2).unwrap();
+    let det = Detector::new(model, PlatformFlavor::Gold, cfg).unwrap();
+
+    // Same subject, heart rate raised 15 %.
+    let mut faster = subjects[1].clone();
+    faster.rr.mean_hr_bpm *= 1.15;
+    let drifted = Record::synthesize(&faster, 45.0, 3030);
+    let fp = false_alert_rate(&det, &drifted);
+    assert!(fp < 0.5, "15% HR drift caused {fp:.2} false-alert rate");
+}
+
+/// Amplitude rescaling (electrode impedance change, different gain
+/// setting) is absorbed by the portrait normalization.
+#[test]
+fn gain_changes_are_invisible_to_the_detector() {
+    let subjects = bank();
+    let cfg = quick_config();
+    let model = train_for_subject(&subjects, 2, Version::Original, &cfg, 4).unwrap();
+    let det = Detector::new(model, PlatformFlavor::Gold, cfg).unwrap();
+
+    let base = Record::synthesize(&subjects[2], 30.0, 606);
+    let mut scaled = base.clone();
+    for v in scaled.ecg.iter_mut() {
+        *v *= 0.5; // half the amplifier gain
+    }
+    for (wb, ws) in windows(&base, 3.0)
+        .unwrap()
+        .iter()
+        .zip(&windows(&scaled, 3.0).unwrap())
+    {
+        let db = det.classify(&Snippet::from_record(wb).unwrap()).unwrap();
+        let ds = det.classify(&Snippet::from_record(ws).unwrap()).unwrap();
+        assert_eq!(db.label, ds.label, "gain change flipped a label");
+    }
+}
+
+/// NaN samples (a buggy driver) must not silently classify: the snippet
+/// is degenerate and alerts.
+#[test]
+fn nan_samples_alert_rather_than_classify() {
+    let subjects = bank();
+    let cfg = quick_config();
+    let model = train_for_subject(&subjects, 0, Version::Simplified, &cfg, 5).unwrap();
+    let det = Detector::new(model, PlatformFlavor::Amulet, cfg).unwrap();
+    let r = Record::synthesize(&subjects[0], 3.0, 9);
+    let mut ecg = r.ecg.clone();
+    ecg[100] = f64::NAN;
+    let sn = Snippet::new(ecg, r.abp.clone(), r.r_peaks.clone(), r.sys_peaks.clone()).unwrap();
+    let d = det.classify(&sn).unwrap();
+    assert!(d.is_alert());
+    assert!(d.degenerate);
+}
