@@ -25,6 +25,15 @@ pub enum AmuletEvent {
     BatteryLevel(f64),
     /// App-defined signal (QM's user signals), carrying a small code.
     Signal(u32),
+    /// A sensor stream the base station depends on has gone silent for
+    /// longer than its watchdog tolerates (posted by the stream
+    /// reassembly layer, consumed by the watchdog app).
+    StreamStalled {
+        /// Name of the silent stream (e.g. `"ecg"`).
+        stream: String,
+        /// How long the stream has been silent, ms.
+        silent_ms: u64,
+    },
 }
 
 impl AmuletEvent {
@@ -36,6 +45,7 @@ impl AmuletEvent {
             AmuletEvent::ButtonPress => "button-press",
             AmuletEvent::BatteryLevel(_) => "battery-level",
             AmuletEvent::Signal(_) => "signal",
+            AmuletEvent::StreamStalled { .. } => "stream-stalled",
         }
     }
 }
@@ -125,6 +135,14 @@ mod tests {
         assert_eq!(AmuletEvent::Tick { ms: 0 }.kind_name(), "tick");
         assert_eq!(AmuletEvent::Signal(3).kind_name(), "signal");
         assert_eq!(AmuletEvent::BatteryLevel(0.5).kind_name(), "battery-level");
+        assert_eq!(
+            AmuletEvent::StreamStalled {
+                stream: "ecg".into(),
+                silent_ms: 4000
+            }
+            .kind_name(),
+            "stream-stalled"
+        );
     }
 
     #[test]

@@ -73,26 +73,53 @@ impl AmuletOs {
         image: &FirmwareImage,
         apps: Vec<Box<dyn App>>,
     ) -> Result<(), AmuletError> {
+        self.check_install(image, &apps)?;
+        image.flash(&mut self.memory)?;
+        self.apps.extend(apps);
+        Ok(())
+    }
+
+    /// Install an add-on image next to an already-installed base image.
+    /// Same static checks as [`AmuletOs::install`], but only the apps'
+    /// own footprint is charged — the system image is already resident.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`AmuletOs::install`].
+    pub fn install_addon(
+        &mut self,
+        image: &FirmwareImage,
+        apps: Vec<Box<dyn App>>,
+    ) -> Result<(), AmuletError> {
+        self.check_install(image, &apps)?;
+        image.flash_addon(&mut self.memory)?;
+        self.apps.extend(apps);
+        Ok(())
+    }
+
+    fn check_install(
+        &self,
+        image: &FirmwareImage,
+        apps: &[Box<dyn App>],
+    ) -> Result<(), AmuletError> {
         if image.specs().len() != apps.len()
             || !image
                 .specs()
                 .iter()
-                .zip(&apps)
+                .zip(apps)
                 .all(|(s, a)| s.name == a.name())
         {
             return Err(AmuletError::StaticCheckFailed {
                 reason: "firmware image does not match the provided app instances".to_string(),
             });
         }
-        for a in &apps {
+        for a in apps {
             if self.apps.iter().any(|b| b.name() == a.name()) {
                 return Err(AmuletError::DuplicateApp {
                     name: a.name().to_string(),
                 });
             }
         }
-        image.flash(&mut self.memory)?;
-        self.apps.extend(apps);
         Ok(())
     }
 

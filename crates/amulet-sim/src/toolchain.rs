@@ -110,6 +110,20 @@ impl FirmwareImage {
             .reserve(self.profile.system_sram_bytes + self.profile.app_sram_bytes)?;
         Ok(())
     }
+
+    /// Reserve only the image's app footprint, for add-on installs onto
+    /// a device whose system image is already resident
+    /// ([`crate::os::AmuletOs::install_addon`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AmuletError::OutOfMemory`] if the apps do not fit next
+    /// to the existing reservations.
+    pub fn flash_addon(&self, memory: &mut MemoryModel) -> Result<(), AmuletError> {
+        memory.fram_mut().reserve(self.profile.app_fram_bytes)?;
+        memory.sram_mut().reserve(self.profile.app_sram_bytes)?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

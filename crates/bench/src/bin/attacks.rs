@@ -4,14 +4,21 @@
 //! environment (sensors → attacker → channel → Amulet base station).
 //!
 //! Run: `cargo run --release -p bench --bin attacks`
+//!
+//! With `--faults`, each attack additionally runs under a hostile link
+//! (Gilbert–Elliott burst loss, ~10% mean) with the reliability stack
+//! on (ARQ + salvage + watchdog); the table gains a window-recovery
+//! column showing how much of the session still reached the detector.
 
 use physio_sim::record::Record;
 use physio_sim::subject::bank;
 use sift::features::Version;
 use wiot::attacker::AttackMode;
+use wiot::channel::LossModel;
 use wiot::scenario::{run, AttackSpec, Scenario};
 
 fn main() {
+    let faults_mode = std::env::args().any(|a| a == "--faults");
     let duration_s = 120.0;
     let (attack_start, attack_end) = (33.0, 93.0);
     let donor = Record::synthesize(&bank()[7], duration_s, 0xD0);
@@ -36,12 +43,24 @@ fn main() {
         ),
     ];
 
-    println!("attack taxonomy vs deployed detector (simplified version, amulet flavor)\n");
-    println!(
-        "| {:<32} | {:>9} | {:>9} | {:>9} | {:>12} |",
-        "Attack", "TP rate", "FP rate", "Acc", "Latency (ms)"
-    );
-    println!("|{}|", "-".repeat(86));
+    if faults_mode {
+        println!(
+            "attack taxonomy vs deployed detector (simplified version, amulet flavor, \
+             bursty link + reliability stack)\n"
+        );
+        println!(
+            "| {:<32} | {:>9} | {:>9} | {:>9} | {:>12} | {:>9} |",
+            "Attack", "TP rate", "FP rate", "Acc", "Latency (ms)", "Recov"
+        );
+        println!("|{}|", "-".repeat(98));
+    } else {
+        println!("attack taxonomy vs deployed detector (simplified version, amulet flavor)\n");
+        println!(
+            "| {:<32} | {:>9} | {:>9} | {:>9} | {:>12} |",
+            "Attack", "TP rate", "FP rate", "Acc", "Latency (ms)"
+        );
+        println!("|{}|", "-".repeat(86));
+    }
     for (name, mode) in modes {
         let mut scenario = Scenario::new(0, Version::Simplified, duration_s);
         scenario.attack = Some(AttackSpec {
@@ -49,6 +68,15 @@ fn main() {
             start_s: attack_start,
             end_s: attack_end,
         });
+        if faults_mode {
+            scenario.link.loss = Some(LossModel::GilbertElliott {
+                p_good_to_bad: 0.025,
+                p_bad_to_good: 0.2,
+                loss_good: 0.01,
+                loss_bad: 0.8,
+            });
+            scenario = scenario.with_reliability();
+        }
         match run(&scenario) {
             Ok(r) => {
                 let m = r.confusion;
@@ -68,15 +96,29 @@ fn main() {
                     .detection_latency_ms
                     .map(|l| l.to_string())
                     .unwrap_or_else(|| "missed".into());
-                println!(
-                    "| {name:<32} | {tp_rate:>9} | {fp_rate:>9} | {acc:>9} | {latency:>12} |"
-                );
+                if faults_mode {
+                    let recov = format!("{:.1}%", r.window_recovery_rate * 100.0);
+                    println!(
+                        "| {name:<32} | {tp_rate:>9} | {fp_rate:>9} | {acc:>9} | {latency:>12} | {recov:>9} |"
+                    );
+                } else {
+                    println!(
+                        "| {name:<32} | {tp_rate:>9} | {fp_rate:>9} | {acc:>9} | {latency:>12} |"
+                    );
+                }
             }
             Err(e) => println!("| {name:<32} | failed: {e}"),
         }
     }
-    println!(
-        "\n(each run: 120 s session, attack active 33 s – 93 s, 0.5 s packets, \
-         default lossy link)"
-    );
+    if faults_mode {
+        println!(
+            "\n(each run: 120 s session, attack active 33 s – 93 s, 0.5 s packets, \
+             Gilbert–Elliott burst loss ~10% mean, ARQ + salvage + watchdog on)"
+        );
+    } else {
+        println!(
+            "\n(each run: 120 s session, attack active 33 s – 93 s, 0.5 s packets, \
+             default lossy link)"
+        );
+    }
 }

@@ -38,6 +38,25 @@ pub struct VersionRequirements {
     pub duty_cycle: f64,
 }
 
+/// Observed quality of the sensor → base-station links, as reported by
+/// the channel and ARQ layers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkQuality {
+    /// Fraction of offered packets the channel lost, `[0, 1]`.
+    pub loss_rate: f64,
+    /// ARQ retransmissions per first-time data packet.
+    pub retransmit_rate: f64,
+}
+
+impl LinkQuality {
+    /// Scalar badness of the link in `[0, 1]`: loss plus the energy
+    /// drag of retransmissions (each retransmit costs roughly one
+    /// packet's airtime, so it weighs like loss, capped).
+    fn badness(&self) -> f64 {
+        (self.loss_rate + 0.5 * self.retransmit_rate).clamp(0.0, 1.0)
+    }
+}
+
 /// Decision-engine policy knobs.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Policy {
@@ -51,6 +70,13 @@ pub struct Policy {
     pub hysteresis: f64,
     /// Minimum time between switches, ms.
     pub min_dwell_ms: u64,
+    /// Smoothed link badness (loss + retransmission drag) above which
+    /// the engine refuses to run the full detector: on a degraded link
+    /// the radio is already eating the energy budget and windows arrive
+    /// sparse, so the heavyweight version buys little.
+    pub degrade_loss_above: f64,
+    /// EWMA smoothing factor for link-quality observations, `(0, 1]`.
+    pub link_ewma_alpha: f64,
 }
 
 impl Default for Policy {
@@ -60,6 +86,8 @@ impl Default for Policy {
             simplified_above: 0.2,
             hysteresis: 0.05,
             min_dwell_ms: 60_000,
+            degrade_loss_above: 0.15,
+            link_ewma_alpha: 0.3,
         }
     }
 }
@@ -83,6 +111,10 @@ pub struct DecisionEngine {
     current: Version,
     last_switch_ms: Option<u64>,
     history: Vec<Switch>,
+    /// Smoothed link badness; `None` until the first observation, so a
+    /// deployment that never reports link quality behaves exactly as
+    /// before.
+    link_badness_ewma: Option<f64>,
 }
 
 impl DecisionEngine {
@@ -95,7 +127,26 @@ impl DecisionEngine {
             current: initial,
             last_switch_ms: None,
             history: Vec::new(),
+            link_badness_ewma: None,
         }
+    }
+
+    /// Feed one link-quality observation into the engine's smoothed
+    /// view — the hook the base station / scenario runner calls with
+    /// the channel and transport counters.
+    pub fn observe_link(&mut self, quality: &LinkQuality) {
+        let alpha = self.policy.link_ewma_alpha.clamp(0.0, 1.0);
+        let b = quality.badness();
+        self.link_badness_ewma = Some(match self.link_badness_ewma {
+            Some(prev) => prev + alpha * (b - prev),
+            None => b,
+        });
+    }
+
+    /// The engine's current smoothed link badness, if any observation
+    /// arrived yet.
+    pub fn link_badness(&self) -> Option<f64> {
+        self.link_badness_ewma
     }
 
     /// The version currently deployed.
@@ -148,6 +199,15 @@ impl DecisionEngine {
             }
         }
         let mut target = self.desired_by_battery(snap.battery_fraction);
+        // A persistently bad link caps the deployment at simplified:
+        // windows arrive sparse and the radio dominates the budget.
+        if self
+            .link_badness_ewma
+            .is_some_and(|b| b > self.policy.degrade_loss_above)
+            && target == Version::Original
+        {
+            target = Version::Simplified;
+        }
         // Degrade until the static constraints are satisfiable.
         let order = [Version::Original, Version::Simplified, Version::Reduced];
         let mut idx = order.iter().position(|&v| v == target).expect("in order");
@@ -170,6 +230,19 @@ impl DecisionEngine {
         self.current = target;
         self.last_switch_ms = Some(now_ms);
         Some(target)
+    }
+
+    /// [`DecisionEngine::observe_link`] followed by
+    /// [`DecisionEngine::decide`]: the one-call form for runners that
+    /// sample link quality and constraints at the same cadence.
+    pub fn decide_with_link(
+        &mut self,
+        now_ms: u64,
+        snap: &ResourceSnapshot,
+        quality: &LinkQuality,
+    ) -> Option<Version> {
+        self.observe_link(quality);
+        self.decide(now_ms, snap)
     }
 }
 
@@ -281,6 +354,50 @@ mod tests {
         // Battery recovers immediately, but the dwell gate holds.
         assert_eq!(e.decide(5_000, &roomy(0.9)), None);
         assert_eq!(e.decide(10_000, &roomy(0.9)), Some(Version::Original));
+    }
+
+    #[test]
+    fn bad_link_caps_deployment_at_simplified() {
+        let mut e = engine();
+        // Plenty of battery, but the link is terrible.
+        for _ in 0..10 {
+            e.observe_link(&LinkQuality {
+                loss_rate: 0.35,
+                retransmit_rate: 0.5,
+            });
+        }
+        assert_eq!(e.decide(0, &roomy(0.9)), Some(Version::Simplified));
+        // Link recovers: the EWMA decays and the full version returns.
+        for _ in 0..20 {
+            e.observe_link(&LinkQuality {
+                loss_rate: 0.0,
+                retransmit_rate: 0.0,
+            });
+        }
+        assert!(e.link_badness().unwrap() < 0.01);
+        assert_eq!(e.decide(1, &roomy(0.9)), Some(Version::Original));
+    }
+
+    #[test]
+    fn decide_with_link_is_one_call() {
+        let mut e = engine();
+        let q = LinkQuality {
+            loss_rate: 0.5,
+            retransmit_rate: 1.0,
+        };
+        assert_eq!(e.decide_with_link(0, &roomy(0.9), &q), Some(Version::Simplified));
+        assert!(e.link_badness().is_some());
+    }
+
+    #[test]
+    fn clean_link_changes_nothing() {
+        let mut e = engine();
+        e.observe_link(&LinkQuality {
+            loss_rate: 0.01,
+            retransmit_rate: 0.02,
+        });
+        assert_eq!(e.decide(0, &roomy(0.9)), None);
+        assert_eq!(e.current(), Version::Original);
     }
 
     #[test]

@@ -4,13 +4,20 @@
 //! Incoming ECG/ABP packets are slotted into `w`-second windows; once a
 //! window has every chunk of both channels, it is posted to the OS as a
 //! `SnippetReady` event for the detector (and any other installed app).
-//! Windows with missing chunks — lost packets — are dropped and counted:
-//! a real device cannot fabricate samples.
+//! Windows with missing chunks — lost packets — are dropped and counted
+//! by default: a real device cannot fabricate samples. With
+//! [`BaseStation::with_salvage`], *nearly* complete windows (at most a
+//! configured number of missing chunks) are repaired by zero-order-hold
+//! filling and still dispatched, flagged as salvaged rather than
+//! silently dropped. A per-stream watchdog
+//! ([`BaseStation::with_watchdog`]) notices streams that stop arriving
+//! entirely and raises a distinct stream-stalled alert through the
+//! Amulet event system.
 
 use crate::channel::Delivery;
 use crate::device::Stream;
 use crate::WiotError;
-use amulet_sim::apps::{HeartRateApp, SiftApp};
+use amulet_sim::apps::{HeartRateApp, SiftApp, WatchdogApp};
 use amulet_sim::event::AmuletEvent;
 use amulet_sim::machine::{Alert, App};
 use amulet_sim::os::AmuletOs;
@@ -19,7 +26,11 @@ use amulet_sim::toolchain::FirmwareImage;
 use physio_sim::quality::{assess, QualityConfig};
 use sift::config::SiftConfig;
 use sift::snippet::Snippet;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
+
+/// Default cap on the per-window outcome log: generous for any test or
+/// scoring run, flat for week-long soaks.
+const DEFAULT_WINDOW_LOG_CAP: usize = 16_384;
 
 /// Window-assembly state for one channel.
 #[derive(Debug, Clone)]
@@ -39,6 +50,13 @@ pub struct BaseStationStats {
     pub packets_received: u64,
     /// Windows rejected by the quality gate.
     pub windows_rejected: u64,
+    /// Nearly complete windows repaired by zero-order-hold filling and
+    /// still dispatched (see [`BaseStation::with_salvage`]).
+    pub windows_salvaged: u64,
+    /// Brownout reboots performed ([`BaseStation::reboot`]).
+    pub reboots: u64,
+    /// Old window-log entries evicted by the log cap.
+    pub log_evicted: u64,
 }
 
 /// What happened to one detection window.
@@ -55,6 +73,19 @@ pub enum WindowOutcome {
     /// The window was rejected by the quality gate before reaching the
     /// detector (excess noise / clipping).
     Rejected,
+    /// The window was missing chunks but was repaired by zero-order-hold
+    /// filling and dispatched anyway — degraded, not dropped.
+    Salvaged {
+        /// Whether the detector alerted on the repaired window.
+        alerted: bool,
+    },
+}
+
+/// Per-stream watchdog configuration.
+#[derive(Debug, Clone, Copy)]
+struct Watchdog {
+    timeout_ms: u64,
+    strict: bool,
 }
 
 /// The base station device.
@@ -67,8 +98,27 @@ pub struct BaseStation {
     abp: BTreeMap<usize, PartialWindow>,
     emitted_through: usize,
     stats: BaseStationStats,
-    window_log: Vec<(usize, WindowOutcome)>,
+    window_log: VecDeque<(usize, WindowOutcome)>,
+    window_log_cap: usize,
     quality_gate: Option<QualityConfig>,
+    /// Maximum missing chunks (across both channels) a window may have
+    /// and still be repaired; `None` disables salvage.
+    salvage_max_missing: Option<usize>,
+    watchdog: Option<Watchdog>,
+    /// Last arrival time per stream `[ecg, abp]`, ms; session start
+    /// counts as an implicit arrival so a never-seen stream still trips
+    /// the watchdog.
+    last_arrival_ms: [u64; 2],
+    /// Whether each stream is currently flagged stalled (cleared by the
+    /// next arrival, so a recovery → second stall re-alerts).
+    stalled: [bool; 2],
+}
+
+fn stream_slot(stream: Stream) -> usize {
+    match stream {
+        Stream::Ecg => 0,
+        Stream::Abp => 1,
+    }
 }
 
 impl std::fmt::Debug for BaseStation {
@@ -114,9 +164,53 @@ impl BaseStation {
             abp: BTreeMap::new(),
             emitted_through: 0,
             stats: BaseStationStats::default(),
-            window_log: Vec::new(),
+            window_log: VecDeque::new(),
+            window_log_cap: DEFAULT_WINDOW_LOG_CAP,
             quality_gate: None,
+            salvage_max_missing: None,
+            watchdog: None,
+            last_arrival_ms: [0; 2],
+            stalled: [false; 2],
         })
+    }
+
+    /// Enable partial-window salvage: a window missing at most
+    /// `max_missing` chunks (counted across both channels) is repaired
+    /// by zero-order-hold filling and dispatched flagged as
+    /// [`WindowOutcome::Salvaged`] instead of being dropped. The paper's
+    /// detector features are robust to a short held segment; losing the
+    /// whole window to one lost packet is the worse failure.
+    pub fn with_salvage(mut self, max_missing: usize) -> Self {
+        self.salvage_max_missing = Some(max_missing);
+        self
+    }
+
+    /// Cap the per-window outcome log at `cap` entries (oldest evicted,
+    /// counted in [`BaseStationStats::log_evicted`]) so multi-hour soaks
+    /// run in flat memory.
+    pub fn with_window_log_cap(mut self, cap: usize) -> Self {
+        self.window_log_cap = cap.max(1);
+        self
+    }
+
+    /// Install the stream-liveness watchdog: [`poll_watchdog`] raises a
+    /// stream-stalled alert (via the [`WatchdogApp`]) for any stream
+    /// silent longer than `timeout_ms`. With `strict`, a stall is also a
+    /// hard [`WiotError::StreamStalled`].
+    ///
+    /// [`poll_watchdog`]: BaseStation::poll_watchdog
+    ///
+    /// # Errors
+    ///
+    /// Propagates firmware static-check failures from installing the
+    /// watchdog app.
+    pub fn with_watchdog(mut self, timeout_ms: u64, strict: bool) -> Result<Self, WiotError> {
+        let app = WatchdogApp::new();
+        let image = FirmwareImage::build(vec![app.resource_spec()], &ResourceProfiler::default())
+            .map_err(WiotError::from)?;
+        self.os.install_addon(&image, vec![Box::new(app)])?;
+        self.watchdog = Some(Watchdog { timeout_ms, strict });
+        Ok(self)
     }
 
     /// Enable the signal-quality gate: windows whose channels fail the
@@ -145,6 +239,14 @@ impl BaseStation {
             });
         }
         self.stats.packets_received += 1;
+        let slot = stream_slot(packet.stream);
+        // Only a chunk carrying signal feeds the watchdog: a stuck
+        // sensor keeps transmitting a flat, peak-less payload, and that
+        // must read as a stalled stream, not a live one.
+        if !packet.peaks.is_empty() || !is_flat(&packet.samples) {
+            self.last_arrival_ms[slot] = self.last_arrival_ms[slot].max(delivery.at_ms);
+            self.stalled[slot] = false;
+        }
         let window_samples = self.config.window_samples();
         let window_idx = packet.start_sample / window_samples;
         let chunk_idx = (packet.start_sample % window_samples) / self.chunk_len;
@@ -171,12 +273,33 @@ impl BaseStation {
         self.ecg.get(&idx).is_some_and(complete) && self.abp.get(&idx).is_some_and(complete)
     }
 
+    /// Append to the window log, evicting the oldest entry past the cap.
+    fn log_window(&mut self, idx: usize, outcome: WindowOutcome) {
+        if self.window_log.len() >= self.window_log_cap {
+            self.window_log.pop_front();
+            self.stats.log_evicted += 1;
+        }
+        self.window_log.push_back((idx, outcome));
+    }
+
     /// Assemble, gate, and dispatch the complete window `idx`, recording
     /// its outcome and advancing the emission cursor.
     fn emit_window(&mut self, idx: usize) -> Result<(), WiotError> {
         let e = self.ecg.remove(&idx).expect("caller verified completeness");
         let a = self.abp.remove(&idx).expect("caller verified completeness");
-        let snippet = assemble(e, a)?;
+        self.dispatch_window(idx, e, a, false)
+    }
+
+    /// Dispatch an assembled (complete or repaired) window through the
+    /// quality gate and the apps.
+    fn dispatch_window(
+        &mut self,
+        idx: usize,
+        ecg: PartialWindow,
+        abp: PartialWindow,
+        salvaged: bool,
+    ) -> Result<(), WiotError> {
+        let snippet = assemble(ecg, abp)?;
         if let Some(gate) = &self.quality_gate {
             let fs = self.config.fs;
             let noisy = |samples: &[f64], peaks: &[usize]| {
@@ -185,7 +308,7 @@ impl BaseStation {
                     .unwrap_or(false)
             };
             if noisy(&snippet.ecg, &snippet.r_peaks) || noisy(&snippet.abp, &snippet.sys_peaks) {
-                self.window_log.push((idx, WindowOutcome::Rejected));
+                self.log_window(idx, WindowOutcome::Rejected);
                 self.stats.windows_rejected += 1;
                 self.emitted_through = self.emitted_through.max(idx + 1);
                 return Ok(());
@@ -195,8 +318,52 @@ impl BaseStation {
         self.os.post(AmuletEvent::SnippetReady(snippet));
         self.os.run_until_idle()?;
         let alerted = self.os.alerts().len() > alerts_before;
-        self.window_log.push((idx, WindowOutcome::Emitted { alerted }));
-        self.stats.windows_emitted += 1;
+        if salvaged {
+            self.log_window(idx, WindowOutcome::Salvaged { alerted });
+            self.stats.windows_salvaged += 1;
+        } else {
+            self.log_window(idx, WindowOutcome::Emitted { alerted });
+            self.stats.windows_emitted += 1;
+        }
+        self.emitted_through = self.emitted_through.max(idx + 1);
+        Ok(())
+    }
+
+    /// Missing chunks of window `idx` on one channel map (an absent
+    /// entry means every chunk is missing).
+    fn missing_chunks(map: &BTreeMap<usize, PartialWindow>, idx: usize, per_window: usize) -> usize {
+        map.get(&idx)
+            .map(|w| w.chunks.iter().filter(|c| c.is_none()).count())
+            .unwrap_or(per_window)
+    }
+
+    /// Resolve an incomplete window whose missing chunks can no longer
+    /// arrive: salvage it when enabled and close enough to complete,
+    /// otherwise drop it.
+    fn resolve_incomplete(&mut self, idx: usize) -> Result<(), WiotError> {
+        let per_window = self.chunks_per_window;
+        let missing = Self::missing_chunks(&self.ecg, idx, per_window)
+            + Self::missing_chunks(&self.abp, idx, per_window);
+        if let Some(max_missing) = self.salvage_max_missing {
+            if missing <= max_missing {
+                let chunk_len = self.chunk_len;
+                let mut e = self.ecg.remove(&idx).unwrap_or_else(|| PartialWindow {
+                    chunks: vec![None; per_window],
+                    peaks: Vec::new(),
+                });
+                let mut a = self.abp.remove(&idx).unwrap_or_else(|| PartialWindow {
+                    chunks: vec![None; per_window],
+                    peaks: Vec::new(),
+                });
+                fill_missing(&mut e, chunk_len);
+                fill_missing(&mut a, chunk_len);
+                return self.dispatch_window(idx, e, a, true);
+            }
+        }
+        self.ecg.remove(&idx);
+        self.abp.remove(&idx);
+        self.log_window(idx, WindowOutcome::Dropped);
+        self.stats.windows_dropped += 1;
         self.emitted_through = self.emitted_through.max(idx + 1);
         Ok(())
     }
@@ -220,11 +387,7 @@ impl BaseStation {
                 .any(|(_, w)| complete(w))
                 || self.abp.range(idx + 2..).any(|(_, w)| complete(w));
             if newer_complete {
-                self.ecg.remove(&idx);
-                self.abp.remove(&idx);
-                self.window_log.push((idx, WindowOutcome::Dropped));
-                self.stats.windows_dropped += 1;
-                self.emitted_through += 1;
+                self.resolve_incomplete(idx)?;
                 continue;
             }
             return Ok(());
@@ -251,14 +414,57 @@ impl BaseStation {
             if self.window_complete(idx) {
                 self.emit_window(idx)?;
             } else {
-                self.ecg.remove(&idx);
-                self.abp.remove(&idx);
-                self.window_log.push((idx, WindowOutcome::Dropped));
-                self.stats.windows_dropped += 1;
-                self.emitted_through = self.emitted_through.max(idx + 1);
+                self.resolve_incomplete(idx)?;
             }
         }
         Ok(())
+    }
+
+    /// A brownout reboot: all in-flight window-assembly state is lost
+    /// (partially received windows will later resolve as dropped or
+    /// salvaged-from-nothing is impossible, so effectively dropped);
+    /// installed apps, the alert log, and the clock persist, as they
+    /// live in FRAM on the real device.
+    pub fn reboot(&mut self) {
+        self.ecg.clear();
+        self.abp.clear();
+        self.stats.reboots += 1;
+    }
+
+    /// Check stream liveness at `now_ms`: every watched stream silent
+    /// for longer than the watchdog timeout is flagged, a
+    /// `StreamStalled` event is posted through the OS (the watchdog app
+    /// turns it into a distinct alert), and the newly stalled streams
+    /// are returned. Without [`BaseStation::with_watchdog`] this is a
+    /// no-op.
+    ///
+    /// # Errors
+    ///
+    /// With a strict watchdog, returns [`WiotError::StreamStalled`] for
+    /// the first newly stalled stream; also propagates platform errors
+    /// from dispatching the event.
+    pub fn poll_watchdog(&mut self, now_ms: u64) -> Result<Vec<Stream>, WiotError> {
+        let Some(wd) = self.watchdog else {
+            return Ok(Vec::new());
+        };
+        let mut newly_stalled = Vec::new();
+        for stream in [Stream::Ecg, Stream::Abp] {
+            let slot = stream_slot(stream);
+            let silent_ms = now_ms.saturating_sub(self.last_arrival_ms[slot]);
+            if silent_ms >= wd.timeout_ms && !self.stalled[slot] {
+                self.stalled[slot] = true;
+                self.os.post(AmuletEvent::StreamStalled {
+                    stream: stream.to_string(),
+                    silent_ms,
+                });
+                self.os.run_until_idle()?;
+                newly_stalled.push(stream);
+                if wd.strict {
+                    return Err(WiotError::StreamStalled { stream, silent_ms });
+                }
+            }
+        }
+        Ok(newly_stalled)
     }
 
     /// Alerts raised by the installed apps so far.
@@ -273,7 +479,9 @@ impl BaseStation {
 
     /// Per-window outcomes `(window index, outcome)`, in window order —
     /// the ground truth-free record the scenario runner scores against.
-    pub fn window_log(&self) -> &[(usize, WindowOutcome)] {
+    /// Bounded by [`BaseStation::with_window_log_cap`]; evictions are
+    /// counted in [`BaseStationStats::log_evicted`].
+    pub fn window_log(&self) -> &VecDeque<(usize, WindowOutcome)> {
         &self.window_log
     }
 
@@ -296,6 +504,40 @@ impl BaseStation {
 
 fn complete(w: &PartialWindow) -> bool {
     w.chunks.iter().all(Option::is_some)
+}
+
+/// Whether every sample equals the first — the signature of a frozen
+/// ADC (real physiology is never exactly constant over a chunk).
+fn is_flat(samples: &[f64]) -> bool {
+    samples.windows(2).all(|w| w[0] == w[1])
+}
+
+/// Zero-order-hold repair: each missing chunk is filled with the last
+/// sample value preceding it (or the first available sample when the
+/// window starts with a hole). Returns the number of chunks filled.
+fn fill_missing(w: &mut PartialWindow, chunk_len: usize) -> usize {
+    let mut hold = w
+        .chunks
+        .iter()
+        .flatten()
+        .next()
+        .and_then(|c| c.first().copied())
+        .unwrap_or(0.0);
+    let mut filled = 0;
+    for c in w.chunks.iter_mut() {
+        match c {
+            Some(v) => {
+                if let Some(&last) = v.last() {
+                    hold = last;
+                }
+            }
+            None => {
+                *c = Some(vec![hold; chunk_len]);
+                filled += 1;
+            }
+        }
+    }
+    filled
 }
 
 fn assemble(ecg: PartialWindow, abp: PartialWindow) -> Result<Snippet, WiotError> {
@@ -351,7 +593,7 @@ mod tests {
                 break;
             }
             for p in [pe, pa].into_iter().flatten() {
-                if let Some(d) = channel.transmit(now, p) {
+                for d in channel.transmit(now, p) {
                     bs.receive(d).unwrap();
                 }
             }
@@ -375,7 +617,7 @@ mod tests {
     fn lossy_channel_drops_windows_not_correctness() {
         let mut bs = station();
         let r = Record::synthesize(&bank()[0], 60.0, 99);
-        let mut ch = Channel::new(0.1, 0, 0, 5);
+        let mut ch = Channel::new(0.1, 0, 0, 5).unwrap();
         stream_record(&mut bs, &r, &mut ch);
         let s = bs.stats();
         assert!(s.windows_dropped > 0, "{s:?}");
@@ -393,6 +635,108 @@ mod tests {
             BaseStation::new(app, cfg, 0.7),
             Err(WiotError::InvalidScenario { .. })
         ));
+    }
+
+    #[test]
+    fn salvage_repairs_nearly_complete_windows() {
+        // Same lossy run twice: without salvage some windows drop;
+        // with salvage (≤ 1 missing chunk) most of those survive.
+        let r = Record::synthesize(&bank()[0], 60.0, 99);
+        let mut plain = station();
+        stream_record(&mut plain, &r, &mut Channel::new(0.04, 0, 0, 5).unwrap());
+        let mut salv = station().with_salvage(1);
+        stream_record(&mut salv, &r, &mut Channel::new(0.04, 0, 0, 5).unwrap());
+        assert!(plain.stats().windows_dropped > 0);
+        assert!(salv.stats().windows_salvaged > 0, "{:?}", salv.stats());
+        assert!(salv.stats().windows_dropped < plain.stats().windows_dropped);
+        assert!(salv
+            .window_log()
+            .iter()
+            .any(|(_, o)| matches!(o, WindowOutcome::Salvaged { .. })));
+    }
+
+    #[test]
+    fn window_log_cap_bounds_memory() {
+        let mut bs = station().with_window_log_cap(3);
+        let r = Record::synthesize(&bank()[0], 30.0, 99);
+        stream_record(&mut bs, &r, &mut Channel::perfect());
+        assert_eq!(bs.window_log().len(), 3);
+        assert_eq!(bs.stats().log_evicted, 7);
+        // The newest entries survive.
+        assert_eq!(bs.window_log().back().map(|&(i, _)| i), Some(9));
+    }
+
+    #[test]
+    fn watchdog_flags_silent_stream_and_realerts_after_recovery() {
+        let mut bs = station().with_watchdog(2_000, false).unwrap();
+        // Nothing received: both streams stall after the timeout.
+        assert!(bs.poll_watchdog(1_000).unwrap().is_empty());
+        let stalled = bs.poll_watchdog(2_500).unwrap();
+        assert_eq!(stalled, vec![Stream::Ecg, Stream::Abp]);
+        let alerts: Vec<_> = bs.alerts().iter().filter(|a| a.app == "watchdog").collect();
+        assert_eq!(alerts.len(), 2);
+        assert!(alerts[0].message.contains("stream stalled"));
+        // Already flagged: no duplicate alert while still silent.
+        assert!(bs.poll_watchdog(3_000).unwrap().is_empty());
+        // ECG resumes, then goes silent again: fresh alert.
+        let r = Record::synthesize(&bank()[0], 3.0, 1);
+        let mut ecg = SensorDevice::ecg(&r, 0.5);
+        let p = ecg.poll().unwrap();
+        bs.receive(crate::channel::Delivery {
+            at_ms: 4_000,
+            packet: p,
+        })
+        .unwrap();
+        assert_eq!(bs.poll_watchdog(6_500).unwrap(), vec![Stream::Ecg]);
+    }
+
+    #[test]
+    fn strict_watchdog_is_a_hard_error() {
+        let mut bs = station().with_watchdog(1_000, true).unwrap();
+        assert!(matches!(
+            bs.poll_watchdog(5_000),
+            Err(WiotError::StreamStalled {
+                stream: Stream::Ecg,
+                silent_ms: 5_000
+            })
+        ));
+    }
+
+    #[test]
+    fn reboot_loses_inflight_windows_but_keeps_alert_log() {
+        let mut bs = station();
+        let r = Record::synthesize(&bank()[0], 30.0, 99);
+        let mut ecg = SensorDevice::ecg(&r, 0.5);
+        let mut abp = SensorDevice::abp(&r, 0.5);
+        // Deliver half a window, then brown out.
+        for _ in 0..3 {
+            for p in [ecg.poll(), abp.poll()].into_iter().flatten() {
+                bs.receive(crate::channel::Delivery { at_ms: 0, packet: p })
+                    .unwrap();
+            }
+        }
+        bs.reboot();
+        assert_eq!(bs.stats().reboots, 1);
+        // Stream the rest: window 0 can never complete and is dropped,
+        // later windows emit normally.
+        let mut ch = Channel::perfect();
+        let mut now = 1_500u64;
+        loop {
+            let (pe, pa) = (ecg.poll(), abp.poll());
+            if pe.is_none() && pa.is_none() {
+                break;
+            }
+            for p in [pe, pa].into_iter().flatten() {
+                for d in ch.transmit(now, p) {
+                    bs.receive(d).unwrap();
+                }
+            }
+            now += 500;
+        }
+        bs.flush().unwrap();
+        let s = bs.stats();
+        assert_eq!(s.windows_dropped, 1, "{s:?}");
+        assert_eq!(s.windows_emitted, 9, "{s:?}");
     }
 
     #[test]
@@ -461,7 +805,7 @@ mod quality_gate_tests {
                 break;
             }
             for p in [pe, pa].into_iter().flatten() {
-                if let Some(d) = ch.transmit(now, p) {
+                for d in ch.transmit(now, p) {
                     bs.receive(d).unwrap();
                 }
             }

@@ -1,3 +1,4 @@
+use crate::device::Stream;
 use std::error::Error;
 use std::fmt;
 
@@ -10,6 +11,24 @@ pub enum WiotError {
         /// Violated constraint.
         reason: &'static str,
     },
+    /// The ARQ layer exhausted its retry budget for a packet while the
+    /// transport was configured as strict (see
+    /// [`crate::transport::ArqConfig::strict`]).
+    RetryBudgetExhausted {
+        /// Stream whose packet could not be delivered.
+        stream: Stream,
+        /// Sequence number of the abandoned packet.
+        seq: u64,
+    },
+    /// A sensor stream stopped delivering data for longer than the
+    /// base-station watchdog tolerates while the watchdog was
+    /// configured as strict.
+    StreamStalled {
+        /// The silent stream.
+        stream: Stream,
+        /// How long the stream has been silent, ms.
+        silent_ms: u64,
+    },
     /// An error from the platform simulation.
     Amulet(amulet_sim::AmuletError),
     /// An error from the SIFT pipeline.
@@ -20,6 +39,12 @@ impl fmt::Display for WiotError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             WiotError::InvalidScenario { reason } => write!(f, "invalid scenario: {reason}"),
+            WiotError::RetryBudgetExhausted { stream, seq } => {
+                write!(f, "retry budget exhausted for {stream} packet #{seq}")
+            }
+            WiotError::StreamStalled { stream, silent_ms } => {
+                write!(f, "{stream} stream stalled: silent for {silent_ms} ms")
+            }
             WiotError::Amulet(e) => write!(f, "platform error: {e}"),
             WiotError::Sift(e) => write!(f, "sift error: {e}"),
         }
@@ -59,5 +84,22 @@ mod tests {
         let e = WiotError::from(amulet_sim::AmuletError::BatteryExhausted);
         assert!(e.to_string().contains("battery"));
         assert!(WiotError::InvalidScenario { reason: "x" }.source().is_none());
+    }
+
+    #[test]
+    fn transport_fault_variants_display() {
+        let e = WiotError::RetryBudgetExhausted {
+            stream: Stream::Ecg,
+            seq: 42,
+        };
+        assert!(e.to_string().contains("ecg"));
+        assert!(e.to_string().contains("42"));
+        assert!(e.source().is_none());
+        let e = WiotError::StreamStalled {
+            stream: Stream::Abp,
+            silent_ms: 5000,
+        };
+        assert!(e.to_string().contains("abp"));
+        assert!(e.to_string().contains("5000"));
     }
 }

@@ -10,7 +10,14 @@
 //! * [`device`] — the ECG and ABP body sensors, packetizing their
 //!   measurements,
 //! * [`channel`] — the lossy, jittery wireless hop between sensor and
-//!   base station,
+//!   base station, with Bernoulli and Gilbert–Elliott burst-loss
+//!   models, duplication, reordering, and payload corruption,
+//! * [`transport`] — a lightweight ARQ (gap NACKs, bounded retransmit
+//!   buffer, retry budget with exponential backoff) recovering most
+//!   losses before the detector sees them,
+//! * [`faults`] — a timed fault-injection plan (link degradation,
+//!   sensor dropout/stuck-at, device reboot, clock drift) for
+//!   robustness testing,
 //! * [`attacker`] — sensor-hijacking adversaries covering the paper's
 //!   four vulnerability classes (§I): channel compromise, firmware
 //!   compromise (replay), sensory-channel injection (noise), and
@@ -31,8 +38,10 @@ pub mod attacker;
 pub mod basestation;
 pub mod channel;
 pub mod device;
+pub mod faults;
 pub mod scenario;
 pub mod sink;
+pub mod transport;
 
 mod error;
 

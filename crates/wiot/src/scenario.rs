@@ -1,11 +1,20 @@
-//! Deterministic end-to-end scenarios: sensors → attacker → channel →
-//! base station → sink, scored against ground truth.
+//! Deterministic end-to-end scenarios: sensors → attacker → faults →
+//! channel/ARQ → base station → sink, scored against ground truth.
+//!
+//! A scenario optionally carries a [`FaultPlan`] (timed link
+//! degradation, sensor dropout, stuck sensors, brownout reboots, clock
+//! drift), an ARQ configuration for the wireless hop, and the base
+//! station's graceful-degradation knobs (partial-window salvage, stream
+//! watchdog). Everything is driven from the single scenario seed, so a
+//! faulted run replays byte-identically.
 
 use crate::attacker::{AttackMode, Attacker};
 use crate::basestation::{BaseStation, WindowOutcome};
-use crate::channel::Channel;
-use crate::device::SensorDevice;
+use crate::channel::{Channel, ChannelConfig, ChannelStats, Delivery, LossModel};
+use crate::device::{SensorDevice, Stream};
+use crate::faults::{FaultPlan, FaultSummary};
 use crate::sink::Sink;
+use crate::transport::{ArqConfig, ArqLink, TransportStats};
 use crate::WiotError;
 use amulet_sim::apps::SiftApp;
 use ml::metrics::ConfusionMatrix;
@@ -19,12 +28,24 @@ use sift::trainer::train_for_subject;
 /// Wireless-link parameters for a scenario.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LinkParams {
-    /// Packet-loss probability.
+    /// Packet-loss probability (independent Bernoulli loss; ignored
+    /// when [`LinkParams::loss`] is set).
     pub loss_prob: f64,
     /// Base one-way delay, ms.
     pub base_delay_ms: u64,
     /// Uniform jitter bound, ms.
     pub jitter_ms: u64,
+    /// Full loss-process override (e.g. Gilbert–Elliott burst loss);
+    /// `None` means Bernoulli at `loss_prob`.
+    pub loss: Option<LossModel>,
+    /// Probability a delivered packet is duplicated by the radio MAC.
+    pub dup_prob: f64,
+    /// Probability a delivered packet takes the late (reordering) path.
+    pub reorder_prob: f64,
+    /// Extra delay of a reordered packet, ms.
+    pub reorder_extra_ms: u64,
+    /// Probability a delivered packet's payload is corrupted.
+    pub corrupt_prob: f64,
 }
 
 impl Default for LinkParams {
@@ -33,6 +54,28 @@ impl Default for LinkParams {
             loss_prob: 0.0,
             base_delay_ms: 5,
             jitter_ms: 3,
+            loss: None,
+            dup_prob: 0.0,
+            reorder_prob: 0.0,
+            reorder_extra_ms: 0,
+            corrupt_prob: 0.0,
+        }
+    }
+}
+
+impl LinkParams {
+    fn to_channel_config(self) -> ChannelConfig {
+        ChannelConfig {
+            loss: self.loss.unwrap_or(LossModel::Bernoulli {
+                p: self.loss_prob,
+            }),
+            base_delay_ms: self.base_delay_ms,
+            jitter_ms: self.jitter_ms,
+            dup_prob: self.dup_prob,
+            reorder_prob: self.reorder_prob,
+            reorder_extra_ms: self.reorder_extra_ms,
+            corrupt_prob: self.corrupt_prob,
+            ..ChannelConfig::default()
         }
     }
 }
@@ -61,6 +104,16 @@ pub struct Scenario {
     pub attack: Option<AttackSpec>,
     /// Wireless link parameters.
     pub link: LinkParams,
+    /// Timed environment faults injected during the session.
+    pub faults: FaultPlan,
+    /// ARQ on the sensor → base-station hop; `None` leaves the link
+    /// unprotected.
+    pub arq: Option<ArqConfig>,
+    /// Salvage windows missing at most this many chunks (across both
+    /// channels); `None` drops every incomplete window.
+    pub salvage_max_missing: Option<usize>,
+    /// Stream watchdog timeout, ms; `None` disables the watchdog.
+    pub watchdog_timeout_ms: Option<u64>,
     /// Pipeline/training configuration.
     pub config: SiftConfig,
     /// Sensor packet length in seconds (must divide the window).
@@ -80,6 +133,10 @@ impl Scenario {
             duration_s,
             attack: None,
             link: LinkParams::default(),
+            faults: FaultPlan::new(),
+            arq: None,
+            salvage_max_missing: None,
+            watchdog_timeout_ms: None,
             config: SiftConfig {
                 train_s: 60.0,
                 max_positive_per_donor: Some(15),
@@ -88,6 +145,16 @@ impl Scenario {
             chunk_s: 0.5,
             seed: 0xC0FFEE,
         }
+    }
+
+    /// The same scenario hardened for a hostile environment: ARQ on the
+    /// links, one-chunk salvage, and a 3-window stream watchdog.
+    #[must_use]
+    pub fn with_reliability(mut self) -> Self {
+        self.arq = Some(ArqConfig::default());
+        self.salvage_max_missing = Some(1);
+        self.watchdog_timeout_ms = Some((self.config.window_s * 3.0 * 1000.0) as u64);
+        self
     }
 }
 
@@ -100,17 +167,133 @@ pub struct SimReport {
     /// Windows excluded from scoring because the attack covered only
     /// part of them.
     pub ambiguous_windows: usize,
-    /// Windows dropped by the base station (lost packets).
+    /// Windows dropped by the base station (lost packets) or rejected
+    /// by the quality gate.
     pub dropped_windows: usize,
+    /// Windows repaired by zero-order-hold salvage and dispatched
+    /// flagged degraded.
+    pub salvaged_windows: usize,
+    /// Fraction of the session's expected detection windows that
+    /// reached the detector (emitted or salvaged).
+    pub window_recovery_rate: f64,
     /// Latency from attack start to the first alert on an attacked
     /// window, ms (None when no attack or never detected).
     pub detection_latency_ms: Option<u64>,
-    /// Observed channel loss rate.
+    /// Observed channel loss rate (mean of both links).
     pub channel_loss_rate: f64,
+    /// Channel traffic counters, summed over both links.
+    pub channel: ChannelStats,
+    /// ARQ counters, summed over both links (`None` when ARQ was off).
+    pub transport: Option<TransportStats>,
+    /// Everything the fault plan actually did.
+    pub faults: FaultSummary,
+    /// Stream-stalled alerts the watchdog raised.
+    pub stall_alerts: usize,
     /// Battery fraction remaining at the end of the session.
     pub battery_left: f64,
     /// The sink with the archived alerts.
     pub sink: Sink,
+}
+
+/// One sensor → base-station link: raw channel or ARQ-protected.
+enum Link {
+    Raw {
+        channel: Channel,
+        in_flight: Vec<Delivery>,
+    },
+    Arq(ArqLink),
+}
+
+impl Link {
+    fn new(config: ChannelConfig, seed: u64, arq: Option<ArqConfig>) -> Result<Self, WiotError> {
+        let channel = Channel::with_config(config, seed)?;
+        Ok(match arq {
+            Some(cfg) => Link::Arq(ArqLink::new(channel, cfg)?),
+            None => Link::Raw {
+                channel,
+                in_flight: Vec::new(),
+            },
+        })
+    }
+
+    fn send(&mut self, now_ms: u64, packet: crate::device::SensorPacket) {
+        match self {
+            Link::Raw { channel, in_flight } => {
+                in_flight.extend(channel.transmit(now_ms, packet));
+            }
+            Link::Arq(link) => link.send(now_ms, packet),
+        }
+    }
+
+    fn pump(&mut self, now_ms: u64) -> Result<Vec<Delivery>, WiotError> {
+        match self {
+            Link::Raw { in_flight, .. } => {
+                let mut arrived = Vec::new();
+                let mut flying = Vec::with_capacity(in_flight.len());
+                for d in in_flight.drain(..) {
+                    if d.at_ms <= now_ms {
+                        arrived.push(d);
+                    } else {
+                        flying.push(d);
+                    }
+                }
+                *in_flight = flying;
+                arrived.sort_by_key(|d| d.at_ms);
+                Ok(arrived)
+            }
+            Link::Arq(link) => link.pump(now_ms),
+        }
+    }
+
+    fn idle(&self) -> bool {
+        match self {
+            Link::Raw { in_flight, .. } => in_flight.is_empty(),
+            Link::Arq(link) => link.idle(),
+        }
+    }
+
+    fn channel(&self) -> &Channel {
+        match self {
+            Link::Raw { channel, .. } => channel,
+            Link::Arq(link) => link.channel(),
+        }
+    }
+
+    fn set_degrade(&mut self, loss: Option<LossModel>) -> Result<(), WiotError> {
+        match self {
+            Link::Raw { channel, .. } => channel.set_degrade(loss),
+            Link::Arq(link) => link.channel_mut().set_degrade(loss),
+        }
+    }
+
+    fn transport_stats(&self) -> Option<TransportStats> {
+        match self {
+            Link::Raw { .. } => None,
+            Link::Arq(link) => Some(link.stats()),
+        }
+    }
+}
+
+fn add_channel_stats(a: ChannelStats, b: ChannelStats) -> ChannelStats {
+    ChannelStats {
+        sent: a.sent + b.sent,
+        lost: a.lost + b.lost,
+        duplicated: a.duplicated + b.duplicated,
+        reordered: a.reordered + b.reordered,
+        corrupted: a.corrupted + b.corrupted,
+    }
+}
+
+fn add_transport_stats(a: TransportStats, b: TransportStats) -> TransportStats {
+    TransportStats {
+        data_sent: a.data_sent + b.data_sent,
+        retransmits: a.retransmits + b.retransmits,
+        nacks_sent: a.nacks_sent + b.nacks_sent,
+        gap_recoveries: a.gap_recoveries + b.gap_recoveries,
+        give_ups: a.give_ups + b.give_ups,
+        duplicates_discarded: a.duplicates_discarded + b.duplicates_discarded,
+        buffer_evictions: a.buffer_evictions + b.buffer_evictions,
+    }
 }
 
 /// Run `scenario` to completion.
@@ -133,6 +316,7 @@ pub fn run(scenario: &Scenario) -> Result<SimReport, WiotError> {
             });
         }
     }
+    scenario.faults.validate(scenario.duration_s)?;
 
     // Offline training, then deployment.
     let model = train_for_subject(
@@ -148,6 +332,12 @@ pub fn run(scenario: &Scenario) -> Result<SimReport, WiotError> {
         scenario.config.clone(),
     )?;
     let mut station = BaseStation::new(app, scenario.config.clone(), scenario.chunk_s)?;
+    if let Some(max_missing) = scenario.salvage_max_missing {
+        station = station.with_salvage(max_missing);
+    }
+    if let Some(timeout_ms) = scenario.watchdog_timeout_ms {
+        station = station.with_watchdog(timeout_ms, false)?;
+    }
 
     // Live session data (unseen by training).
     let live = Record::synthesize(
@@ -167,45 +357,109 @@ pub fn run(scenario: &Scenario) -> Result<SimReport, WiotError> {
         )
     });
 
-    let mut ecg_channel = Channel::new(
-        scenario.link.loss_prob,
-        scenario.link.base_delay_ms,
-        scenario.link.jitter_ms,
-        scenario.seed ^ 0xC41,
-    );
-    let mut abp_channel = Channel::new(
-        scenario.link.loss_prob,
-        scenario.link.base_delay_ms,
-        scenario.link.jitter_ms,
-        scenario.seed ^ 0xC42,
-    );
+    let link_config = scenario.link.to_channel_config();
+    let mut links = [
+        Link::new(link_config.clone(), scenario.seed ^ 0xC41, scenario.arq)?,
+        Link::new(link_config, scenario.seed ^ 0xC42, scenario.arq)?,
+    ];
+    let streams = [Stream::Ecg, Stream::Abp];
+    let mut fault_summary = FaultSummary::default();
+    // Hold value per stream for stuck-at injection.
+    let mut stuck_hold = [0.0f64; 2];
 
     // Drive the session chunk by chunk.
     let chunk_ms = (scenario.chunk_s * 1000.0) as u64;
     let mut now_ms = 0u64;
+    let mut prev_ms = 0u64;
     loop {
         let pe = ecg_dev.poll();
         let pa = abp_dev.poll();
         if pe.is_none() && pa.is_none() {
             break;
         }
-        if let Some(mut p) = pe {
-            if let Some(att) = attacker.as_mut() {
-                p = att.intercept(now_ms, p, live.fs);
-            }
-            if let Some(d) = ecg_channel.transmit(now_ms, p) {
-                station.receive(d)?;
-            }
+
+        // Brownout reboots scheduled since the last tick.
+        let reboots = scenario.faults.reboots_between(prev_ms, now_ms);
+        for _ in 0..reboots {
+            station.reboot();
+            fault_summary.reboots += 1;
         }
-        if let Some(p) = pa {
-            if let Some(d) = abp_channel.transmit(now_ms, p) {
-                station.receive(d)?;
+
+        // Link-degradation episodes.
+        let mut any_degraded = false;
+        for (i, stream) in streams.iter().enumerate() {
+            let want = scenario.faults.degrade(*stream, now_ms).copied();
+            if want.is_some() != links[i].channel().is_degraded() || want.is_some() {
+                links[i].set_degrade(want)?;
             }
+            any_degraded |= want.is_some();
         }
+        if any_degraded {
+            fault_summary.degraded_link_ms += chunk_ms;
+        }
+
+        // Offer each packet to its (possibly faulted) sensor and link.
+        for (i, (stream, packet)) in [(Stream::Ecg, pe), (Stream::Abp, pa)]
+            .into_iter()
+            .enumerate()
+        {
+            let Some(mut p) = packet else { continue };
+            if stream == Stream::Ecg {
+                if let Some(att) = attacker.as_mut() {
+                    p = att.intercept(now_ms, p, live.fs);
+                }
+            }
+            if scenario.faults.is_dropout(stream, now_ms) {
+                fault_summary.dropout_chunks += 1;
+                continue;
+            }
+            if scenario.faults.is_stuck(stream, now_ms) {
+                // Frozen ADC: flat payload at the last healthy value,
+                // no peak annotations.
+                for s in p.samples.iter_mut() {
+                    *s = stuck_hold[i];
+                }
+                p.peaks.clear();
+                fault_summary.stuck_chunks += 1;
+            } else if let Some(&last) = p.samples.last() {
+                stuck_hold[i] = last;
+            }
+            let skew_ms = scenario.faults.clock_skew_ms(stream, now_ms);
+            fault_summary.max_clock_skew_ms = fault_summary.max_clock_skew_ms.max(skew_ms);
+            links[i].send(now_ms + skew_ms, p);
+        }
+
+        // Collect everything arriving by now, in delivery-time order
+        // across both links (stable sort: equal times keep ECG first).
+        let mut arrivals = links[0].pump(now_ms)?;
+        arrivals.extend(links[1].pump(now_ms)?);
+        arrivals.sort_by_key(|d| d.at_ms);
+        for d in arrivals {
+            station.receive(d)?;
+        }
+        station.poll_watchdog(now_ms)?;
+
+        prev_ms = now_ms;
         now_ms += chunk_ms;
         station.advance_time(chunk_ms);
     }
+
+    // Drain: in-flight packets and pending retransmissions may still
+    // complete windows after the sensors stop.
+    let mut drain_ticks = 0;
+    while links.iter().any(|l| !l.idle()) && drain_ticks < 1_000 {
+        now_ms += chunk_ms;
+        station.advance_time(chunk_ms);
+        let mut arrivals = links[0].pump(now_ms)?;
+        arrivals.extend(links[1].pump(now_ms)?);
+        arrivals.sort_by_key(|d| d.at_ms);
+        for d in arrivals {
+            station.receive(d)?;
+        }
+        drain_ticks += 1;
+    }
     station.flush()?;
+    station.poll_watchdog(now_ms)?;
 
     // Score the window log against ground truth.
     let window_ms = (scenario.config.window_s * 1000.0) as u64;
@@ -236,7 +490,7 @@ pub fn run(scenario: &Scenario) -> Result<SimReport, WiotError> {
         };
         match outcome {
             WindowOutcome::Dropped | WindowOutcome::Rejected => dropped += 1,
-            WindowOutcome::Emitted { alerted } => {
+            WindowOutcome::Emitted { alerted } | WindowOutcome::Salvaged { alerted } => {
                 let predicted = if alerted {
                     Label::Positive
                 } else {
@@ -257,12 +511,30 @@ pub fn run(scenario: &Scenario) -> Result<SimReport, WiotError> {
     let mut sink = Sink::new();
     sink.archive_alerts(station.alerts());
 
+    let stats = station.stats();
+    let expected_windows = (scenario.duration_s / scenario.config.window_s).floor().max(1.0);
+    let recovered = stats.windows_emitted + stats.windows_salvaged;
+    let stall_alerts = station
+        .alerts()
+        .iter()
+        .filter(|a| a.app == "watchdog")
+        .count();
+
     Ok(SimReport {
         confusion,
         ambiguous_windows: ambiguous,
         dropped_windows: dropped,
+        salvaged_windows: stats.windows_salvaged as usize,
+        window_recovery_rate: recovered as f64 / expected_windows,
         detection_latency_ms: latency,
-        channel_loss_rate: (ecg_channel.loss_rate() + abp_channel.loss_rate()) / 2.0,
+        channel_loss_rate: (links[0].channel().loss_rate() + links[1].channel().loss_rate()) / 2.0,
+        channel: add_channel_stats(links[0].channel().stats(), links[1].channel().stats()),
+        transport: match (links[0].transport_stats(), links[1].transport_stats()) {
+            (Some(a), Some(b)) => Some(add_transport_stats(a, b)),
+            _ => None,
+        },
+        faults: fault_summary,
+        stall_alerts,
         battery_left: station
             .os()
             .meter()
@@ -274,6 +546,7 @@ pub fn run(scenario: &Scenario) -> Result<SimReport, WiotError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::{FaultEvent, FaultKind};
 
     #[test]
     fn quiet_session_has_few_false_alerts() {
@@ -284,6 +557,9 @@ mod tests {
         assert!(fp_rate < 0.3, "fp rate {fp_rate}");
         assert!(r.detection_latency_ms.is_none());
         assert!(r.battery_left > 0.99);
+        assert!(r.transport.is_none());
+        assert_eq!(r.salvaged_windows, 0);
+        assert!((r.window_recovery_rate - 1.0).abs() < 1e-12);
     }
 
     #[test]
@@ -329,6 +605,63 @@ mod tests {
         assert!(r.channel_loss_rate > 0.02);
         // Still scores the windows that survived.
         assert!(r.confusion.total() > 0);
+        assert!(r.window_recovery_rate < 1.0);
+    }
+
+    #[test]
+    fn arq_recovers_what_the_raw_link_loses() {
+        let mut s = Scenario::new(0, Version::Reduced, 60.0);
+        s.link.loss_prob = 0.08;
+        let raw = run(&s).unwrap();
+        s.arq = Some(ArqConfig::default());
+        let arq = run(&s).unwrap();
+        let t = arq.transport.expect("ARQ was on");
+        assert!(t.retransmits > 0, "{t:?}");
+        assert!(
+            arq.window_recovery_rate > raw.window_recovery_rate,
+            "arq {} vs raw {}",
+            arq.window_recovery_rate,
+            raw.window_recovery_rate
+        );
+    }
+
+    #[test]
+    fn fault_plan_counters_reach_the_report() {
+        let mut s = Scenario::new(0, Version::Reduced, 60.0);
+        s.faults = FaultPlan::new()
+            .with(FaultEvent {
+                start_s: 10.0,
+                end_s: 15.0,
+                kind: FaultKind::SensorDropout {
+                    stream: Stream::Abp,
+                },
+            })
+            .with(FaultEvent {
+                start_s: 20.0,
+                end_s: 25.0,
+                kind: FaultKind::SensorStuck {
+                    stream: Stream::Ecg,
+                },
+            })
+            .with(FaultEvent {
+                start_s: 30.0,
+                end_s: 30.0,
+                kind: FaultKind::DeviceReboot,
+            })
+            .with(FaultEvent {
+                start_s: 40.0,
+                end_s: 50.0,
+                kind: FaultKind::LinkDegrade {
+                    stream: None,
+                    loss: LossModel::Bernoulli { p: 0.8 },
+                },
+            });
+        let r = run(&s).unwrap();
+        assert_eq!(r.faults.dropout_chunks, 10, "{:?}", r.faults);
+        assert_eq!(r.faults.stuck_chunks, 10, "{:?}", r.faults);
+        assert_eq!(r.faults.reboots, 1);
+        assert!(r.faults.degraded_link_ms >= 9_000, "{:?}", r.faults);
+        assert!(r.dropped_windows > 0, "degrade episode should cost windows");
     }
 
     #[test]
@@ -342,6 +675,13 @@ mod tests {
             end_s: 3.0,
         });
         assert!(run(&s).is_err());
+        s = Scenario::new(0, Version::Original, 10.0);
+        s.faults = FaultPlan::new().with(FaultEvent {
+            start_s: 50.0,
+            end_s: 60.0,
+            kind: FaultKind::DeviceReboot,
+        });
+        assert!(run(&s).is_err(), "fault outside the session");
     }
 
     #[test]

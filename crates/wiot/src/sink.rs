@@ -7,6 +7,12 @@
 
 use amulet_sim::machine::Alert;
 
+/// Default archive capacities. The sink is "resource-rich", but a
+/// multi-day soak must still run in flat memory; these bounds hold
+/// weeks of realistic traffic.
+const DEFAULT_ALERT_CAP: usize = 8_192;
+const DEFAULT_VITALS_CAP: usize = 32_768;
+
 /// One archived vitals sample.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct VitalsEntry {
@@ -16,11 +22,28 @@ pub struct VitalsEntry {
     pub heart_rate_bpm: f64,
 }
 
-/// The sink's storage.
-#[derive(Debug, Clone, Default)]
+/// The sink's storage: bounded archives with oldest-first eviction.
+#[derive(Debug, Clone)]
 pub struct Sink {
     alerts: Vec<Alert>,
     vitals: Vec<VitalsEntry>,
+    alert_cap: usize,
+    vitals_cap: usize,
+    alerts_evicted: u64,
+    vitals_evicted: u64,
+}
+
+impl Default for Sink {
+    fn default() -> Self {
+        Self {
+            alerts: Vec::new(),
+            vitals: Vec::new(),
+            alert_cap: DEFAULT_ALERT_CAP,
+            vitals_cap: DEFAULT_VITALS_CAP,
+            alerts_evicted: 0,
+            vitals_evicted: 0,
+        }
+    }
 }
 
 impl Sink {
@@ -29,8 +52,16 @@ impl Sink {
         Self::default()
     }
 
+    /// Override the archive capacities (each at least 1).
+    pub fn with_caps(mut self, alert_cap: usize, vitals_cap: usize) -> Self {
+        self.alert_cap = alert_cap.max(1);
+        self.vitals_cap = vitals_cap.max(1);
+        self
+    }
+
     /// Archive alerts forwarded from the base station; duplicates
-    /// (same app + timestamp) are kept only once.
+    /// (same app + timestamp) are kept only once. Past the capacity the
+    /// oldest alerts are evicted (and counted).
     pub fn archive_alerts(&mut self, alerts: &[Alert]) {
         for a in alerts {
             if !self
@@ -38,17 +69,35 @@ impl Sink {
                 .iter()
                 .any(|b| b.at_ms == a.at_ms && b.app == a.app && b.message == a.message)
             {
+                if self.alerts.len() >= self.alert_cap {
+                    self.alerts.remove(0);
+                    self.alerts_evicted += 1;
+                }
                 self.alerts.push(a.clone());
             }
         }
     }
 
-    /// Archive one vitals sample.
+    /// Archive one vitals sample, evicting the oldest past the cap.
     pub fn archive_vitals(&mut self, at_ms: u64, heart_rate_bpm: f64) {
+        if self.vitals.len() >= self.vitals_cap {
+            self.vitals.remove(0);
+            self.vitals_evicted += 1;
+        }
         self.vitals.push(VitalsEntry {
             at_ms,
             heart_rate_bpm,
         });
+    }
+
+    /// Alerts evicted from the bounded archive so far.
+    pub fn alerts_evicted(&self) -> u64 {
+        self.alerts_evicted
+    }
+
+    /// Vitals samples evicted from the bounded archive so far.
+    pub fn vitals_evicted(&self) -> u64 {
+        self.vitals_evicted
     }
 
     /// All archived alerts, in arrival order.
@@ -105,6 +154,21 @@ mod tests {
         let hits = s.alerts_between(10, 20);
         assert_eq!(hits.len(), 1);
         assert_eq!(hits[0].message, "y");
+    }
+
+    #[test]
+    fn bounded_archives_evict_oldest() {
+        let mut s = Sink::new().with_caps(2, 3);
+        s.archive_alerts(&[alert(1, "a"), alert(2, "b"), alert(3, "c")]);
+        assert_eq!(s.alerts().len(), 2);
+        assert_eq!(s.alerts_evicted(), 1);
+        assert_eq!(s.alerts()[0].message, "b");
+        for t in 0..5 {
+            s.archive_vitals(t, 60.0 + t as f64);
+        }
+        assert_eq!(s.vitals().len(), 3);
+        assert_eq!(s.vitals_evicted(), 2);
+        assert_eq!(s.vitals()[0].at_ms, 2);
     }
 
     #[test]

@@ -24,7 +24,7 @@ proptest! {
     #[test]
     fn channel_loss_rate_tracks_parameter(loss_pct in 0u32..=90, seed in any::<u64>()) {
         let p = loss_pct as f64 / 100.0;
-        let mut ch = Channel::new(p, 0, 0, seed);
+        let mut ch = Channel::new(p, 0, 0, seed).unwrap();
         for i in 0..2000 {
             ch.transmit(0, ecg_packet(i, 4, 0.0));
         }
@@ -33,11 +33,12 @@ proptest! {
 
     #[test]
     fn channel_delay_bounded(delay in 0u64..100, jitter in 0u64..50, seed in any::<u64>()) {
-        let mut ch = Channel::new(0.0, delay, jitter, seed);
+        let mut ch = Channel::new(0.0, delay, jitter, seed).unwrap();
         for i in 0..200 {
-            let d = ch.transmit(1000, ecg_packet(i, 4, 0.0)).unwrap();
-            prop_assert!(d.at_ms >= 1000 + delay);
-            prop_assert!(d.at_ms <= 1000 + delay + jitter);
+            let ds = ch.transmit(1000, ecg_packet(i, 4, 0.0));
+            prop_assert_eq!(ds.len(), 1);
+            prop_assert!(ds[0].at_ms >= 1000 + delay);
+            prop_assert!(ds[0].at_ms <= 1000 + delay + jitter);
         }
     }
 
@@ -144,7 +145,7 @@ proptest! {
         let record = Record::synthesize(&bank()[0], 30.0, seed);
         let mut ecg = SensorDevice::ecg(&record, 0.5);
         let mut abp = SensorDevice::abp(&record, 0.5);
-        let mut ch = Channel::new(loss_pct as f64 / 100.0, 0, 0, seed ^ 0xF00);
+        let mut ch = Channel::new(loss_pct as f64 / 100.0, 0, 0, seed ^ 0xF00).unwrap();
         let mut now = 0u64;
         loop {
             let (pe, pa) = (ecg.poll(), abp.poll());
@@ -152,7 +153,7 @@ proptest! {
                 break;
             }
             for p in [pe, pa].into_iter().flatten() {
-                if let Some(d) = ch.transmit(now, p) {
+                for d in ch.transmit(now, p) {
                     bs.receive(d).unwrap();
                 }
             }

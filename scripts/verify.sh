@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Full verification gate: release build, tests, and lint-clean clippy.
+# Run from the repository root: ./scripts/verify.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo clippy --workspace -- -D warnings
+echo "verify: OK"

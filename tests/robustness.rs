@@ -2,6 +2,11 @@
 //! deployed detector must survive.
 
 use physio_sim::dataset::windows;
+use wiot::channel::LossModel;
+use wiot::device::Stream;
+use wiot::faults::{FaultEvent, FaultKind, FaultPlan};
+use wiot::scenario::{run, Scenario};
+use wiot::transport::ArqConfig;
 use physio_sim::ectopy::{synthesize_with_ectopy, EctopyParams};
 use physio_sim::record::Record;
 use physio_sim::subject::bank;
@@ -139,4 +144,170 @@ fn nan_samples_alert_rather_than_classify() {
     let d = det.classify(&sn).unwrap();
     assert!(d.is_alert());
     assert!(d.degenerate);
+}
+
+/// ~10 % mean Gilbert–Elliott burst loss. Without reliability the seed
+/// behaviour drops every window with a missing chunk; with ARQ +
+/// partial-window salvage at least 90 % of detection windows must still
+/// reach the detector.
+#[test]
+fn burst_loss_arq_recovers_ninety_percent_of_windows() {
+    // frac_bad = 0.025 / 0.225 = 1/9; mean loss ≈ 0.01·8/9 + 0.8/9 ≈ 9.8 %.
+    let burst = LossModel::GilbertElliott {
+        p_good_to_bad: 0.025,
+        p_bad_to_good: 0.2,
+        loss_good: 0.01,
+        loss_bad: 0.8,
+    };
+    let mut s = Scenario::new(0, Version::Reduced, 120.0);
+    s.link.loss = Some(burst);
+    let unprotected = run(&s).unwrap();
+
+    s.arq = Some(ArqConfig::default());
+    s.salvage_max_missing = Some(1);
+    let protected = run(&s).unwrap();
+
+    assert!(
+        unprotected.window_recovery_rate < 0.9,
+        "burst loss should hurt the unprotected link: {:.3}",
+        unprotected.window_recovery_rate
+    );
+    assert!(
+        protected.window_recovery_rate >= 0.9,
+        "ARQ + salvage must recover ≥ 90% of windows, got {:.3}",
+        protected.window_recovery_rate
+    );
+    let t = protected.transport.expect("ARQ was on");
+    assert!(t.retransmits > 0 && t.gap_recoveries > 0, "{t:?}");
+}
+
+/// A stuck (flatlined but still transmitting) sensor must surface as a
+/// `StreamStalled` alert archived at the sink — not as silence.
+#[test]
+fn stuck_sensor_raises_stream_stalled() {
+    let mut s = Scenario::new(0, Version::Reduced, 60.0);
+    s.watchdog_timeout_ms = Some(9_000);
+    s.faults = FaultPlan::new().with(FaultEvent {
+        start_s: 20.0,
+        end_s: 45.0,
+        kind: FaultKind::SensorStuck {
+            stream: Stream::Abp,
+        },
+    });
+    let r = run(&s).unwrap();
+    assert!(r.faults.stuck_chunks > 0);
+    assert!(r.stall_alerts >= 1, "watchdog never fired: {:?}", r.faults);
+    let stalled: Vec<_> = r
+        .sink
+        .alerts()
+        .iter()
+        .filter(|a| a.app == "watchdog")
+        .collect();
+    assert!(
+        stalled.iter().any(|a| a.message.contains("abp")),
+        "stall alert should name the stream: {stalled:?}"
+    );
+}
+
+/// The same faulted scenario, run twice, must produce byte-identical
+/// reports: every stochastic decision hangs off the scenario seed.
+#[test]
+fn faulted_runs_are_seed_deterministic() {
+    let mut s = Scenario::new(1, Version::Reduced, 60.0);
+    s.link.loss = Some(LossModel::GilbertElliott {
+        p_good_to_bad: 0.05,
+        p_bad_to_good: 0.3,
+        loss_good: 0.02,
+        loss_bad: 0.7,
+    });
+    s.link.dup_prob = 0.02;
+    s.link.reorder_prob = 0.05;
+    s.link.reorder_extra_ms = 40;
+    s.faults = FaultPlan::new()
+        .with(FaultEvent {
+            start_s: 10.0,
+            end_s: 20.0,
+            kind: FaultKind::SensorDropout {
+                stream: Stream::Abp,
+            },
+        })
+        .with(FaultEvent {
+            start_s: 30.0,
+            end_s: 30.0,
+            kind: FaultKind::DeviceReboot,
+        });
+    s = s.with_reliability();
+    let a = run(&s).unwrap();
+    let b = run(&s).unwrap();
+    assert_eq!(format!("{a:?}"), format!("{b:?}"));
+}
+
+/// Soak: a full simulated hour under the complete fault taxonomy —
+/// burst loss, sensor dropout, brownout reboots, clock drift — finishes
+/// without panic, every fault class shows up in the report counters,
+/// and at least one `StreamStalled` alert reaches the sink.
+#[test]
+fn one_hour_soak_with_full_fault_plan() {
+    let mut s = Scenario::new(2, Version::Reduced, 3_600.0);
+    s.link.loss = Some(LossModel::GilbertElliott {
+        p_good_to_bad: 0.02,
+        p_bad_to_good: 0.25,
+        loss_good: 0.01,
+        loss_bad: 0.6,
+    });
+    let mut plan = FaultPlan::new();
+    // A dropout long enough to trip the watchdog every 10 minutes.
+    for i in 0..6u32 {
+        let t = 300.0 + 600.0 * f64::from(i);
+        plan = plan
+            .with(FaultEvent {
+                start_s: t,
+                end_s: t + 30.0,
+                kind: FaultKind::SensorDropout {
+                    stream: Stream::Ecg,
+                },
+            })
+            .with(FaultEvent {
+                start_s: t + 120.0,
+                end_s: t + 120.0,
+                kind: FaultKind::DeviceReboot,
+            });
+    }
+    plan = plan
+        .with(FaultEvent {
+            start_s: 1_000.0,
+            end_s: 1_600.0,
+            kind: FaultKind::ClockDrift {
+                stream: Stream::Abp,
+                ppm: 5_000.0,
+            },
+        })
+        .with(FaultEvent {
+            start_s: 2_000.0,
+            end_s: 2_300.0,
+            kind: FaultKind::LinkDegrade {
+                stream: None,
+                loss: LossModel::Bernoulli { p: 0.5 },
+            },
+        });
+    s.faults = plan;
+    s = s.with_reliability();
+
+    let r = run(&s).unwrap();
+    assert!(r.faults.dropout_chunks > 0, "{:?}", r.faults);
+    assert_eq!(r.faults.reboots, 6, "{:?}", r.faults);
+    assert!(r.faults.degraded_link_ms >= 299_000, "{:?}", r.faults);
+    assert!(r.faults.max_clock_skew_ms >= 2, "{:?}", r.faults);
+    assert!(r.stall_alerts >= 1, "no StreamStalled alert in the soak");
+    assert!(
+        r.sink
+            .alerts()
+            .iter()
+            .any(|a| a.app == "watchdog" && a.message.contains("stalled")),
+        "StreamStalled alert must be archived at the sink"
+    );
+    let t = r.transport.expect("ARQ on");
+    assert!(t.retransmits > 0);
+    // The reliability stack keeps most of the hour scoring-worthy.
+    assert!(r.window_recovery_rate > 0.8, "{:.3}", r.window_recovery_rate);
 }

@@ -44,6 +44,7 @@ fn heavy_loss_still_produces_scorable_output() {
         loss_prob: 0.08,
         base_delay_ms: 20,
         jitter_ms: 15,
+        ..LinkParams::default()
     };
     let r = run(&s).unwrap();
     assert!(r.dropped_windows >= 3, "dropped {}", r.dropped_windows);
