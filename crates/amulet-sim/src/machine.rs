@@ -98,7 +98,12 @@ impl<'a> AppContext<'a> {
 }
 
 /// An AmuletOS application.
-pub trait App {
+///
+/// Apps are `Send` so whole simulated devices can be sharded across
+/// worker threads by the fleet engine (`wiot::fleet`); on the device
+/// itself there is still no concurrency — events are dispatched
+/// run-to-completion on one logical core.
+pub trait App: Send {
     /// Unique app name.
     fn name(&self) -> &str;
 

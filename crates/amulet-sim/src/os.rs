@@ -217,6 +217,18 @@ impl AmuletOs {
         self.dispatched
     }
 
+    /// A mergeable usage snapshot of this device's dynamic meters (see
+    /// [`crate::profiler::UsageSnapshot`]); the fleet engine folds one
+    /// per device into an aggregate.
+    pub fn usage_snapshot(&self) -> crate::profiler::UsageSnapshot {
+        crate::profiler::UsageSnapshot::single(
+            self.meter.active_cycles(),
+            self.meter.consumed_mah(),
+            self.meter.battery_fraction_left(&self.energy_model),
+            self.dispatched,
+        )
+    }
+
     /// Names of installed apps, in dispatch order.
     pub fn app_names(&self) -> Vec<&str> {
         self.apps.iter().map(|a| a.name()).collect()
@@ -427,5 +439,25 @@ mod tests {
     fn memory_reflects_flash() {
         let os = os_with_echo();
         assert!(os.memory().fram().used() > 0);
+    }
+
+    #[test]
+    fn whole_device_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<AmuletOs>();
+    }
+
+    #[test]
+    fn usage_snapshot_reflects_meters() {
+        let mut os = os_with_echo();
+        os.post(AmuletEvent::ButtonPress);
+        os.run_until_idle().unwrap();
+        os.advance_time(1_000);
+        let snap = os.usage_snapshot();
+        assert_eq!(snap.devices, 1);
+        assert!(snap.active_cycles > 0.0);
+        assert!(snap.consumed_mah > 0.0);
+        assert_eq!(snap.min_battery_left, snap.battery_left_sum);
+        assert_eq!(snap.dispatched, os.dispatched());
     }
 }

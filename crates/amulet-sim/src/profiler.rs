@@ -162,6 +162,76 @@ pub struct ResourceProfile {
     pub lifetime_days: f64,
 }
 
+/// A point-in-time usage snapshot of one (or, after merging, many)
+/// simulated devices: the dynamic counterpart of the static
+/// [`ResourceProfile`]. Snapshots are designed to be **mergeable** so a
+/// fleet of devices sharded across worker threads can be folded into
+/// one aggregate — merge is commutative and associative over the
+/// counters, and the battery fields keep the fleet-wide extremes and
+/// totals rather than an order-dependent average.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct UsageSnapshot {
+    /// Devices folded into this snapshot.
+    pub devices: u64,
+    /// Total active CPU cycles across devices.
+    pub active_cycles: f64,
+    /// Total charge consumed across devices, mAh.
+    pub consumed_mah: f64,
+    /// Worst (lowest) battery fraction left across devices.
+    pub min_battery_left: f64,
+    /// Sum of battery fractions left (divide by `devices` for the mean).
+    pub battery_left_sum: f64,
+    /// Total events dispatched across devices.
+    pub dispatched: u64,
+}
+
+impl UsageSnapshot {
+    /// Snapshot of a single device from its raw meters.
+    pub fn single(
+        active_cycles: f64,
+        consumed_mah: f64,
+        battery_left: f64,
+        dispatched: u64,
+    ) -> Self {
+        Self {
+            devices: 1,
+            active_cycles,
+            consumed_mah,
+            min_battery_left: battery_left,
+            battery_left_sum: battery_left,
+            dispatched,
+        }
+    }
+
+    /// Fold `other` into `self`. An empty (default) snapshot is the
+    /// identity, so shard-local accumulators start from `default()`.
+    pub fn merge(&mut self, other: &UsageSnapshot) {
+        if other.devices == 0 {
+            return;
+        }
+        self.min_battery_left = if self.devices == 0 {
+            other.min_battery_left
+        } else {
+            self.min_battery_left.min(other.min_battery_left)
+        };
+        self.devices += other.devices;
+        self.active_cycles += other.active_cycles;
+        self.consumed_mah += other.consumed_mah;
+        self.battery_left_sum += other.battery_left_sum;
+        self.dispatched += other.dispatched;
+    }
+
+    /// Mean battery fraction left across devices (1.0 for an empty
+    /// snapshot).
+    pub fn mean_battery_left(&self) -> f64 {
+        if self.devices == 0 {
+            1.0
+        } else {
+            self.battery_left_sum / self.devices as f64
+        }
+    }
+}
+
 /// The profiler itself.
 ///
 /// # Examples
@@ -368,6 +438,39 @@ mod tests {
     fn duty_cycle_bounded() {
         let s = spec(Version::Original);
         assert!(s.duty_cycle() > 0.0 && s.duty_cycle() < 0.2);
+    }
+
+    #[test]
+    fn usage_snapshot_merge_is_order_independent() {
+        let a = UsageSnapshot::single(1e6, 0.5, 0.99, 10);
+        let b = UsageSnapshot::single(2e6, 0.25, 0.95, 20);
+        let c = UsageSnapshot::single(4e6, 1.0, 0.90, 5);
+        let fold = |xs: &[&UsageSnapshot]| {
+            let mut acc = UsageSnapshot::default();
+            for x in xs {
+                acc.merge(x);
+            }
+            acc
+        };
+        let abc = fold(&[&a, &b, &c]);
+        let cab = fold(&[&c, &a, &b]);
+        assert_eq!(abc.devices, 3);
+        assert_eq!(abc.devices, cab.devices);
+        assert_eq!(abc.min_battery_left, cab.min_battery_left);
+        assert_eq!(abc.min_battery_left, 0.90);
+        assert!((abc.battery_left_sum - cab.battery_left_sum).abs() < 1e-12);
+        assert_eq!(abc.dispatched, 35);
+        assert!((abc.mean_battery_left() - (0.99 + 0.95 + 0.90) / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_snapshot_is_merge_identity() {
+        let a = UsageSnapshot::single(1e6, 0.5, 0.7, 10);
+        let mut acc = UsageSnapshot::default();
+        acc.merge(&a);
+        acc.merge(&UsageSnapshot::default());
+        assert_eq!(acc, a);
+        assert_eq!(UsageSnapshot::default().mean_battery_left(), 1.0);
     }
 
     #[test]

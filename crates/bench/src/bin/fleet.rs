@@ -1,0 +1,125 @@
+//! Fleet-scale throughput bench: simulate N wearable devices across a
+//! worker pool and report simulated device-seconds per wall-second.
+//!
+//! Run: `cargo run --release -p bench --bin fleet -- --devices 100
+//! --threads 8 --seed 61455 --duration 30`
+//!
+//! Writes `BENCH_fleet.json` (override with `--out PATH`). The digest
+//! field is deterministic for a given `--devices/--seed/--duration`
+//! regardless of `--threads`; the wall-clock fields are not, which is
+//! why `scripts/verify.sh` only warns on baseline drift.
+
+use bench::{fleet_bench_json, FleetBenchResult};
+use physio_sim::subject::bank;
+use sift::trainer::ModelBank;
+use std::time::Instant;
+use wiot::fleet::{run_fleet_with_bank, FleetSpec};
+
+struct Args {
+    devices: usize,
+    threads: usize,
+    seed: u64,
+    duration_s: f64,
+    out: String,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: fleet [--devices N] [--threads N] [--seed N] [--duration SECONDS] [--out PATH]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        devices: 100,
+        threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        seed: 0xF1EE7,
+        duration_s: 30.0,
+        out: "BENCH_fleet.json".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let Some(value) = it.next() else { usage() };
+        match flag.as_str() {
+            "--devices" => args.devices = value.parse().unwrap_or_else(|_| usage()),
+            "--threads" => args.threads = value.parse().unwrap_or_else(|_| usage()),
+            "--seed" => args.seed = value.parse().unwrap_or_else(|_| usage()),
+            "--duration" => args.duration_s = value.parse().unwrap_or_else(|_| usage()),
+            "--out" => args.out = value,
+            _ => usage(),
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let spec = FleetSpec::new(args.devices, args.duration_s)
+        .with_threads(args.threads)
+        .with_seed(args.seed);
+    println!(
+        "fleet bench: {} devices x {:.0} s on {} threads (seed {})",
+        args.devices, args.duration_s, args.threads, args.seed
+    );
+
+    let t0 = Instant::now();
+    let models = match ModelBank::train(
+        &bank(),
+        spec.template.version,
+        &spec.template.config,
+        spec.seed,
+    ) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("enrollment failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let train_wall_s = t0.elapsed().as_secs_f64();
+    println!(
+        "enrolled {} subjects in {:.1} s (shared across all devices)",
+        models.len(),
+        train_wall_s
+    );
+
+    let t1 = Instant::now();
+    let report = match run_fleet_with_bank(&spec, &models) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("fleet run failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let sim_wall_s = t1.elapsed().as_secs_f64();
+
+    let result = FleetBenchResult {
+        report,
+        threads: args.threads,
+        duration_s: args.duration_s,
+        train_wall_s,
+        sim_wall_s,
+    };
+    let rep = &result.report;
+    println!(
+        "simulated {:.0} device-seconds in {:.1} s wall -> {:.1} device-s/wall-s",
+        rep.simulated_device_s,
+        sim_wall_s,
+        result.throughput()
+    );
+    println!(
+        "windows scored {} (sink flagged {}), recovery {:.3}, outliers {}, digest {:#018x}",
+        rep.windows_scored,
+        rep.sink_flagged,
+        rep.mean_window_recovery,
+        rep.outliers.len(),
+        rep.digest()
+    );
+
+    let json = fleet_bench_json(&result);
+    if let Err(e) = std::fs::write(&args.out, &json) {
+        eprintln!("failed to write {}: {e}", args.out);
+        std::process::exit(1);
+    }
+    println!("wrote {}", args.out);
+}

@@ -142,6 +142,65 @@ pub fn paper_table2_reference() -> &'static str {
      | reduced    | matlab   |  22.08% |  14.39% |   81.76% |  84.04% |"
 }
 
+/// Everything the fleet bench measured: the deterministic report plus
+/// the wall-clock numbers that stay out of it.
+#[derive(Debug, Clone)]
+pub struct FleetBenchResult {
+    /// The deterministic fleet report.
+    pub report: wiot::fleet::FleetReport,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Per-device session length, seconds.
+    pub duration_s: f64,
+    /// Wall-clock spent training the model bank, seconds.
+    pub train_wall_s: f64,
+    /// Wall-clock spent simulating the fleet, seconds.
+    pub sim_wall_s: f64,
+}
+
+impl FleetBenchResult {
+    /// Simulated device-seconds per wall-second of fleet simulation —
+    /// the bench's headline throughput number.
+    pub fn throughput(&self) -> f64 {
+        if self.sim_wall_s > 0.0 {
+            self.report.simulated_device_s / self.sim_wall_s
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Render the fleet bench result as the `BENCH_fleet.json` payload.
+///
+/// Deterministic fields (digest, windows, recovery) come straight from
+/// the report; wall-clock fields (`*_wall_s`, `throughput_*`) vary per
+/// machine, which is why the baseline diff in `scripts/verify.sh` is
+/// warn-only.
+pub fn fleet_bench_json(r: &FleetBenchResult) -> String {
+    let rep = &r.report;
+    format!(
+        "{{\n  \"devices\": {},\n  \"threads\": {},\n  \"seed\": {},\n  \"duration_s\": {},\n  \"simulated_device_s\": {},\n  \"train_wall_s\": {:.3},\n  \"sim_wall_s\": {:.3},\n  \"throughput_device_s_per_wall_s\": {:.1},\n  \"digest\": \"{:#018x}\",\n  \"windows_scored\": {},\n  \"sink_flagged\": {},\n  \"dropped_windows\": {},\n  \"salvaged_windows\": {},\n  \"mean_window_recovery\": {:.6},\n  \"detections\": {},\n  \"stall_alerts\": {},\n  \"outliers\": {},\n  \"mean_battery_left\": {:.6}\n}}\n",
+        rep.devices,
+        r.threads,
+        rep.seed,
+        r.duration_s,
+        rep.simulated_device_s,
+        r.train_wall_s,
+        r.sim_wall_s,
+        r.throughput(),
+        rep.digest(),
+        rep.windows_scored,
+        rep.sink_flagged,
+        rep.dropped_windows,
+        rep.salvaged_windows,
+        rep.mean_window_recovery,
+        rep.detections,
+        rep.stall_alerts,
+        rep.outliers.len(),
+        rep.usage.mean_battery_left(),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -176,5 +235,27 @@ mod tests {
     fn reference_table_is_complete() {
         let r = paper_table2_reference();
         assert_eq!(r.lines().count(), 7);
+    }
+
+    #[test]
+    fn fleet_json_is_well_formed_and_deterministic_fields_match() {
+        use wiot::fleet::{run_fleet, FleetSpec};
+        let spec = FleetSpec::new(2, 9.0).with_seed(5);
+        let report = run_fleet(&spec).unwrap();
+        let digest = report.digest();
+        let result = FleetBenchResult {
+            report,
+            threads: 2,
+            duration_s: 9.0,
+            train_wall_s: 1.0,
+            sim_wall_s: 0.5,
+        };
+        let json = fleet_bench_json(&result);
+        assert!(json.contains("\"devices\": 2"));
+        assert!(json.contains(&format!("\"digest\": \"{digest:#018x}\"")));
+        assert!(json.contains("\"throughput_device_s_per_wall_s\": 36.0"));
+        // Crude structural check: balanced braces, one top-level object.
+        assert!(json.trim().starts_with('{') && json.trim().ends_with('}'));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 }

@@ -83,6 +83,46 @@ impl EmbeddedModel {
         Label::from_sign(self.decision_function_f32(x) as f64)
     }
 
+    /// Decision values for a whole window batch in one call.
+    ///
+    /// `batch` is a row-major flat matrix of `batch.len() / dim()` raw
+    /// feature vectors. The sink-side fleet reduction uses this instead
+    /// of one [`EmbeddedModel::decision_function_f32`] call per window:
+    /// the model constants are walked once per row in a single tight
+    /// loop, with no per-call dispatch. Each row uses **exactly** the
+    /// same accumulation order as the scalar path, so batched and
+    /// per-window results agree bit for bit (enforced by property
+    /// tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch.len()` is not a multiple of `dim()`.
+    pub fn decision_batch_f32(&self, batch: &[f32]) -> Vec<f32> {
+        let dim = self.dim();
+        assert!(dim > 0, "model has no features");
+        assert!(
+            batch.len().is_multiple_of(dim),
+            "batch length must be a multiple of the feature dimension"
+        );
+        batch
+            .chunks_exact(dim)
+            .map(|row| self.decision_function_f32(row))
+            .collect()
+    }
+
+    /// Hard labels for a whole window batch in one call (see
+    /// [`EmbeddedModel::decision_batch_f32`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch.len()` is not a multiple of `dim()`.
+    pub fn predict_batch_f32(&self, batch: &[f32]) -> Vec<Label> {
+        self.decision_batch_f32(batch)
+            .into_iter()
+            .map(|d| Label::from_sign(d as f64))
+            .collect()
+    }
+
     /// Exact serialized size in bytes (what the detector contributes to
     /// FRAM for its model constants).
     pub fn footprint_bytes(&self) -> usize {
@@ -250,6 +290,43 @@ mod tests {
         let (scaler, svm, _) = trained();
         let em = EmbeddedModel::translate(&scaler, &svm).unwrap();
         let _ = em.predict_f32(&[1.0]);
+    }
+
+    #[test]
+    fn batched_predictions_are_bit_identical_to_scalar_path() {
+        let (scaler, svm, d) = trained();
+        let em = EmbeddedModel::translate(&scaler, &svm).unwrap();
+        let mut flat: Vec<f32> = Vec::new();
+        let mut scalar_decisions = Vec::new();
+        let mut scalar_labels = Vec::new();
+        for (x, _) in d.iter() {
+            let xs: Vec<f32> = x.iter().map(|&v| v as f32).collect();
+            scalar_decisions.push(em.decision_function_f32(&xs));
+            scalar_labels.push(em.predict_f32(&xs));
+            flat.extend(xs);
+        }
+        let batch_decisions = em.decision_batch_f32(&flat);
+        assert_eq!(batch_decisions.len(), d.len());
+        for (b, s) in batch_decisions.iter().zip(&scalar_decisions) {
+            assert_eq!(b.to_bits(), s.to_bits(), "must agree bit for bit");
+        }
+        assert_eq!(em.predict_batch_f32(&flat), scalar_labels);
+    }
+
+    #[test]
+    fn empty_batch_yields_no_predictions() {
+        let (scaler, svm, _) = trained();
+        let em = EmbeddedModel::translate(&scaler, &svm).unwrap();
+        assert!(em.decision_batch_f32(&[]).is_empty());
+        assert!(em.predict_batch_f32(&[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of the feature dimension")]
+    fn ragged_batch_rejected() {
+        let (scaler, svm, _) = trained();
+        let em = EmbeddedModel::translate(&scaler, &svm).unwrap();
+        let _ = em.decision_batch_f32(&[1.0, 2.0]);
     }
 
     #[test]

@@ -224,6 +224,91 @@ pub fn train_for_subject(
     train(&records[victim], &donors, version, config)
 }
 
+/// A bank of pre-trained per-subject models behind `Arc`s: the
+/// thread-shareable pipeline handle the fleet engine clones into its
+/// workers.
+///
+/// Enrollment (training) happens once per wearer, not once per simulated
+/// session, so a fleet of N devices over S subjects trains S models — on
+/// the main thread, before any worker starts — and every device holding
+/// subject `s` deploys a reference to the same immutable model. Each
+/// per-victim model is bit-identical to what
+/// [`train_for_subject`] produces for the same `(subjects, version,
+/// config, seed)`.
+#[derive(Debug, Clone)]
+pub struct ModelBank {
+    version: Version,
+    models: Vec<std::sync::Arc<SiftModel>>,
+}
+
+impl ModelBank {
+    /// Train one model per subject (each using all others as donors).
+    ///
+    /// Training records are synthesized once and shared across victims,
+    /// with the exact per-subject seeds of [`train_for_subject`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`train`] errors; returns
+    /// [`SiftError::InvalidConfig`] for an empty subject slice.
+    pub fn train(
+        subjects: &[Subject],
+        version: Version,
+        config: &SiftConfig,
+        seed: u64,
+    ) -> Result<Self, SiftError> {
+        if subjects.is_empty() {
+            return Err(SiftError::InvalidConfig {
+                reason: "at least one subject required",
+            });
+        }
+        let records: Vec<Record> = subjects
+            .iter()
+            .enumerate()
+            .map(|(i, s)| Record::synthesize(s, config.train_s, seed.wrapping_add(i as u64 * 7919)))
+            .collect();
+        let models = (0..subjects.len())
+            .map(|victim| {
+                let donors: Vec<&Record> = records
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| *i != victim)
+                    .map(|(_, r)| r)
+                    .collect();
+                train(&records[victim], &donors, version, config).map(std::sync::Arc::new)
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self { version, models })
+    }
+
+    /// Detector version every model in the bank was trained for.
+    pub fn version(&self) -> Version {
+        self.version
+    }
+
+    /// Number of subjects in the bank.
+    pub fn len(&self) -> usize {
+        self.models.len()
+    }
+
+    /// Whether the bank is empty (never true for a trained bank).
+    pub fn is_empty(&self) -> bool {
+        self.models.is_empty()
+    }
+
+    /// The trained model for `victim`, if in range.
+    pub fn get(&self, victim: usize) -> Option<&std::sync::Arc<SiftModel>> {
+        self.models.get(victim)
+    }
+}
+
+// The whole point of the bank is crossing thread boundaries; keep that
+// guarantee at compile time.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<ModelBank>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -346,5 +431,25 @@ mod tests {
         let a = train(&v, &[&d], Version::Simplified, &cfg).unwrap();
         let b = train(&v, &[&d], Version::Simplified, &cfg).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn model_bank_matches_train_for_subject() {
+        let subjects = &bank()[..3];
+        let cfg = quick_config();
+        let mb = ModelBank::train(subjects, Version::Reduced, &cfg, 42).unwrap();
+        assert_eq!(mb.len(), 3);
+        assert_eq!(mb.version(), Version::Reduced);
+        assert!(!mb.is_empty());
+        for victim in 0..3 {
+            let direct = train_for_subject(subjects, victim, Version::Reduced, &cfg, 42).unwrap();
+            assert_eq!(**mb.get(victim).unwrap(), direct, "victim {victim}");
+        }
+        assert!(mb.get(3).is_none());
+    }
+
+    #[test]
+    fn model_bank_rejects_empty_subjects() {
+        assert!(ModelBank::train(&[], Version::Reduced, &quick_config(), 1).is_err());
     }
 }

@@ -164,7 +164,9 @@ impl DecisionEngine {
         self.requirements
             .iter()
             .find(|r| r.version == version)
-            .is_some_and(|r| r.fram_bytes <= snap.fram_free_bytes && r.duty_cycle <= snap.cpu_headroom)
+            .is_some_and(|r| {
+                r.fram_bytes <= snap.fram_free_bytes && r.duty_cycle <= snap.cpu_headroom
+            })
     }
 
     /// The version the dynamic (battery) policy asks for, ignoring
@@ -303,8 +305,8 @@ mod tests {
     fn recharge_upgrades_with_hysteresis() {
         let mut e = engine();
         e.decide(0, &roomy(0.1)); // → reduced
-        // At exactly the simplified threshold the upgrade is held back by
-        // the hysteresis margin…
+                                  // At exactly the simplified threshold the upgrade is held back by
+                                  // the hysteresis margin…
         assert_eq!(e.decide(1, &roomy(0.21)), None);
         // …but clears it with margin.
         assert_eq!(e.decide(2, &roomy(0.30)), Some(Version::Simplified));
@@ -315,8 +317,8 @@ mod tests {
     fn static_constraint_overrides_battery() {
         let mut e = engine();
         e.decide(0, &roomy(0.1)); // reduced
-        // Full battery but almost no free FRAM: the float versions need
-        // their libraries, which don't fit — stay reduced.
+                                  // Full battery but almost no free FRAM: the float versions need
+                                  // their libraries, which don't fit — stay reduced.
         let tight = ResourceSnapshot {
             battery_fraction: 1.0,
             fram_free_bytes: 4_000,
@@ -385,7 +387,10 @@ mod tests {
             loss_rate: 0.5,
             retransmit_rate: 1.0,
         };
-        assert_eq!(e.decide_with_link(0, &roomy(0.9), &q), Some(Version::Simplified));
+        assert_eq!(
+            e.decide_with_link(0, &roomy(0.9), &q),
+            Some(Version::Simplified)
+        );
         assert!(e.link_badness().is_some());
     }
 
@@ -509,10 +514,8 @@ mod deployment_tests {
 
     #[test]
     fn adaptive_deployment_outlives_static_original() {
-        let report = simulate_adaptive_deployment(
-            &sift::config::SiftConfig::default(),
-            Policy::default(),
-        );
+        let report =
+            simulate_adaptive_deployment(&sift::config::SiftConfig::default(), Policy::default());
         assert!(
             report.lifetime_days > report.static_original_days * 1.2,
             "adaptive {:.1} d vs static {:.1} d",

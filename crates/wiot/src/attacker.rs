@@ -122,7 +122,9 @@ impl Attacker {
                     return packet;
                 }
                 let start = packet.start_sample % (donor.ecg.len() - len).max(1);
-                packet.samples.copy_from_slice(&donor.ecg[start..start + len]);
+                packet
+                    .samples
+                    .copy_from_slice(&donor.ecg[start..start + len]);
                 packet.peaks = donor
                     .r_peaks
                     .iter()
@@ -139,7 +141,9 @@ impl Attacker {
                 let shift = (offset_s * fs).round() as usize;
                 let start = packet.start_sample.saturating_sub(shift);
                 let start = start.min(source.ecg.len() - len);
-                packet.samples.copy_from_slice(&source.ecg[start..start + len]);
+                packet
+                    .samples
+                    .copy_from_slice(&source.ecg[start..start + len]);
                 packet.peaks = source
                     .r_peaks
                     .iter()
@@ -259,12 +263,7 @@ mod tests {
 
     #[test]
     fn noise_injection_perturbs_samples() {
-        let mut a = Attacker::new(
-            AttackMode::NoiseInject { amplitude_mv: 0.5 },
-            0,
-            10_000,
-            9,
-        );
+        let mut a = Attacker::new(AttackMode::NoiseInject { amplitude_mv: 0.5 }, 0, 10_000, 9);
         let clean = ecg_packet(0, 360);
         let out = a.intercept(1, clean.clone(), 360.0);
         assert_ne!(out.samples, clean.samples);
@@ -322,7 +321,10 @@ mod short_source_tests {
     fn replay_with_short_source_passes_through() {
         let source = Record::synthesize(&bank()[0], 1.0, 2);
         let mut a = Attacker::new(
-            AttackMode::Replay { offset_s: 5.0, source },
+            AttackMode::Replay {
+                offset_s: 5.0,
+                source,
+            },
             0,
             10_000,
             0,

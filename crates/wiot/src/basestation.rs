@@ -25,6 +25,8 @@ use amulet_sim::profiler::ResourceProfiler;
 use amulet_sim::toolchain::FirmwareImage;
 use physio_sim::quality::{assess, QualityConfig};
 use sift::config::SiftConfig;
+use sift::features::Version;
+use sift::flavor::extract_amulet_f32;
 use sift::snippet::Snippet;
 use std::collections::{BTreeMap, VecDeque};
 
@@ -105,6 +107,13 @@ pub struct BaseStation {
     /// and still be repaired; `None` disables salvage.
     salvage_max_missing: Option<usize>,
     watchdog: Option<Watchdog>,
+    /// When set, every window that reaches the apps also has its
+    /// feature vector extracted and queued for the sink uplink
+    /// ([`BaseStation::with_feature_uplink`]).
+    feature_uplink: Option<Version>,
+    /// Queued `(window index, features)` pairs awaiting
+    /// [`BaseStation::take_uplinked_features`].
+    uplinked: Vec<(usize, Vec<f32>)>,
     /// Last arrival time per stream `[ecg, abp]`, ms; session start
     /// counts as an implicit arrival so a never-seen stream still trips
     /// the watchdog.
@@ -169,9 +178,23 @@ impl BaseStation {
             quality_gate: None,
             salvage_max_missing: None,
             watchdog: None,
+            feature_uplink: None,
+            uplinked: Vec::new(),
             last_arrival_ms: [0; 2],
             stalled: [false; 2],
         })
+    }
+
+    /// Enable the feature uplink: every window that passes the quality
+    /// gate and reaches the apps also has its `version` feature vector
+    /// extracted and queued (a handful of floats per 3-second window,
+    /// far cheaper to ship than raw samples). The fleet engine drains
+    /// the queue with [`BaseStation::take_uplinked_features`] and
+    /// re-scores whole batches at the sink with one batched SVM call —
+    /// on-device detection is unchanged.
+    pub fn with_feature_uplink(mut self, version: Version) -> Self {
+        self.feature_uplink = Some(version);
+        self
     }
 
     /// Enable partial-window salvage: a window missing at most
@@ -314,6 +337,13 @@ impl BaseStation {
                 return Ok(());
             }
         }
+        if let Some(version) = self.feature_uplink {
+            // Windows the extractor cannot featurise (e.g. too few
+            // peaks) are skipped, mirroring the detector's own bail-out.
+            if let Ok(features) = extract_amulet_f32(version, &snippet, &self.config) {
+                self.uplinked.push((idx, features));
+            }
+        }
         let alerts_before = self.os.alerts().len();
         self.os.post(AmuletEvent::SnippetReady(snippet));
         self.os.run_until_idle()?;
@@ -331,7 +361,11 @@ impl BaseStation {
 
     /// Missing chunks of window `idx` on one channel map (an absent
     /// entry means every chunk is missing).
-    fn missing_chunks(map: &BTreeMap<usize, PartialWindow>, idx: usize, per_window: usize) -> usize {
+    fn missing_chunks(
+        map: &BTreeMap<usize, PartialWindow>,
+        idx: usize,
+        per_window: usize,
+    ) -> usize {
         map.get(&idx)
             .map(|w| w.chunks.iter().filter(|c| c.is_none()).count())
             .unwrap_or(per_window)
@@ -381,10 +415,7 @@ impl BaseStation {
             // If any later window completed while this one is missing
             // chunks whose packets can no longer arrive (we assume
             // bounded reordering of one window), drop the stale one.
-            let newer_complete = self
-                .ecg
-                .range(idx + 2..)
-                .any(|(_, w)| complete(w))
+            let newer_complete = self.ecg.range(idx + 2..).any(|(_, w)| complete(w))
                 || self.abp.range(idx + 2..).any(|(_, w)| complete(w));
             if newer_complete {
                 self.resolve_incomplete(idx)?;
@@ -483,6 +514,13 @@ impl BaseStation {
     /// counted in [`BaseStationStats::log_evicted`].
     pub fn window_log(&self) -> &VecDeque<(usize, WindowOutcome)> {
         &self.window_log
+    }
+
+    /// Drain the feature-uplink queue: `(window index, features)` in
+    /// dispatch order. Empty unless [`BaseStation::with_feature_uplink`]
+    /// was enabled.
+    pub fn take_uplinked_features(&mut self) -> Vec<(usize, Vec<f32>)> {
+        std::mem::take(&mut self.uplinked)
     }
 
     /// The underlying OS (for inspection: display, meter, memory).
@@ -711,8 +749,11 @@ mod tests {
         // Deliver half a window, then brown out.
         for _ in 0..3 {
             for p in [ecg.poll(), abp.poll()].into_iter().flatten() {
-                bs.receive(crate::channel::Delivery { at_ms: 0, packet: p })
-                    .unwrap();
+                bs.receive(crate::channel::Delivery {
+                    at_ms: 0,
+                    packet: p,
+                })
+                .unwrap();
             }
         }
         bs.reboot();
@@ -737,6 +778,27 @@ mod tests {
         let s = bs.stats();
         assert_eq!(s.windows_dropped, 1, "{s:?}");
         assert_eq!(s.windows_emitted, 9, "{s:?}");
+    }
+
+    #[test]
+    fn feature_uplink_queues_one_vector_per_dispatched_window() {
+        let mut bs = station().with_feature_uplink(Version::Simplified);
+        let r = Record::synthesize(&bank()[0], 30.0, 99);
+        stream_record(&mut bs, &r, &mut Channel::perfect());
+        let uplinked = bs.take_uplinked_features();
+        assert_eq!(uplinked.len() as u64, bs.stats().windows_emitted);
+        let dim = uplinked[0].1.len();
+        assert!(dim > 0);
+        for pair in uplinked.windows(2) {
+            assert!(pair[0].0 < pair[1].0, "window indices must ascend");
+        }
+        assert!(uplinked.iter().all(|(_, f)| f.len() == dim));
+        // The queue drains: a second take is empty.
+        assert!(bs.take_uplinked_features().is_empty());
+        // Without the builder, nothing is queued.
+        let mut plain = station();
+        stream_record(&mut plain, &r, &mut Channel::perfect());
+        assert!(plain.take_uplinked_features().is_empty());
     }
 
     #[test]
@@ -787,8 +849,7 @@ mod quality_gate_tests {
     fn gated_station() -> BaseStation {
         let cfg = quick_config();
         let model = train_for_subject(&bank(), 0, Version::Simplified, &cfg, 7).unwrap();
-        let app =
-            SiftApp::new(Version::Simplified, model.embedded().clone(), cfg.clone()).unwrap();
+        let app = SiftApp::new(Version::Simplified, model.embedded().clone(), cfg.clone()).unwrap();
         BaseStation::new(app, cfg, 0.5)
             .unwrap()
             .with_quality_gate(noise_only_gate())

@@ -73,7 +73,10 @@ impl LossModel {
                 loss_bad,
             } => &[*p_good_to_bad, *p_bad_to_good, *loss_good, *loss_bad],
         };
-        if probs.iter().all(|p| p.is_finite() && (0.0..=1.0).contains(p)) {
+        if probs
+            .iter()
+            .all(|p| p.is_finite() && (0.0..=1.0).contains(p))
+        {
             Ok(())
         } else {
             Err(WiotError::InvalidScenario {
@@ -605,7 +608,8 @@ mod tests {
     #[test]
     fn degrade_override_applies_and_clears() {
         let mut ch = Channel::new(0.0, 0, 0, 9).unwrap();
-        ch.set_degrade(Some(LossModel::Bernoulli { p: 1.0 })).unwrap();
+        ch.set_degrade(Some(LossModel::Bernoulli { p: 1.0 }))
+            .unwrap();
         assert!(ch.is_degraded());
         assert!(ch.transmit(0, packet(0)).is_empty());
         ch.set_degrade(None).unwrap();

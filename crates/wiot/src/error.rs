@@ -83,7 +83,9 @@ mod tests {
         assert!(e.source().is_some());
         let e = WiotError::from(amulet_sim::AmuletError::BatteryExhausted);
         assert!(e.to_string().contains("battery"));
-        assert!(WiotError::InvalidScenario { reason: "x" }.source().is_none());
+        assert!(WiotError::InvalidScenario { reason: "x" }
+            .source()
+            .is_none());
     }
 
     #[test]

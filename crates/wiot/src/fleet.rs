@@ -1,0 +1,712 @@
+//! Fleet-scale parallel scenario engine.
+//!
+//! Simulates N wearable devices — each a full sensors → channel/ARQ →
+//! base-station → SIFT pipeline ([`crate::scenario::DeviceSim`]) —
+//! sharded across an owned `std::thread` worker pool, and reduces the
+//! per-device results into one [`FleetReport`].
+//!
+//! # Determinism under parallelism
+//!
+//! The headline guarantee: the same fleet seed produces a byte-identical
+//! [`FleetReport`] (same [`FleetReport::digest`]) at **any** thread
+//! count. Three properties make that hold:
+//!
+//! 1. Every device's randomness derives from its own seed, split from
+//!    the fleet seed with a SplitMix64 stream ([`device_seed`]), so a
+//!    device's behaviour never depends on which worker ran it or in
+//!    what order.
+//! 2. Workers never share mutable state: each device sim is an owned,
+//!    `Send` value, and workers only report immutable summaries back
+//!    over a channel.
+//! 3. The reduction folds summaries strictly in device-index order
+//!    (floating-point accumulation order is fixed), and nothing
+//!    wall-clock-dependent enters the report — throughput numbers live
+//!    in the bench harness, not here.
+//!
+//! # Enrollment and the sink
+//!
+//! Training is the expensive part of a scenario, and a fleet wearing
+//! twelve subjects does not need to enroll twelve models per device:
+//! the engine trains a [`ModelBank`] once up front and shares each
+//! subject's model across every device wearing it (`Arc`, read-only).
+//! Each device also uplinks its per-window feature vectors
+//! ([`crate::basestation::BaseStation::with_feature_uplink`]); the sink
+//! re-scores each device's whole window batch with **one** batched SVM
+//! call ([`ml::embedded::EmbeddedModel::decision_batch_f32`]) instead
+//! of per-window calls, which is where fleet-scale margin statistics
+//! and per-device outlier flags come from.
+
+use crate::channel::ChannelStats;
+use crate::scenario::{DeviceOptions, DeviceSim, Scenario};
+use crate::transport::TransportStats;
+use crate::WiotError;
+use amulet_sim::profiler::UsageSnapshot;
+use ml::metrics::ConfusionMatrix;
+use ml::Label;
+use physio_sim::subject::bank;
+use sift::trainer::ModelBank;
+use std::sync::mpsc;
+use std::thread;
+
+/// SplitMix64 output function (same constants as the vendored
+/// `rand::SeedableRng` seeding path).
+fn splitmix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The `device`-th seed split from `fleet_seed`: element `device + 1`
+/// of the SplitMix64 stream seeded at `fleet_seed`. O(1) per device,
+/// no stream state to thread through workers, and devices draw from
+/// well-separated generator states rather than `seed + i`-style
+/// neighbouring ones.
+pub fn device_seed(fleet_seed: u64, device: usize) -> u64 {
+    const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+    splitmix64(fleet_seed.wrapping_add(GOLDEN.wrapping_mul(device as u64 + 1)))
+}
+
+/// A fleet to simulate: `devices` copies of `template`, each with its
+/// own victim (round-robin over the subject bank) and its own seed
+/// (split from `seed`).
+#[derive(Debug, Clone)]
+pub struct FleetSpec {
+    /// Number of simulated devices.
+    pub devices: usize,
+    /// Worker threads (clamped to `1..=devices`).
+    pub threads: usize,
+    /// Fleet master seed.
+    pub seed: u64,
+    /// Per-device scenario; `victim` and `seed` are overridden for each
+    /// device.
+    pub template: Scenario,
+}
+
+impl FleetSpec {
+    /// A fleet of `devices` baseline scenarios of `duration_s` seconds
+    /// on one worker thread.
+    pub fn new(devices: usize, duration_s: f64) -> Self {
+        Self {
+            devices,
+            threads: 1,
+            seed: 0xF1EE7,
+            template: Scenario::new(0, sift::features::Version::Simplified, duration_s),
+        }
+    }
+
+    /// Builder-style thread count.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Builder-style fleet seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Everything the reduction keeps about one device. All fields are
+/// deterministic functions of the device seed; none depend on thread
+/// scheduling.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceSummary {
+    /// Fleet-wide device index.
+    pub device: usize,
+    /// Subject the device wears.
+    pub victim: usize,
+    /// The device's split seed.
+    pub seed: u64,
+    /// Window-level confusion matrix.
+    pub confusion: ConfusionMatrix,
+    /// Windows excluded from scoring (partial attack overlap).
+    pub ambiguous_windows: usize,
+    /// Windows lost to the channel or the quality gate.
+    pub dropped_windows: usize,
+    /// Windows repaired by salvage.
+    pub salvaged_windows: usize,
+    /// Fraction of expected windows that reached the detector.
+    pub window_recovery_rate: f64,
+    /// Attack-start → first-alert latency, ms.
+    pub detection_latency_ms: Option<u64>,
+    /// Channel counters, both links.
+    pub channel: ChannelStats,
+    /// ARQ counters, both links (`None` when ARQ was off).
+    pub transport: Option<TransportStats>,
+    /// Stream-stalled alerts.
+    pub stall_alerts: usize,
+    /// Alerts archived at the device's sink.
+    pub alerts: usize,
+    /// Energy/dispatch counters for this device.
+    pub usage: UsageSnapshot,
+    /// Windows re-scored by the sink's batched SVM call.
+    pub windows_scored: usize,
+    /// Windows the sink's batch margins flag as positive.
+    pub sink_flagged: usize,
+    /// Smallest sink margin (`f64::INFINITY` when nothing was scored).
+    pub margin_min: f64,
+    /// Sum of sink margins (index order within the device).
+    pub margin_sum: f64,
+}
+
+/// Why a device was flagged as a fleet outlier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutlierReason {
+    /// Window recovery below 80 %: the device's link is effectively
+    /// down.
+    LowRecovery,
+    /// False-positive rate above 30 % on ≥ 5 genuine windows: the
+    /// device's model misfits its wearer.
+    HighFalsePositiveRate,
+    /// Battery below 50 % after one session: the device is burning
+    /// energy far faster than the fleet.
+    LowBattery,
+}
+
+impl std::fmt::Display for OutlierReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            OutlierReason::LowRecovery => "low window recovery",
+            OutlierReason::HighFalsePositiveRate => "high false-positive rate",
+            OutlierReason::LowBattery => "low battery",
+        })
+    }
+}
+
+/// One flagged device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetOutlier {
+    /// Fleet-wide device index.
+    pub device: usize,
+    /// Subject the device wears.
+    pub victim: usize,
+    /// Why it was flagged.
+    pub reason: OutlierReason,
+    /// The offending metric's value.
+    pub value: f64,
+}
+
+/// Aggregate result of a fleet run. Contains nothing wall-clock
+/// dependent: two runs with the same [`FleetSpec`] (any thread count)
+/// produce equal reports — see [`FleetReport::digest`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetReport {
+    /// Devices simulated.
+    pub devices: usize,
+    /// Fleet master seed.
+    pub seed: u64,
+    /// Total simulated device-time, seconds (`devices × duration`).
+    pub simulated_device_s: f64,
+    /// Confusion matrix summed over the fleet.
+    pub confusion: ConfusionMatrix,
+    /// Ambiguous windows summed over the fleet.
+    pub ambiguous_windows: usize,
+    /// Dropped/rejected windows summed over the fleet.
+    pub dropped_windows: usize,
+    /// Salvaged windows summed over the fleet.
+    pub salvaged_windows: usize,
+    /// Mean per-device window recovery (device-index fold order).
+    pub mean_window_recovery: f64,
+    /// Devices whose detector saw their attack.
+    pub detections: usize,
+    /// Mean detection latency over detecting devices, ms.
+    pub mean_detection_latency_ms: Option<f64>,
+    /// Channel counters summed over the fleet.
+    pub channel: ChannelStats,
+    /// ARQ counters summed over the fleet (`None` when ARQ was off).
+    pub transport: Option<TransportStats>,
+    /// Merged energy/dispatch counters.
+    pub usage: UsageSnapshot,
+    /// Windows re-scored by the sink's batched inference.
+    pub windows_scored: usize,
+    /// Windows the sink flagged positive.
+    pub sink_flagged: usize,
+    /// Smallest sink margin fleet-wide (`f64::INFINITY` when none).
+    pub margin_min: f64,
+    /// Mean sink margin fleet-wide (0.0 when none).
+    pub margin_mean: f64,
+    /// Stream-stalled alerts summed over the fleet.
+    pub stall_alerts: usize,
+    /// Devices flagged as outliers, in device order.
+    pub outliers: Vec<FleetOutlier>,
+    /// Every device's summary, in device order.
+    pub per_device: Vec<DeviceSummary>,
+}
+
+/// FNV-1a (64-bit) over a canonical encoding: `u64`s little-endian,
+/// `f64`s via `to_bits`. Not cryptographic — a regression tripwire.
+struct Digest(u64);
+
+impl Digest {
+    fn new() -> Self {
+        Digest(0xCBF2_9CE4_8422_2325)
+    }
+
+    fn u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+
+    fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    fn confusion(&mut self, c: &ConfusionMatrix) {
+        self.usize(c.tp);
+        self.usize(c.fp);
+        self.usize(c.tn);
+        self.usize(c.fn_);
+    }
+
+    fn channel(&mut self, s: &ChannelStats) {
+        self.u64(s.sent);
+        self.u64(s.lost);
+        self.u64(s.duplicated);
+        self.u64(s.reordered);
+        self.u64(s.corrupted);
+    }
+
+    fn transport(&mut self, t: &Option<TransportStats>) {
+        match t {
+            None => self.u64(0),
+            Some(t) => {
+                self.u64(1);
+                self.u64(t.data_sent);
+                self.u64(t.retransmits);
+                self.u64(t.nacks_sent);
+                self.u64(t.gap_recoveries);
+                self.u64(t.give_ups);
+                self.u64(t.duplicates_discarded);
+                self.u64(t.buffer_evictions);
+            }
+        }
+    }
+
+    fn usage(&mut self, u: &UsageSnapshot) {
+        self.u64(u.devices);
+        self.f64(u.active_cycles);
+        self.f64(u.consumed_mah);
+        self.f64(u.min_battery_left);
+        self.f64(u.battery_left_sum);
+        self.u64(u.dispatched);
+    }
+}
+
+impl FleetReport {
+    /// A 64-bit digest of the entire report (every aggregate and every
+    /// per-device summary). Two runs of the same [`FleetSpec`] at any
+    /// thread count produce the same digest; the deterministic test
+    /// harness pins this value in golden traces.
+    pub fn digest(&self) -> u64 {
+        let mut d = Digest::new();
+        d.usize(self.devices);
+        d.u64(self.seed);
+        d.f64(self.simulated_device_s);
+        d.confusion(&self.confusion);
+        d.usize(self.ambiguous_windows);
+        d.usize(self.dropped_windows);
+        d.usize(self.salvaged_windows);
+        d.f64(self.mean_window_recovery);
+        d.usize(self.detections);
+        match self.mean_detection_latency_ms {
+            None => d.u64(0),
+            Some(ms) => {
+                d.u64(1);
+                d.f64(ms);
+            }
+        }
+        d.channel(&self.channel);
+        d.transport(&self.transport);
+        d.usage(&self.usage);
+        d.usize(self.windows_scored);
+        d.usize(self.sink_flagged);
+        d.f64(self.margin_min);
+        d.f64(self.margin_mean);
+        d.usize(self.stall_alerts);
+        d.usize(self.outliers.len());
+        for o in &self.outliers {
+            d.usize(o.device);
+            d.usize(o.victim);
+            d.u64(o.reason as u64);
+            d.f64(o.value);
+        }
+        d.usize(self.per_device.len());
+        for s in &self.per_device {
+            d.usize(s.device);
+            d.usize(s.victim);
+            d.u64(s.seed);
+            d.confusion(&s.confusion);
+            d.usize(s.ambiguous_windows);
+            d.usize(s.dropped_windows);
+            d.usize(s.salvaged_windows);
+            d.f64(s.window_recovery_rate);
+            match s.detection_latency_ms {
+                None => d.u64(0),
+                Some(ms) => {
+                    d.u64(1);
+                    d.u64(ms);
+                }
+            }
+            d.channel(&s.channel);
+            d.transport(&s.transport);
+            d.usize(s.stall_alerts);
+            d.usize(s.alerts);
+            d.usage(&s.usage);
+            d.usize(s.windows_scored);
+            d.usize(s.sink_flagged);
+            d.f64(s.margin_min);
+            d.f64(s.margin_sum);
+        }
+        d.0
+    }
+}
+
+/// Simulate one device of the fleet: build its scenario from the
+/// template, run it with the shared model, and batch-score its uplinked
+/// features at the sink.
+fn simulate_device(
+    spec: &FleetSpec,
+    models: &ModelBank,
+    subjects_len: usize,
+    device: usize,
+) -> Result<DeviceSummary, WiotError> {
+    let mut scenario = spec.template.clone();
+    scenario.victim = device % subjects_len;
+    scenario.seed = device_seed(spec.seed, device);
+    let model = models.get(scenario.victim).ok_or(WiotError::InvalidScenario {
+        reason: "model bank does not cover the device's victim",
+    })?;
+    let mut sim = DeviceSim::with_options(
+        &scenario,
+        DeviceOptions {
+            model: Some(model.as_ref()),
+            feature_uplink: true,
+        },
+    )?;
+    sim.run_to_completion()?;
+
+    // Sink-side batched inference: one margin computation over the
+    // device's whole window batch instead of per-window calls.
+    let features = sim.take_uplinked_features();
+    let embedded = model.embedded();
+    let mut flat = Vec::with_capacity(features.len() * embedded.dim());
+    for (_, f) in &features {
+        flat.extend_from_slice(f);
+    }
+    let margins = embedded.decision_batch_f32(&flat);
+    let sink_flagged = margins
+        .iter()
+        .filter(|&&m| Label::from_sign(f64::from(m)) == Label::Positive)
+        .count();
+    let margin_min = margins
+        .iter()
+        .fold(f64::INFINITY, |acc, &m| acc.min(f64::from(m)));
+    let margin_sum: f64 = margins.iter().map(|&m| f64::from(m)).sum();
+
+    let usage = sim.station().os().usage_snapshot();
+    let victim = scenario.victim;
+    let seed = scenario.seed;
+    let report = sim.into_report()?;
+    Ok(DeviceSummary {
+        device,
+        victim,
+        seed,
+        confusion: report.confusion,
+        ambiguous_windows: report.ambiguous_windows,
+        dropped_windows: report.dropped_windows,
+        salvaged_windows: report.salvaged_windows,
+        window_recovery_rate: report.window_recovery_rate,
+        detection_latency_ms: report.detection_latency_ms,
+        channel: report.channel,
+        transport: report.transport,
+        stall_alerts: report.stall_alerts,
+        alerts: report.sink.alerts().len(),
+        usage,
+        windows_scored: margins.len(),
+        sink_flagged,
+        margin_min,
+        margin_sum,
+    })
+}
+
+/// Fold per-device summaries (already in device-index order) into the
+/// fleet aggregate. Pure and sequential: f64 accumulation order is
+/// fixed regardless of how many threads produced the summaries.
+fn reduce(spec: &FleetSpec, summaries: Vec<DeviceSummary>) -> FleetReport {
+    let mut confusion = ConfusionMatrix::default();
+    let mut ambiguous = 0usize;
+    let mut dropped = 0usize;
+    let mut salvaged = 0usize;
+    let mut recovery_sum = 0.0f64;
+    let mut detections = 0usize;
+    let mut latency_sum = 0.0f64;
+    let mut channel = ChannelStats::default();
+    let mut transport: Option<TransportStats> = None;
+    let mut usage = UsageSnapshot::default();
+    let mut windows_scored = 0usize;
+    let mut sink_flagged = 0usize;
+    let mut margin_min = f64::INFINITY;
+    let mut margin_sum = 0.0f64;
+    let mut stall_alerts = 0usize;
+    let mut outliers = Vec::new();
+
+    for s in &summaries {
+        confusion.tp += s.confusion.tp;
+        confusion.fp += s.confusion.fp;
+        confusion.tn += s.confusion.tn;
+        confusion.fn_ += s.confusion.fn_;
+        ambiguous += s.ambiguous_windows;
+        dropped += s.dropped_windows;
+        salvaged += s.salvaged_windows;
+        recovery_sum += s.window_recovery_rate;
+        if let Some(ms) = s.detection_latency_ms {
+            detections += 1;
+            latency_sum += ms as f64;
+        }
+        channel = crate::scenario::add_channel_stats(channel, s.channel);
+        transport = match (transport, s.transport) {
+            (Some(a), Some(b)) => Some(crate::scenario::add_transport_stats(a, b)),
+            (None, b) => b,
+            (a, None) => a,
+        };
+        usage.merge(&s.usage);
+        windows_scored += s.windows_scored;
+        sink_flagged += s.sink_flagged;
+        margin_min = margin_min.min(s.margin_min);
+        margin_sum += s.margin_sum;
+        stall_alerts += s.stall_alerts;
+
+        if s.window_recovery_rate < 0.8 {
+            outliers.push(FleetOutlier {
+                device: s.device,
+                victim: s.victim,
+                reason: OutlierReason::LowRecovery,
+                value: s.window_recovery_rate,
+            });
+        }
+        let genuine = s.confusion.fp + s.confusion.tn;
+        if genuine >= 5 {
+            let fp_rate = s.confusion.fp as f64 / genuine as f64;
+            if fp_rate > 0.3 {
+                outliers.push(FleetOutlier {
+                    device: s.device,
+                    victim: s.victim,
+                    reason: OutlierReason::HighFalsePositiveRate,
+                    value: fp_rate,
+                });
+            }
+        }
+        let battery = s.usage.mean_battery_left();
+        if battery < 0.5 {
+            outliers.push(FleetOutlier {
+                device: s.device,
+                victim: s.victim,
+                reason: OutlierReason::LowBattery,
+                value: battery,
+            });
+        }
+    }
+
+    let devices = summaries.len();
+    FleetReport {
+        devices,
+        seed: spec.seed,
+        simulated_device_s: devices as f64 * spec.template.duration_s,
+        confusion,
+        ambiguous_windows: ambiguous,
+        dropped_windows: dropped,
+        salvaged_windows: salvaged,
+        mean_window_recovery: if devices == 0 {
+            0.0
+        } else {
+            recovery_sum / devices as f64
+        },
+        detections,
+        mean_detection_latency_ms: if detections == 0 {
+            None
+        } else {
+            Some(latency_sum / detections as f64)
+        },
+        channel,
+        transport,
+        usage,
+        windows_scored,
+        sink_flagged,
+        margin_min,
+        margin_mean: if windows_scored == 0 {
+            0.0
+        } else {
+            margin_sum / windows_scored as f64
+        },
+        stall_alerts,
+        outliers,
+        per_device: summaries,
+    }
+}
+
+/// Run a fleet with a pre-trained [`ModelBank`] (callers comparing
+/// thread counts or sweeping seeds train once and reuse it).
+///
+/// # Errors
+///
+/// Returns [`WiotError::InvalidScenario`] for an empty fleet or a bank
+/// whose detector version does not match the template, and propagates
+/// the lowest-device-index simulation error (deterministic regardless
+/// of which worker hit it first).
+pub fn run_fleet_with_bank(spec: &FleetSpec, models: &ModelBank) -> Result<FleetReport, WiotError> {
+    if spec.devices == 0 {
+        return Err(WiotError::InvalidScenario {
+            reason: "fleet must have at least one device",
+        });
+    }
+    if models.version() != spec.template.version {
+        return Err(WiotError::InvalidScenario {
+            reason: "model bank version does not match the fleet template",
+        });
+    }
+    let subjects_len = bank().len();
+    let threads = spec.threads.clamp(1, spec.devices);
+
+    let mut slots: Vec<Option<Result<DeviceSummary, WiotError>>> =
+        (0..spec.devices).map(|_| None).collect();
+    thread::scope(|scope| {
+        let (tx, rx) = mpsc::channel();
+        for worker in 0..threads {
+            let tx = tx.clone();
+            scope.spawn(move || {
+                // Static sharding: worker w owns devices w, w+T, w+2T, …
+                // Any partition works — determinism comes from the
+                // index-ordered reduction, not the schedule.
+                for device in (worker..spec.devices).step_by(threads) {
+                    let result = simulate_device(spec, models, subjects_len, device);
+                    if tx.send((device, result)).is_err() {
+                        return;
+                    }
+                }
+            });
+        }
+        drop(tx);
+        for (device, result) in rx {
+            slots[device] = Some(result);
+        }
+    });
+
+    let mut summaries = Vec::with_capacity(spec.devices);
+    for (device, slot) in slots.into_iter().enumerate() {
+        match slot {
+            Some(Ok(summary)) => summaries.push(summary),
+            Some(Err(e)) => return Err(e),
+            None => {
+                debug_assert!(false, "worker for device {device} vanished without reporting");
+                return Err(WiotError::InvalidScenario {
+                    reason: "fleet worker terminated without reporting",
+                });
+            }
+        }
+    }
+    Ok(reduce(spec, summaries))
+}
+
+/// Train the model bank for `spec` (one model per subject, shared
+/// across devices) and run the fleet.
+///
+/// # Errors
+///
+/// As [`run_fleet_with_bank`], plus training errors.
+pub fn run_fleet(spec: &FleetSpec) -> Result<FleetReport, WiotError> {
+    let models = ModelBank::train(
+        &bank(),
+        spec.template.version,
+        &spec.template.config,
+        spec.seed,
+    )?;
+    run_fleet_with_bank(spec, &models)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn device_seeds_are_distinct_and_stable() {
+        let seeds: Vec<u64> = (0..256).map(|i| device_seed(42, i)).collect();
+        let unique: HashSet<u64> = seeds.iter().copied().collect();
+        assert_eq!(unique.len(), seeds.len(), "colliding device seeds");
+        // Stable across calls (pure function of fleet seed + index).
+        assert_eq!(device_seed(42, 17), seeds[17]);
+        // A different fleet seed moves every stream.
+        assert!((0..256).all(|i| device_seed(43, i) != seeds[i]));
+    }
+
+    #[test]
+    fn empty_fleet_rejected() {
+        let spec = FleetSpec::new(0, 10.0);
+        assert!(matches!(
+            run_fleet(&spec),
+            Err(WiotError::InvalidScenario { .. })
+        ));
+    }
+
+    #[test]
+    fn mismatched_bank_version_rejected() {
+        let spec = FleetSpec::new(1, 10.0);
+        let models = ModelBank::train(
+            &bank(),
+            sift::features::Version::Reduced,
+            &spec.template.config,
+            spec.seed,
+        )
+        .unwrap();
+        assert!(matches!(
+            run_fleet_with_bank(&spec, &models),
+            Err(WiotError::InvalidScenario { .. })
+        ));
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_report() {
+        let spec = FleetSpec::new(3, 9.0).with_seed(7);
+        let models = ModelBank::train(
+            &bank(),
+            spec.template.version,
+            &spec.template.config,
+            spec.seed,
+        )
+        .unwrap();
+        let one = run_fleet_with_bank(&spec, &models).unwrap();
+        let three = run_fleet_with_bank(&spec.clone().with_threads(3), &models).unwrap();
+        assert_eq!(one, three);
+        assert_eq!(one.digest(), three.digest());
+        assert_eq!(one.devices, 3);
+        assert_eq!(one.per_device.len(), 3);
+        // Distinct devices really ran distinct streams.
+        assert!(one.per_device[0].seed != one.per_device[1].seed);
+        assert!(one.usage.devices == 3);
+        // Batched sink re-scoring saw the emitted windows.
+        assert!(one.windows_scored > 0);
+    }
+
+    #[test]
+    fn oversized_thread_count_is_clamped() {
+        let spec = FleetSpec::new(2, 9.0).with_threads(64);
+        let models = ModelBank::train(
+            &bank(),
+            spec.template.version,
+            &spec.template.config,
+            spec.seed,
+        )
+        .unwrap();
+        let r = run_fleet_with_bank(&spec, &models).unwrap();
+        assert_eq!(r.devices, 2);
+    }
+}

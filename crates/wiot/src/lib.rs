@@ -39,6 +39,7 @@ pub mod basestation;
 pub mod channel;
 pub mod device;
 pub mod faults;
+pub mod fleet;
 pub mod scenario;
 pub mod sink;
 pub mod transport;

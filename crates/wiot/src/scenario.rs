@@ -23,7 +23,7 @@ use physio_sim::record::Record;
 use physio_sim::subject::bank;
 use sift::config::SiftConfig;
 use sift::features::Version;
-use sift::trainer::train_for_subject;
+use sift::trainer::{train_for_subject, SiftModel};
 
 /// Wireless-link parameters for a scenario.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -66,9 +66,9 @@ impl Default for LinkParams {
 impl LinkParams {
     fn to_channel_config(self) -> ChannelConfig {
         ChannelConfig {
-            loss: self.loss.unwrap_or(LossModel::Bernoulli {
-                p: self.loss_prob,
-            }),
+            loss: self
+                .loss
+                .unwrap_or(LossModel::Bernoulli { p: self.loss_prob }),
             base_delay_ms: self.base_delay_ms,
             jitter_ms: self.jitter_ms,
             dup_prob: self.dup_prob,
@@ -274,7 +274,7 @@ impl Link {
     }
 }
 
-fn add_channel_stats(a: ChannelStats, b: ChannelStats) -> ChannelStats {
+pub(crate) fn add_channel_stats(a: ChannelStats, b: ChannelStats) -> ChannelStats {
     ChannelStats {
         sent: a.sent + b.sent,
         lost: a.lost + b.lost,
@@ -284,7 +284,7 @@ fn add_channel_stats(a: ChannelStats, b: ChannelStats) -> ChannelStats {
     }
 }
 
-fn add_transport_stats(a: TransportStats, b: TransportStats) -> TransportStats {
+pub(crate) fn add_transport_stats(a: TransportStats, b: TransportStats) -> TransportStats {
     TransportStats {
         data_sent: a.data_sent + b.data_sent,
         retransmits: a.retransmits + b.retransmits,
@@ -296,106 +296,221 @@ fn add_transport_stats(a: TransportStats, b: TransportStats) -> TransportStats {
     }
 }
 
-/// Run `scenario` to completion.
+/// Construction options for a [`DeviceSim`] beyond the scenario itself.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DeviceOptions<'a> {
+    /// Pre-trained model to deploy instead of training inline. The
+    /// fleet engine enrolls every subject once (`sift::trainer`'s
+    /// `ModelBank`) and shares one model across all devices wearing the
+    /// same subject; `None` trains from the scenario seed as before.
+    pub model: Option<&'a SiftModel>,
+    /// Enable the base station's feature uplink
+    /// ([`BaseStation::with_feature_uplink`]) so the sink can re-score
+    /// window batches with one batched SVM call per device.
+    pub feature_uplink: bool,
+}
+
+/// Where a [`DeviceSim`] is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Sensors still producing chunks.
+    Streaming,
+    /// Sensors exhausted; in-flight packets and retransmissions drain.
+    Draining,
+    /// Flushed and watchdog-polled; only scoring remains.
+    Finished,
+}
+
+/// One simulated device: a full sensors → attacker → faults →
+/// channel/ARQ → base-station pipeline advanced one chunk tick at a
+/// time.
 ///
-/// # Errors
-///
-/// Returns [`WiotError::InvalidScenario`] for inconsistent parameters
-/// and propagates training and platform errors.
-pub fn run(scenario: &Scenario) -> Result<SimReport, WiotError> {
-    let subjects = bank();
-    if scenario.victim >= subjects.len() {
-        return Err(WiotError::InvalidScenario {
-            reason: "victim index out of range",
-        });
+/// [`run`] drives a single `DeviceSim` to completion; the fleet engine
+/// (`crate::fleet`) owns many and steps each on a worker thread. All
+/// state is owned (`Send`), so whole devices can migrate across
+/// threads; determinism comes solely from the scenario seed.
+pub struct DeviceSim {
+    scenario: Scenario,
+    live_fs: f64,
+    station: BaseStation,
+    ecg_dev: SensorDevice,
+    abp_dev: SensorDevice,
+    attacker: Option<Attacker>,
+    links: [Link; 2],
+    fault_summary: FaultSummary,
+    /// Hold value per stream for stuck-at injection.
+    stuck_hold: [f64; 2],
+    chunk_ms: u64,
+    now_ms: u64,
+    prev_ms: u64,
+    drain_ticks: u32,
+    phase: Phase,
+}
+
+impl std::fmt::Debug for DeviceSim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DeviceSim")
+            .field("victim", &self.scenario.victim)
+            .field("now_ms", &self.now_ms)
+            .field("phase", &self.phase)
+            .finish()
     }
-    if let Some(a) = &scenario.attack {
-        if a.start_s >= a.end_s || a.end_s > scenario.duration_s {
+}
+
+impl DeviceSim {
+    /// Build a device for `scenario`, training its model inline.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WiotError::InvalidScenario`] for inconsistent
+    /// parameters and propagates training and platform errors.
+    pub fn new(scenario: &Scenario) -> Result<Self, WiotError> {
+        Self::with_options(scenario, DeviceOptions::default())
+    }
+
+    /// Build a device with explicit [`DeviceOptions`] (model injection,
+    /// feature uplink).
+    ///
+    /// # Errors
+    ///
+    /// As [`DeviceSim::new`]; additionally rejects an injected model
+    /// whose detector version does not match the scenario's.
+    pub fn with_options(
+        scenario: &Scenario,
+        options: DeviceOptions<'_>,
+    ) -> Result<Self, WiotError> {
+        let subjects = bank();
+        if scenario.victim >= subjects.len() {
             return Err(WiotError::InvalidScenario {
-                reason: "attack interval must be non-empty and inside the session",
+                reason: "victim index out of range",
             });
         }
+        if let Some(a) = &scenario.attack {
+            if a.start_s >= a.end_s || a.end_s > scenario.duration_s {
+                return Err(WiotError::InvalidScenario {
+                    reason: "attack interval must be non-empty and inside the session",
+                });
+            }
+        }
+        scenario.faults.validate(scenario.duration_s)?;
+
+        // Deploy the injected model, or train offline then deploy.
+        let embedded = match options.model {
+            Some(model) => {
+                if model.version() != scenario.version {
+                    return Err(WiotError::InvalidScenario {
+                        reason: "injected model version does not match the scenario",
+                    });
+                }
+                model.embedded().clone()
+            }
+            None => train_for_subject(
+                &subjects,
+                scenario.victim,
+                scenario.version,
+                &scenario.config,
+                scenario.seed,
+            )?
+            .embedded()
+            .clone(),
+        };
+        let app = SiftApp::new(scenario.version, embedded, scenario.config.clone())?;
+        let mut station = BaseStation::new(app, scenario.config.clone(), scenario.chunk_s)?;
+        if let Some(max_missing) = scenario.salvage_max_missing {
+            station = station.with_salvage(max_missing);
+        }
+        if let Some(timeout_ms) = scenario.watchdog_timeout_ms {
+            station = station.with_watchdog(timeout_ms, false)?;
+        }
+        if options.feature_uplink {
+            station = station.with_feature_uplink(scenario.version);
+        }
+
+        // Live session data (unseen by training).
+        let live = Record::synthesize(
+            &subjects[scenario.victim],
+            scenario.duration_s,
+            scenario.seed ^ 0x11FE,
+        );
+        let ecg_dev = SensorDevice::ecg(&live, scenario.chunk_s);
+        let abp_dev = SensorDevice::abp(&live, scenario.chunk_s);
+
+        let attacker = scenario.attack.as_ref().map(|spec| {
+            Attacker::new(
+                spec.mode.clone(),
+                (spec.start_s * 1000.0) as u64,
+                (spec.end_s * 1000.0) as u64,
+                scenario.seed ^ 0xA77,
+            )
+        });
+
+        let link_config = scenario.link.to_channel_config();
+        let links = [
+            Link::new(link_config.clone(), scenario.seed ^ 0xC41, scenario.arq)?,
+            Link::new(link_config, scenario.seed ^ 0xC42, scenario.arq)?,
+        ];
+
+        Ok(Self {
+            chunk_ms: (scenario.chunk_s * 1000.0) as u64,
+            scenario: scenario.clone(),
+            live_fs: live.fs,
+            station,
+            ecg_dev,
+            abp_dev,
+            attacker,
+            links,
+            fault_summary: FaultSummary::default(),
+            stuck_hold: [0.0f64; 2],
+            now_ms: 0,
+            prev_ms: 0,
+            drain_ticks: 0,
+            phase: Phase::Streaming,
+        })
     }
-    scenario.faults.validate(scenario.duration_s)?;
 
-    // Offline training, then deployment.
-    let model = train_for_subject(
-        &subjects,
-        scenario.victim,
-        scenario.version,
-        &scenario.config,
-        scenario.seed,
-    )?;
-    let app = SiftApp::new(
-        scenario.version,
-        model.embedded().clone(),
-        scenario.config.clone(),
-    )?;
-    let mut station = BaseStation::new(app, scenario.config.clone(), scenario.chunk_s)?;
-    if let Some(max_missing) = scenario.salvage_max_missing {
-        station = station.with_salvage(max_missing);
-    }
-    if let Some(timeout_ms) = scenario.watchdog_timeout_ms {
-        station = station.with_watchdog(timeout_ms, false)?;
+    /// Pump both links and feed arrivals to the station, in
+    /// delivery-time order across both links (stable sort: equal times
+    /// keep ECG first).
+    fn deliver_arrivals(&mut self) -> Result<(), WiotError> {
+        let mut arrivals = self.links[0].pump(self.now_ms)?;
+        arrivals.extend(self.links[1].pump(self.now_ms)?);
+        arrivals.sort_by_key(|d| d.at_ms);
+        for d in arrivals {
+            self.station.receive(d)?;
+        }
+        Ok(())
     }
 
-    // Live session data (unseen by training).
-    let live = Record::synthesize(
-        &subjects[scenario.victim],
-        scenario.duration_s,
-        scenario.seed ^ 0x11FE,
-    );
-    let mut ecg_dev = SensorDevice::ecg(&live, scenario.chunk_s);
-    let mut abp_dev = SensorDevice::abp(&live, scenario.chunk_s);
-
-    let mut attacker = scenario.attack.as_ref().map(|spec| {
-        Attacker::new(
-            spec.mode.clone(),
-            (spec.start_s * 1000.0) as u64,
-            (spec.end_s * 1000.0) as u64,
-            scenario.seed ^ 0xA77,
-        )
-    });
-
-    let link_config = scenario.link.to_channel_config();
-    let mut links = [
-        Link::new(link_config.clone(), scenario.seed ^ 0xC41, scenario.arq)?,
-        Link::new(link_config, scenario.seed ^ 0xC42, scenario.arq)?,
-    ];
-    let streams = [Stream::Ecg, Stream::Abp];
-    let mut fault_summary = FaultSummary::default();
-    // Hold value per stream for stuck-at injection.
-    let mut stuck_hold = [0.0f64; 2];
-
-    // Drive the session chunk by chunk.
-    let chunk_ms = (scenario.chunk_s * 1000.0) as u64;
-    let mut now_ms = 0u64;
-    let mut prev_ms = 0u64;
-    loop {
-        let pe = ecg_dev.poll();
-        let pa = abp_dev.poll();
+    /// One streaming tick. Returns `false` (consuming no tick) once both
+    /// sensors are exhausted.
+    fn step_stream(&mut self) -> Result<bool, WiotError> {
+        let pe = self.ecg_dev.poll();
+        let pa = self.abp_dev.poll();
         if pe.is_none() && pa.is_none() {
-            break;
+            return Ok(false);
         }
 
         // Brownout reboots scheduled since the last tick.
-        let reboots = scenario.faults.reboots_between(prev_ms, now_ms);
+        let reboots = self
+            .scenario
+            .faults
+            .reboots_between(self.prev_ms, self.now_ms);
         for _ in 0..reboots {
-            station.reboot();
-            fault_summary.reboots += 1;
+            self.station.reboot();
+            self.fault_summary.reboots += 1;
         }
 
         // Link-degradation episodes.
         let mut any_degraded = false;
-        for (i, stream) in streams.iter().enumerate() {
-            let want = scenario.faults.degrade(*stream, now_ms).copied();
-            if want.is_some() != links[i].channel().is_degraded() || want.is_some() {
-                links[i].set_degrade(want)?;
+        for (i, stream) in [Stream::Ecg, Stream::Abp].iter().enumerate() {
+            let want = self.scenario.faults.degrade(*stream, self.now_ms).copied();
+            if want.is_some() != self.links[i].channel().is_degraded() || want.is_some() {
+                self.links[i].set_degrade(want)?;
             }
             any_degraded |= want.is_some();
         }
         if any_degraded {
-            fault_summary.degraded_link_ms += chunk_ms;
+            self.fault_summary.degraded_link_ms += self.chunk_ms;
         }
 
         // Offer each packet to its (possibly faulted) sensor and link.
@@ -405,142 +520,222 @@ pub fn run(scenario: &Scenario) -> Result<SimReport, WiotError> {
         {
             let Some(mut p) = packet else { continue };
             if stream == Stream::Ecg {
-                if let Some(att) = attacker.as_mut() {
-                    p = att.intercept(now_ms, p, live.fs);
+                if let Some(att) = self.attacker.as_mut() {
+                    p = att.intercept(self.now_ms, p, self.live_fs);
                 }
             }
-            if scenario.faults.is_dropout(stream, now_ms) {
-                fault_summary.dropout_chunks += 1;
+            if self.scenario.faults.is_dropout(stream, self.now_ms) {
+                self.fault_summary.dropout_chunks += 1;
                 continue;
             }
-            if scenario.faults.is_stuck(stream, now_ms) {
+            if self.scenario.faults.is_stuck(stream, self.now_ms) {
                 // Frozen ADC: flat payload at the last healthy value,
                 // no peak annotations.
                 for s in p.samples.iter_mut() {
-                    *s = stuck_hold[i];
+                    *s = self.stuck_hold[i];
                 }
                 p.peaks.clear();
-                fault_summary.stuck_chunks += 1;
+                self.fault_summary.stuck_chunks += 1;
             } else if let Some(&last) = p.samples.last() {
-                stuck_hold[i] = last;
+                self.stuck_hold[i] = last;
             }
-            let skew_ms = scenario.faults.clock_skew_ms(stream, now_ms);
-            fault_summary.max_clock_skew_ms = fault_summary.max_clock_skew_ms.max(skew_ms);
-            links[i].send(now_ms + skew_ms, p);
+            let skew_ms = self.scenario.faults.clock_skew_ms(stream, self.now_ms);
+            self.fault_summary.max_clock_skew_ms =
+                self.fault_summary.max_clock_skew_ms.max(skew_ms);
+            self.links[i].send(self.now_ms + skew_ms, p);
         }
 
-        // Collect everything arriving by now, in delivery-time order
-        // across both links (stable sort: equal times keep ECG first).
-        let mut arrivals = links[0].pump(now_ms)?;
-        arrivals.extend(links[1].pump(now_ms)?);
-        arrivals.sort_by_key(|d| d.at_ms);
-        for d in arrivals {
-            station.receive(d)?;
-        }
-        station.poll_watchdog(now_ms)?;
+        self.deliver_arrivals()?;
+        self.station.poll_watchdog(self.now_ms)?;
 
-        prev_ms = now_ms;
-        now_ms += chunk_ms;
-        station.advance_time(chunk_ms);
+        self.prev_ms = self.now_ms;
+        self.now_ms += self.chunk_ms;
+        self.station.advance_time(self.chunk_ms);
+        Ok(true)
     }
 
-    // Drain: in-flight packets and pending retransmissions may still
-    // complete windows after the sensors stop.
-    let mut drain_ticks = 0;
-    while links.iter().any(|l| !l.idle()) && drain_ticks < 1_000 {
-        now_ms += chunk_ms;
-        station.advance_time(chunk_ms);
-        let mut arrivals = links[0].pump(now_ms)?;
-        arrivals.extend(links[1].pump(now_ms)?);
-        arrivals.sort_by_key(|d| d.at_ms);
-        for d in arrivals {
-            station.receive(d)?;
+    /// One drain tick: in-flight packets and pending retransmissions
+    /// may still complete windows after the sensors stop. Returns
+    /// `false` once the links are idle (or the drain budget is spent).
+    fn step_drain(&mut self) -> Result<bool, WiotError> {
+        if self.links.iter().all(Link::idle) || self.drain_ticks >= 1_000 {
+            return Ok(false);
         }
-        drain_ticks += 1;
+        self.now_ms += self.chunk_ms;
+        self.station.advance_time(self.chunk_ms);
+        self.deliver_arrivals()?;
+        self.drain_ticks += 1;
+        Ok(true)
     }
-    station.flush()?;
-    station.poll_watchdog(now_ms)?;
 
-    // Score the window log against ground truth.
-    let window_ms = (scenario.config.window_s * 1000.0) as u64;
-    let attack_span = scenario
-        .attack
-        .as_ref()
-        .map(|a| ((a.start_s * 1000.0) as u64, (a.end_s * 1000.0) as u64));
-    let mut confusion = ConfusionMatrix::default();
-    let mut ambiguous = 0usize;
-    let mut dropped = 0usize;
-    let mut latency: Option<u64> = None;
-    for &(idx, outcome) in station.window_log() {
-        let w_start = idx as u64 * window_ms;
-        let w_end = w_start + window_ms;
-        let overlap = attack_span
-            .map(|(a0, a1)| {
-                let lo = w_start.max(a0);
-                let hi = w_end.min(a1);
-                hi.saturating_sub(lo) as f64 / window_ms as f64
-            })
-            .unwrap_or(0.0);
-        let truth = if overlap >= 0.5 {
-            Some(Label::Positive)
-        } else if overlap == 0.0 {
-            Some(Label::Negative)
-        } else {
-            None
-        };
-        match outcome {
-            WindowOutcome::Dropped | WindowOutcome::Rejected => dropped += 1,
-            WindowOutcome::Emitted { alerted } | WindowOutcome::Salvaged { alerted } => {
-                let predicted = if alerted {
-                    Label::Positive
-                } else {
-                    Label::Negative
-                };
-                match truth {
-                    Some(t) => confusion.record(t, predicted),
-                    None => ambiguous += 1,
+    /// Advance the device by one chunk tick. Returns `true` while the
+    /// session is still in progress, `false` once it has fully finished
+    /// (sensors exhausted, links drained, station flushed).
+    ///
+    /// # Errors
+    ///
+    /// Propagates platform errors (e.g. battery exhaustion, strict
+    /// watchdog stalls).
+    pub fn step(&mut self) -> Result<bool, WiotError> {
+        match self.phase {
+            Phase::Streaming => {
+                if self.step_stream()? {
+                    return Ok(true);
                 }
-                if alerted && overlap > 0.0 && latency.is_none() {
-                    let (a0, _) = attack_span.expect("overlap implies attack");
-                    latency = Some(w_end.saturating_sub(a0));
+                self.phase = Phase::Draining;
+                self.step()
+            }
+            Phase::Draining => {
+                if self.step_drain()? {
+                    return Ok(true);
+                }
+                self.station.flush()?;
+                self.station.poll_watchdog(self.now_ms)?;
+                self.phase = Phase::Finished;
+                Ok(false)
+            }
+            Phase::Finished => Ok(false),
+        }
+    }
+
+    /// Drive the device until [`DeviceSim::step`] reports completion.
+    ///
+    /// # Errors
+    ///
+    /// As [`DeviceSim::step`].
+    pub fn run_to_completion(&mut self) -> Result<(), WiotError> {
+        while self.step()? {}
+        Ok(())
+    }
+
+    /// Simulated device clock, ms.
+    pub fn now_ms(&self) -> u64 {
+        self.now_ms
+    }
+
+    /// The device's base station (window log, stats, OS meters).
+    pub fn station(&self) -> &BaseStation {
+        &self.station
+    }
+
+    /// Per-window outcomes `(window index, outcome)` in window order —
+    /// the verdict sequence golden traces pin.
+    pub fn window_log(&self) -> &std::collections::VecDeque<(usize, WindowOutcome)> {
+        self.station.window_log()
+    }
+
+    /// Drain the station's feature-uplink queue (empty unless
+    /// [`DeviceOptions::feature_uplink`] was set).
+    pub fn take_uplinked_features(&mut self) -> Vec<(usize, Vec<f32>)> {
+        self.station.take_uplinked_features()
+    }
+
+    /// Finish the session (if still running) and score it into a
+    /// [`SimReport`].
+    ///
+    /// # Errors
+    ///
+    /// As [`DeviceSim::step`].
+    pub fn into_report(mut self) -> Result<SimReport, WiotError> {
+        self.run_to_completion()?;
+        let scenario = &self.scenario;
+        let station = &self.station;
+        let links = &self.links;
+
+        // Score the window log against ground truth.
+        let window_ms = (scenario.config.window_s * 1000.0) as u64;
+        let attack_span = scenario
+            .attack
+            .as_ref()
+            .map(|a| ((a.start_s * 1000.0) as u64, (a.end_s * 1000.0) as u64));
+        let mut confusion = ConfusionMatrix::default();
+        let mut ambiguous = 0usize;
+        let mut dropped = 0usize;
+        let mut latency: Option<u64> = None;
+        for &(idx, outcome) in station.window_log() {
+            let w_start = idx as u64 * window_ms;
+            let w_end = w_start + window_ms;
+            let overlap = attack_span
+                .map(|(a0, a1)| {
+                    let lo = w_start.max(a0);
+                    let hi = w_end.min(a1);
+                    hi.saturating_sub(lo) as f64 / window_ms as f64
+                })
+                .unwrap_or(0.0);
+            let truth = if overlap >= 0.5 {
+                Some(Label::Positive)
+            } else if overlap == 0.0 {
+                Some(Label::Negative)
+            } else {
+                None
+            };
+            match outcome {
+                WindowOutcome::Dropped | WindowOutcome::Rejected => dropped += 1,
+                WindowOutcome::Emitted { alerted } | WindowOutcome::Salvaged { alerted } => {
+                    let predicted = if alerted {
+                        Label::Positive
+                    } else {
+                        Label::Negative
+                    };
+                    match truth {
+                        Some(t) => confusion.record(t, predicted),
+                        None => ambiguous += 1,
+                    }
+                    if alerted && overlap > 0.0 && latency.is_none() {
+                        let (a0, _) = attack_span.expect("overlap implies attack");
+                        latency = Some(w_end.saturating_sub(a0));
+                    }
                 }
             }
         }
+
+        let mut sink = Sink::new();
+        sink.archive_alerts(station.alerts());
+
+        let stats = station.stats();
+        let expected_windows = (scenario.duration_s / scenario.config.window_s)
+            .floor()
+            .max(1.0);
+        let recovered = stats.windows_emitted + stats.windows_salvaged;
+        let stall_alerts = station
+            .alerts()
+            .iter()
+            .filter(|a| a.app == "watchdog")
+            .count();
+
+        Ok(SimReport {
+            confusion,
+            ambiguous_windows: ambiguous,
+            dropped_windows: dropped,
+            salvaged_windows: stats.windows_salvaged as usize,
+            window_recovery_rate: recovered as f64 / expected_windows,
+            detection_latency_ms: latency,
+            channel_loss_rate: (links[0].channel().loss_rate() + links[1].channel().loss_rate())
+                / 2.0,
+            channel: add_channel_stats(links[0].channel().stats(), links[1].channel().stats()),
+            transport: match (links[0].transport_stats(), links[1].transport_stats()) {
+                (Some(a), Some(b)) => Some(add_transport_stats(a, b)),
+                _ => None,
+            },
+            faults: self.fault_summary,
+            stall_alerts,
+            battery_left: station
+                .os()
+                .meter()
+                .battery_fraction_left(station.os().energy_model()),
+            sink,
+        })
     }
+}
 
-    let mut sink = Sink::new();
-    sink.archive_alerts(station.alerts());
-
-    let stats = station.stats();
-    let expected_windows = (scenario.duration_s / scenario.config.window_s).floor().max(1.0);
-    let recovered = stats.windows_emitted + stats.windows_salvaged;
-    let stall_alerts = station
-        .alerts()
-        .iter()
-        .filter(|a| a.app == "watchdog")
-        .count();
-
-    Ok(SimReport {
-        confusion,
-        ambiguous_windows: ambiguous,
-        dropped_windows: dropped,
-        salvaged_windows: stats.windows_salvaged as usize,
-        window_recovery_rate: recovered as f64 / expected_windows,
-        detection_latency_ms: latency,
-        channel_loss_rate: (links[0].channel().loss_rate() + links[1].channel().loss_rate()) / 2.0,
-        channel: add_channel_stats(links[0].channel().stats(), links[1].channel().stats()),
-        transport: match (links[0].transport_stats(), links[1].transport_stats()) {
-            (Some(a), Some(b)) => Some(add_transport_stats(a, b)),
-            _ => None,
-        },
-        faults: fault_summary,
-        stall_alerts,
-        battery_left: station
-            .os()
-            .meter()
-            .battery_fraction_left(station.os().energy_model()),
-        sink,
-    })
+/// Run `scenario` to completion on a single device.
+///
+/// # Errors
+///
+/// Returns [`WiotError::InvalidScenario`] for inconsistent parameters
+/// and propagates training and platform errors.
+pub fn run(scenario: &Scenario) -> Result<SimReport, WiotError> {
+    DeviceSim::new(scenario)?.into_report()
 }
 
 #[cfg(test)]

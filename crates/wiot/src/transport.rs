@@ -353,8 +353,7 @@ impl ArqLink {
                     gap.attempts += 1;
                     // Exponential backoff, shift-capped so it cannot
                     // overflow on absurd budgets.
-                    let backoff =
-                        self.config.base_backoff_ms << gap.attempts.min(16);
+                    let backoff = self.config.base_backoff_ms << gap.attempts.min(16);
                     gap.next_retry_ms = now_ms + backoff.max(1);
                     self.stats.retransmits += 1;
                     let copies = self.channel.transmit(now_ms, packet);
@@ -371,9 +370,7 @@ impl ArqLink {
             }
         }
         match exhausted {
-            Some(seq) if self.config.strict => {
-                Err(WiotError::RetryBudgetExhausted { stream, seq })
-            }
+            Some(seq) if self.config.strict => Err(WiotError::RetryBudgetExhausted { stream, seq }),
             _ => Ok(()),
         }
     }

@@ -1,10 +1,39 @@
 #!/usr/bin/env bash
-# Full verification gate: release build, tests, and lint-clean clippy.
+# Full verification gate: release build, tests (incl. golden traces and
+# property suites), lint-clean clippy, and a fleet-bench baseline diff.
 # Run from the repository root: ./scripts/verify.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release
 cargo test -q
+
+# The deterministic test harness, run explicitly so a filtered `cargo
+# test` invocation can never silently skip it.
+cargo test -q --test golden_traces
+cargo test -q --test fleet_props
+cargo test -q -p wiot --test transport_edges
+
 cargo clippy --workspace -- -D warnings
+
+# Fleet throughput check: regenerate BENCH_fleet.json with the baseline's
+# parameters and diff against the committed numbers. Warn-only — the
+# wall-clock fields legitimately move between machines and runs, but a
+# digest change means the simulation itself changed and the golden suite
+# above should already have caught it.
+baseline=results/BENCH_fleet_baseline.json
+if [[ -f "$baseline" ]]; then
+  cargo run --release -q -p bench --bin fleet -- \
+    --devices 100 --threads 8 --seed 61455 --duration 30 \
+    --out BENCH_fleet.json >/dev/null
+  if diff -u "$baseline" BENCH_fleet.json >/dev/null 2>&1; then
+    echo "verify: fleet bench matches baseline exactly"
+  else
+    echo "verify: WARN fleet bench drifted from $baseline (expected for wall-clock fields):"
+    diff -u "$baseline" BENCH_fleet.json || true
+  fi
+else
+  echo "verify: WARN no fleet baseline at $baseline; skipping bench diff"
+fi
+
 echo "verify: OK"

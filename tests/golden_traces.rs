@@ -1,0 +1,135 @@
+//! Golden-trace regression tests: seeded end-to-end runs pinned to
+//! committed fixtures under `tests/golden/`.
+//!
+//! A golden trace freezes the externally observable behaviour of a
+//! seeded run — the per-window verdict sequence of a device session and
+//! the digest of a fleet run — so any change to the pipeline that moves
+//! a verdict or a single aggregate bit fails loudly here, with a diff,
+//! instead of silently shifting downstream numbers.
+//!
+//! To regenerate after an *intended* behaviour change:
+//!
+//! ```sh
+//! BLESS=1 cargo test --test golden_traces
+//! ```
+//!
+//! then review the fixture diff like any other code change.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use wiot::basestation::WindowOutcome;
+use wiot::fleet::{run_fleet_with_bank, FleetSpec};
+use wiot::scenario::{AttackSpec, DeviceSim, Scenario};
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+/// Compare `actual` against the committed fixture, or rewrite the
+/// fixture when `BLESS` is set in the environment.
+fn check_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::write(&path, actual).unwrap_or_else(|e| panic!("cannot bless {name}: {e}"));
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|_| {
+        panic!("missing golden fixture {name}; run `BLESS=1 cargo test --test golden_traces`")
+    });
+    assert_eq!(
+        expected, actual,
+        "golden trace {name} drifted; if the change is intended, regenerate with \
+         `BLESS=1 cargo test --test golden_traces` and review the fixture diff"
+    );
+}
+
+/// One character per window: e/E emitted (alert uppercase), s/S
+/// salvaged, d dropped, r rejected.
+fn outcome_tag(outcome: WindowOutcome) -> char {
+    match outcome {
+        WindowOutcome::Emitted { alerted: false } => 'e',
+        WindowOutcome::Emitted { alerted: true } => 'E',
+        WindowOutcome::Salvaged { alerted: false } => 's',
+        WindowOutcome::Salvaged { alerted: true } => 'S',
+        WindowOutcome::Dropped => 'd',
+        WindowOutcome::Rejected => 'r',
+    }
+}
+
+fn trace_of(scenario: &Scenario, header: &str) -> String {
+    let mut sim = DeviceSim::new(scenario).unwrap();
+    sim.run_to_completion().unwrap();
+    let mut out = String::new();
+    writeln!(out, "{header}").unwrap();
+    writeln!(
+        out,
+        "victim={} version={} duration_s={} seed={:#x}",
+        scenario.victim, scenario.version, scenario.duration_s, scenario.seed
+    )
+    .unwrap();
+    for &(idx, outcome) in sim.window_log() {
+        writeln!(out, "{idx} {}", outcome_tag(outcome)).unwrap();
+    }
+    out
+}
+
+#[test]
+fn golden_quiet_session_verdicts() {
+    let scenario = Scenario::new(3, sift::features::Version::Simplified, 60.0);
+    check_golden(
+        "quiet_session.trace",
+        &trace_of(&scenario, "# quiet session: no attack, perfect link"),
+    );
+}
+
+#[test]
+fn golden_attacked_lossy_session_verdicts() {
+    let donor = physio_sim::record::Record::synthesize(&physio_sim::subject::bank()[5], 60.0, 4242);
+    let mut scenario = Scenario::new(0, sift::features::Version::Simplified, 60.0);
+    scenario.attack = Some(AttackSpec {
+        mode: wiot::attacker::AttackMode::Substitute { donor },
+        start_s: 21.0,
+        end_s: 45.0,
+    });
+    scenario.link.loss_prob = 0.05;
+    scenario.salvage_max_missing = Some(1);
+    check_golden(
+        "attacked_lossy_session.trace",
+        &trace_of(
+            &scenario,
+            "# substitution attack 21-45 s, 5% loss, salvage <= 1 chunk",
+        ),
+    );
+}
+
+#[test]
+fn golden_fleet_digest() {
+    let spec = FleetSpec::new(6, 12.0).with_threads(2).with_seed(2024);
+    let models = sift::trainer::ModelBank::train(
+        &physio_sim::subject::bank(),
+        spec.template.version,
+        &spec.template.config,
+        spec.seed,
+    )
+    .unwrap();
+    let report = run_fleet_with_bank(&spec, &models).unwrap();
+    let mut out = String::new();
+    writeln!(out, "# fleet aggregate pin: 6 devices, seed 2024, 12 s").unwrap();
+    writeln!(out, "digest={:#018x}", report.digest()).unwrap();
+    writeln!(
+        out,
+        "windows_scored={} sink_flagged={} dropped={} salvaged={}",
+        report.windows_scored, report.sink_flagged, report.dropped_windows, report.salvaged_windows
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "confusion tp={} fp={} tn={} fn={}",
+        report.confusion.tp, report.confusion.fp, report.confusion.tn, report.confusion.fn_
+    )
+    .unwrap();
+    writeln!(out, "dispatched={}", report.usage.dispatched).unwrap();
+    check_golden("fleet_digest.trace", &out);
+}
