@@ -91,6 +91,7 @@ impl App for FallDetectionApp {
         "fall-detection"
     }
 
+    // lint:allow(embedded-no-heap-alloc, static resource declaration consumed by the host-side profiler)
     fn resource_spec(&self) -> AppResourceSpec {
         AppResourceSpec {
             name: "fall-detection".into(),
@@ -110,6 +111,7 @@ impl App for FallDetectionApp {
         }
     }
 
+    // lint:allow(embedded-no-heap-alloc, display strings render on the host; device firmware writes a fixed screen buffer)
     fn handle(&mut self, event: &AmuletEvent, ctx: &mut AppContext<'_>) {
         // Accelerometer magnitudes arrive as generic signals scaled by
         // 1000 (the QM framework passes small integers); see

@@ -59,6 +59,7 @@ impl App for HeartRateApp {
         "heartrate"
     }
 
+    // lint:allow(embedded-no-heap-alloc, static resource declaration consumed by the host-side profiler)
     fn resource_spec(&self) -> AppResourceSpec {
         AppResourceSpec {
             name: "heartrate".into(),
@@ -75,6 +76,8 @@ impl App for HeartRateApp {
         "Display"
     }
 
+    // lint:allow(embedded-no-heap-alloc, display strings render on the host; device firmware writes a fixed screen buffer)
+    // lint:allow(embedded-no-slice-index, r_peaks indices guarded by the len() >= 2 check)
     fn handle(&mut self, event: &AmuletEvent, ctx: &mut AppContext<'_>) {
         if let AmuletEvent::SnippetReady(snippet) = event {
             ctx.charge_cycles(CYCLES_PER_WINDOW);

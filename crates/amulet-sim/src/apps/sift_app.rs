@@ -88,7 +88,7 @@ impl SiftApp {
             });
         }
         Ok(Self {
-            name: format!("sift-{version}"),
+            name: format!("sift-{version}"), // lint:allow(embedded-no-heap-alloc, host-side app registration label)
             version,
             model,
             config,
@@ -132,6 +132,7 @@ impl App for SiftApp {
         }
     }
 
+    // lint:allow(embedded-no-heap-alloc, display strings render on the host; device firmware writes a fixed screen buffer)
     fn handle(&mut self, event: &AmuletEvent, ctx: &mut AppContext<'_>) {
         match (self.state, event) {
             (State::PeaksDataCheck, AmuletEvent::SnippetReady(snippet)) => {
@@ -151,10 +152,15 @@ impl App for SiftApp {
             }
             (State::FeatureExtraction, AmuletEvent::Signal(sig)) if *sig == SIG_EXTRACT => {
                 ctx.charge_cycles(self.stage_cycles().feature_extraction);
-                let snippet = self
-                    .pending_snippet
-                    .take()
-                    .expect("FeatureExtraction entered without a snippet");
+                // QM invariant: SIG_EXTRACT is only posted after the
+                // snippet is latched. Should the state machine ever
+                // desynchronize, recover to the idle state — on the
+                // device a panic would be a watchdog reset.
+                let Some(snippet) = self.pending_snippet.take() else {
+                    self.stats.rejected += 1;
+                    self.state = State::PeaksDataCheck;
+                    return;
+                };
                 match extract_amulet_f32(self.version, &snippet, &self.config) {
                     Ok(features) => {
                         self.pending_features = Some(features);
@@ -178,10 +184,13 @@ impl App for SiftApp {
             }
             (State::MlClassifier, AmuletEvent::Signal(sig)) if *sig == SIG_CLASSIFY => {
                 ctx.charge_cycles(self.stage_cycles().ml_classifier);
-                let features = self
-                    .pending_features
-                    .take()
-                    .expect("MLClassifier entered without features");
+                // Same recovery as FeatureExtraction: never panic over
+                // a desynchronized state machine.
+                let Some(features) = self.pending_features.take() else {
+                    self.stats.rejected += 1;
+                    self.state = State::PeaksDataCheck;
+                    return;
+                };
                 let label = self.model.predict_f32(&features);
                 self.stats.windows += 1;
                 if label == Label::Positive {

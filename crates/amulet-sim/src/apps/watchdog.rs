@@ -39,6 +39,7 @@ impl App for WatchdogApp {
         "watchdog"
     }
 
+    // lint:allow(embedded-no-heap-alloc, static resource declaration consumed by the host-side profiler)
     fn resource_spec(&self) -> AppResourceSpec {
         AppResourceSpec {
             name: "watchdog".into(),
@@ -55,6 +56,7 @@ impl App for WatchdogApp {
         "Armed"
     }
 
+    // lint:allow(embedded-no-heap-alloc, alert/display strings render on the host; device firmware writes a fixed screen buffer)
     fn handle(&mut self, event: &AmuletEvent, ctx: &mut AppContext<'_>) {
         if let AmuletEvent::StreamStalled { stream, silent_ms } = event {
             ctx.charge_cycles(CYCLES_PER_STALL);

@@ -1,0 +1,314 @@
+//! The semantic budget pass: recompute each detector flavor's static
+//! RAM/ROM footprint from the `amulet-sim` profiler cost tables and the
+//! `ml` model serialization format, then check it against the Amulet's
+//! memory map and the paper's Table III.
+//!
+//! This is deliberately *not* lexical: it consumes the same
+//! `sift_app_spec` / `ResourceProfiler` machinery the simulator uses,
+//! so the certified numbers are the numbers the rest of the repo runs
+//! on, not a parallel re-derivation that could drift.
+
+use crate::rules::Finding;
+use amulet_sim::memory::MAX_ARRAY_ELEMS;
+use amulet_sim::profiler::{sift_app_spec, ResourceProfiler};
+use amulet_sim::{FRAM_BYTES, SRAM_BYTES};
+use sift::config::SiftConfig;
+use sift::features::Version;
+
+/// Paper Table III row for one flavor (the published Amulet build).
+#[derive(Debug, Clone, Copy)]
+pub struct PaperRow {
+    /// System FRAM (OS + pulled libraries), KB.
+    pub system_fram_kb: f64,
+    /// Detector app FRAM (code + model + buffers), KB.
+    pub app_fram_kb: f64,
+    /// Detector app peak SRAM, bytes.
+    pub app_sram_b: usize,
+    /// Battery lifetime, days.
+    pub lifetime_days: f64,
+}
+
+/// Table III, in `Version::ALL` order (Original, Simplified, Reduced).
+pub const PAPER_ROWS: [PaperRow; 3] = [
+    PaperRow {
+        system_fram_kb: 77.03,
+        app_fram_kb: 4.79,
+        app_sram_b: 259,
+        lifetime_days: 23.0,
+    },
+    PaperRow {
+        system_fram_kb: 71.58,
+        app_fram_kb: 4.02,
+        app_sram_b: 259,
+        lifetime_days: 26.0,
+    },
+    PaperRow {
+        system_fram_kb: 56.29,
+        app_fram_kb: 2.56,
+        app_sram_b: 69,
+        lifetime_days: 55.0,
+    },
+];
+
+/// Relative tolerance for FRAM rows against the paper (the profiler is
+/// calibrated to the table; 2% absorbs rounding in the published KB).
+const FRAM_TOLERANCE: f64 = 0.02;
+
+/// Computed footprint of one flavor plus its budget verdicts.
+#[derive(Debug, Clone)]
+pub struct FlavorFootprint {
+    /// Detector flavor.
+    pub version: Version,
+    /// Serialized SVM model bytes (`MAGIC + dim + weights + bias`).
+    pub model_bytes: usize,
+    /// Samples per window buffer.
+    pub window_samples: usize,
+    /// System FRAM including pulled libraries, bytes.
+    pub system_fram_bytes: usize,
+    /// App FRAM (code + data), bytes.
+    pub app_fram_bytes: usize,
+    /// System SRAM peak, bytes.
+    pub system_sram_bytes: usize,
+    /// App SRAM peak, bytes.
+    pub app_sram_bytes: usize,
+    /// Projected battery lifetime, days.
+    pub lifetime_days: f64,
+    /// Whether every hard budget holds for this flavor.
+    pub within_budget: bool,
+    /// The paper row this flavor is checked against.
+    pub paper: PaperRow,
+}
+
+impl FlavorFootprint {
+    /// Total FRAM demand, bytes.
+    pub fn total_fram_bytes(&self) -> usize {
+        self.system_fram_bytes + self.app_fram_bytes
+    }
+
+    /// Total peak SRAM demand, bytes.
+    pub fn total_sram_bytes(&self) -> usize {
+        self.system_sram_bytes + self.app_sram_bytes
+    }
+}
+
+/// Exact serialized model size for a flavor, mirroring
+/// `ml::embedded::EmbeddedModel::footprint_bytes` (magic + u32 dim +
+/// f32 weights/means/scales + f32 bias) without training a model.
+pub fn model_bytes(version: Version) -> usize {
+    ml::embedded::MAGIC.len() + 4 + 4 * (3 * version.feature_count() + 1)
+}
+
+/// Compute the three flavor footprints with the paper's configuration.
+pub fn compute_footprints(config: &SiftConfig) -> Vec<FlavorFootprint> {
+    let profiler = ResourceProfiler::default();
+    Version::ALL
+        .iter()
+        .zip(PAPER_ROWS.iter())
+        .map(|(&version, &paper)| {
+            let model = model_bytes(version);
+            let spec = sift_app_spec(version, config, model);
+            let profile = profiler.profile(&[&spec]);
+            let window = config.window_samples();
+            let within_budget = profile.system_fram_bytes + profile.app_fram_bytes
+                <= FRAM_BYTES
+                && profile.system_sram_bytes + profile.app_sram_bytes <= SRAM_BYTES
+                && window <= MAX_ARRAY_ELEMS;
+            FlavorFootprint {
+                version,
+                model_bytes: model,
+                window_samples: window,
+                system_fram_bytes: profile.system_fram_bytes,
+                app_fram_bytes: profile.app_fram_bytes,
+                system_sram_bytes: profile.system_sram_bytes,
+                app_sram_bytes: profile.app_sram_bytes,
+                lifetime_days: profile.lifetime_days,
+                within_budget,
+                paper,
+            }
+        })
+        .collect()
+}
+
+/// Turn footprints into findings: hard budget violations are errors,
+/// drift from the paper's table is a warning.
+pub fn budget_findings(footprints: &[FlavorFootprint]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for fp in footprints {
+        let v = fp.version;
+        if fp.total_fram_bytes() > FRAM_BYTES {
+            out.push(Finding::new(
+                "budget-fram-exceeded",
+                "<budget>",
+                0,
+                format!(
+                    "{v}: static FRAM {} B exceeds the Amulet's {} B",
+                    fp.total_fram_bytes(),
+                    FRAM_BYTES
+                ),
+            ));
+        }
+        if fp.total_sram_bytes() > SRAM_BYTES {
+            out.push(Finding::new(
+                "budget-sram-exceeded",
+                "<budget>",
+                0,
+                format!(
+                    "{v}: peak SRAM {} B exceeds the Amulet's {} B",
+                    fp.total_sram_bytes(),
+                    SRAM_BYTES
+                ),
+            ));
+        }
+        if fp.window_samples > MAX_ARRAY_ELEMS {
+            out.push(Finding::new(
+                "budget-array-limit",
+                "<budget>",
+                0,
+                format!(
+                    "{v}: window buffer of {} samples exceeds MAX_ARRAY_ELEMS = {}",
+                    fp.window_samples, MAX_ARRAY_ELEMS
+                ),
+            ));
+        }
+        let drift = |name: &str, got_kb: f64, paper_kb: f64| -> Option<Finding> {
+            let rel = (got_kb - paper_kb).abs() / paper_kb;
+            (rel > FRAM_TOLERANCE).then(|| {
+                Finding::new(
+                    "budget-paper-drift",
+                    "<budget>",
+                    0,
+                    format!(
+                        "{v}: {name} {got_kb:.2} KB is {:.1}% from the paper's {paper_kb:.2} KB",
+                        rel * 100.0
+                    ),
+                )
+            })
+        };
+        let kb = |b: usize| b as f64 / 1024.0;
+        out.extend(drift(
+            "system FRAM",
+            kb(fp.system_fram_bytes),
+            fp.paper.system_fram_kb,
+        ));
+        out.extend(drift("app FRAM", kb(fp.app_fram_bytes), fp.paper.app_fram_kb));
+        if fp.app_sram_bytes != fp.paper.app_sram_b {
+            out.push(Finding::new(
+                "budget-paper-drift",
+                "<budget>",
+                0,
+                format!(
+                    "{v}: app SRAM {} B != the paper's {} B",
+                    fp.app_sram_bytes, fp.paper.app_sram_b
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// Render the footprint table as the `results/ANALYZER_footprint.json`
+/// document (hand-rolled JSON; the workspace has no serde).
+pub fn footprint_json(config: &SiftConfig, footprints: &[FlavorFootprint]) -> String {
+    let mut rows = String::new();
+    for (i, fp) in footprints.iter().enumerate() {
+        if i > 0 {
+            rows.push_str(",\n");
+        }
+        rows.push_str(&format!(
+            concat!(
+                "    {{\n",
+                "      \"version\": \"{}\",\n",
+                "      \"model_bytes\": {},\n",
+                "      \"window_samples\": {},\n",
+                "      \"system_fram_bytes\": {},\n",
+                "      \"app_fram_bytes\": {},\n",
+                "      \"total_fram_bytes\": {},\n",
+                "      \"system_sram_bytes\": {},\n",
+                "      \"app_sram_bytes\": {},\n",
+                "      \"total_sram_bytes\": {},\n",
+                "      \"lifetime_days\": {:.2},\n",
+                "      \"within_budget\": {},\n",
+                "      \"paper\": {{ \"system_fram_kb\": {}, \"app_fram_kb\": {}, ",
+                "\"app_sram_b\": {}, \"lifetime_days\": {} }}\n",
+                "    }}"
+            ),
+            fp.version,
+            fp.model_bytes,
+            fp.window_samples,
+            fp.system_fram_bytes,
+            fp.app_fram_bytes,
+            fp.total_fram_bytes(),
+            fp.system_sram_bytes,
+            fp.app_sram_bytes,
+            fp.total_sram_bytes(),
+            fp.lifetime_days,
+            fp.within_budget,
+            fp.paper.system_fram_kb,
+            fp.paper.app_fram_kb,
+            fp.paper.app_sram_b,
+            fp.paper.lifetime_days,
+        ));
+    }
+    format!(
+        concat!(
+            "{{\n",
+            "  \"source\": \"cargo run -p analyzer (budget pass)\",\n",
+            "  \"config\": {{ \"window_s\": {}, \"fs_hz\": {}, \"grid_n\": {} }},\n",
+            "  \"device\": {{ \"fram_bytes\": {}, \"sram_bytes\": {}, ",
+            "\"max_array_elems\": {} }},\n",
+            "  \"flavors\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        config.window_s,
+        config.fs,
+        config.grid_n,
+        FRAM_BYTES,
+        SRAM_BYTES,
+        MAX_ARRAY_ELEMS,
+        rows
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_is_within_every_budget() {
+        let config = SiftConfig::default();
+        let fps = compute_footprints(&config);
+        assert_eq!(fps.len(), 3);
+        assert!(fps.iter().all(|fp| fp.within_budget));
+        let findings = budget_findings(&fps);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn model_bytes_match_embedded_format() {
+        // 8 features: 8 magic + 4 dim + 4 * (24 weights/means/scales + 1 bias)
+        assert_eq!(model_bytes(Version::Original), 112);
+        assert_eq!(model_bytes(Version::Simplified), 112);
+        assert_eq!(model_bytes(Version::Reduced), 76);
+    }
+
+    #[test]
+    fn oversized_window_trips_the_array_limit() {
+        let config = SiftConfig {
+            window_s: 4.0, // 1440 samples > MAX_ARRAY_ELEMS
+            ..SiftConfig::default()
+        };
+        let fps = compute_footprints(&config);
+        assert!(fps.iter().all(|fp| !fp.within_budget));
+        let findings = budget_findings(&fps);
+        assert!(findings.iter().any(|f| f.rule == "budget-array-limit"));
+    }
+
+    #[test]
+    fn footprint_json_is_wellformed_enough() {
+        let config = SiftConfig::default();
+        let doc = footprint_json(&config, &compute_footprints(&config));
+        assert_eq!(doc.matches("\"version\"").count(), 3);
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+        assert!(doc.contains("\"within_budget\": true"));
+    }
+}

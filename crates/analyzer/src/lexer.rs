@@ -1,0 +1,443 @@
+//! A minimal Rust lexer: just enough fidelity to tell code from
+//! comments and strings, classify numeric literals, and keep line
+//! numbers — the substrate every lexical rule in this crate runs on.
+//!
+//! It deliberately does *not* parse: the rule set only needs token
+//! streams (identifier adjacency, literal suffixes, brace matching), so
+//! a full grammar would be cost without benefit. The corner cases that
+//! matter for correctness on this workspace are handled explicitly:
+//! nested block comments, raw/byte strings, lifetimes vs. char
+//! literals, float-literal suffixes, and tuple-field access (`x.0.1`
+//! must not lex `0.1` as a float).
+
+/// One lexical token. Comments are kept (the suppression grammar lives
+/// in them); whitespace is discarded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Lifetime such as `'a` (so it is never confused with a char).
+    Lifetime,
+    /// Integer literal, any radix, including its suffix.
+    Int,
+    /// Float literal; `f64_suffix` is true only for an explicit `f64`
+    /// suffix (`1.0f64`, `2f64`). Unsuffixed floats report false.
+    Float {
+        /// Whether the literal carries an explicit `f64` suffix.
+        f64_suffix: bool,
+    },
+    /// String literal (plain, raw, byte, or raw byte).
+    Str,
+    /// Char or byte-char literal.
+    Char,
+    /// Any single punctuation byte (`::` arrives as two `:` tokens).
+    Punct(char),
+    /// Line or block comment, text included (with its `//` / `/*`).
+    Comment(String),
+}
+
+/// A token plus the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokenKind,
+    /// 1-based source line of the token's first byte.
+    pub line: u32,
+}
+
+impl Token {
+    /// True for tokens the rule passes should skip (comments).
+    pub fn is_trivia(&self) -> bool {
+        matches!(self.kind, TokenKind::Comment(_))
+    }
+}
+
+/// Lex `src` into a token stream. Never fails: unexpected bytes become
+/// `Punct` tokens, unterminated literals end at end-of-input.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        src,
+        bytes: src.as_bytes(),
+        i: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b == b'_' || b.is_ascii_alphabetic() || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    is_ident_start(b) || b.is_ascii_digit()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    i: usize,
+    line: u32,
+    out: Vec<Token>,
+}
+
+impl Lexer<'_> {
+    fn peek(&self, off: usize) -> Option<u8> {
+        self.bytes.get(self.i + off).copied()
+    }
+
+    fn push(&mut self, kind: TokenKind, line: u32) {
+        self.out.push(Token { kind, line });
+    }
+
+    /// Last non-comment token already emitted, if any.
+    fn last_significant(&self) -> Option<&TokenKind> {
+        self.out.iter().rev().find(|t| !t.is_trivia()).map(|t| &t.kind)
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            match c {
+                b'\n' => {
+                    self.line += 1;
+                    self.i += 1;
+                }
+                b' ' | b'\t' | b'\r' => self.i += 1,
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'b' | b'r' => {
+                    if !self.try_string_prefix() {
+                        self.ident();
+                    }
+                }
+                b'"' => self.string_from(self.i),
+                b'\'' => self.quote(),
+                b'0'..=b'9' => self.number(),
+                c if is_ident_start(c) => self.ident(),
+                c => {
+                    let line = self.line;
+                    self.push(TokenKind::Punct(c as char), line);
+                    self.i += 1;
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self) {
+        let start = self.i;
+        while self.peek(0).is_some_and(|b| b != b'\n') {
+            self.i += 1;
+        }
+        let text = self.src[start..self.i].to_string();
+        let line = self.line;
+        self.push(TokenKind::Comment(text), line);
+    }
+
+    fn block_comment(&mut self) {
+        let start = self.i;
+        let start_line = self.line;
+        let mut depth = 0usize;
+        while self.i < self.bytes.len() {
+            if self.peek(0) == Some(b'/') && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.i += 2;
+            } else if self.peek(0) == Some(b'*') && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                self.i += 2;
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                if self.peek(0) == Some(b'\n') {
+                    self.line += 1;
+                }
+                self.i += 1;
+            }
+        }
+        let text = self.src[start..self.i].to_string();
+        self.push(TokenKind::Comment(text), start_line);
+    }
+
+    /// Handle `b"…"`, `b'…'`, `r"…"`, `r#"…"#`, `br#"…"#` starting at
+    /// the current `b`/`r`. Returns false if the lookahead is actually
+    /// an ordinary identifier (`bytes`, `r#raw_ident`, …).
+    fn try_string_prefix(&mut self) -> bool {
+        let mut j = self.i;
+        if self.bytes[j] == b'b' {
+            j += 1;
+            match self.bytes.get(j) {
+                Some(b'\'') => {
+                    self.i = j;
+                    self.quote();
+                    return true;
+                }
+                Some(b'"') => {
+                    self.string_from(j);
+                    return true;
+                }
+                Some(b'r') => j += 1,
+                _ => return false,
+            }
+        } else {
+            j += 1; // past the 'r'
+        }
+        let mut hashes = 0usize;
+        while self.bytes.get(j) == Some(&b'#') {
+            hashes += 1;
+            j += 1;
+        }
+        if self.bytes.get(j) != Some(&b'"') {
+            return false; // raw identifier or plain ident starting with r/br
+        }
+        // Raw string: scan for `"` followed by `hashes` hashes.
+        let start_line = self.line;
+        j += 1;
+        loop {
+            match self.bytes.get(j) {
+                None => break,
+                Some(b'\n') => {
+                    self.line += 1;
+                    j += 1;
+                }
+                Some(b'"') => {
+                    let tail = &self.bytes[j + 1..];
+                    if tail.len() >= hashes && tail[..hashes].iter().all(|&b| b == b'#') {
+                        j += 1 + hashes;
+                        break;
+                    }
+                    j += 1;
+                }
+                Some(_) => j += 1,
+            }
+        }
+        self.i = j;
+        self.push(TokenKind::Str, start_line);
+        true
+    }
+
+    /// Plain (or byte) string whose opening quote is at byte `quote_at`.
+    fn string_from(&mut self, quote_at: usize) {
+        let start_line = self.line;
+        let mut j = quote_at + 1;
+        while let Some(&b) = self.bytes.get(j) {
+            match b {
+                b'\\' => j += 2,
+                b'"' => {
+                    j += 1;
+                    break;
+                }
+                b'\n' => {
+                    self.line += 1;
+                    j += 1;
+                }
+                _ => j += 1,
+            }
+        }
+        self.i = j;
+        self.push(TokenKind::Str, start_line);
+    }
+
+    /// A `'`: lifetime or char literal.
+    fn quote(&mut self) {
+        let start_line = self.line;
+        match self.peek(1) {
+            Some(c) if is_ident_start(c) => {
+                let mut j = self.i + 2;
+                while self.bytes.get(j).copied().is_some_and(is_ident_continue) {
+                    j += 1;
+                }
+                if self.bytes.get(j) == Some(&b'\'') {
+                    self.i = j + 1;
+                    self.push(TokenKind::Char, start_line);
+                } else {
+                    self.i = j;
+                    self.push(TokenKind::Lifetime, start_line);
+                }
+            }
+            _ => {
+                let mut j = self.i + 1;
+                while let Some(&b) = self.bytes.get(j) {
+                    match b {
+                        b'\\' => j += 2,
+                        b'\'' => {
+                            j += 1;
+                            break;
+                        }
+                        b'\n' => break, // stray quote; don't eat the file
+                        _ => j += 1,
+                    }
+                }
+                self.i = j;
+                self.push(TokenKind::Char, start_line);
+            }
+        }
+    }
+
+    fn number(&mut self) {
+        let start_line = self.line;
+        // After `.` the digits are a tuple index (`x.0`, `x.0.1`), never
+        // the start of a float literal.
+        let tuple_ctx = matches!(self.last_significant(), Some(TokenKind::Punct('.')));
+        if self.peek(0) == Some(b'0')
+            && matches!(self.peek(1), Some(b'x' | b'X' | b'o' | b'O' | b'b' | b'B'))
+        {
+            self.i += 2;
+            while self
+                .peek(0)
+                .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_')
+            {
+                self.i += 1;
+            }
+            self.push(TokenKind::Int, start_line);
+            return;
+        }
+        let eat_digits = |lx: &mut Self| {
+            while lx.peek(0).is_some_and(|b| b.is_ascii_digit() || b == b'_') {
+                lx.i += 1;
+            }
+        };
+        eat_digits(self);
+        let mut is_float = false;
+        if !tuple_ctx && self.peek(0) == Some(b'.') {
+            match self.peek(1) {
+                Some(b) if b.is_ascii_digit() => {
+                    self.i += 1;
+                    eat_digits(self);
+                    is_float = true;
+                }
+                Some(b'.') => {}                   // range: `0..n`
+                Some(b) if is_ident_start(b) => {} // method call: `1.max(x)`
+                _ => {
+                    self.i += 1; // trailing-dot float: `1.`
+                    is_float = true;
+                }
+            }
+        }
+        if matches!(self.peek(0), Some(b'e' | b'E')) {
+            let has_exp = match self.peek(1) {
+                Some(d) if d.is_ascii_digit() => true,
+                Some(b'+' | b'-') => self.peek(2).is_some_and(|d| d.is_ascii_digit()),
+                _ => false,
+            };
+            if has_exp {
+                self.i += 2; // the `e` and the first sign/digit
+                eat_digits(self);
+                is_float = true;
+            }
+        }
+        let sfx_start = self.i;
+        while self.peek(0).is_some_and(is_ident_continue) {
+            self.i += 1;
+        }
+        let kind = match &self.src[sfx_start..self.i] {
+            "f64" => TokenKind::Float { f64_suffix: true },
+            "f32" => TokenKind::Float { f64_suffix: false },
+            _ if is_float => TokenKind::Float { f64_suffix: false },
+            _ => TokenKind::Int,
+        };
+        self.push(kind, start_line);
+    }
+
+    fn ident(&mut self) {
+        let start_line = self.line;
+        let start = self.i;
+        while self.peek(0).is_some_and(is_ident_continue) {
+            self.i += 1;
+        }
+        let text = self.src[start..self.i].to_string();
+        self.push(TokenKind::Ident(text), start_line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn floats_and_suffixes() {
+        assert_eq!(
+            kinds("1.0 2f64 3f32 4 0x1f 5e3 6.5e-2 7."),
+            vec![
+                TokenKind::Float { f64_suffix: false },
+                TokenKind::Float { f64_suffix: true },
+                TokenKind::Float { f64_suffix: false },
+                TokenKind::Int,
+                TokenKind::Int,
+                TokenKind::Float { f64_suffix: false },
+                TokenKind::Float { f64_suffix: false },
+                TokenKind::Float { f64_suffix: false },
+            ]
+        );
+    }
+
+    #[test]
+    fn tuple_access_is_not_a_float() {
+        let ks = kinds("x.0.1");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Ident("x".into()),
+                TokenKind::Punct('.'),
+                TokenKind::Int,
+                TokenKind::Punct('.'),
+                TokenKind::Int,
+            ]
+        );
+    }
+
+    #[test]
+    fn ranges_and_method_calls_are_not_floats() {
+        assert!(kinds("0..n").iter().all(|k| !matches!(k, TokenKind::Float { .. })));
+        assert!(kinds("1.max(2)").iter().all(|k| !matches!(k, TokenKind::Float { .. })));
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        assert_eq!(
+            kinds("'a 'x' '\\n' b'z'"),
+            vec![
+                TokenKind::Lifetime,
+                TokenKind::Char,
+                TokenKind::Char,
+                TokenKind::Char,
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_raw_strings_and_comments() {
+        let src = "r#\"raw \"quoted\"\"# \"plain \\\" esc\" // line\n/* block /* nested */ */ x";
+        let ks = kinds(src);
+        assert_eq!(ks[0], TokenKind::Str);
+        assert_eq!(ks[1], TokenKind::Str);
+        assert!(matches!(ks[2], TokenKind::Comment(_)));
+        assert!(matches!(ks[3], TokenKind::Comment(_)));
+        assert_eq!(ks[4], TokenKind::Ident("x".into()));
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_constructs() {
+        let src = "a\n\"two\nline\"\nb";
+        let toks = lex(src);
+        let b = toks.iter().find(|t| t.kind == TokenKind::Ident("b".into()));
+        assert_eq!(b.map(|t| t.line), Some(4));
+    }
+
+    #[test]
+    fn idents_starting_with_b_and_r() {
+        assert_eq!(
+            kinds("bytes rest b r"),
+            vec![
+                TokenKind::Ident("bytes".into()),
+                TokenKind::Ident("rest".into()),
+                TokenKind::Ident("b".into()),
+                TokenKind::Ident("r".into()),
+            ]
+        );
+    }
+}

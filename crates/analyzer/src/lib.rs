@@ -1,0 +1,271 @@
+//! `analyzer`: the workspace's own static-analysis pass.
+//!
+//! The paper's contribution is making SIFT *fit* an MSP430-class
+//! wearable — fixed-point arithmetic, a hard RAM/ROM budget, no dynamic
+//! allocation — and the fleet engine's headline guarantee is a
+//! byte-identical report digest. Both are conventions a single stray
+//! line can silently break. This crate turns them into machine-checked
+//! invariants, with three passes:
+//!
+//! 1. **embedded** — lexical rules over the designated embedded modules
+//!    (`dsp::fixed`, `dsp::embedded_math`, `ml::embedded`, the
+//!    `amulet-sim` apps): no `f64`, no float literals, no heap
+//!    allocation, no panicking operations, no unchecked indexing.
+//! 2. **determinism** — workspace-wide bans protecting the
+//!    `FleetReport` digest: no `HashMap`/`HashSet`, no
+//!    `Instant`/`SystemTime` outside `bench`, no thread APIs outside
+//!    `wiot::fleet`.
+//! 3. **budget** — a semantic check that recomputes each detector
+//!    flavor's static footprint from the `amulet-sim` profiler and the
+//!    `ml` model format and compares it against the Amulet memory map
+//!    and the paper's Table III, regenerating
+//!    `results/ANALYZER_footprint.json`.
+//!
+//! Violations are suppressed inline with
+//! `// lint:allow(rule-name, reason)` — see [`suppress`] for the scope
+//! grammar. The analyzer analyzes itself: this crate is part of the
+//! workspace walk and carries the same `lib-no-panic` hygiene rule as
+//! `wiot` and `sift`.
+
+#![forbid(unsafe_code)]
+
+pub mod budget;
+pub mod lexer;
+pub mod lexical;
+pub mod report;
+pub mod rules;
+pub mod source;
+pub mod suppress;
+
+use rules::{lookup, Finding, Pass, Severity};
+use source::{classify, SourceFile};
+use std::path::{Path, PathBuf};
+
+/// Analyzer configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Options {
+    /// Treat warnings as failures.
+    pub deny_warnings: bool,
+    /// Run the semantic budget pass (needs no source, only cost tables).
+    pub run_budget: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            deny_warnings: false,
+            run_budget: true,
+        }
+    }
+}
+
+/// Everything one analyzer run produced.
+#[derive(Debug)]
+pub struct Analysis {
+    /// Findings that survived suppression, in file/line order.
+    pub findings: Vec<Finding>,
+    /// Footprints from the budget pass (empty if it didn't run).
+    pub footprints: Vec<budget::FlavorFootprint>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Number of findings removed by honored suppressions.
+    pub suppressions_honored: usize,
+}
+
+impl Analysis {
+    /// Number of findings that fail the run under `deny_warnings`.
+    pub fn failure_count(&self, deny_warnings: bool) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Error || deny_warnings)
+            .count()
+    }
+}
+
+/// Locate the workspace root by walking up from `start` to the first
+/// `Cargo.toml` that declares `[workspace]`.
+///
+/// # Errors
+///
+/// Returns a description when no ancestor of `start` is a workspace.
+pub fn find_workspace_root_from(start: &Path) -> Result<PathBuf, String> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Ok(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    Err(format!(
+        "no workspace Cargo.toml above {}",
+        start.display()
+    ))
+}
+
+/// [`find_workspace_root_from`] starting at the current directory.
+///
+/// # Errors
+///
+/// Propagates I/O failure or a missing workspace manifest.
+pub fn find_workspace_root() -> Result<PathBuf, String> {
+    let cwd = std::env::current_dir().map_err(|e| format!("cannot read cwd: {e}"))?;
+    find_workspace_root_from(&cwd)
+}
+
+/// Collect every `crates/*/src/**/*.rs` under `root`, as sorted
+/// (workspace-relative path, contents) pairs. Sorting makes the
+/// analyzer's own output deterministic.
+///
+/// # Errors
+///
+/// Returns a description on any unreadable directory or file.
+pub fn collect_sources(root: &Path) -> Result<Vec<(String, String)>, String> {
+    let crates_dir = root.join("crates");
+    let mut out = Vec::new();
+    let entries = std::fs::read_dir(&crates_dir)
+        .map_err(|e| format!("cannot read {}: {e}", crates_dir.display()))?;
+    let mut crate_dirs: Vec<PathBuf> = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("readdir: {e}"))?;
+        let src = entry.path().join("src");
+        if src.is_dir() {
+            crate_dirs.push(src);
+        }
+    }
+    for src in crate_dirs {
+        walk_rs(&src, &mut out)?;
+    }
+    let rootstr = root.to_path_buf();
+    let mut pairs = Vec::with_capacity(out.len());
+    for path in out {
+        let rel = path
+            .strip_prefix(&rootstr)
+            .map_err(|_| format!("path {} escapes root", path.display()))?
+            .to_string_lossy()
+            .replace('\\', "/");
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        pairs.push((rel, text));
+    }
+    pairs.sort();
+    Ok(pairs)
+}
+
+fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("readdir: {e}"))?;
+        let path = entry.path();
+        if path.is_dir() {
+            walk_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Run the lexical passes plus suppression handling on one file's
+/// source. This is the unit the fixture tests drive: `rel_path` decides
+/// which rules apply (see [`source::classify`]).
+pub fn analyze_source(rel_path: &str, text: &str) -> (Vec<Finding>, usize) {
+    let file = SourceFile::parse(rel_path, text);
+    let class = classify(rel_path);
+    let raw = lexical::scan(&file, &class);
+    let (sups, mut meta) = suppress::collect(&file);
+    let (mut kept, honored) = suppress::apply(&file, raw, &sups);
+    meta.append(&mut kept);
+    meta.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    (meta, honored)
+}
+
+/// Analyze the whole workspace under `root`.
+///
+/// # Errors
+///
+/// Returns a description when sources cannot be read; rule violations
+/// are *findings*, not errors.
+pub fn analyze(root: &Path, opts: &Options) -> Result<Analysis, String> {
+    let sources = collect_sources(root)?;
+    let mut findings = Vec::new();
+    let mut honored = 0usize;
+    let files_scanned = sources.len();
+    for (rel, text) in &sources {
+        let (mut fs, h) = analyze_source(rel, text);
+        findings.append(&mut fs);
+        honored += h;
+    }
+    let mut footprints = Vec::new();
+    if opts.run_budget {
+        let config = sift::config::SiftConfig::default();
+        footprints = budget::compute_footprints(&config);
+        findings.append(&mut budget::budget_findings(&footprints));
+    }
+    Ok(Analysis {
+        findings,
+        footprints,
+        files_scanned,
+        suppressions_honored: honored,
+    })
+}
+
+/// Only the determinism-pass findings for the workspace under `root`.
+///
+/// This is the gate `BLESS=1` golden-trace regeneration runs before it
+/// will overwrite a fixture: a build that cannot prove its digest paths
+/// deterministic must not bless traces.
+///
+/// # Errors
+///
+/// Returns a description when sources cannot be read.
+pub fn determinism_findings(root: &Path) -> Result<Vec<Finding>, String> {
+    let sources = collect_sources(root)?;
+    let mut findings = Vec::new();
+    for (rel, text) in &sources {
+        let (fs, _) = analyze_source(rel, text);
+        findings.extend(
+            fs.into_iter()
+                .filter(|f| lookup(f.rule).is_some_and(|r| r.pass == Pass::Determinism)),
+        );
+    }
+    Ok(findings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suppressed_finding_is_dropped_and_counted() {
+        let src = "fn f() {\n  x.unwrap(); // lint:allow(lib-no-panic, poll after ready check)\n}\n";
+        let (fs, honored) = analyze_source("crates/wiot/src/x.rs", src);
+        assert!(fs.is_empty(), "{fs:?}");
+        assert_eq!(honored, 1);
+    }
+
+    #[test]
+    fn workspace_root_discovery() {
+        let root = find_workspace_root_from(Path::new(env!("CARGO_MANIFEST_DIR")));
+        let root = root.expect("workspace root");
+        assert!(root.join("crates/analyzer").is_dir());
+    }
+
+    #[test]
+    fn whole_workspace_is_clean() {
+        let root = find_workspace_root_from(Path::new(env!("CARGO_MANIFEST_DIR")))
+            .expect("workspace root");
+        let analysis = analyze(&root, &Options::default()).expect("analysis");
+        let failures: Vec<_> = analysis.findings.iter().map(ToString::to_string).collect();
+        assert!(
+            analysis.failure_count(true) == 0,
+            "workspace has findings:\n{}",
+            failures.join("\n")
+        );
+        assert!(analysis.files_scanned > 50);
+        assert_eq!(analysis.footprints.len(), 3);
+    }
+}

@@ -1,0 +1,80 @@
+//! Rendering: human-readable finding lines and the machine-readable
+//! JSON findings report (hand-rolled; the workspace carries no serde).
+
+use crate::rules::{Finding, Severity};
+
+/// Escape a string for embedding in a JSON document.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The findings report as a JSON document.
+pub fn findings_json(
+    findings: &[Finding],
+    files_scanned: usize,
+    suppressions_honored: usize,
+) -> String {
+    let errors = findings.iter().filter(|f| f.severity == Severity::Error).count();
+    let warnings = findings.len() - errors;
+    let mut rows = String::new();
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            rows.push_str(",\n");
+        }
+        rows.push_str(&format!(
+            "    {{ \"rule\": \"{}\", \"severity\": \"{}\", \"file\": \"{}\", \
+             \"line\": {}, \"message\": \"{}\" }}",
+            f.rule,
+            f.severity,
+            json_escape(&f.file),
+            f.line,
+            json_escape(&f.message)
+        ));
+    }
+    format!(
+        concat!(
+            "{{\n",
+            "  \"files_scanned\": {},\n",
+            "  \"suppressions_honored\": {},\n",
+            "  \"counts\": {{ \"error\": {}, \"warn\": {} }},\n",
+            "  \"findings\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        files_scanned, suppressions_honored, errors, warnings, rows
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_quotes_and_control_chars() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{01}"), "\\u0001");
+    }
+
+    #[test]
+    fn findings_json_counts_severities() {
+        let fs = vec![
+            Finding::new("lib-no-panic", "crates/wiot/src/a.rs", 3, "m".into()),
+            Finding::new("det-no-wall-clock", "crates/wiot/src/a.rs", 9, "m".into()),
+        ];
+        let doc = findings_json(&fs, 10, 2);
+        assert!(doc.contains("\"error\": 1"));
+        assert!(doc.contains("\"warn\": 1"));
+        assert!(doc.contains("\"files_scanned\": 10"));
+    }
+}

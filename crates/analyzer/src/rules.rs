@@ -1,0 +1,234 @@
+//! The rule registry: every lint the analyzer can emit, with its
+//! severity and the pass it belongs to, plus the `Finding` type shared
+//! by all passes.
+
+use std::fmt;
+
+/// Finding severity. `--deny warnings` promotes `Warn` to a failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Reported, but exits 0 unless warnings are denied.
+    Warn,
+    /// Always a failure.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Warn => "warn",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// Which analysis pass owns a rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pass {
+    /// MSP430 deployment profile of the designated embedded modules.
+    Embedded,
+    /// Workspace-wide `FleetReport`-digest determinism protection.
+    Determinism,
+    /// Semantic RAM/ROM footprint check against the paper's memory map.
+    Budget,
+    /// Hygiene of the suppression grammar itself.
+    Meta,
+}
+
+impl fmt::Display for Pass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Pass::Embedded => "embedded",
+            Pass::Determinism => "determinism",
+            Pass::Budget => "budget",
+            Pass::Meta => "meta",
+        })
+    }
+}
+
+/// Static definition of one rule.
+#[derive(Debug)]
+pub struct RuleDef {
+    /// Stable kebab-case id, used in reports and `lint:allow(...)`.
+    pub id: &'static str,
+    /// Default severity.
+    pub severity: Severity,
+    /// Owning pass.
+    pub pass: Pass,
+    /// One-line description for `--rules` output and the docs.
+    pub summary: &'static str,
+}
+
+/// Every rule the analyzer knows, in report order.
+pub const RULES: &[RuleDef] = &[
+    RuleDef {
+        id: "embedded-no-f64",
+        severity: Severity::Error,
+        pass: Pass::Embedded,
+        summary: "no f64 type or f64-suffixed literal in float-strict embedded modules \
+                  (the MSP430 target has no FPU; doubles are software-emulated)",
+    },
+    RuleDef {
+        id: "embedded-no-float-literal",
+        severity: Severity::Warn,
+        pass: Pass::Embedded,
+        summary: "no float literal in float-strict embedded modules \
+                  (the reduced detector is Q16.16 fixed-point end to end)",
+    },
+    RuleDef {
+        id: "embedded-no-heap-alloc",
+        severity: Severity::Error,
+        pass: Pass::Embedded,
+        summary: "no heap allocation (Vec::/Box::/String::/vec!/format!/.to_vec/.to_string/\
+                  .to_owned) in embedded modules (AmuletOS apps get static buffers only)",
+    },
+    RuleDef {
+        id: "embedded-no-panic",
+        severity: Severity::Error,
+        pass: Pass::Embedded,
+        summary: "no panicking operation (unwrap/expect/panic!/assert!/unreachable!/todo!) \
+                  in embedded modules (a panic is a watchdog reset on the device)",
+    },
+    RuleDef {
+        id: "embedded-no-slice-index",
+        severity: Severity::Warn,
+        pass: Pass::Embedded,
+        summary: "no bracket indexing in embedded modules; prefer get()/chunks so bounds \
+                  failures are recoverable",
+    },
+    RuleDef {
+        id: "lib-no-panic",
+        severity: Severity::Warn,
+        pass: Pass::Embedded,
+        summary: "library hygiene for wiot/sift/analyzer: unwrap/expect/panic! on runtime \
+                  paths should be Result propagation",
+    },
+    RuleDef {
+        id: "det-no-hash-collections",
+        severity: Severity::Error,
+        pass: Pass::Determinism,
+        summary: "no HashMap/HashSet outside bench and vendored harness crates: iteration \
+                  order would leak into digests and reports",
+    },
+    RuleDef {
+        id: "det-no-wall-clock",
+        severity: Severity::Error,
+        pass: Pass::Determinism,
+        summary: "no Instant/SystemTime outside bench: simulated time only, so reruns are \
+                  byte-identical",
+    },
+    RuleDef {
+        id: "det-no-thread-api",
+        severity: Severity::Error,
+        pass: Pass::Determinism,
+        summary: "no thread APIs outside wiot::fleet, whose ordered reduction is the one \
+                  audited parallel boundary",
+    },
+    RuleDef {
+        id: "budget-fram-exceeded",
+        severity: Severity::Error,
+        pass: Pass::Budget,
+        summary: "a detector flavor's static FRAM footprint (system + app) exceeds the \
+                  Amulet's 128 KB",
+    },
+    RuleDef {
+        id: "budget-sram-exceeded",
+        severity: Severity::Error,
+        pass: Pass::Budget,
+        summary: "a detector flavor's peak SRAM (system + app) exceeds the Amulet's 2 KB",
+    },
+    RuleDef {
+        id: "budget-array-limit",
+        severity: Severity::Error,
+        pass: Pass::Budget,
+        summary: "a window buffer exceeds the AmuletOS per-array cap (MAX_ARRAY_ELEMS)",
+    },
+    RuleDef {
+        id: "budget-paper-drift",
+        severity: Severity::Warn,
+        pass: Pass::Budget,
+        summary: "a computed footprint drifted from the paper's Table III row beyond \
+                  tolerance (2% FRAM, exact SRAM)",
+    },
+    RuleDef {
+        id: "suppress-missing-reason",
+        severity: Severity::Error,
+        pass: Pass::Meta,
+        summary: "lint:allow without a reason; the grammar is \
+                  lint:allow(rule-name, reason) and the reason is mandatory",
+    },
+    RuleDef {
+        id: "suppress-unknown-rule",
+        severity: Severity::Error,
+        pass: Pass::Meta,
+        summary: "lint:allow names a rule the analyzer does not define",
+    },
+    RuleDef {
+        id: "suppress-unused",
+        severity: Severity::Warn,
+        pass: Pass::Meta,
+        summary: "lint:allow whose scope contains no finding of the named rule; remove it",
+    },
+];
+
+/// Look up a rule by id.
+pub fn lookup(id: &str) -> Option<&'static RuleDef> {
+    RULES.iter().find(|r| r.id == id)
+}
+
+/// One reported violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule id (always one of [`RULES`]).
+    pub rule: &'static str,
+    /// Severity at report time.
+    pub severity: Severity,
+    /// Workspace-relative file, or `<budget>` for semantic findings.
+    pub file: String,
+    /// 1-based line; 0 for file-less findings.
+    pub line: u32,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl Finding {
+    /// Construct a finding for `rule_id`, which must be registered.
+    pub fn new(rule_id: &'static str, file: &str, line: u32, message: String) -> Finding {
+        let severity = lookup(rule_id).map_or(Severity::Error, |r| r.severity);
+        Finding {
+            rule: rule_id,
+            severity,
+            file: file.to_string(),
+            line,
+            message,
+        }
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}]: {}:{}: {}",
+            self.severity, self.rule, self.file, self.line, self.message
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_ids_are_unique_and_resolvable() {
+        for (i, r) in RULES.iter().enumerate() {
+            assert!(lookup(r.id).is_some());
+            assert!(
+                RULES.iter().skip(i + 1).all(|o| o.id != r.id),
+                "duplicate rule id {}",
+                r.id
+            );
+        }
+        assert!(lookup("no-such-rule").is_none());
+    }
+}

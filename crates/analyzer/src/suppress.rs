@@ -1,0 +1,259 @@
+//! The suppression grammar: `// lint:allow(rule-name, reason)`.
+//!
+//! Scope rules:
+//! - a *trailing* comment (code earlier on the same line) suppresses
+//!   that line only;
+//! - an *own-line* comment suppresses the next statement or item — the
+//!   scan runs to the matching `}` of the first brace group it meets,
+//!   or to the first top-level `;`, whichever comes first. Stacked
+//!   comments above one item therefore all cover the whole item, like
+//!   attributes.
+//!
+//! The reason is mandatory, the rule name must exist, and a
+//! suppression that never fires is itself reported (`suppress-unused`),
+//! so stale allows cannot accumulate.
+
+use crate::lexer::TokenKind;
+use crate::rules::{lookup, Finding};
+use crate::source::SourceFile;
+
+/// One honored `lint:allow` with its resolved line scope.
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    /// Rule id being allowed.
+    pub rule: String,
+    /// Mandatory justification text.
+    pub reason: String,
+    /// First line of the suppressed scope (inclusive).
+    pub first_line: u32,
+    /// Last line of the suppressed scope (inclusive).
+    pub last_line: u32,
+    /// Line of the comment that declared it.
+    pub declared_at: u32,
+}
+
+/// Parse every `lint:allow` in `file`, returning the honored
+/// suppressions plus meta findings for malformed ones. Comments inside
+/// test regions are ignored, matching the rules themselves.
+pub fn collect(file: &SourceFile) -> (Vec<Suppression>, Vec<Finding>) {
+    let mut sups = Vec::new();
+    let mut meta = Vec::new();
+    for (idx, tok) in file.tokens.iter().enumerate() {
+        let TokenKind::Comment(text) = &tok.kind else {
+            continue;
+        };
+        // Suppressions live in plain comments only: doc comments are
+        // prose (and routinely *describe* the grammar).
+        if text.starts_with("///") || text.starts_with("//!")
+            || text.starts_with("/**") || text.starts_with("/*!")
+        {
+            continue;
+        }
+        if file.in_test(tok.line) {
+            continue;
+        }
+        let mut rest = text.as_str();
+        while let Some(p) = rest.find("lint:allow(") {
+            rest = &rest[p + "lint:allow(".len()..];
+            let Some(close) = rest.find(')') else {
+                meta.push(Finding::new(
+                    "suppress-missing-reason",
+                    &file.rel_path,
+                    tok.line,
+                    "unterminated lint:allow(...)".to_string(),
+                ));
+                break;
+            };
+            let body = &rest[..close];
+            rest = &rest[close + 1..];
+            let (rule, reason) = match body.split_once(',') {
+                Some((r, why)) => (r.trim(), why.trim()),
+                None => (body.trim(), ""),
+            };
+            if reason.is_empty() {
+                meta.push(Finding::new(
+                    "suppress-missing-reason",
+                    &file.rel_path,
+                    tok.line,
+                    format!("lint:allow({rule}) has no reason; the reason is mandatory"),
+                ));
+                continue;
+            }
+            if lookup(rule).is_none() {
+                meta.push(Finding::new(
+                    "suppress-unknown-rule",
+                    &file.rel_path,
+                    tok.line,
+                    format!("lint:allow names unknown rule `{rule}`"),
+                ));
+                continue;
+            }
+            let (first_line, last_line) = scope_of(file, idx);
+            sups.push(Suppression {
+                rule: rule.to_string(),
+                reason: reason.to_string(),
+                first_line,
+                last_line,
+                declared_at: tok.line,
+            });
+        }
+    }
+    (sups, meta)
+}
+
+/// Resolve the line scope of the suppression comment at token `idx`.
+fn scope_of(file: &SourceFile, idx: usize) -> (u32, u32) {
+    let line = file.tokens[idx].line;
+    let trailing = file.tokens[..idx]
+        .iter()
+        .rev()
+        .take_while(|t| t.line == line)
+        .any(|t| !t.is_trivia());
+    if trailing {
+        return (line, line);
+    }
+    // Own-line comment: cover the next statement or item.
+    let sig: Vec<&crate::lexer::Token> = file.tokens[idx + 1..]
+        .iter()
+        .filter(|t| !t.is_trivia())
+        .collect();
+    let Some(first) = sig.first() else {
+        return (line, line);
+    };
+    let mut end_line = first.line;
+    let mut q = 0usize;
+    let mut paren_depth = 0i32;
+    while q < sig.len() {
+        match &sig[q].kind {
+            TokenKind::Punct('{') => {
+                let mut depth = 0usize;
+                while q < sig.len() {
+                    match &sig[q].kind {
+                        TokenKind::Punct('{') => depth += 1,
+                        TokenKind::Punct('}') => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    q += 1;
+                }
+                end_line = sig[q.min(sig.len() - 1)].line;
+                break;
+            }
+            TokenKind::Punct(';') if paren_depth == 0 => {
+                end_line = sig[q].line;
+                break;
+            }
+            TokenKind::Punct('}') if paren_depth == 0 => {
+                // Comment was the last thing in a block; nothing follows.
+                end_line = sig[q].line;
+                break;
+            }
+            TokenKind::Punct('(' | '[') => paren_depth += 1,
+            TokenKind::Punct(')' | ']') => paren_depth -= 1,
+            _ => {}
+        }
+        q += 1;
+    }
+    if q >= sig.len() {
+        end_line = sig[sig.len() - 1].line;
+    }
+    (line, end_line)
+}
+
+/// Apply `sups` to `findings`: drop suppressed findings, then report
+/// any suppression that never fired. Returns (kept findings including
+/// `suppress-unused`, number of findings actually suppressed).
+pub fn apply(
+    file: &SourceFile,
+    findings: Vec<Finding>,
+    sups: &[Suppression],
+) -> (Vec<Finding>, usize) {
+    let mut used = vec![false; sups.len()];
+    let mut kept = Vec::new();
+    let mut suppressed = 0usize;
+    for f in findings {
+        let hit = sups.iter().enumerate().find(|(_, s)| {
+            s.rule == f.rule && s.first_line <= f.line && f.line <= s.last_line
+        });
+        match hit {
+            Some((i, _)) => {
+                used[i] = true;
+                suppressed += 1;
+            }
+            None => kept.push(f),
+        }
+    }
+    for (s, was_used) in sups.iter().zip(&used) {
+        if !was_used {
+            kept.push(Finding::new(
+                "suppress-unused",
+                &file.rel_path,
+                s.declared_at,
+                format!(
+                    "lint:allow({}) covers lines {}-{} but nothing fires there; remove it",
+                    s.rule, s.first_line, s.last_line
+                ),
+            ));
+        }
+    }
+    (kept, suppressed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> SourceFile {
+        SourceFile::parse("crates/wiot/src/x.rs", src)
+    }
+
+    #[test]
+    fn trailing_comment_scopes_to_its_line() {
+        let f = parse("fn a() {\n  x.unwrap(); // lint:allow(lib-no-panic, init is infallible)\n  y.unwrap();\n}\n");
+        let (sups, meta) = collect(&f);
+        assert!(meta.is_empty());
+        assert_eq!(sups.len(), 1);
+        assert_eq!((sups[0].first_line, sups[0].last_line), (2, 2));
+    }
+
+    #[test]
+    fn own_line_comment_scopes_to_next_item() {
+        let src = "// lint:allow(lib-no-panic, whole fn is a host-side shim)\nfn shim() {\n  a.unwrap();\n  b.unwrap();\n}\nfn other() {}\n";
+        let (sups, _) = collect(&parse(src));
+        // The scope opens at the comment itself (nothing fires on a
+        // comment line) and closes at the item's `}` — not at `other`.
+        assert_eq!((sups[0].first_line, sups[0].last_line), (1, 5));
+    }
+
+    #[test]
+    fn own_line_comment_scopes_to_next_statement() {
+        let src = "fn f() {\n  // lint:allow(lib-no-panic, checked above)\n  let v = x.unwrap();\n  let w = y.unwrap();\n}\n";
+        let (sups, _) = collect(&parse(src));
+        // Covers the comment line plus the next statement only — the
+        // second unwrap on line 4 stays outside.
+        assert_eq!((sups[0].first_line, sups[0].last_line), (2, 3));
+    }
+
+    #[test]
+    fn missing_reason_and_unknown_rule_are_reported() {
+        let src = "// lint:allow(lib-no-panic)\n// lint:allow(no-such-rule, because)\nfn f() {}\n";
+        let (sups, meta) = collect(&parse(src));
+        assert!(sups.is_empty());
+        let rules: Vec<_> = meta.iter().map(|m| m.rule).collect();
+        assert_eq!(rules, vec!["suppress-missing-reason", "suppress-unknown-rule"]);
+    }
+
+    #[test]
+    fn unused_suppression_is_flagged() {
+        let f = parse("// lint:allow(lib-no-panic, nothing here panics)\nfn f() {}\n");
+        let (sups, _) = collect(&f);
+        let (kept, n) = apply(&f, Vec::new(), &sups);
+        assert_eq!(n, 0);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].rule, "suppress-unused");
+    }
+}

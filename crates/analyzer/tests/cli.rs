@@ -1,0 +1,68 @@
+//! End-to-end exit-code contract of the `analyzer` binary: builds a
+//! throwaway mini-workspace under the cargo tmp dir per case, points
+//! `--root` at it, and checks the process exit status.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::Command;
+
+/// Create `<tmp>/<name>/<rel_path>` holding `contents`, return the root.
+fn mini_root(name: &str, rel_path: &str, contents: &str) -> PathBuf {
+    let root = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(name);
+    let file = root.join(rel_path);
+    fs::create_dir_all(file.parent().expect("has parent")).expect("mkdir");
+    fs::write(&file, contents).expect("write fixture");
+    root
+}
+
+fn run_analyzer(root: &PathBuf, deny: bool) -> i32 {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_analyzer"));
+    cmd.args(["--root", &root.display().to_string(), "--no-budget", "--quiet"]);
+    if deny {
+        cmd.args(["--deny", "warnings"]);
+    }
+    cmd.status().expect("spawn analyzer").code().expect("exit code")
+}
+
+#[test]
+fn violation_fixtures_fail_the_run() {
+    let cases = [
+        ("cli-embedded", "crates/dsp/src/fixed.rs", include_str!("fixtures/embedded_violations.rs")),
+        ("cli-det", "crates/wiot/src/x.rs", include_str!("fixtures/determinism_violations.rs")),
+        ("cli-meta", "crates/wiot/src/x.rs", include_str!("fixtures/meta_violations.rs")),
+    ];
+    for (name, rel, src) in cases {
+        let root = mini_root(name, rel, src);
+        assert_eq!(run_analyzer(&root, false), 1, "{name} should fail");
+    }
+}
+
+#[test]
+fn clean_fixture_passes() {
+    let root = mini_root(
+        "cli-clean",
+        "crates/dsp/src/fixed.rs",
+        include_str!("fixtures/embedded_clean.rs"),
+    );
+    assert_eq!(run_analyzer(&root, false), 0);
+    assert_eq!(run_analyzer(&root, true), 0);
+}
+
+#[test]
+fn deny_warnings_promotes_warn_findings() {
+    // A lone unwrap in a lib crate is warn-level: passes by default,
+    // fails under --deny warnings.
+    let root = mini_root(
+        "cli-warn",
+        "crates/wiot/src/x.rs",
+        "pub fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n",
+    );
+    assert_eq!(run_analyzer(&root, false), 0);
+    assert_eq!(run_analyzer(&root, true), 1);
+}
+
+#[test]
+fn missing_root_is_a_usage_error() {
+    let bogus = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("cli-no-such-dir");
+    assert_eq!(run_analyzer(&bogus, false), 2);
+}

@@ -1,0 +1,10 @@
+// Deterministic replacements for everything determinism_violations.rs
+// does wrong: ordered map, logical clock, no threads, no panics.
+
+use std::collections::BTreeMap;
+
+pub fn ordered(m: &mut BTreeMap<u32, u32>, now_ms: u64) -> Option<u32> {
+    m.insert(0, 1);
+    let _ = now_ms;
+    m.get(&0).copied()
+}

@@ -1,0 +1,13 @@
+// Exercises the determinism pass plus library panic hygiene. Analyzed
+// under several rel_paths to check the exemption table; never compiled.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn racy(m: &mut HashMap<u32, u32>) {
+    let t = Instant::now();
+    m.insert(0, 1);
+    std::thread::spawn(|| ());
+    let elapsed = t.elapsed().as_millis();
+    let _ = u32::try_from(elapsed).unwrap();
+}

@@ -1,0 +1,12 @@
+// Integer-only fixed-point arithmetic: nothing for the embedded pass
+// to flag, under any rel_path.
+
+pub fn scale_q16(raw: i32, k: i32) -> i32 {
+    let wide = (raw as i64) * (k as i64);
+    let shifted = wide >> 16;
+    if shifted > i32::MAX as i64 {
+        i32::MAX
+    } else {
+        shifted as i32
+    }
+}

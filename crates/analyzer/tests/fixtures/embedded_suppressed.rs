@@ -1,0 +1,12 @@
+// The same violations as embedded_violations.rs, each carrying an
+// inline justification; the analyzer must honor every one and keep the
+// file clean.
+
+pub fn convert(raw: i32) -> f64 { // lint:allow(embedded-no-f64, host-side readout shim)
+    let scale = 65536.0; // lint:allow(embedded-no-float-literal, folded to a Q16 constant at build time)
+    let mut staging = Vec::new(); // lint:allow(embedded-no-heap-alloc, host-side staging buffer)
+    staging.push(raw);
+    let head = staging.first().unwrap(); // lint:allow(embedded-no-panic, pushed one line above)
+    let tail = staging[0]; // lint:allow(embedded-no-slice-index, length checked by construction)
+    (*head + tail) as _
+}

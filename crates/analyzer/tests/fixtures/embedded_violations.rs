@@ -1,0 +1,12 @@
+// Exercises every embedded-profile rule exactly once. This file is a
+// lexer fixture: the test harness feeds it to the analyzer under an
+// embedded rel_path; it is never compiled.
+
+pub fn convert(raw: i32) -> f64 {
+    let scale = 65536.0;
+    let mut staging = Vec::new();
+    staging.push(raw);
+    let head = staging.first().unwrap();
+    let tail = staging[0];
+    (*head + tail) as _
+}

@@ -1,0 +1,9 @@
+// Malformed and stale suppressions: each meta rule must fire once.
+
+// lint:allow(lib-no-panic)
+pub fn missing_reason() {}
+
+// lint:allow(no-such-rule, the rule id is checked against the registry)
+pub fn unknown_rule() {}
+
+pub fn stale() {} // lint:allow(lib-no-panic, nothing on this line panics)

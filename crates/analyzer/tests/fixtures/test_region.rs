@@ -1,0 +1,19 @@
+// Violations confined to a #[cfg(test)] region: the analyzer must
+// ignore all of them, including the stray lint:allow.
+
+pub fn live() -> u32 {
+    7
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn t() {
+        // lint:allow(lib-no-panic)
+        let mut m = HashMap::new();
+        m.insert(0u32, 1u32);
+        let _ = m.get(&0).unwrap();
+    }
+}

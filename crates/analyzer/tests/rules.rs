@@ -1,0 +1,167 @@
+//! Fixture-driven coverage of every analyzer rule: for each rule a
+//! fixture where it fires, one where it is suppressed (or exempt), and
+//! a clean one. The fixtures live under `tests/fixtures/` and are lexed
+//! by the analyzer, never compiled.
+
+use analyzer::analyze_source;
+use analyzer::budget::{budget_findings, compute_footprints};
+use analyzer::rules::Severity;
+use sift::config::SiftConfig;
+
+const EMBEDDED_VIOLATIONS: &str = include_str!("fixtures/embedded_violations.rs");
+const EMBEDDED_SUPPRESSED: &str = include_str!("fixtures/embedded_suppressed.rs");
+const EMBEDDED_CLEAN: &str = include_str!("fixtures/embedded_clean.rs");
+const DET_VIOLATIONS: &str = include_str!("fixtures/determinism_violations.rs");
+const DET_CLEAN: &str = include_str!("fixtures/determinism_clean.rs");
+const META_VIOLATIONS: &str = include_str!("fixtures/meta_violations.rs");
+const TEST_REGION: &str = include_str!("fixtures/test_region.rs");
+
+/// (line, rule) pairs of the findings, in analyzer order.
+fn fired(rel_path: &str, src: &str) -> Vec<(u32, &'static str)> {
+    analyze_source(rel_path, src)
+        .0
+        .into_iter()
+        .map(|f| (f.line, f.rule))
+        .collect()
+}
+
+#[test]
+fn embedded_fixture_trips_every_embedded_rule() {
+    let got = fired("crates/dsp/src/fixed.rs", EMBEDDED_VIOLATIONS);
+    assert_eq!(
+        got,
+        vec![
+            (5, "embedded-no-f64"),
+            (6, "embedded-no-float-literal"),
+            (7, "embedded-no-heap-alloc"),
+            (9, "embedded-no-panic"),
+            (10, "embedded-no-slice-index"),
+        ]
+    );
+}
+
+#[test]
+fn app_code_is_exempt_from_float_rules_only() {
+    // Same fixture under an amulet-sim app path: heap/panic/indexing
+    // still apply, the float profile does not (host-side metering).
+    let got = fired("crates/amulet-sim/src/apps/x.rs", EMBEDDED_VIOLATIONS);
+    let rules: Vec<_> = got.iter().map(|(_, r)| *r).collect();
+    assert_eq!(
+        rules,
+        vec![
+            "embedded-no-heap-alloc",
+            "embedded-no-panic",
+            "embedded-no-slice-index",
+        ]
+    );
+}
+
+#[test]
+fn non_embedded_path_sees_no_embedded_rules() {
+    // physio-sim is host-side: only determinism rules apply, and this
+    // fixture breaks none of them.
+    let got = fired("crates/physio-sim/src/x.rs", EMBEDDED_VIOLATIONS);
+    assert!(got.is_empty(), "{got:?}");
+}
+
+#[test]
+fn suppressions_silence_each_embedded_rule_and_are_counted() {
+    let (findings, honored) =
+        analyze_source("crates/dsp/src/fixed.rs", EMBEDDED_SUPPRESSED);
+    assert!(findings.is_empty(), "{findings:?}");
+    assert_eq!(honored, 5);
+}
+
+#[test]
+fn clean_embedded_fixture_is_clean() {
+    assert!(fired("crates/dsp/src/fixed.rs", EMBEDDED_CLEAN).is_empty());
+    assert!(fired("crates/ml/src/embedded.rs", EMBEDDED_CLEAN).is_empty());
+}
+
+#[test]
+fn determinism_fixture_trips_every_determinism_rule() {
+    let got = fired("crates/wiot/src/x.rs", DET_VIOLATIONS);
+    assert_eq!(
+        got,
+        vec![
+            (4, "det-no-hash-collections"),
+            (5, "det-no-wall-clock"),
+            (7, "det-no-hash-collections"),
+            (8, "det-no-wall-clock"),
+            (10, "det-no-thread-api"),
+            (12, "lib-no-panic"),
+        ]
+    );
+}
+
+#[test]
+fn fleet_may_thread_but_nothing_else_changes() {
+    let rules: Vec<_> = fired("crates/wiot/src/fleet.rs", DET_VIOLATIONS)
+        .into_iter()
+        .map(|(_, r)| r)
+        .collect();
+    assert!(!rules.contains(&"det-no-thread-api"), "{rules:?}");
+    assert!(rules.contains(&"det-no-hash-collections"));
+    assert!(rules.contains(&"det-no-wall-clock"));
+}
+
+#[test]
+fn bench_crate_is_exempt_from_the_determinism_pass() {
+    let got = fired("crates/bench/src/x.rs", DET_VIOLATIONS);
+    assert!(got.is_empty(), "{got:?}");
+}
+
+#[test]
+fn determinism_clean_fixture_is_clean() {
+    assert!(fired("crates/wiot/src/x.rs", DET_CLEAN).is_empty());
+}
+
+#[test]
+fn meta_rules_fire_on_malformed_and_stale_suppressions() {
+    let got = fired("crates/wiot/src/x.rs", META_VIOLATIONS);
+    assert_eq!(
+        got,
+        vec![
+            (3, "suppress-missing-reason"),
+            (6, "suppress-unknown-rule"),
+            (9, "suppress-unused"),
+        ]
+    );
+}
+
+#[test]
+fn test_regions_are_invisible_to_every_rule() {
+    let (findings, honored) = analyze_source("crates/wiot/src/x.rs", TEST_REGION);
+    assert!(findings.is_empty(), "{findings:?}");
+    assert_eq!(honored, 0);
+}
+
+#[test]
+fn severities_match_the_registry() {
+    let (findings, _) = analyze_source("crates/dsp/src/fixed.rs", EMBEDDED_VIOLATIONS);
+    let sev = |rule: &str| {
+        findings
+            .iter()
+            .find(|f| f.rule == rule)
+            .map(|f| f.severity)
+    };
+    assert_eq!(sev("embedded-no-f64"), Some(Severity::Error));
+    assert_eq!(sev("embedded-no-float-literal"), Some(Severity::Warn));
+    assert_eq!(sev("embedded-no-slice-index"), Some(Severity::Warn));
+}
+
+#[test]
+fn budget_rules_fire_on_doctored_footprints() {
+    let mut fps = compute_footprints(&SiftConfig::default());
+    assert!(budget_findings(&fps).is_empty());
+    // Blow each budget on a different flavor.
+    fps[0].app_fram_bytes += 256 * 1024; // > FRAM_BYTES total
+    fps[1].app_sram_bytes += 4 * 1024; // > SRAM_BYTES total
+    fps[2].window_samples = 5000; // > MAX_ARRAY_ELEMS
+    let rules: Vec<_> = budget_findings(&fps).iter().map(|f| f.rule).collect();
+    assert!(rules.contains(&"budget-fram-exceeded"), "{rules:?}");
+    assert!(rules.contains(&"budget-sram-exceeded"), "{rules:?}");
+    assert!(rules.contains(&"budget-array-limit"), "{rules:?}");
+    // The doctored FRAM numbers also drift from the paper's table.
+    assert!(rules.contains(&"budget-paper-drift"), "{rules:?}");
+}

@@ -24,6 +24,8 @@
 /// let y = dsp::embedded_math::sqrt_newton(2.0);
 /// assert!((y - std::f64::consts::SQRT_2).abs() < 1e-12);
 /// ```
+// lint:allow(embedded-no-f64, models the authors' double-precision C path; the Amulet flavor uses sqrt_newton_f32/isqrt_u64)
+// lint:allow(embedded-no-float-literal, Newton iteration constants are part of the reproduced algorithm)
 pub fn sqrt_newton(x: f64) -> f64 {
     if x < 0.0 {
         return f64::NAN;
@@ -47,6 +49,7 @@ pub fn sqrt_newton(x: f64) -> f64 {
 
 /// Newton–Raphson square root for `f32` (the Amulet flavor runs in
 /// single precision).
+// lint:allow(embedded-no-float-literal, single-precision Newton constants; f32 is the device's software-float width)
 pub fn sqrt_newton_f32(x: f32) -> f32 {
     if x < 0.0 {
         return f32::NAN;
@@ -95,6 +98,8 @@ pub fn isqrt_u64(x: u64) -> u64 {
 /// `atan(x) = π/2 − atan(1/x)` outside it. Maximum absolute error is
 /// below `2e-4` rad, which is far tighter than the feature-level noise in
 /// the detector.
+// lint:allow(embedded-no-f64, models the authors' double-precision C path; the reduced flavor avoids atan entirely)
+// lint:allow(embedded-no-float-literal, range-reduction bounds are part of the reproduced algorithm)
 pub fn atan_approx(x: f64) -> f64 {
     const FRAC_PI_2: f64 = std::f64::consts::FRAC_PI_2;
     if x.is_nan() {
@@ -109,6 +114,8 @@ pub fn atan_approx(x: f64) -> f64 {
     atan_core(x)
 }
 
+// lint:allow(embedded-no-f64, minimax kernel of the reproduced C atan)
+// lint:allow(embedded-no-float-literal, polynomial coefficients are the algorithm)
 fn atan_core(x: f64) -> f64 {
     // Minimax-style odd polynomial for atan on [-1, 1].
     let x2 = x * x;
@@ -119,6 +126,8 @@ fn atan_core(x: f64) -> f64 {
 ///
 /// Follows the `f64::atan2` convention: `atan2_approx(y, x)` is the angle
 /// of the point `(x, y)` in `(-π, π]`.
+// lint:allow(embedded-no-f64, models the authors' double-precision C path; quadrant logic only)
+// lint:allow(embedded-no-float-literal, quadrant constants are part of the reproduced algorithm)
 pub fn atan2_approx(y: f64, x: f64) -> f64 {
     use std::f64::consts::PI;
     if x == 0.0 && y == 0.0 {
@@ -152,6 +161,9 @@ pub fn atan2_approx(y: f64, x: f64) -> f64 {
 /// assert_eq!(dsp::embedded_math::atof("-12.25"), Some(-12.25));
 /// assert_eq!(dsp::embedded_math::atof("1.5e3"), None); // no exponents
 /// ```
+// lint:allow(embedded-no-f64, reproduces the authors' hand-written atof which accumulates in double)
+// lint:allow(embedded-no-float-literal, digit/scale constants are the algorithm)
+// lint:allow(embedded-no-slice-index, every index is bounded by the rest.len() loop condition above it)
 pub fn atof(s: &str) -> Option<f64> {
     let s = s.trim();
     if s.is_empty() {
@@ -201,6 +213,9 @@ pub fn atof(s: &str) -> Option<f64> {
 /// assert_eq!(dsp::embedded_math::ftoa(3.14159, 2), "3.14");
 /// assert_eq!(dsp::embedded_math::ftoa(-0.005, 2), "-0.01");
 /// ```
+// lint:allow(embedded-no-f64, reproduces the authors' hand-written ftoa which formats from double)
+// lint:allow(embedded-no-float-literal, rounding constants are the algorithm)
+// lint:allow(embedded-no-heap-alloc, returns an owned String on the host; the device counterpart writes into a fixed char buffer)
 pub fn ftoa(x: f64, decimals: u32) -> String {
     if x.is_nan() {
         return "nan".to_string();

@@ -53,6 +53,7 @@ impl Q16 {
     }
 
     /// Convert from `f64`, saturating at the representable range.
+    // lint:allow(embedded-no-f64, host-side conversion boundary; device code only sees the i32 raw value)
     pub fn from_f64(x: f64) -> Self {
         let scaled = x * ONE_RAW as f64;
         if scaled >= i32::MAX as f64 {
@@ -65,6 +66,7 @@ impl Q16 {
     }
 
     /// Convert from `f32`, saturating at the representable range.
+    // lint:allow(embedded-no-f64, host-side conversion boundary; widens through from_f64 for exactness)
     pub fn from_f32(x: f32) -> Self {
         Self::from_f64(x as f64)
     }
@@ -82,6 +84,7 @@ impl Q16 {
 
     /// Convert to `f64` (exact: every Q16.16 value is a representable
     /// `f64`).
+    // lint:allow(embedded-no-f64, host-side readout for tests and reports; never runs on the device)
     pub fn to_f64(self) -> f64 {
         self.0 as f64 / ONE_RAW as f64
     }

@@ -32,6 +32,7 @@ impl EmbeddedModel {
     ///
     /// Returns [`MlError::DimensionMismatch`] if the scaler and model
     /// dimensions disagree.
+    // lint:allow(embedded-no-float-literal, host-side translation step; 1/sigma is folded once here so the device never divides)
     pub fn translate(scaler: &StandardScaler, svm: &LinearSvm) -> Result<Self, MlError> {
         if scaler.dim() != svm.dim() {
             return Err(MlError::DimensionMismatch {
@@ -60,6 +61,7 @@ impl EmbeddedModel {
     ///
     /// Panics if `x.len() != dim()` (on the device this is a compile-time
     /// guarantee; the simulation asserts it).
+    // lint:allow(embedded-no-panic, the dimension is a compile-time guarantee in the generated C; the simulation asserts it)
     pub fn decision_function_f32(&self, x: &[f32]) -> f32 {
         assert_eq!(x.len(), self.dim(), "feature dimension mismatch");
         let mut acc = self.bias;
@@ -79,6 +81,7 @@ impl EmbeddedModel {
     /// # Panics
     ///
     /// Panics if `x.len() != dim()`.
+    // lint:allow(embedded-no-f64, Label::from_sign takes the host f64; an f32 decision value widens exactly)
     pub fn predict_f32(&self, x: &[f32]) -> Label {
         Label::from_sign(self.decision_function_f32(x) as f64)
     }
@@ -97,6 +100,7 @@ impl EmbeddedModel {
     /// # Panics
     ///
     /// Panics if `batch.len()` is not a multiple of `dim()`.
+    // lint:allow(embedded-no-panic, batch shape is established by the sink-side caller; the simulation asserts it)
     pub fn decision_batch_f32(&self, batch: &[f32]) -> Vec<f32> {
         let dim = self.dim();
         assert!(dim > 0, "model has no features");
@@ -116,6 +120,7 @@ impl EmbeddedModel {
     /// # Panics
     ///
     /// Panics if `batch.len()` is not a multiple of `dim()`.
+    // lint:allow(embedded-no-f64, Label::from_sign takes the host f64; an f32 decision value widens exactly)
     pub fn predict_batch_f32(&self, batch: &[f32]) -> Vec<Label> {
         self.decision_batch_f32(batch)
             .into_iter()
@@ -130,6 +135,7 @@ impl EmbeddedModel {
     }
 
     /// Serialize to the on-flash byte format (little-endian).
+    // lint:allow(embedded-no-heap-alloc, host-side serialization; the device reads the finished image out of FRAM)
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(self.footprint_bytes());
         out.extend_from_slice(&MAGIC);
@@ -152,6 +158,9 @@ impl EmbeddedModel {
     /// # Errors
     ///
     /// Returns [`MlError::MalformedModel`] for any framing violation.
+    // lint:allow(embedded-no-slice-index, every offset is covered by the exact length check against the dim field)
+    // lint:allow(embedded-no-panic, try_into of a 4-byte slice cannot fail after the length check)
+    // lint:allow(embedded-no-heap-alloc, host-side deserialization into owned buffers)
     pub fn decode(bytes: &[u8]) -> Result<Self, MlError> {
         if bytes.len() < MAGIC.len() + 4 {
             return Err(MlError::MalformedModel {
@@ -199,6 +208,7 @@ impl EmbeddedModel {
     }
 }
 
+// lint:allow(embedded-no-f64, host-side bridge to the f64 Classifier trait used by the evaluation harness)
 impl Classifier for EmbeddedModel {
     fn decision_function(&self, x: &[f64]) -> f64 {
         let xs: Vec<f32> = x.iter().map(|&v| v as f32).collect();

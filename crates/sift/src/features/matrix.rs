@@ -1,6 +1,7 @@
 //! Matrix features of the occupancy grid `C` (paper Table I, top half).
 
 use crate::portrait::GridMatrix;
+use crate::SiftError;
 
 /// Spatial filling index of `C`: the occupancy concentration
 /// `Σᵢⱼ p(i,j)²` with `p = c / total` — the inverse participation ratio
@@ -16,21 +17,34 @@ pub fn spatial_filling_index(grid: &GridMatrix) -> f64 {
 /// Standard deviation of the column averages of `C` (original version).
 /// `cols` is the precomputed [`GridMatrix::column_averages`] — callers
 /// compute it once and feed every column feature from it.
-pub fn column_average_std(cols: &[f64]) -> f64 {
-    dsp::stats::std_dev(cols).expect("grid has at least 2 columns")
+///
+/// # Errors
+///
+/// Propagates the DSP error if `cols` has fewer than 2 entries (the
+/// grid constructor guarantees it never does).
+pub fn column_average_std(cols: &[f64]) -> Result<f64, SiftError> {
+    Ok(dsp::stats::std_dev(cols)?)
 }
 
 /// Variance of the column averages of `C` — the simplified version's
 /// replacement, which "avoids using the square root computation"
 /// (paper §III).
-pub fn column_average_variance(cols: &[f64]) -> f64 {
-    dsp::stats::variance(cols).expect("grid has at least 2 columns")
+///
+/// # Errors
+///
+/// Propagates the DSP error if `cols` has fewer than 2 entries.
+pub fn column_average_variance(cols: &[f64]) -> Result<f64, SiftError> {
+    Ok(dsp::stats::variance(cols)?)
 }
 
 /// Area under the curve of the column averages via the classic
 /// trapezoidal rule with unit column spacing (original version).
-pub fn column_average_auc_trapezoid(cols: &[f64]) -> f64 {
-    dsp::integrate::trapezoid(cols, 1.0).expect("grid has at least 2 columns")
+///
+/// # Errors
+///
+/// Propagates the DSP error if `cols` has fewer than 2 entries.
+pub fn column_average_auc_trapezoid(cols: &[f64]) -> Result<f64, SiftError> {
+    Ok(dsp::integrate::trapezoid(cols, 1.0)?)
 }
 
 /// Area under the curve of the column averages via the paper's
@@ -38,9 +52,16 @@ pub fn column_average_auc_trapezoid(cols: &[f64]) -> f64 {
 /// (simplified version). Algebraically equal to the trapezoid on this
 /// uniform grid — the simplification in the paper is about code
 /// structure on the Amulet, not about the value.
-pub fn column_average_auc_simplified(cols: &[f64]) -> f64 {
-    dsp::integrate::simplified_trapezoid(cols, 0.0, (cols.len() - 1) as f64)
-        .expect("grid has at least 2 columns")
+///
+/// # Errors
+///
+/// Propagates the DSP error if `cols` has fewer than 2 entries.
+pub fn column_average_auc_simplified(cols: &[f64]) -> Result<f64, SiftError> {
+    Ok(dsp::integrate::simplified_trapezoid(
+        cols,
+        0.0,
+        (cols.len() - 1) as f64,
+    )?)
 }
 
 #[cfg(test)]
@@ -88,8 +109,8 @@ mod tests {
     #[test]
     fn variance_is_square_of_std() {
         let cols = sample_grid().column_averages();
-        let sd = column_average_std(&cols);
-        let var = column_average_variance(&cols);
+        let sd = column_average_std(&cols).unwrap();
+        let var = column_average_variance(&cols).unwrap();
         assert!((var - sd * sd).abs() < 1e-9);
     }
 
@@ -97,7 +118,9 @@ mod tests {
     fn simplified_auc_equals_trapezoid() {
         let cols = sample_grid().column_averages();
         assert!(
-            (column_average_auc_trapezoid(&cols) - column_average_auc_simplified(&cols)).abs()
+            (column_average_auc_trapezoid(&cols).unwrap()
+                - column_average_auc_simplified(&cols).unwrap())
+            .abs()
                 < 1e-9
         );
     }
@@ -107,6 +130,6 @@ mod tests {
         // Column averages sum to total/n, so the AUC grows with the
         // number of points; verify positivity at least.
         let cols = sample_grid().column_averages();
-        assert!(column_average_auc_trapezoid(&cols) > 0.0);
+        assert!(column_average_auc_trapezoid(&cols).unwrap() > 0.0);
     }
 }

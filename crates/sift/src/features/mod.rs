@@ -121,8 +121,8 @@ pub fn extract_from_portrait(
             let cols = grid.column_averages();
             let mut v = Vec::with_capacity(8);
             v.push(matrix::spatial_filling_index(&grid));
-            v.push(matrix::column_average_std(&cols));
-            v.push(matrix::column_average_auc_trapezoid(&cols));
+            v.push(matrix::column_average_std(&cols)?);
+            v.push(matrix::column_average_auc_trapezoid(&cols)?);
             v.extend_from_slice(&geometric::original(portrait));
             Ok(v)
         }
@@ -131,8 +131,8 @@ pub fn extract_from_portrait(
             let cols = grid.column_averages();
             let mut v = Vec::with_capacity(8);
             v.push(matrix::spatial_filling_index(&grid));
-            v.push(matrix::column_average_variance(&cols));
-            v.push(matrix::column_average_auc_simplified(&cols));
+            v.push(matrix::column_average_variance(&cols)?);
+            v.push(matrix::column_average_auc_simplified(&cols)?);
             v.extend_from_slice(&geometric::simplified(portrait));
             Ok(v)
         }

@@ -207,7 +207,9 @@ pub fn extract_reduced_q16(snippet: &Snippet) -> Result<[Q16; 5], SiftError> {
         let lo = *codes.iter().min().ok_or(SiftError::InvalidSnippet {
             reason: "empty channel",
         })? as i32;
-        let hi = *codes.iter().max().expect("nonempty") as i32;
+        let hi = *codes.iter().max().ok_or(SiftError::InvalidSnippet {
+            reason: "empty channel",
+        })? as i32;
         if hi <= lo {
             return Err(SiftError::DegenerateSignal);
         }

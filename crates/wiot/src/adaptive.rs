@@ -210,17 +210,14 @@ impl DecisionEngine {
         {
             target = Version::Simplified;
         }
-        // Degrade until the static constraints are satisfiable.
+        // Degrade until the static constraints are satisfiable; if
+        // nothing fits, hold the current version.
         let order = [Version::Original, Version::Simplified, Version::Reduced];
-        let mut idx = order.iter().position(|&v| v == target).expect("in order");
-        while idx < order.len() && !self.installable(order[idx], snap) {
-            idx += 1;
-        }
-        if idx == order.len() {
-            // Nothing fits; hold the current version.
-            return None;
-        }
-        target = order[idx];
+        target = order
+            .iter()
+            .copied()
+            .skip_while(|&v| v != target)
+            .find(|&v| self.installable(v, snap))?;
         if target == self.current {
             return None;
         }

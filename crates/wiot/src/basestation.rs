@@ -306,10 +306,17 @@ impl BaseStation {
     }
 
     /// Assemble, gate, and dispatch the complete window `idx`, recording
-    /// its outcome and advancing the emission cursor.
+    /// its outcome and advancing the emission cursor. Callers check
+    /// [`Self::window_complete`] first; a half-present window is left
+    /// untouched rather than torn down.
     fn emit_window(&mut self, idx: usize) -> Result<(), WiotError> {
-        let e = self.ecg.remove(&idx).expect("caller verified completeness");
-        let a = self.abp.remove(&idx).expect("caller verified completeness");
+        let Some(e) = self.ecg.remove(&idx) else {
+            return Ok(());
+        };
+        let Some(a) = self.abp.remove(&idx) else {
+            self.ecg.insert(idx, e);
+            return Ok(());
+        };
         self.dispatch_window(idx, e, a, false)
     }
 
@@ -580,12 +587,12 @@ fn fill_missing(w: &mut PartialWindow, chunk_len: usize) -> usize {
 
 fn assemble(ecg: PartialWindow, abp: PartialWindow) -> Result<Snippet, WiotError> {
     let mut e = Vec::new();
-    for c in ecg.chunks {
-        e.extend(c.expect("window verified complete"));
+    for c in ecg.chunks.into_iter().flatten() {
+        e.extend(c);
     }
     let mut a = Vec::new();
-    for c in abp.chunks {
-        a.extend(c.expect("window verified complete"));
+    for c in abp.chunks.into_iter().flatten() {
+        a.extend(c);
     }
     let mut r_peaks = ecg.peaks;
     r_peaks.sort_unstable();

@@ -252,8 +252,16 @@ impl Channel {
     }
 
     /// A perfect channel (no loss, no delay) for baseline scenarios.
+    /// Built directly rather than through the validating constructor so
+    /// it is infallible by construction.
     pub fn perfect() -> Self {
-        Self::with_config(ChannelConfig::default(), 0).expect("default config is valid")
+        Self {
+            config: ChannelConfig::default(),
+            degrade: None,
+            state: LinkState::Good,
+            rng: StdRng::seed_from_u64(0),
+            stats: ChannelStats::default(),
+        }
     }
 
     /// Install (or, with `None`, clear) a temporary loss override — the

@@ -682,8 +682,9 @@ impl DeviceSim {
                         None => ambiguous += 1,
                     }
                     if alerted && overlap > 0.0 && latency.is_none() {
-                        let (a0, _) = attack_span.expect("overlap implies attack");
-                        latency = Some(w_end.saturating_sub(a0));
+                        if let Some((a0, _)) = attack_span {
+                            latency = Some(w_end.saturating_sub(a0));
+                        }
                     }
                 }
             }

@@ -332,7 +332,9 @@ impl ArqLink {
             .collect();
         let mut exhausted: Option<u64> = None;
         for seq in due {
-            let gap = self.gaps.get_mut(&seq).expect("gap present");
+            let Some(gap) = self.gaps.get_mut(&seq) else {
+                continue;
+            };
             if gap.attempts >= self.config.max_retries {
                 self.gaps.remove(&seq);
                 self.stats.give_ups += 1;

@@ -16,20 +16,33 @@ cargo test -q -p wiot --test transport_edges
 
 cargo clippy --workspace -- -D warnings
 
+# Workspace static analysis: embedded-profile, determinism, and budget
+# invariants, with warnings promoted to failures. Also regenerates
+# results/ANALYZER_footprint.json.
+cargo run -q -p analyzer -- --deny warnings
+
 # Fleet throughput check: regenerate BENCH_fleet.json with the baseline's
-# parameters and diff against the committed numbers. Warn-only — the
-# wall-clock fields legitimately move between machines and runs, but a
-# digest change means the simulation itself changed and the golden suite
-# above should already have caught it.
+# parameters and diff against the committed numbers. The report digest is
+# a hard gate — it only moves when the simulation itself changed — while
+# the wall-clock fields legitimately differ between machines and runs,
+# so any other drift stays warn-only.
 baseline=results/BENCH_fleet_baseline.json
 if [[ -f "$baseline" ]]; then
   cargo run --release -q -p bench --bin fleet -- \
     --devices 100 --threads 8 --seed 61455 --duration 30 \
     --out BENCH_fleet.json >/dev/null
+  base_digest=$(grep -o '"digest": "[^"]*"' "$baseline" || true)
+  new_digest=$(grep -o '"digest": "[^"]*"' BENCH_fleet.json || true)
+  if [[ "$base_digest" != "$new_digest" ]]; then
+    echo "verify: FAIL fleet report digest drifted: baseline $base_digest vs $new_digest"
+    diff -u "$baseline" BENCH_fleet.json || true
+    exit 1
+  fi
   if diff -u "$baseline" BENCH_fleet.json >/dev/null 2>&1; then
     echo "verify: fleet bench matches baseline exactly"
   else
-    echo "verify: WARN fleet bench drifted from $baseline (expected for wall-clock fields):"
+    echo "verify: fleet digest matches baseline ($base_digest)"
+    echo "verify: WARN wall-clock fields drifted from $baseline (expected between runs):"
     diff -u "$baseline" BENCH_fleet.json || true
   fi
 else

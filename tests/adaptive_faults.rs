@@ -1,0 +1,115 @@
+//! Cross-layer scenario: timing faults and link degradation feeding the
+//! adaptive decision engine.
+//!
+//! Clock drift skews packet timestamps but does not destroy data, so it
+//! must neither trip the stream watchdog (no spurious `StreamStalled`)
+//! nor push the engine off the full detector. A genuinely lossy link,
+//! measured through the same observation path, must cap the deployment
+//! at the simplified version — while ARQ still keeps the watchdog quiet.
+
+use sift::config::SiftConfig;
+use sift::features::Version;
+use wiot::adaptive::{
+    requirements_from_profiler, DecisionEngine, LinkQuality, Policy, ResourceSnapshot,
+};
+use wiot::channel::LossModel;
+use wiot::device::Stream;
+use wiot::faults::{FaultEvent, FaultKind, FaultPlan};
+use wiot::scenario::{run, Scenario, SimReport};
+
+fn engine() -> DecisionEngine {
+    DecisionEngine::new(
+        Version::Original,
+        requirements_from_profiler(&SiftConfig::default()),
+        Policy::default(),
+    )
+}
+
+/// The link quality the runner would report to the engine: observed
+/// channel loss plus ARQ retransmission drag.
+fn observed_quality(r: &SimReport) -> LinkQuality {
+    LinkQuality {
+        loss_rate: r.channel_loss_rate,
+        retransmit_rate: r
+            .transport
+            .as_ref()
+            .map(|t| t.retransmit_rate())
+            .unwrap_or(0.0),
+    }
+}
+
+fn healthy_snapshot() -> ResourceSnapshot {
+    ResourceSnapshot {
+        battery_fraction: 0.9,
+        fram_free_bytes: 60_000,
+        cpu_headroom: 0.9,
+    }
+}
+
+/// 5% clock drift on the ABP stream for 20 s skews timestamps by about
+/// a second — far below the 9 s watchdog — so the run must end with
+/// measurable skew, zero stall alerts, and an engine still happy to run
+/// the original detector.
+#[test]
+fn clock_drift_neither_stalls_the_watchdog_nor_degrades_the_engine() {
+    let mut s = Scenario::new(3, Version::Reduced, 60.0).with_reliability();
+    s.faults = FaultPlan::new().with(FaultEvent {
+        start_s: 10.0,
+        end_s: 30.0,
+        kind: FaultKind::ClockDrift {
+            stream: Stream::Abp,
+            ppm: 50_000.0,
+        },
+    });
+    let r = run(&s).unwrap();
+
+    assert!(r.faults.max_clock_skew_ms > 0, "{:?}", r.faults);
+    assert_eq!(r.stall_alerts, 0, "drift must not look like a stall");
+    assert!(
+        !r.sink.alerts().iter().any(|a| a.app == "watchdog"),
+        "no watchdog alert may reach the sink under pure drift"
+    );
+
+    let q = observed_quality(&r);
+    let mut e = engine();
+    for _ in 0..10 {
+        e.observe_link(&q);
+    }
+    assert_eq!(e.decide(60_000, &healthy_snapshot()), None);
+    assert_eq!(e.current(), Version::Original);
+}
+
+/// The same deployment with a genuinely bad link: the engine must cap
+/// at simplified from the very same observation path, and ARQ must keep
+/// enough chunks flowing that the watchdog still never fires.
+#[test]
+fn degraded_link_caps_the_engine_at_simplified_without_stalling() {
+    let mut s = Scenario::new(3, Version::Reduced, 60.0).with_reliability();
+    s.faults = FaultPlan::new().with(FaultEvent {
+        start_s: 5.0,
+        end_s: 55.0,
+        kind: FaultKind::LinkDegrade {
+            stream: None,
+            loss: LossModel::Bernoulli { p: 0.4 },
+        },
+    });
+    let r = run(&s).unwrap();
+
+    assert!(r.faults.degraded_link_ms > 0, "{:?}", r.faults);
+    assert_eq!(r.stall_alerts, 0, "ARQ should keep both streams alive");
+
+    let q = observed_quality(&r);
+    assert!(
+        q.loss_rate > Policy::default().degrade_loss_above,
+        "observed loss {:.3} should exceed the degrade threshold",
+        q.loss_rate
+    );
+    let mut e = engine();
+    for _ in 0..10 {
+        e.observe_link(&q);
+    }
+    assert_eq!(
+        e.decide(60_000, &healthy_snapshot()),
+        Some(Version::Simplified)
+    );
+}
