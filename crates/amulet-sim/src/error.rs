@@ -40,6 +40,13 @@ pub enum AmuletError {
     },
     /// The battery is exhausted; no further execution is possible.
     BatteryExhausted,
+    /// A checkpoint payload exceeds the NVRAM slot capacity.
+    CheckpointTooLarge {
+        /// Payload bytes requested.
+        requested: usize,
+        /// Maximum payload one slot holds.
+        max: usize,
+    },
     /// An error from the SIFT pipeline running inside an app.
     Sift(sift::SiftError),
 }
@@ -64,6 +71,10 @@ impl fmt::Display for AmuletError {
             AmuletError::UnknownApp { name } => write!(f, "unknown app `{name}`"),
             AmuletError::DuplicateApp { name } => write!(f, "app `{name}` already installed"),
             AmuletError::BatteryExhausted => write!(f, "battery exhausted"),
+            AmuletError::CheckpointTooLarge { requested, max } => write!(
+                f,
+                "checkpoint payload of {requested} bytes exceeds the {max}-byte slot"
+            ),
             AmuletError::Sift(e) => write!(f, "sift error: {e}"),
         }
     }
@@ -97,6 +108,12 @@ mod tests {
         };
         assert!(e.to_string().contains("fram"));
         assert!(AmuletError::BatteryExhausted.to_string().contains("battery"));
+        let e = AmuletError::CheckpointTooLarge {
+            requested: 5000,
+            max: 2032,
+        };
+        assert!(e.to_string().contains("5000"));
+        assert!(e.to_string().contains("2032"));
     }
 
     #[test]

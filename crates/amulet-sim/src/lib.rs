@@ -26,6 +26,8 @@
 //!   (paper Insight #3),
 //! * [`os`] — AmuletOS: app registry, event dispatch, clock and energy
 //!   bookkeeping,
+//! * [`nvram`] — a crash-consistent A/B checkpoint store in the
+//!   nonvolatile FRAM, so detector state survives brownout-reboots,
 //! * [`apps`] — applications, including the three-state SIFT detector app
 //!   (*PeaksDataCheck → FeatureExtraction → MLClassifier*, paper §III)
 //!   and a simple heart-rate display app demonstrating multi-app
@@ -41,6 +43,7 @@ pub mod energy;
 pub mod event;
 pub mod machine;
 pub mod memory;
+pub mod nvram;
 pub mod os;
 pub mod profiler;
 pub mod sensors;

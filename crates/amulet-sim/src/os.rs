@@ -288,6 +288,46 @@ impl AmuletOs {
         Ok(())
     }
 
+    /// Replace the in-memory instance of an installed app with a fresh
+    /// one of the same name — the recovery path after a power cycle:
+    /// the firmware (and therefore the memory map, reservations, and
+    /// meters) is unchanged in FRAM, but the app's volatile state
+    /// machine is rebuilt from its checkpoint. Touches neither the
+    /// memory model, the energy meter, nor the event queue.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AmuletError::StaticCheckFailed`] if `app` is not named
+    /// `name`, or [`AmuletError::UnknownApp`] if no app has that name.
+    pub fn replace_app(&mut self, name: &str, app: Box<dyn App>) -> Result<(), AmuletError> {
+        if app.name() != name {
+            return Err(AmuletError::StaticCheckFailed {
+                reason: "replacement app instance does not match the installed name".to_string(),
+            });
+        }
+        let slot = self
+            .apps
+            .iter_mut()
+            .find(|a| a.name() == name)
+            .ok_or_else(|| AmuletError::UnknownApp {
+                name: name.to_string(),
+            })?;
+        *slot = app;
+        Ok(())
+    }
+
+    /// Reserve the nonvolatile checkpoint region in FRAM. The region is
+    /// static firmware real estate (like the slots' headers on the real
+    /// device), so it is charged to the memory model once, up front.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AmuletError::OutOfMemory`] if the firmware image left
+    /// less than `bytes` of FRAM free.
+    pub fn reserve_checkpoint_region(&mut self, bytes: usize) -> Result<(), AmuletError> {
+        self.memory.fram_mut().reserve(bytes)
+    }
+
     /// Remove an installed app from the registry. Note that this does
     /// *not* reclaim flash — apps are baked into the firmware image on
     /// the real device; use [`AmuletOs::reflash`] to actually change the
@@ -433,6 +473,46 @@ mod tests {
         assert_eq!(app.name(), "echo");
         assert!(os.app_names().is_empty());
         assert!(os.uninstall("echo").is_err());
+    }
+
+    #[test]
+    fn replace_app_swaps_instance_without_touching_meters() {
+        let mut os = os_with_echo();
+        os.post(AmuletEvent::ButtonPress);
+        os.run_until_idle().unwrap();
+        let fram_used = os.memory().fram().used();
+        let consumed = os.meter().consumed_mah();
+        let dispatched = os.dispatched();
+        os.replace_app("echo", Box::new(EchoApp)).unwrap();
+        assert_eq!(os.app_names(), vec!["echo"]);
+        assert_eq!(os.memory().fram().used(), fram_used);
+        assert_eq!(os.meter().consumed_mah(), consumed);
+        assert_eq!(os.dispatched(), dispatched);
+    }
+
+    #[test]
+    fn replace_app_rejects_wrong_or_unknown_name() {
+        let mut os = os_with_echo();
+        assert!(matches!(
+            os.replace_app("other", Box::new(EchoApp)),
+            Err(AmuletError::StaticCheckFailed { .. })
+        ));
+        os.uninstall("echo").unwrap();
+        assert!(matches!(
+            os.replace_app("echo", Box::new(EchoApp)),
+            Err(AmuletError::UnknownApp { .. })
+        ));
+    }
+
+    #[test]
+    fn checkpoint_region_is_charged_to_fram() {
+        let mut os = os_with_echo();
+        let before = os.memory().fram().used();
+        os.reserve_checkpoint_region(crate::nvram::NVRAM_BYTES).unwrap();
+        assert_eq!(os.memory().fram().used(), before + crate::nvram::NVRAM_BYTES);
+        // A second reservation beyond capacity fails loudly.
+        let free = os.memory().fram().available();
+        assert!(os.reserve_checkpoint_region(free + 1).is_err());
     }
 
     #[test]

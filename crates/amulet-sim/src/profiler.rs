@@ -241,7 +241,7 @@ impl UsageSnapshot {
 /// use sift::{config::SiftConfig, features::Version};
 ///
 /// let profiler = ResourceProfiler::default();
-/// let spec = sift_app_spec(Version::Reduced, &SiftConfig::default(), 76);
+/// let spec = sift_app_spec(Version::Reduced, &SiftConfig::default(), 80);
 /// let profile = profiler.profile(&[&spec]);
 /// assert!(profile.lifetime_days > 50.0); // the paper's 55-day row
 /// ```
@@ -341,10 +341,11 @@ mod tests {
     use super::*;
 
     fn spec(v: Version) -> AppResourceSpec {
-        // 8-feature model: 8 + 4 + 4·25 = 112 bytes; 5-feature: 76.
+        // 8-feature model: 12 header + 4·25 + 4 crc = 116 bytes;
+        // 5-feature: 12 + 4·16 + 4 = 80.
         let model_bytes = match v {
-            Version::Reduced => 76,
-            _ => 112,
+            Version::Reduced => 80,
+            _ => 116,
         };
         sift_app_spec(v, &SiftConfig::default(), model_bytes)
     }

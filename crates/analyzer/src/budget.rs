@@ -10,6 +10,7 @@
 
 use crate::rules::Finding;
 use amulet_sim::memory::MAX_ARRAY_ELEMS;
+use amulet_sim::nvram::{HEADER_BYTES, MAX_PAYLOAD_BYTES, NVRAM_BYTES, SLOT_BYTES};
 use amulet_sim::profiler::{sift_app_spec, ResourceProfiler};
 use amulet_sim::{FRAM_BYTES, SRAM_BYTES};
 use sift::config::SiftConfig;
@@ -92,10 +93,11 @@ impl FlavorFootprint {
 }
 
 /// Exact serialized model size for a flavor, mirroring
-/// `ml::embedded::EmbeddedModel::footprint_bytes` (magic + u32 dim +
-/// f32 weights/means/scales + f32 bias) without training a model.
+/// `ml::embedded::EmbeddedModel::footprint_bytes` (magic + version +
+/// u32 dim + f32 weights/means/scales/bias + CRC-32 trailer) without
+/// training a model.
 pub fn model_bytes(version: Version) -> usize {
-    ml::embedded::MAGIC.len() + 4 + 4 * (3 * version.feature_count() + 1)
+    ml::embedded::encoded_len(version.feature_count())
 }
 
 /// Compute the three flavor footprints with the paper's configuration.
@@ -109,7 +111,9 @@ pub fn compute_footprints(config: &SiftConfig) -> Vec<FlavorFootprint> {
             let spec = sift_app_spec(version, config, model);
             let profile = profiler.profile(&[&spec]);
             let window = config.window_samples();
-            let within_budget = profile.system_fram_bytes + profile.app_fram_bytes
+            // The checkpoint NVRAM region is static FRAM real estate on
+            // top of the firmware image, so it counts against the map.
+            let within_budget = profile.system_fram_bytes + profile.app_fram_bytes + NVRAM_BYTES
                 <= FRAM_BYTES
                 && profile.system_sram_bytes + profile.app_sram_bytes <= SRAM_BYTES
                 && window <= MAX_ARRAY_ELEMS;
@@ -135,14 +139,15 @@ pub fn budget_findings(footprints: &[FlavorFootprint]) -> Vec<Finding> {
     let mut out = Vec::new();
     for fp in footprints {
         let v = fp.version;
-        if fp.total_fram_bytes() > FRAM_BYTES {
+        if fp.total_fram_bytes() + NVRAM_BYTES > FRAM_BYTES {
             out.push(Finding::new(
                 "budget-fram-exceeded",
                 "<budget>",
                 0,
                 format!(
-                    "{v}: static FRAM {} B exceeds the Amulet's {} B",
+                    "{v}: static FRAM {} B (+{} B checkpoint region) exceeds the Amulet's {} B",
                     fp.total_fram_bytes(),
+                    NVRAM_BYTES,
                     FRAM_BYTES
                 ),
             ));
@@ -256,6 +261,8 @@ pub fn footprint_json(config: &SiftConfig, footprints: &[FlavorFootprint]) -> St
             "  \"config\": {{ \"window_s\": {}, \"fs_hz\": {}, \"grid_n\": {} }},\n",
             "  \"device\": {{ \"fram_bytes\": {}, \"sram_bytes\": {}, ",
             "\"max_array_elems\": {} }},\n",
+            "  \"checkpoint\": {{ \"nvram_bytes\": {}, \"slot_bytes\": {}, ",
+            "\"header_bytes\": {}, \"max_payload_bytes\": {} }},\n",
             "  \"flavors\": [\n{}\n  ]\n",
             "}}\n"
         ),
@@ -265,6 +272,10 @@ pub fn footprint_json(config: &SiftConfig, footprints: &[FlavorFootprint]) -> St
         FRAM_BYTES,
         SRAM_BYTES,
         MAX_ARRAY_ELEMS,
+        NVRAM_BYTES,
+        SLOT_BYTES,
+        HEADER_BYTES,
+        MAX_PAYLOAD_BYTES,
         rows
     )
 }
@@ -285,10 +296,11 @@ mod tests {
 
     #[test]
     fn model_bytes_match_embedded_format() {
-        // 8 features: 8 magic + 4 dim + 4 * (24 weights/means/scales + 1 bias)
-        assert_eq!(model_bytes(Version::Original), 112);
-        assert_eq!(model_bytes(Version::Simplified), 112);
-        assert_eq!(model_bytes(Version::Reduced), 76);
+        // 8 features: 12 header + 4 * (24 weights/means/scales + 1 bias)
+        // + 4 CRC; 5 features: 12 + 4 * 16 + 4.
+        assert_eq!(model_bytes(Version::Original), 116);
+        assert_eq!(model_bytes(Version::Simplified), 116);
+        assert_eq!(model_bytes(Version::Reduced), 80);
     }
 
     #[test]
@@ -310,5 +322,20 @@ mod tests {
         assert_eq!(doc.matches("\"version\"").count(), 3);
         assert_eq!(doc.matches('{').count(), doc.matches('}').count());
         assert!(doc.contains("\"within_budget\": true"));
+        assert!(doc.contains("\"nvram_bytes\": 4096"));
+    }
+
+    #[test]
+    fn checkpoint_region_fits_next_to_every_flavor() {
+        let fps = compute_footprints(&SiftConfig::default());
+        for fp in &fps {
+            assert!(
+                fp.total_fram_bytes() + NVRAM_BYTES <= FRAM_BYTES,
+                "{}: {} + {} exceeds FRAM",
+                fp.version,
+                fp.total_fram_bytes(),
+                NVRAM_BYTES
+            );
+        }
     }
 }

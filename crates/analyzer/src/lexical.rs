@@ -44,6 +44,23 @@ pub fn scan(file: &SourceFile, class: &FileClass) -> Vec<Finding> {
         }
     };
 
+    // Checkpoint serialization/recovery modules report every embedded-
+    // profile violation under one dedicated error-severity rule: they
+    // run inside the power-fail window, where a panic or allocation is
+    // a corrupted checkpoint, not just a style problem.
+    const CKPT: &str = "ckpt-embedded-profile";
+    let (f64_rule, float_lit_rule, heap_rule, panic_rule, index_rule) = if class.checkpoint {
+        (CKPT, CKPT, CKPT, CKPT, CKPT)
+    } else {
+        (
+            "embedded-no-f64",
+            "embedded-no-float-literal",
+            "embedded-no-heap-alloc",
+            "embedded-no-panic",
+            "embedded-no-slice-index",
+        )
+    };
+
     for (p, tok) in sig.iter().enumerate() {
         let line = tok.line;
         match &tok.kind {
@@ -56,7 +73,7 @@ pub fn scan(file: &SourceFile, class: &FileClass) -> Vec<Finding> {
 
                 if class.float_strict && name == "f64" {
                     push(
-                        "embedded-no-f64",
+                        f64_rule,
                         line,
                         "f64 used in a float-strict embedded module".to_string(),
                     );
@@ -64,35 +81,35 @@ pub fn scan(file: &SourceFile, class: &FileClass) -> Vec<Finding> {
                 if class.embedded {
                     if matches!(name, "Vec" | "Box" | "String") && next_path {
                         push(
-                            "embedded-no-heap-alloc",
+                            heap_rule,
                             line,
                             format!("{name}:: allocation in an embedded module"),
                         );
                     }
                     if matches!(name, "vec" | "format") && next_bang {
                         push(
-                            "embedded-no-heap-alloc",
+                            heap_rule,
                             line,
                             format!("{name}! allocates in an embedded module"),
                         );
                     }
                     if HEAP_METHODS.contains(&name) && prev_dot {
                         push(
-                            "embedded-no-heap-alloc",
+                            heap_rule,
                             line,
                             format!(".{name}() allocates in an embedded module"),
                         );
                     }
                     if matches!(name, "unwrap" | "expect") && prev_dot {
                         push(
-                            "embedded-no-panic",
+                            panic_rule,
                             line,
                             format!(".{name}() can panic in an embedded module"),
                         );
                     }
                     if PANIC_MACROS.contains(&name) && next_bang {
                         push(
-                            "embedded-no-panic",
+                            panic_rule,
                             line,
                             format!("{name}! aborts on the device"),
                         );
@@ -144,13 +161,13 @@ pub fn scan(file: &SourceFile, class: &FileClass) -> Vec<Finding> {
             TokenKind::Float { f64_suffix } if class.float_strict => {
                 if *f64_suffix {
                     push(
-                        "embedded-no-f64",
+                        f64_rule,
                         line,
                         "f64-suffixed literal in a float-strict embedded module".to_string(),
                     );
                 } else {
                     push(
-                        "embedded-no-float-literal",
+                        float_lit_rule,
                         line,
                         "float literal in a float-strict embedded module".to_string(),
                     );
@@ -169,7 +186,7 @@ pub fn scan(file: &SourceFile, class: &FileClass) -> Vec<Finding> {
                 };
                 if indexing {
                     push(
-                        "embedded-no-slice-index",
+                        index_rule,
                         line,
                         "bracket indexing can panic; prefer get()/chunks in embedded code"
                             .to_string(),
@@ -254,6 +271,26 @@ mod tests {
         assert_eq!(hits, vec!["lib-no-panic", "lib-no-panic", "lib-no-panic"]);
         // Not enforced outside wiot/sift/analyzer:
         assert!(findings("crates/physio-sim/src/record.rs", src).is_empty());
+    }
+
+    #[test]
+    fn checkpoint_modules_get_the_dedicated_rule() {
+        // One violation of each kind the embedded profile covers: heap
+        // alloc, panic, bracket index, f64, and a plain float literal.
+        let src = "fn f(d: f64) { let v = q.to_vec(); v.unwrap(); r[0]; let x = 2.5; }\n";
+        for rel in ["crates/amulet-sim/src/nvram.rs", "crates/sift/src/checkpoint.rs"] {
+            let hits = findings(rel, src);
+            assert!(!hits.is_empty(), "{rel}: fixture should trip the profile");
+            assert!(
+                hits.iter().all(|&r| r == "ckpt-embedded-profile"),
+                "{rel}: every finding routes to the dedicated rule, got {hits:?}"
+            );
+        }
+        // The same source in an ordinary embedded module keeps the
+        // per-rule ids (and no float rules outside float-strict files).
+        let app = findings("crates/amulet-sim/src/apps/demo.rs", src);
+        assert!(!app.contains(&"ckpt-embedded-profile"));
+        assert!(app.contains(&"embedded-no-heap-alloc"));
     }
 
     #[test]

@@ -97,6 +97,14 @@ pub const RULES: &[RuleDef] = &[
                   failures are recoverable",
     },
     RuleDef {
+        id: "ckpt-embedded-profile",
+        severity: Severity::Error,
+        pass: Pass::Embedded,
+        summary: "checkpoint serialization/recovery modules must stay in the embedded \
+                  profile: no heap, no panic, no float, no bracket indexing (they run \
+                  inside the power-fail window)",
+    },
+    RuleDef {
         id: "lib-no-panic",
         severity: Severity::Warn,
         pass: Pass::Embedded,

@@ -16,6 +16,15 @@ const FLOAT_STRICT: &[&str] = &[
 /// rules do not (its `f64` cycle metering is host-side by design).
 const APP_CODE_PREFIX: &str = "crates/amulet-sim/src/apps/";
 
+/// Checkpoint serialization/recovery modules: they run inside the
+/// power-fail window, so the full embedded profile applies (no heap, no
+/// panic, no float, no bracket indexing) and violations report under
+/// the dedicated error-severity `ckpt-embedded-profile` rule.
+const CHECKPOINT_MODULES: &[&str] = &[
+    "crates/amulet-sim/src/nvram.rs",
+    "crates/sift/src/checkpoint.rs",
+];
+
 /// Crates the determinism pass skips entirely: the bench harness times
 /// things on purpose, and the vendored stand-ins (`rand`, `proptest`,
 /// `criterion`) are test/bench infrastructure, not report paths.
@@ -42,6 +51,9 @@ pub struct FileClass {
     pub thread_ok: bool,
     /// `lib-no-panic` hygiene applies (non-embedded library code).
     pub lib_no_panic: bool,
+    /// Checkpoint serialization/recovery module: embedded-profile
+    /// findings report under `ckpt-embedded-profile` at error severity.
+    pub checkpoint: bool,
 }
 
 /// Classify a workspace-relative path (`crates/<name>/src/...`).
@@ -50,7 +62,8 @@ pub fn classify(rel_path: &str) -> FileClass {
         .strip_prefix("crates/")
         .and_then(|r| r.split('/').next())
         .unwrap_or("");
-    let float_strict = FLOAT_STRICT.contains(&rel_path);
+    let checkpoint = CHECKPOINT_MODULES.contains(&rel_path);
+    let float_strict = FLOAT_STRICT.contains(&rel_path) || checkpoint;
     let embedded = float_strict || rel_path.starts_with(APP_CODE_PREFIX);
     FileClass {
         float_strict,
@@ -58,6 +71,7 @@ pub fn classify(rel_path: &str) -> FileClass {
         det_exempt: DET_EXEMPT_CRATES.contains(&crate_name),
         thread_ok: THREAD_OK.contains(&rel_path),
         lib_no_panic: LIB_NO_PANIC_CRATES.contains(&crate_name) && !embedded,
+        checkpoint,
     }
 }
 
@@ -226,5 +240,11 @@ mod tests {
         assert!(bench.det_exempt);
         let plain = classify("crates/physio-sim/src/record.rs");
         assert!(!plain.embedded && !plain.det_exempt && !plain.lib_no_panic);
+        for path in ["crates/amulet-sim/src/nvram.rs", "crates/sift/src/checkpoint.rs"] {
+            let ckpt = classify(path);
+            assert!(ckpt.checkpoint && ckpt.float_strict && ckpt.embedded, "{path}");
+            assert!(!ckpt.lib_no_panic, "{path}: ckpt rule supersedes lib hygiene");
+        }
+        assert!(!fixed.checkpoint && !plain.checkpoint);
     }
 }

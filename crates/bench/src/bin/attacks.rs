@@ -9,6 +9,9 @@
 //! (Gilbert–Elliott burst loss, ~10% mean) with the reliability stack
 //! on (ARQ + salvage + watchdog); the table gains a window-recovery
 //! column showing how much of the session still reached the detector.
+//!
+//! `--no-persist` disables FRAM checkpointing (the pre-checkpointing
+//! behavior), for A/B comparison of the persistence layer's cost.
 
 use physio_sim::record::Record;
 use physio_sim::subject::bank;
@@ -19,6 +22,7 @@ use wiot::scenario::{run, AttackSpec, Scenario};
 
 fn main() {
     let faults_mode = std::env::args().any(|a| a == "--faults");
+    let no_persist = std::env::args().any(|a| a == "--no-persist");
     let duration_s = 120.0;
     let (attack_start, attack_end) = (33.0, 93.0);
     let donor = Record::synthesize(&bank()[7], duration_s, 0xD0);
@@ -63,6 +67,7 @@ fn main() {
     }
     for (name, mode) in modes {
         let mut scenario = Scenario::new(0, Version::Simplified, duration_s);
+        scenario.persist = !no_persist;
         scenario.attack = Some(AttackSpec {
             mode,
             start_s: attack_start,

@@ -12,8 +12,52 @@ use crate::linear_svm::LinearSvm;
 use crate::scaler::StandardScaler;
 use crate::{Classifier, Label, MlError};
 
-/// Magic bytes identifying an encoded model (`SIFTMDL` + version 1).
-pub const MAGIC: [u8; 8] = *b"SIFTMDL1";
+/// Magic bytes identifying an encoded model, followed on flash by a
+/// one-byte format version ([`FORMAT_VERSION`]).
+pub const MAGIC: [u8; 7] = *b"SIFTMDL";
+
+/// Current on-flash format version. Version 1 (magic `SIFTMDL1`, no
+/// checksum) is retired: its trailing `'1'` now reads as an unsupported
+/// version byte, so stale v1 checkpoints are rejected with a typed
+/// error instead of being parsed without integrity protection.
+pub const FORMAT_VERSION: u8 = 2;
+
+/// Fixed header: magic + version byte + `u32` dimension.
+pub const HEADER_BYTES: usize = MAGIC.len() + 1 + 4;
+
+/// Trailing CRC-32 over everything before it.
+pub const CRC_BYTES: usize = 4;
+
+/// Exact encoded size of a model of `dim` features: header, then
+/// `f32` weights/bias/means/inverse-stds, then the CRC trailer.
+pub const fn encoded_len(dim: usize) -> usize {
+    HEADER_BYTES + 4 * (3 * dim + 1) + CRC_BYTES
+}
+
+/// CRC-32 (IEEE, reflected, polynomial `0xEDB8_8320`); table-free so
+/// the device pays cycles, not FRAM.
+fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc: u32 = 0xFFFF_FFFF;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        let mut k = 0;
+        while k < 8 {
+            let mask = 0u32.wrapping_sub(crc & 1);
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+            k += 1;
+        }
+    }
+    !crc
+}
+
+/// Copy `src` into `out` at `*at`, advancing the cursor; silently stops
+/// at the end of `out` (callers size the buffer with [`encoded_len`]).
+fn put(out: &mut [u8], at: &mut usize, src: &[u8]) {
+    for (dst, &b) in out.iter_mut().skip(*at).zip(src.iter()) {
+        *dst = b;
+        *at += 1;
+    }
+}
 
 /// A deployed user-specific model: scaler constants folded together with
 /// the SVM hyperplane, all in `f32`.
@@ -131,46 +175,80 @@ impl EmbeddedModel {
     /// Exact serialized size in bytes (what the detector contributes to
     /// FRAM for its model constants).
     pub fn footprint_bytes(&self) -> usize {
-        MAGIC.len() + 4 + 4 * (3 * self.dim() + 1)
+        encoded_len(self.dim())
+    }
+
+    /// Serialize into a caller-provided buffer — the checkpoint path's
+    /// entry point, heap-free so it stays inside the embedded profile.
+    /// Writes magic, version, dimension, the model constants, and a
+    /// trailing CRC-32 over all preceding bytes; returns the bytes
+    /// written (always [`encoded_len`]`(dim)`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::MalformedModel`] when `out` is shorter than
+    /// [`encoded_len`]`(dim)`; nothing is written in that case.
+    pub fn encode_into(&self, out: &mut [u8]) -> Result<usize, MlError> {
+        let needed = encoded_len(self.dim());
+        if out.len() < needed {
+            return Err(MlError::MalformedModel {
+                reason: "encode buffer too small",
+            });
+        }
+        let mut at = 0;
+        put(out, &mut at, &MAGIC);
+        put(out, &mut at, &[FORMAT_VERSION]);
+        put(out, &mut at, &(self.dim() as u32).to_le_bytes());
+        for &w in &self.weights {
+            put(out, &mut at, &w.to_le_bytes());
+        }
+        put(out, &mut at, &self.bias.to_le_bytes());
+        for &m in &self.means {
+            put(out, &mut at, &m.to_le_bytes());
+        }
+        for &s in &self.inv_stds {
+            put(out, &mut at, &s.to_le_bytes());
+        }
+        let crc = crc32(out.get(..at).unwrap_or(&[]));
+        put(out, &mut at, &crc.to_le_bytes());
+        Ok(at)
     }
 
     /// Serialize to the on-flash byte format (little-endian).
     // lint:allow(embedded-no-heap-alloc, host-side serialization; the device reads the finished image out of FRAM)
     pub fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(self.footprint_bytes());
-        out.extend_from_slice(&MAGIC);
-        out.extend_from_slice(&(self.dim() as u32).to_le_bytes());
-        for &w in &self.weights {
-            out.extend_from_slice(&w.to_le_bytes());
-        }
-        out.extend_from_slice(&self.bias.to_le_bytes());
-        for &m in &self.means {
-            out.extend_from_slice(&m.to_le_bytes());
-        }
-        for &s in &self.inv_stds {
-            out.extend_from_slice(&s.to_le_bytes());
-        }
+        let mut out = vec![0u8; self.footprint_bytes()];
+        // Cannot fail: the buffer is sized by the same formula.
+        let _ = self.encode_into(&mut out);
         out
     }
 
-    /// Decode a model previously produced by [`EmbeddedModel::encode`].
+    /// Decode a model previously produced by [`EmbeddedModel::encode`]
+    /// or [`EmbeddedModel::encode_into`].
     ///
     /// # Errors
     ///
-    /// Returns [`MlError::MalformedModel`] for any framing violation.
+    /// Returns [`MlError::UnsupportedModelVersion`] for a recognized
+    /// magic with a foreign version byte (including retired v1 blobs),
+    /// and [`MlError::MalformedModel`] for any framing or checksum
+    /// violation.
     // lint:allow(embedded-no-slice-index, every offset is covered by the exact length check against the dim field)
     // lint:allow(embedded-no-panic, try_into of a 4-byte slice cannot fail after the length check)
     // lint:allow(embedded-no-heap-alloc, host-side deserialization into owned buffers)
     pub fn decode(bytes: &[u8]) -> Result<Self, MlError> {
-        if bytes.len() < MAGIC.len() + 4 {
+        if bytes.len() < HEADER_BYTES + CRC_BYTES {
             return Err(MlError::MalformedModel {
                 reason: "too short for header",
             });
         }
-        if bytes[..8] != MAGIC {
+        if bytes[..MAGIC.len()] != MAGIC {
             return Err(MlError::MalformedModel {
                 reason: "bad magic",
             });
+        }
+        let version = bytes[MAGIC.len()];
+        if version != FORMAT_VERSION {
+            return Err(MlError::UnsupportedModelVersion { found: version });
         }
         let dim = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes")) as usize;
         if dim == 0 {
@@ -178,13 +256,19 @@ impl EmbeddedModel {
                 reason: "zero dimension",
             });
         }
-        let expect = MAGIC.len() + 4 + 4 * (3 * dim + 1);
+        let expect = encoded_len(dim);
         if bytes.len() != expect {
             return Err(MlError::MalformedModel {
                 reason: "length does not match dimension",
             });
         }
-        let mut off = 12;
+        let stored = u32::from_le_bytes(bytes[expect - CRC_BYTES..].try_into().expect("4 bytes"));
+        if crc32(&bytes[..expect - CRC_BYTES]) != stored {
+            return Err(MlError::MalformedModel {
+                reason: "checksum mismatch",
+            });
+        }
+        let mut off = HEADER_BYTES;
         let mut read = |n: usize| -> Vec<f32> {
             let mut v = Vec::with_capacity(n);
             for _ in 0..n {
@@ -261,8 +345,58 @@ mod tests {
     fn footprint_formula() {
         let (scaler, svm, _) = trained();
         let em = EmbeddedModel::translate(&scaler, &svm).unwrap();
-        // 8 magic + 4 dim + 4 * (3*3 + 1) floats.
-        assert_eq!(em.footprint_bytes(), 8 + 4 + 4 * 10);
+        // 7 magic + 1 version + 4 dim + 4 * (3*3 + 1) floats + 4 crc.
+        assert_eq!(em.footprint_bytes(), 12 + 4 * 10 + 4);
+        assert_eq!(em.footprint_bytes(), encoded_len(3));
+    }
+
+    #[test]
+    fn encode_into_matches_encode_and_checks_buffer() {
+        let (scaler, svm, _) = trained();
+        let em = EmbeddedModel::translate(&scaler, &svm).unwrap();
+        let mut buf = vec![0u8; em.footprint_bytes() + 7];
+        let n = em.encode_into(&mut buf).unwrap();
+        assert_eq!(n, em.footprint_bytes());
+        assert_eq!(&buf[..n], &em.encode()[..]);
+        let mut short = vec![0u8; em.footprint_bytes() - 1];
+        assert!(matches!(
+            em.encode_into(&mut short),
+            Err(MlError::MalformedModel { .. })
+        ));
+        assert!(short.iter().all(|&b| b == 0), "failed encode must not write");
+    }
+
+    #[test]
+    fn stale_v1_blob_rejected_with_typed_error() {
+        let (scaler, svm, _) = trained();
+        let em = EmbeddedModel::translate(&scaler, &svm).unwrap();
+        // Reconstruct the retired v1 framing: `SIFTMDL1`, dim, floats,
+        // no checksum. Its `'1'` sits where v2 keeps the version byte.
+        let mut v1 = Vec::new();
+        v1.extend_from_slice(b"SIFTMDL1");
+        let body = em.encode();
+        v1.extend_from_slice(&body[8..body.len() - CRC_BYTES]);
+        assert_eq!(
+            EmbeddedModel::decode(&v1),
+            Err(MlError::UnsupportedModelVersion { found: b'1' })
+        );
+    }
+
+    #[test]
+    fn bit_flips_fail_the_checksum() {
+        let (scaler, svm, _) = trained();
+        let em = EmbeddedModel::translate(&scaler, &svm).unwrap();
+        let good = em.encode();
+        // Flip one bit at every payload byte: all must be rejected
+        // (header corruption trips magic/version/dim checks instead).
+        for i in HEADER_BYTES..good.len() {
+            let mut bad = good.clone();
+            bad[i] ^= 0x40;
+            assert!(
+                EmbeddedModel::decode(&bad).is_err(),
+                "bit flip at byte {i} was accepted"
+            );
+        }
     }
 
     #[test]

@@ -30,6 +30,13 @@ pub enum MlError {
         /// What went wrong.
         reason: &'static str,
     },
+    /// An encoded model carries a format version this build does not
+    /// speak — a stale or future checkpoint; rejected instead of
+    /// deserialized as garbage.
+    UnsupportedModelVersion {
+        /// The version byte found in the header.
+        found: u8,
+    },
 }
 
 impl fmt::Display for MlError {
@@ -45,6 +52,9 @@ impl fmt::Display for MlError {
             }
             MlError::NonFiniteFeature => write!(f, "feature vector contains non-finite values"),
             MlError::MalformedModel { reason } => write!(f, "malformed model bytes: {reason}"),
+            MlError::UnsupportedModelVersion { found } => {
+                write!(f, "unsupported model format version: found {found}")
+            }
         }
     }
 }
@@ -65,6 +75,9 @@ mod tests {
         }
         .to_string()
         .contains("8"));
+        assert!(MlError::UnsupportedModelVersion { found: 49 }
+            .to_string()
+            .contains("49"));
     }
 
     #[test]

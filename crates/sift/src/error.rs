@@ -26,6 +26,12 @@ pub enum SiftError {
     },
     /// Training requires at least one donor subject besides the wearer.
     NoDonors,
+    /// A detector checkpoint could not be encoded or decoded (framing
+    /// violation, buffer too small, or a flavor/dimension mismatch).
+    Checkpoint {
+        /// What went wrong.
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for SiftError {
@@ -37,6 +43,7 @@ impl fmt::Display for SiftError {
             SiftError::Ml(e) => write!(f, "ml error: {e}"),
             SiftError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
             SiftError::NoDonors => write!(f, "training requires at least one donor subject"),
+            SiftError::Checkpoint { reason } => write!(f, "checkpoint error: {reason}"),
         }
     }
 }
@@ -102,6 +109,7 @@ mod tests {
             SiftError::NoDonors,
             SiftError::InvalidSnippet { reason: "x" },
             SiftError::InvalidConfig { reason: "y" },
+            SiftError::Checkpoint { reason: "z" },
         ] {
             let s = e.to_string();
             assert!(!s.is_empty());

@@ -55,6 +55,7 @@
 
 pub mod analysis;
 pub mod attack;
+pub mod checkpoint;
 pub mod config;
 pub mod detector;
 pub mod features;

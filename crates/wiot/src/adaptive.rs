@@ -92,6 +92,20 @@ impl Default for Policy {
     }
 }
 
+/// The persistable core of a [`DecisionEngine`]: everything needed to
+/// resume adaptive decisions after a reboot. The switch history is
+/// telemetry, not state, and is deliberately not part of the snapshot;
+/// `crate::persist` provides a fixed-size byte codec for this type.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveSnapshot {
+    /// Version currently deployed.
+    pub current: Version,
+    /// When the engine last switched, ms (`None` before any switch).
+    pub last_switch_ms: Option<u64>,
+    /// Smoothed link badness (`None` before any observation).
+    pub link_badness_ewma: Option<f64>,
+}
+
 /// A recorded version switch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Switch {
@@ -152,6 +166,26 @@ impl DecisionEngine {
     /// The version currently deployed.
     pub fn current(&self) -> Version {
         self.current
+    }
+
+    /// The engine's persistable state (checkpointed alongside the
+    /// detector by `crate::persist`).
+    pub fn snapshot(&self) -> AdaptiveSnapshot {
+        AdaptiveSnapshot {
+            current: self.current,
+            last_switch_ms: self.last_switch_ms,
+            link_badness_ewma: self.link_badness_ewma,
+        }
+    }
+
+    /// Resume from a snapshot taken by [`DecisionEngine::snapshot`]:
+    /// the deployed version, dwell clock, and smoothed link view pick
+    /// up where the pre-reboot engine left off. The switch history
+    /// restarts empty (it is a per-boot log).
+    pub fn restore(&mut self, snapshot: &AdaptiveSnapshot) {
+        self.current = snapshot.current;
+        self.last_switch_ms = snapshot.last_switch_ms;
+        self.link_badness_ewma = snapshot.link_badness_ewma;
     }
 
     /// All switches performed.
@@ -251,10 +285,7 @@ pub fn requirements_from_profiler(config: &sift::config::SiftConfig) -> Vec<Vers
     Version::ALL
         .iter()
         .map(|&v| {
-            let model_bytes = match v {
-                Version::Reduced => 76,
-                _ => 112,
-            };
+            let model_bytes = ml::embedded::encoded_len(v.feature_count());
             let spec = amulet_sim::profiler::sift_app_spec(v, config, model_bytes);
             let libs: usize = spec.libs.iter().map(|l| l.fram_bytes()).sum();
             VersionRequirements {
@@ -415,6 +446,41 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_restore_resumes_dwell_and_link_state() {
+        let mut e = DecisionEngine::new(
+            Version::Original,
+            requirements_from_profiler(&sift::config::SiftConfig::default()),
+            Policy {
+                min_dwell_ms: 10_000,
+                ..Policy::default()
+            },
+        );
+        e.observe_link(&LinkQuality {
+            loss_rate: 0.2,
+            retransmit_rate: 0.1,
+        });
+        assert_eq!(e.decide(5_000, &roomy(0.1)), Some(Version::Reduced));
+        let snap = e.snapshot();
+        // A rebooted engine restored from the snapshot behaves like the
+        // original: the dwell gate still holds at 10 s, opens at 15 s.
+        let mut fresh = DecisionEngine::new(
+            Version::Original,
+            requirements_from_profiler(&sift::config::SiftConfig::default()),
+            Policy {
+                min_dwell_ms: 10_000,
+                ..Policy::default()
+            },
+        );
+        fresh.restore(&snap);
+        assert_eq!(fresh.current(), Version::Reduced);
+        assert_eq!(fresh.link_badness(), e.link_badness());
+        assert_eq!(fresh.decide(10_000, &roomy(0.9)), None);
+        // The restored link view (badness 0.25 > 0.15) still caps the
+        // upgrade at simplified, exactly as the pre-reboot engine would.
+        assert_eq!(fresh.decide(15_000, &roomy(0.9)), Some(Version::Simplified));
+    }
+
+    #[test]
     fn requirements_cover_all_versions_and_order_by_weight() {
         let reqs = requirements_from_profiler(&sift::config::SiftConfig::default());
         assert_eq!(reqs.len(), 3);
@@ -465,7 +531,7 @@ pub fn simulate_adaptive_deployment(
     let mut engine = DecisionEngine::new(Version::Original, reqs, policy);
 
     let avg_current = |v: Version| {
-        let model_bytes = if v == Version::Reduced { 76 } else { 112 };
+        let model_bytes = ml::embedded::encoded_len(v.feature_count());
         let spec = sift_app_spec(v, config, model_bytes);
         profiler.profile(&[&spec]).avg_current_ua
     };

@@ -469,6 +469,24 @@ impl BaseStation {
         self.stats.reboots += 1;
     }
 
+    /// Swap the installed detector instance for `app` — the recovery
+    /// path after a brownout reboot, rebuilding the detector from the
+    /// FRAM checkpoint. The firmware image stays installed; only the
+    /// running instance is replaced, so neither the memory map nor the
+    /// energy meter moves.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`amulet_sim::AmuletError::UnknownApp`] when no app
+    /// of that name is installed (e.g. a checkpoint for a different
+    /// detector flavor).
+    pub fn restore_detector(&mut self, app: SiftApp) -> Result<(), WiotError> {
+        let name = app.name().to_string();
+        self.os
+            .replace_app(&name, Box::new(app))
+            .map_err(WiotError::from)
+    }
+
     /// Check stream liveness at `now_ms`: every watched stream silent
     /// for longer than the watchdog timeout is flagged, a
     /// `StreamStalled` event is posted through the OS (the watchdog app
@@ -785,6 +803,27 @@ mod tests {
         let s = bs.stats();
         assert_eq!(s.windows_dropped, 1, "{s:?}");
         assert_eq!(s.windows_emitted, 9, "{s:?}");
+    }
+
+    #[test]
+    fn restore_detector_swaps_instance_and_rejects_foreign_flavors() {
+        let mut bs = station();
+        let cfg = quick_config();
+        let model = train_for_subject(&bank(), 0, Version::Simplified, &cfg, 8).unwrap();
+        let app = SiftApp::new(Version::Simplified, model.embedded().clone(), cfg.clone()).unwrap();
+        bs.restore_detector(app).unwrap();
+        // The station still detects normally with the swapped instance.
+        let r = Record::synthesize(&bank()[0], 15.0, 99);
+        stream_record(&mut bs, &r, &mut Channel::perfect());
+        assert_eq!(bs.stats().windows_emitted, 5);
+        // A different flavor registers under a different app name:
+        // there is nothing installed to replace.
+        let foreign = train_for_subject(&bank(), 0, Version::Reduced, &cfg, 8).unwrap();
+        let foreign = SiftApp::new(Version::Reduced, foreign.embedded().clone(), cfg).unwrap();
+        assert!(matches!(
+            bs.restore_detector(foreign),
+            Err(WiotError::Amulet(_))
+        ));
     }
 
     #[test]

@@ -52,6 +52,21 @@ pub enum FaultKind {
         /// Drift rate, parts per million (positive = running late).
         ppm: f64,
     },
+    /// Power fails mid-checkpoint-commit: the FRAM write sequence is
+    /// cut after `cut_bytes` bytes and the station reboots.
+    /// Instantaneous: the episode end is ignored.
+    TornCheckpoint {
+        /// Bytes of the commit sequence that land before the cut.
+        cut_bytes: usize,
+    },
+    /// A single bit in the NVRAM checkpoint region flips (FRAM
+    /// disturb / radiation upset). Instantaneous.
+    CheckpointBitRot {
+        /// Absolute byte offset within the NVRAM region.
+        byte: usize,
+        /// Bit index within that byte (0–7).
+        bit: u8,
+    },
 }
 
 /// One scheduled fault episode `[start_s, end_s)`.
@@ -145,6 +160,13 @@ impl FaultPlan {
                         reason: "clock-drift rate must be finite",
                     });
                 }
+                FaultKind::CheckpointBitRot { byte, bit }
+                    if *bit > 7 || *byte >= amulet_sim::nvram::NVRAM_BYTES =>
+                {
+                    return Err(WiotError::InvalidScenario {
+                        reason: "checkpoint bit-rot target outside the NVRAM region",
+                    });
+                }
                 _ => {}
             }
         }
@@ -216,6 +238,33 @@ impl FaultPlan {
             })
             .count() as u64
     }
+
+    /// Torn-checkpoint events scheduled in `(prev_ms, now_ms]`, as the
+    /// cut offsets (bytes of the commit sequence written before power
+    /// failed), in schedule order.
+    pub fn torn_checkpoints_between(&self, prev_ms: u64, now_ms: u64) -> Vec<usize> {
+        self.events
+            .iter()
+            .filter(|e| e.start_ms() > prev_ms && e.start_ms() <= now_ms)
+            .filter_map(|e| match e.kind {
+                FaultKind::TornCheckpoint { cut_bytes } => Some(cut_bytes),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Checkpoint bit-rot events scheduled in `(prev_ms, now_ms]`, as
+    /// `(byte, bit)` targets, in schedule order.
+    pub fn bitrot_between(&self, prev_ms: u64, now_ms: u64) -> Vec<(usize, u8)> {
+        self.events
+            .iter()
+            .filter(|e| e.start_ms() > prev_ms && e.start_ms() <= now_ms)
+            .filter_map(|e| match e.kind {
+                FaultKind::CheckpointBitRot { byte, bit } => Some((byte, bit)),
+                _ => None,
+            })
+            .collect()
+    }
 }
 
 /// Everything the fault plan actually did to a run — the evidence
@@ -233,6 +282,40 @@ pub struct FaultSummary {
     pub degraded_link_ms: u64,
     /// Maximum clock skew applied to any stream, ms.
     pub max_clock_skew_ms: u64,
+    /// Checkpoint commits cut short by injected power failures.
+    pub torn_commits: u64,
+    /// Single-bit flips injected into the NVRAM checkpoint region.
+    pub bitrot_flips: u64,
+    /// Reboots after which the detector resumed from a valid
+    /// checkpoint (no re-enrollment).
+    pub recoveries: u64,
+    /// Recoveries that had to fall back to the previous generation
+    /// because the newest slot was torn or rotted.
+    pub rollbacks: u64,
+    /// Reboots after which no checkpoint could be restored (the
+    /// station kept running with its freshly-reset detector).
+    pub recovery_failures: u64,
+}
+
+impl FaultSummary {
+    /// Element-wise sum of two summaries, except `max_clock_skew_ms`
+    /// which takes the maximum. Used to aggregate per-device summaries
+    /// into a fleet view.
+    #[must_use]
+    pub fn merged(self, other: Self) -> Self {
+        Self {
+            dropout_chunks: self.dropout_chunks + other.dropout_chunks,
+            stuck_chunks: self.stuck_chunks + other.stuck_chunks,
+            reboots: self.reboots + other.reboots,
+            degraded_link_ms: self.degraded_link_ms + other.degraded_link_ms,
+            max_clock_skew_ms: self.max_clock_skew_ms.max(other.max_clock_skew_ms),
+            torn_commits: self.torn_commits + other.torn_commits,
+            bitrot_flips: self.bitrot_flips + other.bitrot_flips,
+            recoveries: self.recoveries + other.recoveries,
+            rollbacks: self.rollbacks + other.rollbacks,
+            recovery_failures: self.recovery_failures + other.recovery_failures,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -351,5 +434,76 @@ mod tests {
         assert!(bad_drift.validate(10.0).is_err());
         let ok = FaultPlan::new().with(degrade_event(0.0, 10.0));
         assert!(ok.validate(10.0).is_ok());
+    }
+
+    #[test]
+    fn checkpoint_fault_window_queries() {
+        let p = FaultPlan::new()
+            .with(FaultEvent {
+                start_s: 10.0,
+                end_s: 10.0,
+                kind: FaultKind::TornCheckpoint { cut_bytes: 17 },
+            })
+            .with(FaultEvent {
+                start_s: 20.0,
+                end_s: 20.0,
+                kind: FaultKind::CheckpointBitRot { byte: 100, bit: 3 },
+            });
+        assert_eq!(p.torn_checkpoints_between(0, 9_999), Vec::<usize>::new());
+        assert_eq!(p.torn_checkpoints_between(9_999, 10_000), vec![17]);
+        assert_eq!(p.torn_checkpoints_between(10_000, 60_000), Vec::<usize>::new());
+        assert_eq!(p.bitrot_between(0, 19_999), Vec::<(usize, u8)>::new());
+        assert_eq!(p.bitrot_between(19_999, 20_000), vec![(100, 3)]);
+    }
+
+    #[test]
+    fn checkpoint_bitrot_validation() {
+        let bad_bit = FaultPlan::new().with(FaultEvent {
+            start_s: 0.0,
+            end_s: 0.0,
+            kind: FaultKind::CheckpointBitRot { byte: 0, bit: 8 },
+        });
+        assert!(bad_bit.validate(10.0).is_err());
+        let bad_byte = FaultPlan::new().with(FaultEvent {
+            start_s: 0.0,
+            end_s: 0.0,
+            kind: FaultKind::CheckpointBitRot {
+                byte: amulet_sim::nvram::NVRAM_BYTES,
+                bit: 0,
+            },
+        });
+        assert!(bad_byte.validate(10.0).is_err());
+        let ok = FaultPlan::new().with(FaultEvent {
+            start_s: 0.0,
+            end_s: 0.0,
+            kind: FaultKind::CheckpointBitRot { byte: 4095, bit: 7 },
+        });
+        assert!(ok.validate(10.0).is_ok());
+    }
+
+    #[test]
+    fn summaries_merge_elementwise() {
+        let a = FaultSummary {
+            dropout_chunks: 1,
+            stuck_chunks: 2,
+            reboots: 3,
+            degraded_link_ms: 4,
+            max_clock_skew_ms: 5,
+            torn_commits: 6,
+            bitrot_flips: 7,
+            recoveries: 8,
+            rollbacks: 9,
+            recovery_failures: 10,
+        };
+        let b = FaultSummary {
+            max_clock_skew_ms: 2,
+            reboots: 1,
+            ..FaultSummary::default()
+        };
+        let m = a.merged(b);
+        assert_eq!(m.reboots, 4);
+        assert_eq!(m.max_clock_skew_ms, 5);
+        assert_eq!(m.recoveries, 8);
+        assert_eq!(FaultSummary::default().merged(a), a);
     }
 }

@@ -37,6 +37,7 @@
 //! and per-device outlier flags come from.
 
 use crate::channel::ChannelStats;
+use crate::faults::FaultSummary;
 use crate::scenario::{DeviceOptions, DeviceSim, Scenario};
 use crate::transport::TransportStats;
 use crate::WiotError;
@@ -138,6 +139,11 @@ pub struct DeviceSummary {
     pub transport: Option<TransportStats>,
     /// Stream-stalled alerts.
     pub stall_alerts: usize,
+    /// Everything the fault plan did to this device, including
+    /// checkpoint recovery counters. Deliberately **excluded** from
+    /// [`FleetReport::digest`]: the digest format is frozen, and with
+    /// zero faults these are all zero anyway.
+    pub faults: FaultSummary,
     /// Alerts archived at the device's sink.
     pub alerts: usize,
     /// Energy/dispatch counters for this device.
@@ -230,6 +236,10 @@ pub struct FleetReport {
     pub margin_mean: f64,
     /// Stream-stalled alerts summed over the fleet.
     pub stall_alerts: usize,
+    /// Fault and checkpoint-recovery counters merged over the fleet
+    /// ([`FaultSummary::merged`], device-index order). Excluded from
+    /// [`FleetReport::digest`] — see [`DeviceSummary::faults`].
+    pub faults: FaultSummary,
     /// Devices flagged as outliers, in device order.
     pub outliers: Vec<FleetOutlier>,
     /// Every device's summary, in device order.
@@ -429,6 +439,7 @@ fn simulate_device(
         channel: report.channel,
         transport: report.transport,
         stall_alerts: report.stall_alerts,
+        faults: report.faults,
         alerts: report.sink.alerts().len(),
         usage,
         windows_scored: margins.len(),
@@ -457,6 +468,7 @@ fn reduce(spec: &FleetSpec, summaries: Vec<DeviceSummary>) -> FleetReport {
     let mut margin_min = f64::INFINITY;
     let mut margin_sum = 0.0f64;
     let mut stall_alerts = 0usize;
+    let mut faults = FaultSummary::default();
     let mut outliers = Vec::new();
 
     for s in &summaries {
@@ -484,6 +496,7 @@ fn reduce(spec: &FleetSpec, summaries: Vec<DeviceSummary>) -> FleetReport {
         margin_min = margin_min.min(s.margin_min);
         margin_sum += s.margin_sum;
         stall_alerts += s.stall_alerts;
+        faults = faults.merged(s.faults);
 
         if s.window_recovery_rate < 0.8 {
             outliers.push(FleetOutlier {
@@ -548,6 +561,7 @@ fn reduce(spec: &FleetSpec, summaries: Vec<DeviceSummary>) -> FleetReport {
             margin_sum / windows_scored as f64
         },
         stall_alerts,
+        faults,
         outliers,
         per_device: summaries,
     }

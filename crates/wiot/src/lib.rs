@@ -27,6 +27,9 @@
 //! * [`sink`] — history storage and alert collection,
 //! * [`adaptive`] — the paper's Insight #4: a decision engine that picks
 //!   the detector version from static and dynamic resource constraints,
+//! * [`persist`] — crash-consistent checkpointing of the detector and
+//!   adaptive state to the simulated FRAM, so a brownout reboot resumes
+//!   detection without re-enrollment,
 //! * [`scenario`] — a deterministic scenario runner gluing everything
 //!   together and scoring detection performance end to end.
 
@@ -40,6 +43,7 @@ pub mod channel;
 pub mod device;
 pub mod faults;
 pub mod fleet;
+pub mod persist;
 pub mod scenario;
 pub mod sink;
 pub mod transport;

@@ -1,0 +1,388 @@
+//! Crash-consistent persistence for the base station.
+//!
+//! [`Persistence`] glues the detector's serializable state
+//! ([`sift::checkpoint::DetectorCheckpoint`]) to the simulated FRAM
+//! checkpoint store ([`amulet_sim::nvram::CheckpointStore`]): every
+//! scenario tick commits a fresh generation into the A/B slots, and
+//! after a brownout reboot [`Persistence::recover`] rebuilds the
+//! detector app from the newest CRC-verified checkpoint — resuming
+//! detection *without re-enrollment*. A torn commit (power lost
+//! mid-write) or a bit-rotted slot is detected by the slot CRC and the
+//! restore rolls back to the previous generation; a checkpoint that
+//! decodes but carries the wrong flavor or a stale model format is
+//! rejected with a typed error and counted as a recovery failure —
+//! never silently accepted.
+//!
+//! The module also provides a small byte codec for the adaptive
+//! engine's [`crate::adaptive::AdaptiveSnapshot`] so deployments that
+//! switch detector versions can persist the decision-engine state
+//! alongside the detector checkpoint.
+
+use crate::adaptive::AdaptiveSnapshot;
+use crate::basestation::BaseStation;
+use crate::faults::FaultSummary;
+use crate::WiotError;
+use amulet_sim::apps::SiftApp;
+use amulet_sim::nvram::{CheckpointStats, CheckpointStore, Restore, NVRAM_BYTES};
+use ml::embedded::EmbeddedModel;
+use sift::checkpoint::DetectorCheckpoint;
+use sift::config::SiftConfig;
+use sift::features::Version;
+
+/// Encoded size of an [`AdaptiveSnapshot`]: version tag, presence
+/// flags, and two 8-byte payloads.
+pub const ADAPTIVE_SNAPSHOT_BYTES: usize = 19;
+
+/// The base station's persistence engine: one reusable encode buffer,
+/// the live snapshot, and the simulated FRAM store.
+#[derive(Debug, Clone)]
+pub struct Persistence {
+    store: CheckpointStore,
+    snapshot: DetectorCheckpoint,
+    buf: Vec<u8>,
+}
+
+impl Persistence {
+    /// Set up persistence for a detector of `version` enrolled with
+    /// `model`. The encode buffer is sized once; commits are
+    /// allocation-free afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WiotError::Sift`] when the model dimension does not
+    /// match the flavor.
+    pub fn new(version: Version, model: EmbeddedModel) -> Result<Self, WiotError> {
+        let snapshot = DetectorCheckpoint::new(version, model)?;
+        let buf = vec![0u8; snapshot.encoded_len()];
+        Ok(Self {
+            store: CheckpointStore::new(),
+            snapshot,
+            buf,
+        })
+    }
+
+    /// Charge the NVRAM checkpoint region to the station's FRAM map so
+    /// the profiler accounts for it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`amulet_sim::AmuletError::OutOfMemory`] when the
+    /// firmware image left less than a region's worth of FRAM free.
+    pub fn reserve(&self, station: &mut BaseStation) -> Result<(), WiotError> {
+        station
+            .os_mut()
+            .reserve_checkpoint_region(NVRAM_BYTES)
+            .map_err(WiotError::from)
+    }
+
+    /// Commit the detector state at stream position `windows_seen` /
+    /// `alerts_raised` as the next checkpoint generation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates encode and store errors (none occur for a correctly
+    /// sized buffer).
+    pub fn commit(&mut self, windows_seen: u32, alerts_raised: u32) -> Result<u32, WiotError> {
+        self.snapshot.windows_seen = windows_seen;
+        self.snapshot.alerts_raised = alerts_raised;
+        let n = self.snapshot.encode_into(&mut self.buf)?;
+        let written = self.buf.get(..n).unwrap_or(&[]);
+        self.store.commit(written).map_err(WiotError::from)
+    }
+
+    /// Commit, but lose power after `cut_bytes` bytes of the FRAM write
+    /// sequence — the torn-write fault-injection path.
+    ///
+    /// # Errors
+    ///
+    /// As [`Persistence::commit`].
+    pub fn commit_torn(
+        &mut self,
+        windows_seen: u32,
+        alerts_raised: u32,
+        cut_bytes: usize,
+    ) -> Result<u32, WiotError> {
+        self.snapshot.windows_seen = windows_seen;
+        self.snapshot.alerts_raised = alerts_raised;
+        let n = self.snapshot.encode_into(&mut self.buf)?;
+        let written = self.buf.get(..n).unwrap_or(&[]);
+        self.store
+            .commit_torn(written, cut_bytes)
+            .map_err(WiotError::from)
+    }
+
+    /// Flip one bit of the NVRAM region (bit-rot fault injection).
+    pub fn flip_bit(&mut self, byte: usize, bit: u8) {
+        self.store.flip_bit(byte, bit);
+    }
+
+    /// Recover after a reboot: restore the newest valid checkpoint,
+    /// rebuild the detector app from its model, and swap it into the
+    /// station. Counts the outcome in `summary` (`recoveries`,
+    /// `rollbacks`, `recovery_failures`). Returns whether a checkpoint
+    /// was successfully restored; on failure the station keeps running
+    /// with the detector instance it already has.
+    ///
+    /// # Errors
+    ///
+    /// Propagates platform errors from swapping the app; corrupt or
+    /// incompatible checkpoints are *not* errors — they are counted
+    /// and skipped.
+    pub fn recover(
+        &mut self,
+        station: &mut BaseStation,
+        config: &SiftConfig,
+        summary: &mut FaultSummary,
+    ) -> Result<bool, WiotError> {
+        let (ckpt, rolled_back) = match self.store.restore() {
+            Restore::Valid {
+                payload,
+                rolled_back,
+                ..
+            } => match DetectorCheckpoint::decode(payload) {
+                Ok(c) if c.version == self.snapshot.version => (c, rolled_back),
+                // Wrong flavor, stale model format, or checksum
+                // mismatch: typed rejection, never accepted.
+                Ok(_) | Err(_) => {
+                    summary.recovery_failures += 1;
+                    return Ok(false);
+                }
+            },
+            Restore::Empty | Restore::Corrupt => {
+                summary.recovery_failures += 1;
+                return Ok(false);
+            }
+        };
+        let app = SiftApp::new(ckpt.version, ckpt.model.clone(), config.clone())?;
+        station.restore_detector(app)?;
+        self.snapshot = ckpt;
+        summary.recoveries += 1;
+        if rolled_back {
+            summary.rollbacks += 1;
+        }
+        Ok(true)
+    }
+
+    /// The last committed (or recovered) snapshot.
+    pub fn snapshot(&self) -> &DetectorCheckpoint {
+        &self.snapshot
+    }
+
+    /// Commit counters of the underlying store.
+    pub fn store_stats(&self) -> CheckpointStats {
+        self.store.stats()
+    }
+}
+
+fn version_tag(version: Version) -> u8 {
+    match version {
+        Version::Original => 0,
+        Version::Simplified => 1,
+        Version::Reduced => 2,
+    }
+}
+
+fn version_from_tag(tag: u8) -> Option<Version> {
+    match tag {
+        0 => Some(Version::Original),
+        1 => Some(Version::Simplified),
+        2 => Some(Version::Reduced),
+        _ => None,
+    }
+}
+
+/// Encode an [`AdaptiveSnapshot`] into `ADAPTIVE_SNAPSHOT_BYTES` bytes:
+/// `[version tag][switch flag][last_switch_ms LE][ewma flag][ewma bits LE]`.
+pub fn encode_adaptive(snap: &AdaptiveSnapshot) -> [u8; ADAPTIVE_SNAPSHOT_BYTES] {
+    let mut out = [0u8; ADAPTIVE_SNAPSHOT_BYTES];
+    out[0] = version_tag(snap.current);
+    if let Some(ms) = snap.last_switch_ms {
+        out[1] = 1;
+        out[2..10].copy_from_slice(&ms.to_le_bytes());
+    }
+    if let Some(ewma) = snap.link_badness_ewma {
+        out[10] = 1;
+        out[11..19].copy_from_slice(&ewma.to_bits().to_le_bytes());
+    }
+    out
+}
+
+/// Decode bytes produced by [`encode_adaptive`].
+///
+/// # Errors
+///
+/// Returns [`WiotError::InvalidScenario`] for a wrong length, an
+/// unknown version tag, an invalid presence flag, or a non-finite
+/// smoothed link badness.
+pub fn decode_adaptive(bytes: &[u8]) -> Result<AdaptiveSnapshot, WiotError> {
+    if bytes.len() != ADAPTIVE_SNAPSHOT_BYTES {
+        return Err(WiotError::InvalidScenario {
+            reason: "adaptive snapshot has the wrong length",
+        });
+    }
+    let current = version_from_tag(bytes[0]).ok_or(WiotError::InvalidScenario {
+        reason: "adaptive snapshot has an unknown version tag",
+    })?;
+    let flag = |b: u8| match b {
+        0 => Ok(false),
+        1 => Ok(true),
+        _ => Err(WiotError::InvalidScenario {
+            reason: "adaptive snapshot has an invalid presence flag",
+        }),
+    };
+    let u64_at = |at: usize| {
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(&bytes[at..at + 8]);
+        u64::from_le_bytes(raw)
+    };
+    let last_switch_ms = flag(bytes[1])?.then(|| u64_at(2));
+    let link_badness_ewma = match flag(bytes[10])? {
+        true => {
+            let v = f64::from_bits(u64_at(11));
+            if !v.is_finite() {
+                return Err(WiotError::InvalidScenario {
+                    reason: "adaptive snapshot link badness is not finite",
+                });
+            }
+            Some(v)
+        }
+        false => None,
+    };
+    Ok(AdaptiveSnapshot {
+        current,
+        last_switch_ms,
+        link_badness_ewma,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use physio_sim::subject::bank;
+    use sift::trainer::train_for_subject;
+
+    fn quick_config() -> SiftConfig {
+        SiftConfig {
+            train_s: 60.0,
+            max_positive_per_donor: Some(15),
+            ..SiftConfig::default()
+        }
+    }
+
+    fn model(version: Version) -> EmbeddedModel {
+        train_for_subject(&bank(), 0, version, &quick_config(), 7)
+            .unwrap()
+            .embedded()
+            .clone()
+    }
+
+    fn station(version: Version) -> BaseStation {
+        let cfg = quick_config();
+        let app = SiftApp::new(version, model(version), cfg.clone()).unwrap();
+        BaseStation::new(app, cfg, 0.5).unwrap()
+    }
+
+    #[test]
+    fn commit_then_recover_restores_the_stream_position() {
+        let version = Version::Simplified;
+        let mut st = station(version);
+        let mut p = Persistence::new(version, model(version)).unwrap();
+        p.reserve(&mut st).unwrap();
+        p.commit(12, 3).unwrap();
+        let mut summary = FaultSummary::default();
+        st.reboot();
+        assert!(p.recover(&mut st, &quick_config(), &mut summary).unwrap());
+        assert_eq!(summary.recoveries, 1);
+        assert_eq!(summary.rollbacks, 0);
+        assert_eq!(summary.recovery_failures, 0);
+        assert_eq!(p.snapshot().windows_seen, 12);
+        assert_eq!(p.snapshot().alerts_raised, 3);
+    }
+
+    #[test]
+    fn torn_commit_rolls_back_to_the_previous_generation() {
+        let version = Version::Reduced;
+        let mut st = station(version);
+        let mut p = Persistence::new(version, model(version)).unwrap();
+        p.commit(1, 0).unwrap();
+        // Power fails mid-header on the second commit.
+        let seq = amulet_sim::nvram::CheckpointStore::commit_sequence_len(
+            sift::checkpoint::encoded_len(version),
+        );
+        p.commit_torn(2, 1, seq - 6).unwrap();
+        let mut summary = FaultSummary::default();
+        st.reboot();
+        assert!(p.recover(&mut st, &quick_config(), &mut summary).unwrap());
+        assert_eq!(summary.recoveries, 1);
+        assert_eq!(summary.rollbacks, 1, "{summary:?}");
+        // Rolled back: the stream position is the previous generation's.
+        assert_eq!(p.snapshot().windows_seen, 1);
+        assert_eq!(p.store_stats().torn_commits, 1);
+    }
+
+    #[test]
+    fn fresh_store_counts_a_recovery_failure() {
+        let version = Version::Reduced;
+        let mut st = station(version);
+        let mut p = Persistence::new(version, model(version)).unwrap();
+        let mut summary = FaultSummary::default();
+        st.reboot();
+        assert!(!p.recover(&mut st, &quick_config(), &mut summary).unwrap());
+        assert_eq!(summary.recovery_failures, 1);
+        assert_eq!(summary.recoveries, 0);
+    }
+
+    #[test]
+    fn rotted_pair_of_slots_is_refused_not_garbage() {
+        let version = Version::Reduced;
+        let mut st = station(version);
+        let mut p = Persistence::new(version, model(version)).unwrap();
+        p.commit(1, 0).unwrap();
+        p.commit(2, 0).unwrap();
+        // Rot a payload byte in both slots.
+        p.flip_bit(40, 1);
+        p.flip_bit(amulet_sim::nvram::SLOT_BYTES + 40, 1);
+        let mut summary = FaultSummary::default();
+        st.reboot();
+        assert!(!p.recover(&mut st, &quick_config(), &mut summary).unwrap());
+        assert_eq!(summary.recovery_failures, 1);
+    }
+
+    #[test]
+    fn adaptive_snapshot_codec_round_trips() {
+        for snap in [
+            AdaptiveSnapshot {
+                current: Version::Original,
+                last_switch_ms: None,
+                link_badness_ewma: None,
+            },
+            AdaptiveSnapshot {
+                current: Version::Reduced,
+                last_switch_ms: Some(123_456),
+                link_badness_ewma: Some(0.375),
+            },
+        ] {
+            let bytes = encode_adaptive(&snap);
+            assert_eq!(decode_adaptive(&bytes).unwrap(), snap);
+        }
+    }
+
+    #[test]
+    fn adaptive_snapshot_codec_rejects_malformed_bytes() {
+        let good = encode_adaptive(&AdaptiveSnapshot {
+            current: Version::Simplified,
+            last_switch_ms: Some(9),
+            link_badness_ewma: Some(0.5),
+        });
+        assert!(decode_adaptive(&good[..5]).is_err());
+        let mut bad_tag = good;
+        bad_tag[0] = 9;
+        assert!(decode_adaptive(&bad_tag).is_err());
+        let mut bad_flag = good;
+        bad_flag[1] = 7;
+        assert!(decode_adaptive(&bad_flag).is_err());
+        let mut bad_ewma = good;
+        bad_ewma[11..19].copy_from_slice(&f64::NAN.to_bits().to_le_bytes());
+        assert!(decode_adaptive(&bad_ewma).is_err());
+    }
+}

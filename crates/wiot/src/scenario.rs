@@ -13,6 +13,7 @@ use crate::basestation::{BaseStation, WindowOutcome};
 use crate::channel::{Channel, ChannelConfig, ChannelStats, Delivery, LossModel};
 use crate::device::{SensorDevice, Stream};
 use crate::faults::{FaultPlan, FaultSummary};
+use crate::persist::Persistence;
 use crate::sink::Sink;
 use crate::transport::{ArqConfig, ArqLink, TransportStats};
 use crate::WiotError;
@@ -114,6 +115,12 @@ pub struct Scenario {
     pub salvage_max_missing: Option<usize>,
     /// Stream watchdog timeout, ms; `None` disables the watchdog.
     pub watchdog_timeout_ms: Option<u64>,
+    /// Crash-consistent checkpointing: commit detector state to the
+    /// simulated FRAM every tick and recover it after brownout reboots
+    /// (on by default). `false` reproduces the legacy behavior where a
+    /// reboot silently kept SRAM state alive and torn-write /
+    /// bit-rot faults have nothing to corrupt.
+    pub persist: bool,
     /// Pipeline/training configuration.
     pub config: SiftConfig,
     /// Sensor packet length in seconds (must divide the window).
@@ -137,6 +144,7 @@ impl Scenario {
             arq: None,
             salvage_max_missing: None,
             watchdog_timeout_ms: None,
+            persist: true,
             config: SiftConfig {
                 train_s: 60.0,
                 max_positive_per_donor: Some(15),
@@ -337,6 +345,7 @@ pub struct DeviceSim {
     abp_dev: SensorDevice,
     attacker: Option<Attacker>,
     links: [Link; 2],
+    persist: Option<Persistence>,
     fault_summary: FaultSummary,
     /// Hold value per stream for stuck-at injection.
     stuck_hold: [f64; 2],
@@ -414,7 +423,7 @@ impl DeviceSim {
             .embedded()
             .clone(),
         };
-        let app = SiftApp::new(scenario.version, embedded, scenario.config.clone())?;
+        let app = SiftApp::new(scenario.version, embedded.clone(), scenario.config.clone())?;
         let mut station = BaseStation::new(app, scenario.config.clone(), scenario.chunk_s)?;
         if let Some(max_missing) = scenario.salvage_max_missing {
             station = station.with_salvage(max_missing);
@@ -425,6 +434,17 @@ impl DeviceSim {
         if options.feature_uplink {
             station = station.with_feature_uplink(scenario.version);
         }
+        // Crash-consistent checkpointing: charge the NVRAM region to the
+        // station's FRAM map and seed generation 1 so even a reboot on
+        // the very first tick has something to resume from.
+        let persist = if scenario.persist {
+            let mut p = Persistence::new(scenario.version, embedded)?;
+            p.reserve(&mut station)?;
+            p.commit(0, 0)?;
+            Some(p)
+        } else {
+            None
+        };
 
         // Live session data (unseen by training).
         let live = Record::synthesize(
@@ -459,6 +479,7 @@ impl DeviceSim {
             abp_dev,
             attacker,
             links,
+            persist,
             fault_summary: FaultSummary::default(),
             stuck_hold: [0.0f64; 2],
             now_ms: 0,
@@ -490,14 +511,42 @@ impl DeviceSim {
             return Ok(false);
         }
 
+        // NVRAM bit rot first (no reboot by itself — the corruption
+        // waits in FRAM until the next restore detects and discards
+        // it, or the next commit overwrites the slot).
+        for (byte, bit) in self.scenario.faults.bitrot_between(self.prev_ms, self.now_ms) {
+            if let Some(p) = self.persist.as_mut() {
+                p.flip_bit(byte, bit);
+                self.fault_summary.bitrot_flips += 1;
+            }
+        }
         // Brownout reboots scheduled since the last tick.
         let reboots = self
             .scenario
             .faults
             .reboots_between(self.prev_ms, self.now_ms);
         for _ in 0..reboots {
-            self.station.reboot();
-            self.fault_summary.reboots += 1;
+            self.power_cycle()?;
+        }
+        // Torn-commit power failures: the checkpoint write sequence is
+        // cut after `cut` bytes, then the station power-cycles. Without
+        // persistence there is no commit to tear, but the power still
+        // fails.
+        for cut in self
+            .scenario
+            .faults
+            .torn_checkpoints_between(self.prev_ms, self.now_ms)
+        {
+            if let Some(p) = self.persist.as_mut() {
+                let stats = self.station.stats();
+                p.commit_torn(
+                    (stats.windows_emitted + stats.windows_salvaged) as u32,
+                    self.station.alerts().len() as u32,
+                    cut,
+                )?;
+                self.fault_summary.torn_commits += 1;
+            }
+            self.power_cycle()?;
         }
 
         // Link-degradation episodes.
@@ -548,10 +597,39 @@ impl DeviceSim {
         self.deliver_arrivals()?;
         self.station.poll_watchdog(self.now_ms)?;
 
+        // Commit the detector's stream position every tick: whatever
+        // the next brownout destroys, at most one tick of progress is
+        // lost and the enrolled model never is.
+        if let Some(p) = self.persist.as_mut() {
+            let stats = self.station.stats();
+            p.commit(
+                (stats.windows_emitted + stats.windows_salvaged) as u32,
+                self.station.alerts().len() as u32,
+            )?;
+        }
+
         self.prev_ms = self.now_ms;
         self.now_ms += self.chunk_ms;
         self.station.advance_time(self.chunk_ms);
         Ok(true)
+    }
+
+    /// A brownout power cycle: the station loses its SRAM-resident
+    /// window-assembly state, and (with persistence on) the detector is
+    /// rebuilt from the newest valid FRAM checkpoint — rolling back to
+    /// the previous generation when the newest slot is torn or rotted,
+    /// never resuming from corrupt bytes.
+    fn power_cycle(&mut self) -> Result<(), WiotError> {
+        self.station.reboot();
+        self.fault_summary.reboots += 1;
+        if let Some(p) = self.persist.as_mut() {
+            p.recover(
+                &mut self.station,
+                &self.scenario.config,
+                &mut self.fault_summary,
+            )?;
+        }
+        Ok(())
     }
 
     /// One drain tick: in-flight packets and pending retransmissions
@@ -611,6 +689,12 @@ impl DeviceSim {
     /// Simulated device clock, ms.
     pub fn now_ms(&self) -> u64 {
         self.now_ms
+    }
+
+    /// Everything the fault plan has done so far (including checkpoint
+    /// recovery counters).
+    pub fn fault_summary(&self) -> FaultSummary {
+        self.fault_summary
     }
 
     /// The device's base station (window log, stats, OS meters).
@@ -858,6 +942,80 @@ mod tests {
         assert_eq!(r.faults.reboots, 1);
         assert!(r.faults.degraded_link_ms >= 9_000, "{:?}", r.faults);
         assert!(r.dropped_windows > 0, "degrade episode should cost windows");
+    }
+
+    #[test]
+    fn checkpoint_recovery_survives_reboots_torn_commits_and_bit_rot() {
+        let payload = sift::checkpoint::encoded_len(Version::Simplified);
+        let seq = amulet_sim::nvram::CheckpointStore::commit_sequence_len(payload);
+        let mut s = Scenario::new(0, Version::Simplified, 30.0);
+        s.faults = FaultPlan::new()
+            .with(FaultEvent {
+                start_s: 9.3,
+                end_s: 9.3,
+                kind: FaultKind::DeviceReboot,
+            })
+            .with(FaultEvent {
+                start_s: 15.2,
+                end_s: 15.2,
+                // Mid-header cut: past the payload, before the final
+                // magic — the classic detectable torn write.
+                kind: FaultKind::TornCheckpoint { cut_bytes: seq - 6 },
+            })
+            // Bit rot then a reboot in the same tick window: the
+            // corrupted slot must be detected and rolled back, never
+            // resumed from.
+            .with(FaultEvent {
+                start_s: 20.6,
+                end_s: 20.6,
+                kind: FaultKind::CheckpointBitRot { byte: 40, bit: 2 },
+            })
+            .with(FaultEvent {
+                start_s: 20.7,
+                end_s: 20.7,
+                kind: FaultKind::DeviceReboot,
+            });
+        let r = run(&s).unwrap();
+        assert_eq!(r.faults.reboots, 3, "{:?}", r.faults);
+        assert_eq!(r.faults.torn_commits, 1);
+        assert_eq!(r.faults.bitrot_flips, 1);
+        assert_eq!(r.faults.recoveries, 3, "{:?}", r.faults);
+        assert_eq!(r.faults.recovery_failures, 0, "{:?}", r.faults);
+        assert!(r.faults.rollbacks >= 1, "{:?}", r.faults);
+        // Detection kept working across all three power cycles.
+        assert!(r.confusion.total() > 0);
+    }
+
+    #[test]
+    fn no_persist_reboots_without_recovery() {
+        let mut s = Scenario::new(0, Version::Simplified, 30.0);
+        s.persist = false;
+        s.faults = FaultPlan::new().with(FaultEvent {
+            start_s: 9.3,
+            end_s: 9.3,
+            kind: FaultKind::DeviceReboot,
+        });
+        let r = run(&s).unwrap();
+        assert_eq!(r.faults.reboots, 1);
+        assert_eq!(r.faults.recoveries, 0);
+        assert_eq!(r.faults.torn_commits, 0);
+    }
+
+    #[test]
+    fn persistence_is_behaviorally_invisible_without_faults() {
+        // The checkpoint engine must not perturb detection: same seed,
+        // persist on vs off, identical verdict sequence and battery.
+        let mut s = Scenario::new(2, Version::Reduced, 30.0);
+        let with = run(&s).unwrap();
+        s.persist = false;
+        let without = run(&s).unwrap();
+        assert_eq!(with.confusion, without.confusion);
+        assert_eq!(with.dropped_windows, without.dropped_windows);
+        assert_eq!(
+            with.battery_left.to_bits(),
+            without.battery_left.to_bits(),
+            "commits must charge no energy"
+        );
     }
 
     #[test]

@@ -12,6 +12,10 @@
 //! the links, partial-window salvage, and the stream watchdog.
 //!
 //! Run: `cargo run --release --example wiot_environment -- --faults`
+//!
+//! `--no-persist` disables FRAM checkpointing: a brownout reboot then
+//! loses the detector state instead of recovering it (the pre-
+//! checkpointing behavior, kept as an escape hatch and for A/B runs).
 
 use physio_sim::record::Record;
 use physio_sim::subject::bank;
@@ -24,6 +28,7 @@ use wiot::scenario::{run, AttackSpec, LinkParams, Scenario, SimReport};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let faults_mode = std::env::args().any(|a| a == "--faults");
+    let no_persist = std::env::args().any(|a| a == "--no-persist");
     let subjects = bank();
     let victim = 0;
     let donor_subject = 6;
@@ -37,6 +42,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let donor = Record::synthesize(&subjects[donor_subject], duration_s, 777);
     let mut scenario = Scenario::new(victim, Version::Simplified, duration_s);
+    if no_persist {
+        println!("  persistence : OFF (reboots lose detector state)");
+        scenario.persist = false;
+    }
     scenario.attack = Some(AttackSpec {
         mode: AttackMode::Substitute { donor },
         start_s: 30.0,
@@ -132,5 +141,8 @@ fn print_fault_sections(report: &SimReport) {
     println!("faults injected:");
     println!("  dropout chunks {}, stuck chunks {}, reboots {}, degraded link {} ms, max clock skew {} ms",
         f.dropout_chunks, f.stuck_chunks, f.reboots, f.degraded_link_ms, f.max_clock_skew_ms);
+    println!("checkpointing:");
+    println!("  recoveries {}, rollbacks {}, torn commits {}, bit flips {}, refused {}",
+        f.recoveries, f.rollbacks, f.torn_commits, f.bitrot_flips, f.recovery_failures);
     println!("  stream-stalled alerts : {}", report.stall_alerts);
 }

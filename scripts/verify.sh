@@ -12,6 +12,7 @@ cargo test -q
 # test` invocation can never silently skip it.
 cargo test -q --test golden_traces
 cargo test -q --test fleet_props
+cargo test -q --test recovery_props
 cargo test -q -p wiot --test transport_edges
 
 cargo clippy --workspace -- -D warnings
@@ -20,6 +21,14 @@ cargo clippy --workspace -- -D warnings
 # invariants, with warnings promoted to failures. Also regenerates
 # results/ANALYZER_footprint.json.
 cargo run -q -p analyzer -- --deny warnings
+
+# Crash-recovery soak: 50 devices x ~21 seeded random power cycles
+# (brownout reboots, torn checkpoint commits, FRAM bit rot) — over 1000
+# reboots fleet-wide. The bin exits nonzero unless every reboot
+# recovered from its FRAM checkpoint, nothing was refused, every device
+# is operational at exit, and the report digest is identical between
+# the single-threaded and multi-threaded runs.
+cargo run --release -q -p bench --bin recovery -- --threads 8
 
 # Fleet throughput check: regenerate BENCH_fleet.json with the baseline's
 # parameters and diff against the committed numbers. The report digest is

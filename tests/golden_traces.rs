@@ -122,6 +122,68 @@ fn golden_attacked_lossy_session_verdicts() {
     );
 }
 
+/// A session whose base station browns out twice, tears one checkpoint
+/// commit mid-FRAM-write, and takes a bit flip in the checkpoint region
+/// — pinned so the recovery path's externally visible behaviour (the
+/// verdict sequence *and* the recovery counters) cannot drift silently.
+#[test]
+fn golden_reboot_recovery_session_verdicts() {
+    use wiot::faults::{FaultEvent, FaultKind, FaultPlan};
+
+    let payload = sift::checkpoint::encoded_len(sift::features::Version::Simplified);
+    let seq = amulet_sim::nvram::CheckpointStore::commit_sequence_len(payload);
+    let mut scenario = Scenario::new(2, sift::features::Version::Simplified, 60.0);
+    scenario.faults = FaultPlan::new()
+        .with(FaultEvent {
+            start_s: 4.5,
+            end_s: 4.5,
+            kind: FaultKind::DeviceReboot,
+        })
+        .with(FaultEvent {
+            start_s: 21.0,
+            end_s: 21.0,
+            // Power fails inside the commit's header write: the torn
+            // slot must be detected and rolled back on reboot.
+            kind: FaultKind::TornCheckpoint { cut_bytes: seq - 6 },
+        })
+        .with(FaultEvent {
+            start_s: 30.25,
+            end_s: 30.25,
+            kind: FaultKind::CheckpointBitRot { byte: 100, bit: 3 },
+        })
+        .with(FaultEvent {
+            start_s: 33.0,
+            end_s: 33.0,
+            kind: FaultKind::DeviceReboot,
+        });
+
+    let mut sim = DeviceSim::new(&scenario).unwrap();
+    sim.run_to_completion().unwrap();
+    let mut out = String::new();
+    writeln!(
+        out,
+        "# reboot recovery: brownouts @ 4.5 s + 33 s, torn commit @ 21 s, bit rot @ 30.25 s"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "victim={} version={} duration_s={} seed={:#x}",
+        scenario.victim, scenario.version, scenario.duration_s, scenario.seed
+    )
+    .unwrap();
+    for &(idx, outcome) in sim.window_log() {
+        writeln!(out, "{idx} {}", outcome_tag(outcome)).unwrap();
+    }
+    let f = sim.fault_summary();
+    writeln!(
+        out,
+        "faults reboots={} recoveries={} rollbacks={} torn={} bitrot={} refused={}",
+        f.reboots, f.recoveries, f.rollbacks, f.torn_commits, f.bitrot_flips, f.recovery_failures
+    )
+    .unwrap();
+    check_golden("reboot_recovery_session.trace", &out);
+}
+
 #[test]
 fn golden_fleet_digest() {
     let spec = FleetSpec::new(6, 12.0).with_threads(2).with_seed(2024);

@@ -1,0 +1,224 @@
+//! Property suites for crash-consistent FRAM checkpointing.
+//!
+//! The headline guarantees under test:
+//!
+//! * **Torn writes are never accepted.** Cutting the commit sequence at
+//!   *every* byte offset leaves the store restoring either the previous
+//!   generation or (only when the cut lands after the final magic word)
+//!   the new one — never garbage, never `Corrupt`.
+//! * **Bit rot is never accepted.** A random single-bit flip anywhere in
+//!   the NVRAM region yields a committed payload or a refusal — never a
+//!   mutated payload.
+//! * **Reboots never change a verdict.** A session interrupted by N
+//!   random brownout reboots scores every surviving window with exactly
+//!   the verdict of the uninterrupted run, recovers from the FRAM
+//!   checkpoint every time (no re-enrollment), and loses at most the
+//!   windows that were in SRAM assembly when the power failed — those
+//!   are physically gone; the checkpoint guarantee is about what is
+//!   *scored*, not about un-losing in-flight sensor data.
+
+use amulet_sim::nvram::{CheckpointStore, Restore, NVRAM_BYTES};
+use physio_sim::subject::bank;
+use proptest::prelude::*;
+use sift::config::SiftConfig;
+use sift::features::Version;
+use sift::trainer::{train_for_subject, SiftModel};
+use std::sync::OnceLock;
+use wiot::basestation::WindowOutcome;
+use wiot::faults::{FaultEvent, FaultKind, FaultPlan};
+use wiot::scenario::{DeviceOptions, DeviceSim, Scenario};
+
+/// Every prefix of the commit write sequence, exhaustively: the store
+/// must come back with the old payload for any cut short of the final
+/// magic word, and the new payload only for a complete sequence.
+#[test]
+fn torn_write_at_every_byte_offset_is_detected_and_rolled_back() {
+    let old: Vec<u8> = (0..96u8).collect();
+    let new: Vec<u8> = (0..96u8).map(|b| b.wrapping_mul(7).wrapping_add(1)).collect();
+    let seq = CheckpointStore::commit_sequence_len(new.len());
+    for cut in 0..=seq {
+        let mut store = CheckpointStore::new();
+        store.commit(&old).unwrap();
+        store.commit_torn(&new, cut).unwrap();
+        match store.restore() {
+            Restore::Valid { payload, rolled_back, .. } => {
+                if cut >= seq {
+                    assert_eq!(payload, &new[..], "complete sequence must surface the new gen");
+                    assert!(!rolled_back, "cut {cut}");
+                } else {
+                    assert_eq!(
+                        payload,
+                        &old[..],
+                        "cut {cut}: a torn commit must roll back to the previous generation"
+                    );
+                }
+            }
+            other => panic!("cut {cut}: restore refused a store with a good slot: {other:?}"),
+        }
+    }
+}
+
+/// A fresh store torn on its *first* commit has nothing to roll back
+/// to — it must refuse (`Empty`/`Corrupt`), not fabricate a payload.
+#[test]
+fn torn_first_commit_is_refused_not_invented() {
+    let payload = [0xABu8; 64];
+    let seq = CheckpointStore::commit_sequence_len(payload.len());
+    for cut in 0..seq {
+        let mut store = CheckpointStore::new();
+        store.commit_torn(&payload, cut).unwrap();
+        match store.restore() {
+            Restore::Empty | Restore::Corrupt => {}
+            Restore::Valid { payload: got, .. } => panic!(
+                "cut {cut}: accepted a never-completed first commit ({} bytes)",
+                got.len()
+            ),
+        }
+    }
+}
+
+fn quick_config() -> SiftConfig {
+    SiftConfig {
+        train_s: 60.0,
+        max_positive_per_donor: Some(15),
+        ..SiftConfig::default()
+    }
+}
+
+/// One trained model, shared across property cases (training inside the
+/// case loop would dominate the suite's runtime).
+fn model() -> &'static SiftModel {
+    static MODEL: OnceLock<SiftModel> = OnceLock::new();
+    MODEL.get_or_init(|| {
+        train_for_subject(&bank(), 0, Version::Simplified, &quick_config(), 7).unwrap()
+    })
+}
+
+fn soak_scenario() -> Scenario {
+    let mut s = Scenario::new(0, Version::Simplified, 30.0);
+    s.config = quick_config();
+    s
+}
+
+fn run_with_model(scenario: &Scenario) -> DeviceSim {
+    let mut sim = DeviceSim::with_options(
+        scenario,
+        DeviceOptions {
+            model: Some(model()),
+            feature_uplink: false,
+        },
+    )
+    .unwrap();
+    sim.run_to_completion().unwrap();
+    sim
+}
+
+/// The uninterrupted run's verdict per window index, computed once.
+fn baseline_verdicts() -> &'static Vec<(usize, WindowOutcome)> {
+    static BASELINE: OnceLock<Vec<(usize, WindowOutcome)>> = OnceLock::new();
+    BASELINE.get_or_init(|| {
+        let sim = run_with_model(&soak_scenario());
+        sim.window_log().iter().copied().collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// A single-bit flip anywhere in the checkpoint region never turns
+    /// into a silently mutated payload: restore returns one of the two
+    /// committed generations, or refuses outright.
+    #[test]
+    fn bit_rot_is_detected_never_accepted(
+        byte in 0usize..NVRAM_BYTES,
+        bit in 0u8..8,
+    ) {
+        let old = [0x5Au8; 80];
+        let new = [0xC3u8; 80];
+        let mut store = CheckpointStore::new();
+        store.commit(&old).unwrap();
+        store.commit(&new).unwrap();
+        store.flip_bit(byte, bit);
+        match store.restore() {
+            Restore::Valid { payload, .. } => prop_assert!(
+                payload == old || payload == new,
+                "flip {byte}.{bit} surfaced a payload that was never committed"
+            ),
+            // Both slots damaged beyond trust: refusal is the correct
+            // answer; fabrication is the only wrong one.
+            Restore::Empty | Restore::Corrupt => {}
+        }
+    }
+
+    /// N random brownout reboots: every window the interrupted session
+    /// scores carries the uninterrupted run's verdict, every reboot
+    /// recovers from the checkpoint (no re-enrollment, no refusals),
+    /// and once the last reboot is a full window in the past, detection
+    /// is back to scoring every window exactly as the uninterrupted
+    /// run does. (Windows in SRAM assembly when the power fails are
+    /// physically gone — and because emission is in-order, one brownout
+    /// can wipe several windows queued behind an earlier gap — so the
+    /// guarantee is about verdicts and resumption, not un-losing
+    /// in-flight sensor data.)
+    #[test]
+    fn random_reboots_preserve_every_scored_verdict(
+        times in prop::collection::vec(1.0f64..28.0, 1..6),
+    ) {
+        let mut scenario = soak_scenario();
+        let mut plan = FaultPlan::new();
+        for &t in &times {
+            plan.push(FaultEvent { start_s: t, end_s: t, kind: FaultKind::DeviceReboot });
+        }
+        scenario.faults = plan;
+        let sim = run_with_model(&scenario);
+
+        let f = sim.fault_summary();
+        prop_assert_eq!(f.reboots, times.len() as u64);
+        prop_assert_eq!(f.recoveries, times.len() as u64, "every reboot must recover");
+        prop_assert_eq!(f.recovery_failures, 0);
+
+        let baseline = baseline_verdicts();
+        // Windows starting a full window-length after the last reboot
+        // cannot have been in assembly when any power failure hit.
+        let last_reboot_s = times.iter().fold(0.0f64, |a, &b| a.max(b));
+        let mut scored = 0usize;
+        for &(idx, outcome) in sim.window_log() {
+            let base = baseline
+                .iter()
+                .find(|&&(b_idx, _)| b_idx == idx)
+                .map(|&(_, o)| o);
+            let settled = (idx as f64) * 3.0 >= last_reboot_s + 3.0;
+            match outcome {
+                WindowOutcome::Dropped => prop_assert!(
+                    !settled || base == Some(WindowOutcome::Dropped),
+                    "window {idx}: dropped after the last reboot ({times:?}) — recovery did \
+                     not resume detection"
+                ),
+                verdict => {
+                    scored += 1;
+                    prop_assert_eq!(
+                        Some(verdict),
+                        base,
+                        "window {idx}: verdict changed by a reboot"
+                    );
+                }
+            }
+        }
+        prop_assert!(scored > 0, "session scored nothing under {times:?}");
+    }
+
+    /// The escape hatch really is one: with `persist = false` the same
+    /// reboot schedule recovers nothing.
+    #[test]
+    fn no_persist_means_no_recoveries(t in 2.0f64..28.0) {
+        let mut scenario = soak_scenario();
+        scenario.persist = false;
+        scenario.faults = FaultPlan::new()
+            .with(FaultEvent { start_s: t, end_s: t, kind: FaultKind::DeviceReboot });
+        let sim = run_with_model(&scenario);
+        let f = sim.fault_summary();
+        prop_assert_eq!(f.reboots, 1);
+        prop_assert_eq!(f.recoveries, 0);
+        prop_assert_eq!(f.rollbacks, 0);
+    }
+}
