@@ -136,7 +136,7 @@ impl App for SiftApp {
     fn handle(&mut self, event: &AmuletEvent, ctx: &mut AppContext<'_>) {
         match (self.state, event) {
             (State::PeaksDataCheck, AmuletEvent::SnippetReady(snippet)) => {
-                ctx.charge_cycles(self.stage_cycles().peaks_data_check);
+                ctx.charge_stage(telemetry::Stage::PeakDetection, self.stage_cycles().peaks_data_check);
                 if snippet.len() != self.config.window_samples() {
                     self.stats.rejected += 1;
                     ctx.display(Severity::Debug, "snippet length mismatch; dropped");
@@ -151,7 +151,10 @@ impl App for SiftApp {
                 ctx.post(AmuletEvent::Signal(SIG_EXTRACT));
             }
             (State::FeatureExtraction, AmuletEvent::Signal(sig)) if *sig == SIG_EXTRACT => {
-                ctx.charge_cycles(self.stage_cycles().feature_extraction);
+                ctx.charge_stage(
+                    telemetry::Stage::FeatureExtraction,
+                    self.stage_cycles().feature_extraction,
+                );
                 // QM invariant: SIG_EXTRACT is only posted after the
                 // snippet is latched. Should the state machine ever
                 // desynchronize, recover to the idle state — on the
@@ -183,7 +186,7 @@ impl App for SiftApp {
                 }
             }
             (State::MlClassifier, AmuletEvent::Signal(sig)) if *sig == SIG_CLASSIFY => {
-                ctx.charge_cycles(self.stage_cycles().ml_classifier);
+                ctx.charge_stage(telemetry::Stage::Svm, self.stage_cycles().ml_classifier);
                 // Same recovery as FeatureExtraction: never panic over
                 // a desynchronized state machine.
                 let Some(features) = self.pending_features.take() else {
@@ -348,6 +351,53 @@ mod tests {
         let model = train_for_subject(&bank(), 0, Version::Reduced, &cfg, 77).unwrap();
         // A 5-feature model cannot drive the 8-feature original app.
         assert!(SiftApp::new(Version::Original, model.embedded().clone(), cfg).is_err());
+    }
+
+    #[test]
+    fn telemetry_spans_carry_cost_model_cycles() {
+        use telemetry::{Stage, Telemetry};
+        let app = make_app(Version::Reduced);
+        let mut os = os_with_app(app);
+        os.attach_telemetry(Telemetry::enabled());
+        let sns = snippets(0, 101, 6.0); // two 3-second windows
+        let n_windows = sns.len() as u64;
+        for sn in sns {
+            os.post(AmuletEvent::SnippetReady(sn));
+            os.run_until_idle().unwrap();
+        }
+        let report = os.telemetry().report().unwrap();
+        let cycles = detector_cycles(Version::Reduced, &quick_config(), &OpCosts::default(), 4.0);
+        for (stage, expected) in [
+            (Stage::PeakDetection, cycles.peaks_data_check),
+            (Stage::FeatureExtraction, cycles.feature_extraction),
+            (Stage::Svm, cycles.ml_classifier),
+        ] {
+            let s = report.stage(stage);
+            assert_eq!(s.spans, n_windows, "{}", stage.name());
+            assert_eq!(s.units, n_windows * expected as u64, "{}", stage.name());
+        }
+    }
+
+    #[test]
+    fn telemetry_does_not_change_energy_accounting() {
+        use telemetry::Telemetry;
+        let run = |telemetry: bool| {
+            let mut os = os_with_app(make_app(Version::Simplified));
+            if telemetry {
+                os.attach_telemetry(Telemetry::enabled());
+            }
+            for sn in snippets(0, 77, 9.0) {
+                os.post(AmuletEvent::SnippetReady(sn));
+                os.run_until_idle().unwrap();
+                os.advance_time(3000);
+            }
+            (
+                os.meter().consumed_mah(),
+                os.meter().active_cycles(),
+                os.alerts().len(),
+            )
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

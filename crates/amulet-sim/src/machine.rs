@@ -13,6 +13,7 @@ use crate::display::{Display, Severity};
 use crate::energy::{EnergyMeter, EnergyModel};
 use crate::event::AmuletEvent;
 use crate::profiler::AppResourceSpec;
+use telemetry::{Stage, Telemetry};
 
 /// A security or status alert raised by an app.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -37,6 +38,7 @@ pub struct AppContext<'a> {
     alerts: &'a mut Vec<Alert>,
     posted: Vec<AmuletEvent>,
     app_name: String,
+    tele: Option<&'a mut Telemetry>,
 }
 
 impl<'a> AppContext<'a> {
@@ -58,7 +60,17 @@ impl<'a> AppContext<'a> {
             alerts,
             posted: Vec::new(),
             app_name: app_name.to_string(),
+            tele: None,
         }
+    }
+
+    /// Attach a telemetry sink for this run-to-completion step (called
+    /// by the OS when its own sink is enabled). Purely observational:
+    /// handlers cannot read it back, so telemetry can never change
+    /// control flow.
+    pub fn with_telemetry(mut self, tele: &'a mut Telemetry) -> Self {
+        self.tele = Some(tele);
+        self
     }
 
     /// Write a status line to the screen.
@@ -70,6 +82,20 @@ impl<'a> AppContext<'a> {
     /// Charge `cycles` of active CPU to the battery.
     pub fn charge_cycles(&mut self, cycles: f64) {
         self.energy.charge_cycles(cycles, self.energy_model);
+    }
+
+    /// Charge `cycles` of active CPU to the battery *and* attribute them
+    /// to a pipeline stage span. The energy charge is identical to
+    /// [`AppContext::charge_cycles`]; the span is the paper-units hook —
+    /// its units are the cost model's MSP430 cycles, so per-stage
+    /// telemetry reads directly against the paper's Table III numbers.
+    pub fn charge_stage(&mut self, stage: Stage, cycles: f64) {
+        self.charge_cycles(cycles);
+        if let Some(tele) = self.tele.as_deref_mut() {
+            // Cost-model cycle counts are non-negative and far below
+            // 2^53, so the cast is lossless.
+            tele.span(self.now_ms, stage, cycles as u64);
+        }
     }
 
     /// Raise an alert (also rendered on the display, as the paper's

@@ -13,6 +13,7 @@ use crate::machine::{Alert, App, AppContext};
 use crate::memory::MemoryModel;
 use crate::toolchain::FirmwareImage;
 use crate::AmuletError;
+use telemetry::Telemetry;
 
 /// The operating system instance for one simulated device.
 pub struct AmuletOs {
@@ -25,6 +26,7 @@ pub struct AmuletOs {
     memory: MemoryModel,
     alerts: Vec<Alert>,
     dispatched: u64,
+    telemetry: Telemetry,
 }
 
 impl std::fmt::Debug for AmuletOs {
@@ -56,7 +58,27 @@ impl AmuletOs {
             memory: MemoryModel::default(),
             alerts: Vec::new(),
             dispatched: 0,
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attach a telemetry sink; handlers dispatched from now on record
+    /// stage spans through [`AppContext::charge_stage`]. Defaults to
+    /// disabled, in which case dispatch constructs contexts without a
+    /// sink and recording is a no-op.
+    pub fn attach_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    /// The OS telemetry sink.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Mutable access to the OS telemetry sink (for recording
+    /// OS-adjacent events such as transport faults).
+    pub fn telemetry_mut(&mut self) -> &mut Telemetry {
+        &mut self.telemetry
     }
 
     /// Install a statically checked firmware image together with the app
@@ -151,7 +173,8 @@ impl AmuletOs {
                 &mut self.meter,
                 &self.energy_model,
                 &mut self.alerts,
-            );
+            )
+            .with_telemetry(&mut self.telemetry);
             app.handle(&event, &mut ctx);
             followups.extend(ctx.take_posted());
         }

@@ -49,8 +49,14 @@ pub fn scan(file: &SourceFile, class: &FileClass) -> Vec<Finding> {
     // run inside the power-fail window, where a panic or allocation is
     // a corrupted checkpoint, not just a style problem.
     const CKPT: &str = "ckpt-embedded-profile";
+    // The telemetry record hot path gets the same treatment: it sits
+    // inside every instrumented hot loop, so a heap allocation or a
+    // panic there is a perturbed simulation, not a style problem.
+    const TELE: &str = "tele-embedded-profile";
     let (f64_rule, float_lit_rule, heap_rule, panic_rule, index_rule) = if class.checkpoint {
         (CKPT, CKPT, CKPT, CKPT, CKPT)
+    } else if class.telemetry_hot {
+        (TELE, TELE, TELE, TELE, TELE)
     } else {
         (
             "embedded-no-f64",
@@ -291,6 +297,21 @@ mod tests {
         let app = findings("crates/amulet-sim/src/apps/demo.rs", src);
         assert!(!app.contains(&"ckpt-embedded-profile"));
         assert!(app.contains(&"embedded-no-heap-alloc"));
+    }
+
+    #[test]
+    fn telemetry_hot_path_gets_the_dedicated_rule() {
+        let src = "fn f(d: f64) { let v = q.to_vec(); v.unwrap(); r[0]; let x = 2.5; }\n";
+        let hits = findings("crates/telemetry/src/record.rs", src);
+        assert!(!hits.is_empty(), "fixture should trip the profile");
+        assert!(
+            hits.iter().all(|&r| r == "tele-embedded-profile"),
+            "every finding routes to the dedicated rule, got {hits:?}"
+        );
+        // The rest of the telemetry crate is ordinary library code:
+        // warn-level panic hygiene, no float/heap/index rules.
+        let lib = findings("crates/telemetry/src/lib.rs", src);
+        assert_eq!(lib, vec!["lib-no-panic"]);
     }
 
     #[test]

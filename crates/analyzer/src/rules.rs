@@ -105,6 +105,14 @@ pub const RULES: &[RuleDef] = &[
                   inside the power-fail window)",
     },
     RuleDef {
+        id: "tele-embedded-profile",
+        severity: Severity::Error,
+        pass: Pass::Embedded,
+        summary: "the telemetry record hot path must stay in the embedded profile: no \
+                  heap, no panic, no float, no bracket indexing (it sits inside every \
+                  instrumented hot loop, whether the sink is enabled or not)",
+    },
+    RuleDef {
         id: "lib-no-panic",
         severity: Severity::Warn,
         pass: Pass::Embedded,

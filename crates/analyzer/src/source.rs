@@ -25,6 +25,12 @@ const CHECKPOINT_MODULES: &[&str] = &[
     "crates/sift/src/checkpoint.rs",
 ];
 
+/// The telemetry record hot path: it runs inside every instrumented hot
+/// loop (a `None` branch when the sink is disabled), so the full
+/// embedded profile applies and violations report under the dedicated
+/// error-severity `tele-embedded-profile` rule.
+const TELEMETRY_HOT_MODULES: &[&str] = &["crates/telemetry/src/record.rs"];
+
 /// Crates the determinism pass skips entirely: the bench harness times
 /// things on purpose, and the vendored stand-ins (`rand`, `proptest`,
 /// `criterion`) are test/bench infrastructure, not report paths.
@@ -36,7 +42,7 @@ const DET_EXEMPT_CRATES: &[&str] = &["bench", "rand", "proptest", "criterion"];
 const THREAD_OK: &[&str] = &["crates/wiot/src/fleet.rs"];
 
 /// Crates under the warn-level library panic-hygiene rule.
-const LIB_NO_PANIC_CRATES: &[&str] = &["wiot", "sift", "analyzer"];
+const LIB_NO_PANIC_CRATES: &[&str] = &["wiot", "sift", "analyzer", "telemetry"];
 
 /// Which rule groups apply to a file, derived from its path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,6 +60,9 @@ pub struct FileClass {
     /// Checkpoint serialization/recovery module: embedded-profile
     /// findings report under `ckpt-embedded-profile` at error severity.
     pub checkpoint: bool,
+    /// Telemetry record hot path: embedded-profile findings report
+    /// under `tele-embedded-profile` at error severity.
+    pub telemetry_hot: bool,
 }
 
 /// Classify a workspace-relative path (`crates/<name>/src/...`).
@@ -63,7 +72,8 @@ pub fn classify(rel_path: &str) -> FileClass {
         .and_then(|r| r.split('/').next())
         .unwrap_or("");
     let checkpoint = CHECKPOINT_MODULES.contains(&rel_path);
-    let float_strict = FLOAT_STRICT.contains(&rel_path) || checkpoint;
+    let telemetry_hot = TELEMETRY_HOT_MODULES.contains(&rel_path);
+    let float_strict = FLOAT_STRICT.contains(&rel_path) || checkpoint || telemetry_hot;
     let embedded = float_strict || rel_path.starts_with(APP_CODE_PREFIX);
     FileClass {
         float_strict,
@@ -72,6 +82,7 @@ pub fn classify(rel_path: &str) -> FileClass {
         thread_ok: THREAD_OK.contains(&rel_path),
         lib_no_panic: LIB_NO_PANIC_CRATES.contains(&crate_name) && !embedded,
         checkpoint,
+        telemetry_hot,
     }
 }
 
@@ -246,5 +257,11 @@ mod tests {
             assert!(!ckpt.lib_no_panic, "{path}: ckpt rule supersedes lib hygiene");
         }
         assert!(!fixed.checkpoint && !plain.checkpoint);
+        let tele_hot = classify("crates/telemetry/src/record.rs");
+        assert!(tele_hot.telemetry_hot && tele_hot.float_strict && tele_hot.embedded);
+        assert!(!tele_hot.lib_no_panic, "hot path supersedes lib hygiene");
+        let tele_lib = classify("crates/telemetry/src/lib.rs");
+        assert!(!tele_lib.telemetry_hot && !tele_lib.embedded && tele_lib.lib_no_panic);
+        assert!(!fixed.telemetry_hot && !plain.telemetry_hot);
     }
 }

@@ -1,0 +1,297 @@
+//! Telemetry gates and the per-stage pipeline table (Table III
+//! analogue).
+//!
+//! Run: `cargo run --release -p bench --bin telemetry -- --devices 6
+//! --duration 9 --seed 11`
+//!
+//! Three jobs, in gate order:
+//!
+//! 1. **Digest invariance (hard gate)**: runs the same fleet at 1/2/8
+//!    worker threads with the telemetry sink off and on. All six
+//!    digests must be byte-identical and the merged telemetry must be
+//!    thread-count-stable; any mismatch exits non-zero, which
+//!    `scripts/verify.sh` treats as a hard failure.
+//! 2. **Overhead (warn only)**: times the disabled-sink record hot
+//!    path. The disabled handle is one niche-optimized pointer and
+//!    every record call is a single `None` branch, so this should sit
+//!    near a nanosecond per op; wall-clock noise makes it advisory.
+//! 3. **Pipeline table**: for Original/Simplified/Reduced, the cost
+//!    model's per-stage MSP430 cycles (and the derived ms @ 16 MHz,
+//!    average current, lifetime) next to the *observed* per-stage span
+//!    statistics from a traced single-device session — the observed
+//!    mean cycles must equal the model, or the table is lying.
+//!
+//! Writes `results/TELEMETRY_pipeline.json` and a per-device NDJSON
+//! trace to `results/TELEMETRY_trace.ndjson`.
+
+use amulet_sim::costs::{detector_cycles, OpCosts};
+use amulet_sim::energy::EnergyModel;
+use amulet_sim::CPU_HZ;
+use physio_sim::subject::bank;
+use sift::features::Version;
+use sift::trainer::ModelBank;
+use std::fmt::Write as _;
+use std::time::Instant;
+use telemetry::{CounterId, Stage, Telemetry};
+use wiot::fleet::{run_fleet_with_bank, FleetSpec};
+use wiot::scenario::{DeviceOptions, DeviceSim, Scenario};
+
+struct Args {
+    devices: usize,
+    duration_s: f64,
+    seed: u64,
+    iters: u64,
+    out_json: String,
+    out_trace: String,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: telemetry [--devices N] [--duration SECONDS] [--seed N] [--iters N] \
+         [--out-json PATH] [--out-trace PATH]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        devices: 6,
+        duration_s: 9.0,
+        seed: 11,
+        iters: 2_000_000,
+        out_json: "results/TELEMETRY_pipeline.json".to_string(),
+        out_trace: "results/TELEMETRY_trace.ndjson".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let Some(value) = it.next() else { usage() };
+        match flag.as_str() {
+            "--devices" => args.devices = value.parse().unwrap_or_else(|_| usage()),
+            "--duration" => args.duration_s = value.parse().unwrap_or_else(|_| usage()),
+            "--seed" => args.seed = value.parse().unwrap_or_else(|_| usage()),
+            "--iters" => args.iters = value.parse().unwrap_or_else(|_| usage()),
+            "--out-json" => args.out_json = value,
+            "--out-trace" => args.out_trace = value,
+            _ => usage(),
+        }
+    }
+    args
+}
+
+/// Time one record-hot-path iteration (a counter bump plus a stage
+/// span) against `tele`, in ns/op.
+fn record_path_ns_per_op(tele: &mut Telemetry, iters: u64) -> f64 {
+    let t0 = Instant::now();
+    for i in 0..iters {
+        let tele = std::hint::black_box(&mut *tele);
+        tele.count(CounterId::WindowsEmitted, 1);
+        tele.span(i, Stage::Svm, 7);
+    }
+    std::hint::black_box(&mut *tele);
+    t0.elapsed().as_nanos() as f64 / iters as f64
+}
+
+/// Hard gate: the frozen fleet digest must be byte-identical with the
+/// sink off and on, at every thread count, and the merged telemetry
+/// must not depend on the thread count either.
+fn check_digest_invariance(args: &Args) -> (u64, f64) {
+    let spec = FleetSpec::new(args.devices, args.duration_s).with_seed(args.seed);
+    let models = match ModelBank::train(
+        &bank(),
+        spec.template.version,
+        &spec.template.config,
+        spec.seed,
+    ) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("enrollment failed: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let mut digests = Vec::new();
+    let mut merged_reports = Vec::new();
+    for &threads in &[1usize, 2, 8] {
+        for &telemetry_on in &[false, true] {
+            let run_spec = spec
+                .clone()
+                .with_threads(threads)
+                .with_telemetry(telemetry_on);
+            let report = match run_fleet_with_bank(&run_spec, &models) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("fleet run failed ({threads} threads, telemetry {telemetry_on}): {e}");
+                    std::process::exit(1);
+                }
+            };
+            println!(
+                "  {} threads, telemetry {:>3}: digest {:#018x}",
+                threads,
+                if telemetry_on { "on" } else { "off" },
+                report.digest()
+            );
+            digests.push(report.digest());
+            if telemetry_on {
+                merged_reports.push(report.telemetry.clone());
+            }
+        }
+    }
+    if digests.windows(2).any(|w| w[0] != w[1]) {
+        eprintln!("FAIL: fleet digest changed across thread counts or telemetry settings");
+        std::process::exit(1);
+    }
+    if merged_reports.windows(2).any(|w| w[0] != w[1]) {
+        eprintln!("FAIL: merged fleet telemetry is not thread-count-stable");
+        std::process::exit(1);
+    }
+    let windows = merged_reports
+        .first()
+        .and_then(|r| r.as_ref())
+        .map_or(0.0, |r| r.counter(CounterId::WindowsEmitted) as f64);
+    (digests[0], windows)
+}
+
+/// One traced single-device session for `version`: returns the final
+/// telemetry report (which carries the observed per-stage spans whose
+/// units are cost-model MSP430 cycles).
+fn traced_session(version: Version, seed: u64) -> (Scenario, telemetry::TelemetryReport) {
+    let mut scenario = Scenario::new(0, version, 30.0);
+    scenario.seed = seed;
+    let report = DeviceSim::with_options(
+        &scenario,
+        DeviceOptions {
+            telemetry: true,
+            ..DeviceOptions::default()
+        },
+    )
+    .and_then(DeviceSim::into_report)
+    .unwrap_or_else(|e| {
+        eprintln!("traced session for {version:?} failed: {e}");
+        std::process::exit(1);
+    });
+    let tele = report.telemetry.unwrap_or_else(|| {
+        eprintln!("traced session for {version:?} produced no telemetry");
+        std::process::exit(1);
+    });
+    (scenario, tele)
+}
+
+fn main() {
+    let args = parse_args();
+
+    println!("digest invariance gate ({} devices x {:.0} s):", args.devices, args.duration_s);
+    let (digest, fleet_windows) = check_digest_invariance(&args);
+
+    // Overhead: disabled sink (the production default) vs enabled.
+    let disabled_ns = record_path_ns_per_op(&mut Telemetry::disabled(), args.iters);
+    let enabled_ns = record_path_ns_per_op(&mut Telemetry::enabled(), args.iters);
+    println!(
+        "record hot path: disabled {disabled_ns:.2} ns/op, enabled {enabled_ns:.2} ns/op"
+    );
+    const DISABLED_WARN_NS: f64 = 25.0;
+    let overhead_ok = disabled_ns <= DISABLED_WARN_NS;
+    if !overhead_ok {
+        println!(
+            "WARN: disabled record path {disabled_ns:.2} ns/op exceeds {DISABLED_WARN_NS:.0} ns \
+             (advisory only — wall-clock noise)"
+        );
+    }
+
+    // Per-stage pipeline table: cost model vs observed spans.
+    let energy = EnergyModel::default();
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"source\": \"bench --bin telemetry\",");
+    let _ = writeln!(json, "  \"cpu_hz\": {CPU_HZ:.1},");
+    let _ = writeln!(json, "  \"fleet_digest\": \"{digest:#018x}\",");
+    let _ = writeln!(json, "  \"fleet_windows_emitted\": {fleet_windows:.0},");
+    let _ = writeln!(
+        json,
+        "  \"overhead\": {{ \"disabled_ns_per_op\": {disabled_ns:.3}, \
+         \"enabled_ns_per_op\": {enabled_ns:.3}, \"warn_threshold_ns\": {DISABLED_WARN_NS:.1}, \
+         \"within_threshold\": {overhead_ok} }},"
+    );
+    json.push_str("  \"versions\": [\n");
+
+    let mut trace = String::new();
+    for (vi, version) in [Version::Original, Version::Simplified, Version::Reduced]
+        .into_iter()
+        .enumerate()
+    {
+        let (scenario, tele) = traced_session(version, 0xC0FFEE + vi as u64);
+        let model = detector_cycles(version, &scenario.config, &OpCosts::default(), 4.0);
+        let window_s = scenario.config.window_s;
+        let total = model.total();
+        let avg_ua = energy.average_current_for_cycles_ua(total, window_s);
+        let lifetime = energy.lifetime_days(avg_ua);
+
+        println!("\n{version:?}: {total:.0} cycles/window -> {:.1} ms @ 16 MHz, {avg_ua:.1} uA avg, {lifetime:.0} days",
+            total / CPU_HZ * 1000.0);
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"version\": \"{version:?}\",");
+        let _ = writeln!(json, "      \"window_s\": {window_s:.1},");
+        let _ = writeln!(json, "      \"total_cycles\": {total:.1},");
+        let _ = writeln!(json, "      \"total_ms\": {:.3},", total / CPU_HZ * 1000.0);
+        let _ = writeln!(json, "      \"avg_current_ua\": {avg_ua:.2},");
+        let _ = writeln!(json, "      \"lifetime_days\": {lifetime:.1},");
+        json.push_str("      \"stages\": [\n");
+        let stage_rows = [
+            (Stage::PeakDetection, model.peaks_data_check),
+            (Stage::FeatureExtraction, model.feature_extraction),
+            (Stage::Svm, model.ml_classifier),
+        ];
+        for (si, (stage, cycles)) in stage_rows.into_iter().enumerate() {
+            let observed = tele.stage(stage);
+            println!(
+                "  {:<18} model {:>12.0} cycles ({:>8.3} ms)   observed {} spans, mean {} cycles",
+                stage.name(),
+                cycles,
+                cycles / CPU_HZ * 1000.0,
+                observed.spans,
+                observed.mean_units()
+            );
+            if observed.spans > 0 && observed.mean_units() != cycles as u64 {
+                eprintln!(
+                    "FAIL: {} observed mean {} cycles != model {} cycles",
+                    stage.name(),
+                    observed.mean_units(),
+                    cycles as u64
+                );
+                std::process::exit(1);
+            }
+            let _ = writeln!(
+                json,
+                "        {{ \"stage\": \"{}\", \"model_cycles\": {:.1}, \"model_ms\": {:.4}, \
+                 \"observed_spans\": {}, \"observed_mean_cycles\": {} }}{}",
+                stage.name(),
+                cycles,
+                cycles / CPU_HZ * 1000.0,
+                observed.spans,
+                observed.mean_units(),
+                if si + 1 < stage_rows.len() { "," } else { "" }
+            );
+        }
+        json.push_str("      ]\n");
+        let _ = writeln!(json, "    }}{}", if vi < 2 { "," } else { "" });
+
+        // The NDJSON trace carries every version's session back to back
+        // (each meta line restates the snapshot it heads).
+        trace.push_str(&telemetry::export::ndjson(&tele));
+    }
+    json.push_str("  ]\n}\n");
+
+    if let Err(e) = std::fs::create_dir_all("results") {
+        eprintln!("failed to create results/: {e}");
+        std::process::exit(1);
+    }
+    if let Err(e) = std::fs::write(&args.out_json, &json) {
+        eprintln!("failed to write {}: {e}", args.out_json);
+        std::process::exit(1);
+    }
+    if let Err(e) = std::fs::write(&args.out_trace, &trace) {
+        eprintln!("failed to write {}: {e}", args.out_trace);
+        std::process::exit(1);
+    }
+    println!("\nwrote {} and {}", args.out_json, args.out_trace);
+    println!("telemetry gates passed (digest {digest:#018x})");
+}

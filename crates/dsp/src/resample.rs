@@ -3,18 +3,61 @@
 //! The Fantasia database records ECG at 250 Hz while many wearable ECG
 //! front-ends sample at other rates; the WIoT simulation resamples sensor
 //! streams to the base station's processing rate before windowing.
+//!
+//! Sample rates are internally quantized to integer **micro-hertz** so
+//! output length and index mapping are computed with exact rational
+//! arithmetic. The previous float-based stepping could end the output one
+//! sample short of the input span (flattening the tail by duplicating the
+//! last sample) and could map annotation indices one past the resampled
+//! signal's end; integer stepping removes both failure classes.
 
 use crate::DspError;
 
+/// Largest accepted sample rate, Hz. Generous for physiological signals
+/// while keeping micro-hertz arithmetic comfortably inside `u64`.
+pub const MAX_RATE_HZ: f64 = 1.0e9;
+
+/// Smallest accepted sample rate, Hz (one micro-hertz).
+pub const MIN_RATE_HZ: f64 = 1.0e-6;
+
+/// Quantize a sample rate to integer micro-hertz, rejecting rates that
+/// are non-finite, non-positive, or outside [`MIN_RATE_HZ`]..[`MAX_RATE_HZ`].
+fn rate_to_micro(hz: f64, name: &'static str) -> Result<u64, DspError> {
+    if !hz.is_finite() || hz <= 0.0 {
+        return Err(DspError::InvalidParameter {
+            name,
+            reason: "sample rates must be positive and finite",
+        });
+    }
+    if !(MIN_RATE_HZ..=MAX_RATE_HZ).contains(&hz) {
+        return Err(DspError::InvalidParameter {
+            name,
+            reason: "sample rate outside supported range",
+        });
+    }
+    let micro = (hz * 1.0e6).round();
+    if micro < 1.0 {
+        return Err(DspError::InvalidParameter {
+            name,
+            reason: "sample rate rounds to zero micro-hertz",
+        });
+    }
+    Ok(micro as u64)
+}
+
 /// Resample `signal` from `from_hz` to `to_hz` using linear interpolation.
 ///
-/// The output covers the same time span as the input; the first sample is
-/// preserved exactly.
+/// The output covers the same time span as the input: with `n` input
+/// samples the output holds `floor((n - 1) · to_hz / from_hz) + 1`
+/// samples, computed exactly over micro-hertz integers. The first sample
+/// is preserved exactly, as is any output sample that lands exactly on an
+/// input sample (in particular, identity resampling is bit-exact).
 ///
 /// # Errors
 ///
 /// Returns [`DspError::EmptyInput`] on empty input and
-/// [`DspError::InvalidParameter`] if either rate is not positive.
+/// [`DspError::InvalidParameter`] if either rate is non-positive,
+/// non-finite, or outside the supported range.
 ///
 /// # Examples
 ///
@@ -29,36 +72,72 @@ pub fn linear(signal: &[f64], from_hz: f64, to_hz: f64) -> Result<Vec<f64>, DspE
     if signal.is_empty() {
         return Err(DspError::EmptyInput);
     }
-    if from_hz <= 0.0 || to_hz <= 0.0 {
-        return Err(DspError::InvalidParameter {
-            name: "rate",
-            reason: "sample rates must be positive",
-        });
-    }
+    let from_u = rate_to_micro(from_hz, "from_hz")?;
+    let to_u = rate_to_micro(to_hz, "to_hz")?;
     if signal.len() == 1 {
         return Ok(vec![signal[0]]);
     }
-    let duration = (signal.len() - 1) as f64 / from_hz;
-    let out_len = (duration * to_hz + 1e-9).floor() as usize + 1;
+    // Exact output length: the last output instant (out_len - 1) / to_hz
+    // must not pass the last input instant (n - 1) / from_hz.
+    let span = (signal.len() - 1) as u128 * to_u as u128;
+    let out_len = usize::try_from(span / from_u as u128).unwrap_or(usize::MAX - 1) + 1;
+    // Span preservation: the last output instant does not pass the last
+    // input instant, and one more output sample would.
+    debug_assert!((out_len as u128 - 1) * from_u as u128 <= span);
+    debug_assert!(out_len as u128 * from_u as u128 > span);
     let mut out = Vec::with_capacity(out_len);
     for i in 0..out_len {
-        let t = i as f64 / to_hz;
-        let pos = t * from_hz;
-        let idx = pos.floor() as usize;
-        if idx >= signal.len() - 1 {
-            out.push(*signal.last().expect("nonempty checked"));
+        // Input position of output sample i, in input-sample units:
+        // i / to_hz · from_hz = i · from_u / to_u, split into an exact
+        // integer part and a rational remainder.
+        let num = i as u128 * from_u as u128;
+        let idx = (num / to_u as u128) as usize;
+        let rem = num % to_u as u128;
+        if rem == 0 {
+            // Lands exactly on an input sample; idx ≤ n - 1 by the
+            // out_len bound above.
+            out.push(signal[idx]);
         } else {
-            let frac = pos - idx as f64;
-            out.push(signal[idx] * (1.0 - frac) + signal[idx + 1] * frac);
+            // rem ≠ 0 implies num < (n - 1) · to_u, so idx + 1 ≤ n - 1.
+            // The endpoint-anchored lerp form is bit-exact when both
+            // neighbors are equal (a constant signal stays constant).
+            let frac = rem as f64 / to_u as f64;
+            out.push(signal[idx] + frac * (signal[idx + 1] - signal[idx]));
         }
     }
+    debug_assert_eq!(out.len(), out_len);
     Ok(out)
 }
 
 /// Map a sample index from one sample rate to the nearest index at another
-/// rate. Used to carry ground-truth peak annotations through resampling.
-pub fn map_index(index: usize, from_hz: f64, to_hz: f64) -> usize {
-    (index as f64 / from_hz * to_hz).round() as usize
+/// rate, clamped to a signal of `to_len` samples. Used to carry
+/// ground-truth peak annotations through [`linear`] — pass the resampled
+/// signal's length as `to_len` so mapped annotations are always in
+/// bounds.
+///
+/// The mapping rounds half-up over exact micro-hertz integers:
+/// `round(index · to_hz / from_hz)`.
+///
+/// # Errors
+///
+/// Returns [`DspError::InvalidParameter`] if either rate is non-positive,
+/// non-finite, or outside the supported range, or
+/// [`DspError::EmptyInput`] if `to_len` is zero (no index can be in
+/// bounds).
+pub fn map_index(
+    index: usize,
+    from_hz: f64,
+    to_hz: f64,
+    to_len: usize,
+) -> Result<usize, DspError> {
+    let from_u = rate_to_micro(from_hz, "from_hz")?;
+    let to_u = rate_to_micro(to_hz, "to_hz")?;
+    if to_len == 0 {
+        return Err(DspError::EmptyInput);
+    }
+    let num = index as u128 * to_u as u128 + from_u as u128 / 2;
+    let mapped = usize::try_from(num / from_u as u128).unwrap_or(usize::MAX);
+    Ok(mapped.min(to_len - 1))
 }
 
 #[cfg(test)]
@@ -97,13 +176,90 @@ mod tests {
     fn rejects_bad_rates() {
         assert!(linear(&[1.0, 2.0], 0.0, 10.0).is_err());
         assert!(linear(&[1.0, 2.0], 10.0, -1.0).is_err());
+        assert!(linear(&[1.0, 2.0], f64::NAN, 10.0).is_err());
+        assert!(linear(&[1.0, 2.0], 10.0, f64::INFINITY).is_err());
+        assert!(linear(&[1.0, 2.0], 1.0e12, 10.0).is_err());
+    }
+
+    #[test]
+    fn map_index_rejects_bad_rates_instead_of_returning_zero() {
+        // The old float implementation turned from_hz = 0 into NaN,
+        // which silently cast to index 0.
+        assert!(map_index(750, 0.0, 360.0, 1000).is_err());
+        assert!(map_index(750, f64::NAN, 360.0, 1000).is_err());
+        assert!(map_index(750, 250.0, -1.0, 1000).is_err());
+        assert!(map_index(750, 250.0, 360.0, 0).is_err());
     }
 
     #[test]
     fn map_index_round_trip() {
         let idx = 750; // 3 s at 250 Hz
-        let at_360 = map_index(idx, 250.0, 360.0);
+        let at_360 = map_index(idx, 250.0, 360.0, 2000).unwrap();
         assert_eq!(at_360, 1080); // 3 s at 360 Hz
-        assert_eq!(map_index(at_360, 360.0, 250.0), idx);
+        assert_eq!(map_index(at_360, 360.0, 250.0, 1000).unwrap(), idx);
+    }
+
+    #[test]
+    fn map_index_clamps_to_resampled_length() {
+        // 100 samples at 250 Hz resampled to 360 Hz yield
+        // floor(99 · 360 / 250) + 1 = 143 samples (indices 0..=142).
+        let xs: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let out = linear(&xs, 250.0, 360.0).unwrap();
+        assert_eq!(out.len(), 143);
+        // The last input index maps to round(99 · 360 / 250) = 143 —
+        // one past the end. The old unclamped mapping returned exactly
+        // that out-of-bounds index; the clamped mapping stays in range.
+        let unclamped = (99.0_f64 / 250.0 * 360.0).round() as usize;
+        assert_eq!(unclamped, 143, "old mapping landed out of bounds");
+        let mapped = map_index(99, 250.0, 360.0, out.len()).unwrap();
+        assert_eq!(mapped, 142);
+        assert!(mapped < out.len());
+    }
+
+    #[test]
+    fn output_length_is_exact_rational_floor_plus_one() {
+        // Exercise rate pairs that don't divide evenly; the float
+        // formula `(duration · to_hz + 1e-9).floor() + 1` is at the
+        // mercy of rounding in `duration = (n-1) / from_hz`, while the
+        // integer formula is exact by construction.
+        for &(n, from, to) in &[
+            (100usize, 250.0, 360.0),
+            (751, 250.0, 128.0),
+            (1000, 360.0, 250.0),
+            (97, 3.0, 7.0),
+            (2, 1.0, 1000.0),
+        ] {
+            let xs = vec![0.0; n];
+            let out = linear(&xs, from, to).unwrap();
+            let from_u = (from * 1e6) as u128;
+            let to_u = (to * 1e6) as u128;
+            let expect = ((n as u128 - 1) * to_u / from_u) as usize + 1;
+            assert_eq!(out.len(), expect, "n={n} from={from} to={to}");
+        }
+    }
+
+    #[test]
+    fn exact_grid_hits_are_bit_exact() {
+        // Downsample by 3: every output sample lands on an input sample
+        // and must be copied, not reconstructed through interpolation.
+        let xs: Vec<f64> = (0..30).map(|i| (i as f64).sin() * 1e3).collect();
+        let out = linear(&xs, 300.0, 100.0).unwrap();
+        for (i, y) in out.iter().enumerate() {
+            assert_eq!(*y, xs[3 * i], "exact copy at i={i}");
+        }
+    }
+
+    #[test]
+    fn tail_is_interpolated_not_duplicated() {
+        // Upsampling a ramp: the old implementation's `idx >= len - 1`
+        // fallback duplicated the final sample; every interior output
+        // sample must instead lie strictly between its neighbors.
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let out = linear(&xs, 3.0, 7.0).unwrap();
+        assert_eq!(out.len(), 8);
+        assert_eq!(*out.last().unwrap(), 3.0);
+        for w in out.windows(2) {
+            assert!(w[1] > w[0], "strictly increasing: {w:?}");
+        }
     }
 }

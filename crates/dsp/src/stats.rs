@@ -162,7 +162,7 @@ pub fn percentile(samples: &[f64], p: f64) -> Result<f64, DspError> {
         return Err(DspError::NonFiniteInput);
     }
     let mut sorted = samples.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("nan checked above"));
+    sorted.sort_by(f64::total_cmp);
     let rank = p / 100.0 * (sorted.len() - 1) as f64;
     let lo = rank.floor() as usize;
     let hi = rank.ceil() as usize;

@@ -16,6 +16,7 @@ use crate::SiftError;
 use ml::metrics::{AveragedMetrics, ConfusionMatrix};
 use physio_sim::record::Record;
 use physio_sim::subject::{Subject, SubjectId};
+use telemetry::Telemetry;
 
 /// Protocol parameters for the Table II experiment.
 #[derive(Debug, Clone, PartialEq)]
@@ -75,6 +76,33 @@ pub fn evaluate_with_models(
     config: &SiftConfig,
     protocol: &EvalProtocol,
 ) -> Result<EvaluationResult, SiftError> {
+    evaluate_with_models_traced(
+        subjects,
+        models,
+        flavor,
+        config,
+        protocol,
+        &mut Telemetry::disabled(),
+    )
+}
+
+/// [`evaluate_with_models`] with per-stage telemetry: each classified
+/// window records Filter → PeakDetection → FeatureExtraction → Svm spans
+/// (see [`Detector::classify_traced`]) stamped with the window's position
+/// on the simulated test-replay clock. Metrics are bit-identical to the
+/// untraced run.
+///
+/// # Errors
+///
+/// Exactly those of [`evaluate_with_models`].
+pub fn evaluate_with_models_traced(
+    subjects: &[Subject],
+    models: &[SiftModel],
+    flavor: PlatformFlavor,
+    config: &SiftConfig,
+    protocol: &EvalProtocol,
+    tele: &mut Telemetry,
+) -> Result<EvaluationResult, SiftError> {
     if models.len() != subjects.len() {
         return Err(SiftError::InvalidConfig {
             reason: "one model per subject required",
@@ -108,9 +136,12 @@ pub fn evaluate_with_models(
             protocol.altered_fraction,
             protocol.seed.wrapping_add(9000 + i as u64),
         )?;
+        let window_ms = (config.window_s * 1000.0) as u64;
         let mut matrix = ConfusionMatrix::default();
-        for w in &test_set {
-            let detection = detector.classify(&w.snippet)?;
+        for (widx, w) in test_set.iter().enumerate() {
+            // Simulated clock: windows replay back to back per subject.
+            let t_ms = widx as u64 * window_ms;
+            let detection = detector.classify_traced(&w.snippet, tele, t_ms)?;
             matrix.record(w.truth, detection.label);
         }
         per_subject.push(SubjectResult {
@@ -252,6 +283,38 @@ mod tests {
             &EvalProtocol::default()
         )
         .is_err());
+    }
+
+    #[test]
+    fn traced_evaluation_matches_untraced_and_records_all_stages() {
+        use telemetry::{Stage, Telemetry};
+        let subjects = &bank()[..2];
+        let cfg = quick_config();
+        let models = train_models(subjects, Version::Simplified, &cfg).unwrap();
+        let protocol = EvalProtocol::default();
+        let plain =
+            evaluate_with_models(subjects, &models, PlatformFlavor::Gold, &cfg, &protocol)
+                .unwrap();
+        let mut tele = Telemetry::enabled();
+        let traced = evaluate_with_models_traced(
+            subjects,
+            &models,
+            PlatformFlavor::Gold,
+            &cfg,
+            &protocol,
+            &mut tele,
+        )
+        .unwrap();
+        assert_eq!(plain, traced, "telemetry must not perturb results");
+        let report = tele.report().unwrap();
+        let windows: u64 = traced.per_subject.iter().map(|s| s.matrix.total() as u64).sum();
+        for stage in Stage::ALL {
+            assert_eq!(report.stage(stage).spans, windows, "{}", stage.name());
+        }
+        assert_eq!(
+            report.counter(telemetry::CounterId::WindowsClassified),
+            windows
+        );
     }
 
     #[test]

@@ -1,0 +1,116 @@
+//! Deterministic exports: NDJSON traces built from integer fields in a
+//! fixed order. No wall-clock, no locale, no float formatting — two
+//! identical reports always serialize to byte-identical text.
+
+use crate::metrics::{CounterId, GaugeId};
+use crate::{Stage, TelemetryReport};
+use std::fmt::Write as _;
+
+/// Render a report as NDJSON: one `meta` line, one line per non-zero
+/// counter, one per gauge, one per stage with spans, then one line per
+/// ring event (oldest first). Output is byte-deterministic for a given
+/// report.
+pub fn ndjson(report: &TelemetryReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{{\"type\":\"meta\",\"events_recorded\":{},\"events_dropped\":{}}}",
+        report.events_recorded, report.events_dropped
+    );
+    for id in CounterId::ALL {
+        let v = report.counter(id);
+        if v != 0 {
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"counter\",\"name\":\"{}\",\"value\":{}}}",
+                id.name(),
+                v
+            );
+        }
+    }
+    for id in GaugeId::ALL {
+        let v = report.gauge(id);
+        if v != 0 {
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"gauge\",\"name\":\"{}\",\"value\":{}}}",
+                id.name(),
+                v
+            );
+        }
+    }
+    for stage in Stage::ALL {
+        let s = report.stage(stage);
+        if s.spans != 0 {
+            let _ = write!(
+                out,
+                "{{\"type\":\"stage\",\"name\":\"{}\",\"spans\":{},\"units\":{},\"mean_units\":{},\"buckets\":[",
+                stage.name(),
+                s.spans,
+                s.units,
+                s.mean_units()
+            );
+            // Trailing zero buckets are elided so traces stay compact.
+            let last = s
+                .hist
+                .buckets
+                .iter()
+                .rposition(|&b| b != 0)
+                .map_or(0, |i| i + 1);
+            for (i, b) in s.hist.buckets.iter().take(last).enumerate() {
+                if i > 0 {
+                    let _ = write!(out, ",");
+                }
+                let _ = write!(out, "{b}");
+            }
+            let _ = writeln!(out, "]}}");
+        }
+    }
+    for ev in &report.events {
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"event\",\"t_ms\":{},\"code\":\"{}\",\"a\":{},\"b\":{}}}",
+            ev.t_ms,
+            ev.code.name(),
+            ev.a,
+            ev.b
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ring::EventCode;
+    use crate::Telemetry;
+
+    #[test]
+    fn ndjson_is_deterministic_and_well_formed() {
+        let mut t = Telemetry::enabled();
+        t.count(CounterId::WindowsEmitted, 3);
+        t.gauge_set(GaugeId::BatteryPermille, 950);
+        t.span(10, Stage::Svm, 129_000);
+        t.event(20, EventCode::FaultReboot, 1, 0);
+        let r = t.report().unwrap();
+        let a = ndjson(&r);
+        let b = ndjson(&r);
+        assert_eq!(a, b, "same report must serialize identically");
+        // Every line is a JSON object.
+        for line in a.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        }
+        assert!(a.contains("\"name\":\"windows_emitted\",\"value\":3"));
+        assert!(a.contains("\"name\":\"battery_permille\",\"value\":950"));
+        assert!(a.contains("\"name\":\"svm\",\"spans\":1,\"units\":129000"));
+        assert!(a.contains("\"code\":\"fault_reboot\""));
+    }
+
+    #[test]
+    fn empty_report_is_just_the_meta_line() {
+        let t = Telemetry::enabled();
+        let text = ndjson(&t.report().unwrap());
+        assert_eq!(text.lines().count(), 1);
+        assert!(text.starts_with("{\"type\":\"meta\""));
+    }
+}

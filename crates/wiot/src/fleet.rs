@@ -78,6 +78,10 @@ pub struct FleetSpec {
     pub threads: usize,
     /// Fleet master seed.
     pub seed: u64,
+    /// Attach a telemetry sink to every device
+    /// ([`DeviceOptions::telemetry`]). Observational only: the fleet
+    /// digest is byte-identical with the sink on or off.
+    pub telemetry: bool,
     /// Per-device scenario; `victim` and `seed` are overridden for each
     /// device.
     pub template: Scenario,
@@ -91,6 +95,7 @@ impl FleetSpec {
             devices,
             threads: 1,
             seed: 0xF1EE7,
+            telemetry: false,
             template: Scenario::new(0, sift::features::Version::Simplified, duration_s),
         }
     }
@@ -106,6 +111,13 @@ impl FleetSpec {
     #[must_use]
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Builder-style telemetry toggle.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: bool) -> Self {
+        self.telemetry = telemetry;
         self
     }
 }
@@ -156,6 +168,11 @@ pub struct DeviceSummary {
     pub margin_min: f64,
     /// Sum of sink margins (index order within the device).
     pub margin_sum: f64,
+    /// The device's telemetry snapshot (`None` unless
+    /// [`FleetSpec::telemetry`] was set). Integer counters only, so the
+    /// fleet merge is exact at any thread count; excluded from
+    /// [`FleetReport::digest`] like [`DeviceSummary::faults`].
+    pub telemetry: Option<telemetry::TelemetryReport>,
 }
 
 /// Why a device was flagged as a fleet outlier.
@@ -242,6 +259,12 @@ pub struct FleetReport {
     pub faults: FaultSummary,
     /// Devices flagged as outliers, in device order.
     pub outliers: Vec<FleetOutlier>,
+    /// Telemetry merged over the fleet in device-index order (`None`
+    /// unless [`FleetSpec::telemetry`] was set). The merge drops the
+    /// per-device event rings and sums the integer counters/stage
+    /// stats, so it is thread-count-stable; excluded from
+    /// [`FleetReport::digest`].
+    pub telemetry: Option<telemetry::TelemetryReport>,
     /// Every device's summary, in device order.
     pub per_device: Vec<DeviceSummary>,
 }
@@ -400,6 +423,7 @@ fn simulate_device(
         DeviceOptions {
             model: Some(model.as_ref()),
             feature_uplink: true,
+            telemetry: spec.telemetry,
         },
     )?;
     sim.run_to_completion()?;
@@ -425,7 +449,8 @@ fn simulate_device(
     let usage = sim.station().os().usage_snapshot();
     let victim = scenario.victim;
     let seed = scenario.seed;
-    let report = sim.into_report()?;
+    let mut report = sim.into_report()?;
+    let telemetry = report.telemetry.take();
     Ok(DeviceSummary {
         device,
         victim,
@@ -446,6 +471,7 @@ fn simulate_device(
         sink_flagged,
         margin_min,
         margin_sum,
+        telemetry,
     })
 }
 
@@ -469,6 +495,7 @@ fn reduce(spec: &FleetSpec, summaries: Vec<DeviceSummary>) -> FleetReport {
     let mut margin_sum = 0.0f64;
     let mut stall_alerts = 0usize;
     let mut faults = FaultSummary::default();
+    let mut telemetry: Option<telemetry::TelemetryReport> = None;
     let mut outliers = Vec::new();
 
     for s in &summaries {
@@ -497,6 +524,18 @@ fn reduce(spec: &FleetSpec, summaries: Vec<DeviceSummary>) -> FleetReport {
         margin_sum += s.margin_sum;
         stall_alerts += s.stall_alerts;
         faults = faults.merged(s.faults);
+        if let Some(t) = &s.telemetry {
+            match telemetry.as_mut() {
+                Some(m) => m.merge(t),
+                None => {
+                    // The aggregate carries counters, not any single
+                    // device's event trace.
+                    let mut first = t.clone();
+                    first.events.clear();
+                    telemetry = Some(first);
+                }
+            }
+        }
 
         if s.window_recovery_rate < 0.8 {
             outliers.push(FleetOutlier {
@@ -562,6 +601,7 @@ fn reduce(spec: &FleetSpec, summaries: Vec<DeviceSummary>) -> FleetReport {
         },
         stall_alerts,
         faults,
+        telemetry,
         outliers,
         per_device: summaries,
     }
@@ -708,6 +748,43 @@ mod tests {
         assert!(one.usage.devices == 3);
         // Batched sink re-scoring saw the emitted windows.
         assert!(one.windows_scored > 0);
+    }
+
+    #[test]
+    fn telemetry_never_perturbs_the_fleet_digest() {
+        // The frozen digest is the tentpole invariant: enabling the
+        // sink must leave it byte-identical, at any thread count, and
+        // the merged telemetry itself must be thread-count-stable.
+        let spec = FleetSpec::new(3, 9.0).with_seed(11);
+        let models = ModelBank::train(
+            &bank(),
+            spec.template.version,
+            &spec.template.config,
+            spec.seed,
+        )
+        .unwrap();
+        let off = run_fleet_with_bank(&spec, &models).unwrap();
+        let on = run_fleet_with_bank(&spec.clone().with_telemetry(true), &models).unwrap();
+        let on_threaded = run_fleet_with_bank(
+            &spec.clone().with_telemetry(true).with_threads(3),
+            &models,
+        )
+        .unwrap();
+        assert_eq!(off.digest(), on.digest(), "telemetry changed the digest");
+        assert_eq!(on.digest(), on_threaded.digest());
+        assert!(off.telemetry.is_none());
+        let merged = on.telemetry.as_ref().expect("sink was on");
+        assert_eq!(on.telemetry, on_threaded.telemetry, "merge not thread-stable");
+        assert!(merged.events.is_empty(), "aggregate must not carry a trace");
+        assert_eq!(
+            merged.counter(telemetry::CounterId::PacketsSent),
+            on.channel.sent
+        );
+        // Per-device snapshots keep their event traces.
+        assert!(on.per_device.iter().all(|d| d
+            .telemetry
+            .as_ref()
+            .is_some_and(|t| !t.events.is_empty())));
     }
 
     #[test]

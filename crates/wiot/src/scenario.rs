@@ -25,6 +25,7 @@ use physio_sim::subject::bank;
 use sift::config::SiftConfig;
 use sift::features::Version;
 use sift::trainer::{train_for_subject, SiftModel};
+use telemetry::{CounterId, EventCode, GaugeId, Telemetry, TelemetryReport};
 
 /// Wireless-link parameters for a scenario.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -199,6 +200,10 @@ pub struct SimReport {
     pub stall_alerts: usize,
     /// Battery fraction remaining at the end of the session.
     pub battery_left: f64,
+    /// Final telemetry snapshot: counters, per-stage span statistics
+    /// and the event ring. `None` unless [`DeviceOptions::telemetry`]
+    /// enabled the sink — and never an input to anything above.
+    pub telemetry: Option<TelemetryReport>,
     /// The sink with the archived alerts.
     pub sink: Sink,
 }
@@ -316,6 +321,11 @@ pub struct DeviceOptions<'a> {
     /// ([`BaseStation::with_feature_uplink`]) so the sink can re-score
     /// window batches with one batched SVM call per device.
     pub feature_uplink: bool,
+    /// Attach an enabled [`telemetry::Telemetry`] sink to the station's
+    /// OS: fault/window events land in the bounded ring as they happen
+    /// and [`SimReport::telemetry`] carries the final snapshot. Purely
+    /// observational — a traced run is bit-identical to an untraced one.
+    pub telemetry: bool,
 }
 
 /// Where a [`DeviceSim`] is in its lifecycle.
@@ -347,6 +357,9 @@ pub struct DeviceSim {
     links: [Link; 2],
     persist: Option<Persistence>,
     fault_summary: FaultSummary,
+    /// Whether any link ran degraded on the previous tick (edge
+    /// detection for the `FaultLinkDegrade` telemetry event).
+    degraded_prev: bool,
     /// Hold value per stream for stuck-at injection.
     stuck_hold: [f64; 2],
     chunk_ms: u64,
@@ -434,6 +447,9 @@ impl DeviceSim {
         if options.feature_uplink {
             station = station.with_feature_uplink(scenario.version);
         }
+        if options.telemetry {
+            station.os_mut().attach_telemetry(Telemetry::enabled());
+        }
         // Crash-consistent checkpointing: charge the NVRAM region to the
         // station's FRAM map and seed generation 1 so even a reboot on
         // the very first tick has something to resume from.
@@ -481,6 +497,7 @@ impl DeviceSim {
             links,
             persist,
             fault_summary: FaultSummary::default(),
+            degraded_prev: false,
             stuck_hold: [0.0f64; 2],
             now_ms: 0,
             prev_ms: 0,
@@ -518,6 +535,12 @@ impl DeviceSim {
             if let Some(p) = self.persist.as_mut() {
                 p.flip_bit(byte, bit);
                 self.fault_summary.bitrot_flips += 1;
+                self.station.os_mut().telemetry_mut().event(
+                    self.now_ms,
+                    EventCode::FaultBitRot,
+                    byte as u64,
+                    u64::from(bit),
+                );
             }
         }
         // Brownout reboots scheduled since the last tick.
@@ -545,6 +568,12 @@ impl DeviceSim {
                     cut,
                 )?;
                 self.fault_summary.torn_commits += 1;
+                self.station.os_mut().telemetry_mut().event(
+                    self.now_ms,
+                    EventCode::FaultTornCommit,
+                    cut as u64,
+                    0,
+                );
             }
             self.power_cycle()?;
         }
@@ -561,6 +590,19 @@ impl DeviceSim {
         if any_degraded {
             self.fault_summary.degraded_link_ms += self.chunk_ms;
         }
+        if any_degraded != self.degraded_prev {
+            // Edge-triggered: one event per episode boundary, with the
+            // gauge tracking the level in between.
+            let tele = self.station.os_mut().telemetry_mut();
+            tele.event(
+                self.now_ms,
+                EventCode::FaultLinkDegrade,
+                u64::from(any_degraded),
+                0,
+            );
+            tele.gauge_set(GaugeId::LinkDegraded, i64::from(any_degraded));
+            self.degraded_prev = any_degraded;
+        }
 
         // Offer each packet to its (possibly faulted) sensor and link.
         for (i, (stream, packet)) in [(Stream::Ecg, pe), (Stream::Abp, pa)]
@@ -575,6 +617,12 @@ impl DeviceSim {
             }
             if self.scenario.faults.is_dropout(stream, self.now_ms) {
                 self.fault_summary.dropout_chunks += 1;
+                self.station.os_mut().telemetry_mut().event(
+                    self.now_ms,
+                    EventCode::FaultDropout,
+                    i as u64,
+                    0,
+                );
                 continue;
             }
             if self.scenario.faults.is_stuck(stream, self.now_ms) {
@@ -585,6 +633,12 @@ impl DeviceSim {
                 }
                 p.peaks.clear();
                 self.fault_summary.stuck_chunks += 1;
+                self.station.os_mut().telemetry_mut().event(
+                    self.now_ms,
+                    EventCode::FaultStuck,
+                    i as u64,
+                    0,
+                );
             } else if let Some(&last) = p.samples.last() {
                 self.stuck_hold[i] = last;
             }
@@ -622,6 +676,14 @@ impl DeviceSim {
     fn power_cycle(&mut self) -> Result<(), WiotError> {
         self.station.reboot();
         self.fault_summary.reboots += 1;
+        // The sink lives in the OS, not the rebooted app state, so it
+        // survives the power cycle and can witness it.
+        self.station.os_mut().telemetry_mut().event(
+            self.now_ms,
+            EventCode::FaultReboot,
+            self.fault_summary.reboots,
+            0,
+        );
         if let Some(p) = self.persist.as_mut() {
             p.recover(
                 &mut self.station,
@@ -714,6 +776,97 @@ impl DeviceSim {
         self.station.take_uplinked_features()
     }
 
+    /// Flush the session's terminal state into the telemetry sink and
+    /// snapshot it: one timestamped event per window outcome and stall
+    /// alert, the channel/ARQ/fault counters (recorded exactly once,
+    /// from the same final stats the report carries), and the battery
+    /// gauge. `None` when the sink is disabled — the entire method is
+    /// then a single branch.
+    fn snapshot_telemetry(&mut self) -> Option<TelemetryReport> {
+        if !self.station.os().telemetry().is_enabled() {
+            return None;
+        }
+        let window_ms = (self.scenario.config.window_s * 1000.0) as u64;
+        let log: Vec<(usize, WindowOutcome)> =
+            self.station.window_log().iter().copied().collect();
+        let channel =
+            add_channel_stats(self.links[0].channel().stats(), self.links[1].channel().stats());
+        let transport = match (self.links[0].transport_stats(), self.links[1].transport_stats()) {
+            (Some(a), Some(b)) => Some(add_transport_stats(a, b)),
+            _ => None,
+        };
+        let stalls: Vec<u64> = self
+            .station
+            .alerts()
+            .iter()
+            .filter(|a| a.app == "watchdog")
+            .map(|a| a.at_ms)
+            .collect();
+        let battery_permille = (self
+            .station
+            .os()
+            .meter()
+            .battery_fraction_left(self.station.os().energy_model())
+            * 1000.0) as i64;
+        let faults = self.fault_summary;
+
+        let tele = self.station.os_mut().telemetry_mut();
+        for &(idx, outcome) in &log {
+            let t = idx as u64 * window_ms;
+            match outcome {
+                WindowOutcome::Dropped => {
+                    tele.event(t, EventCode::WindowDropped, idx as u64, 0);
+                    tele.count(CounterId::WindowsDropped, 1);
+                }
+                WindowOutcome::Rejected => {
+                    tele.event(t, EventCode::WindowRejected, idx as u64, 0);
+                    tele.count(CounterId::WindowsRejected, 1);
+                }
+                WindowOutcome::Emitted { alerted } => {
+                    tele.event(t, EventCode::WindowEmitted, idx as u64, u64::from(alerted));
+                    tele.count(CounterId::WindowsEmitted, 1);
+                    if alerted {
+                        tele.count(CounterId::AlertsRaised, 1);
+                    }
+                }
+                WindowOutcome::Salvaged { alerted } => {
+                    tele.event(t, EventCode::WindowSalvaged, idx as u64, u64::from(alerted));
+                    tele.count(CounterId::WindowsSalvaged, 1);
+                    if alerted {
+                        tele.count(CounterId::AlertsRaised, 1);
+                    }
+                }
+            }
+        }
+        for &at_ms in &stalls {
+            tele.event(at_ms, EventCode::StallAlert, 0, 0);
+        }
+        tele.count(CounterId::StallAlerts, stalls.len() as u64);
+        tele.count(CounterId::PacketsSent, channel.sent);
+        tele.count(CounterId::PacketsLost, channel.lost);
+        tele.count(CounterId::PacketsDuplicated, channel.duplicated);
+        tele.count(CounterId::PacketsReordered, channel.reordered);
+        tele.count(CounterId::PacketsCorrupted, channel.corrupted);
+        if let Some(t) = transport {
+            tele.count(CounterId::ArqDataSent, t.data_sent);
+            tele.count(CounterId::ArqRetransmits, t.retransmits);
+            tele.count(CounterId::ArqNacksSent, t.nacks_sent);
+            tele.count(CounterId::ArqGapRecoveries, t.gap_recoveries);
+            tele.count(CounterId::ArqGiveUps, t.give_ups);
+            tele.count(CounterId::ArqDuplicatesDiscarded, t.duplicates_discarded);
+            tele.count(CounterId::ArqBufferEvictions, t.buffer_evictions);
+        }
+        tele.count(CounterId::FaultReboots, faults.reboots);
+        tele.count(CounterId::FaultTornCommits, faults.torn_commits);
+        tele.count(CounterId::FaultBitrotFlips, faults.bitrot_flips);
+        tele.count(CounterId::FaultDropoutChunks, faults.dropout_chunks);
+        tele.count(CounterId::FaultStuckChunks, faults.stuck_chunks);
+        tele.count(CounterId::CheckpointRecoveries, faults.recoveries);
+        tele.count(CounterId::CheckpointRollbacks, faults.rollbacks);
+        tele.gauge_set(GaugeId::BatteryPermille, battery_permille);
+        self.station.os().telemetry().report()
+    }
+
     /// Finish the session (if still running) and score it into a
     /// [`SimReport`].
     ///
@@ -722,6 +875,7 @@ impl DeviceSim {
     /// As [`DeviceSim::step`].
     pub fn into_report(mut self) -> Result<SimReport, WiotError> {
         self.run_to_completion()?;
+        let telemetry = self.snapshot_telemetry();
         let scenario = &self.scenario;
         let station = &self.station;
         let links = &self.links;
@@ -808,6 +962,7 @@ impl DeviceSim {
                 .os()
                 .meter()
                 .battery_fraction_left(station.os().energy_model()),
+            telemetry,
             sink,
         })
     }
@@ -1036,6 +1191,55 @@ mod tests {
             kind: FaultKind::DeviceReboot,
         });
         assert!(run(&s).is_err(), "fault outside the session");
+    }
+
+    #[test]
+    fn telemetry_is_behaviorally_invisible_and_captures_the_session() {
+        // Same seed, sink on vs off: identical verdicts, identical
+        // battery bits — and the traced run's counters agree with the
+        // report's own numbers.
+        let mut s = Scenario::new(0, Version::Reduced, 30.0);
+        s.link.loss_prob = 0.08;
+        s.faults = FaultPlan::new().with(FaultEvent {
+            start_s: 9.3,
+            end_s: 9.3,
+            kind: FaultKind::DeviceReboot,
+        });
+        let plain = run(&s).unwrap();
+        let traced = DeviceSim::with_options(
+            &s,
+            DeviceOptions {
+                telemetry: true,
+                ..DeviceOptions::default()
+            },
+        )
+        .unwrap()
+        .into_report()
+        .unwrap();
+        assert_eq!(plain.confusion, traced.confusion);
+        assert_eq!(plain.dropped_windows, traced.dropped_windows);
+        assert_eq!(
+            plain.battery_left.to_bits(),
+            traced.battery_left.to_bits(),
+            "telemetry must charge no energy"
+        );
+        assert!(plain.telemetry.is_none());
+        let report = traced.telemetry.expect("sink was enabled");
+        assert_eq!(report.counter(CounterId::FaultReboots), traced.faults.reboots);
+        assert_eq!(report.counter(CounterId::PacketsSent), traced.channel.sent);
+        assert_eq!(
+            (report.counter(CounterId::WindowsDropped)
+                + report.counter(CounterId::WindowsRejected)) as usize,
+            traced.dropped_windows
+        );
+        assert!(report
+            .events
+            .iter()
+            .any(|e| e.code == EventCode::FaultReboot));
+        assert!(report
+            .events
+            .iter()
+            .any(|e| matches!(e.code, EventCode::WindowEmitted | EventCode::WindowDropped)));
     }
 
     #[test]

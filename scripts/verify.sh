@@ -14,6 +14,7 @@ cargo test -q --test golden_traces
 cargo test -q --test fleet_props
 cargo test -q --test recovery_props
 cargo test -q -p wiot --test transport_edges
+cargo test -q --test resample_props
 
 cargo clippy --workspace -- -D warnings
 
@@ -29,6 +30,14 @@ cargo run -q -p analyzer -- --deny warnings
 # is operational at exit, and the report digest is identical between
 # the single-threaded and multi-threaded runs.
 cargo run --release -q -p bench --bin recovery -- --threads 8
+
+# Telemetry gates: the bin exits nonzero if enabling the sink perturbs
+# the fleet digest at any thread count, if the merged fleet telemetry
+# depends on the thread count, or if the observed per-stage span cycles
+# disagree with the cost model. The disabled-sink overhead check prints
+# a warning only (wall-clock noise). Also regenerates
+# results/TELEMETRY_pipeline.json and results/TELEMETRY_trace.ndjson.
+cargo run --release -q -p bench --bin telemetry
 
 # Fleet throughput check: regenerate BENCH_fleet.json with the baseline's
 # parameters and diff against the committed numbers. The report digest is

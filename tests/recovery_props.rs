@@ -106,6 +106,7 @@ fn run_with_model(scenario: &Scenario) -> DeviceSim {
         DeviceOptions {
             model: Some(model()),
             feature_uplink: false,
+            telemetry: false,
         },
     )
     .unwrap();

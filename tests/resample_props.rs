@@ -1,0 +1,190 @@
+//! Property suites for the resampler fixes and the telemetry layer's
+//! determinism guarantee.
+//!
+//! The resampler properties pin the two bugs this change fixed:
+//!
+//! 1. `dsp::resample::linear` used to size its output with an epsilon
+//!    hack and duplicate the last input sample into the tail, flattening
+//!    the end of every resampled window. Now the length is the exact
+//!    rational floor + 1 and the tail is interpolated like everything
+//!    else.
+//! 2. `dsp::resample::map_index` used to round annotation indices past
+//!    the end of the resampled signal (and silently returned 0 for
+//!    garbage rates). Now it validates rates and clamps into bounds, so
+//!    a mapped annotation index is always usable.
+//!
+//! The telemetry property is the tentpole invariant: enabling the sink
+//! never changes the frozen fleet digest, at any thread count.
+
+use dsp::resample::{linear, map_index};
+use physio_sim::subject::bank;
+use proptest::prelude::*;
+use sift::trainer::ModelBank;
+use wiot::fleet::{run_fleet_with_bank, FleetSpec};
+
+/// Physiological-ish sample rates, mixing the paper's real ones with
+/// arbitrary values (half the draws snap to a canonical rate).
+fn rate() -> impl Strategy<Value = f64> {
+    (0u8..8, 30.0..1000.0f64).prop_map(|(pick, r)| match pick {
+        0 => 360.0,
+        1 => 510.0,
+        2 => 250.0,
+        3 => 125.0,
+        _ => r,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The output covers the input's time span exactly: one more output
+    /// sample would step past the last input instant, one fewer would
+    /// stop short of it.
+    #[test]
+    fn resampled_length_matches_the_time_span(
+        n in 2usize..400,
+        from in rate(),
+        to in rate(),
+    ) {
+        let signal: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+        let out = linear(&signal, from, to).unwrap();
+        prop_assert!(!out.is_empty());
+        // First sample is bit-exact (t = 0 is always a grid hit).
+        prop_assert_eq!(out[0].to_bits(), signal[0].to_bits());
+        let in_span = (n - 1) as f64 / from;
+        let out_span = (out.len() - 1) as f64 / to;
+        // Last output instant does not pass the last input instant...
+        prop_assert!(
+            out_span <= in_span * (1.0 + 1e-9) + 1e-9,
+            "output span {} overruns input span {}", out_span, in_span
+        );
+        // ...and one more sample would (exact rational floor + 1).
+        prop_assert!(
+            out.len() as f64 / to > in_span * (1.0 - 1e-9) - 1e-9,
+            "output span {} stops short of input span {}", out_span, in_span
+        );
+    }
+
+    /// A strictly increasing ramp stays strictly increasing through the
+    /// resampler — the old tail-duplication bug produced a flat segment
+    /// at the end whenever the last output instant was off-grid.
+    #[test]
+    fn ramps_are_never_flattened(
+        n in 3usize..300,
+        from in rate(),
+        to in rate(),
+    ) {
+        let signal: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let out = linear(&signal, from, to).unwrap();
+        for pair in out.windows(2) {
+            prop_assert!(
+                pair[1] > pair[0],
+                "flat or decreasing step {} -> {} in a strict ramp", pair[0], pair[1]
+            );
+        }
+    }
+
+    /// A constant signal is exactly constant after resampling (linear
+    /// interpolation between equal values).
+    #[test]
+    fn constants_survive_bit_exactly(
+        n in 2usize..200,
+        from in rate(),
+        to in rate(),
+        value in -100.0..100.0f64,
+    ) {
+        let signal = vec![value; n];
+        let out = linear(&signal, from, to).unwrap();
+        for &s in &out {
+            prop_assert_eq!(s.to_bits(), value.to_bits());
+        }
+    }
+
+    /// `map_index` lands in bounds for every input index and is
+    /// monotone: annotation order survives the mapping. The old version
+    /// could round one past the end of the resampled signal.
+    #[test]
+    fn map_index_is_in_bounds_and_monotone(
+        n in 2usize..400,
+        from in rate(),
+        to in rate(),
+    ) {
+        let signal: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let out = linear(&signal, from, to).unwrap();
+        let mut prev = 0usize;
+        for i in 0..n {
+            let mapped = map_index(i, from, to, out.len()).unwrap();
+            prop_assert!(mapped < out.len(), "index {} mapped to {} >= len {}", i, mapped, out.len());
+            prop_assert!(mapped >= prev, "mapping not monotone at index {}", i);
+            prev = mapped;
+        }
+        prop_assert_eq!(map_index(0, from, to, out.len()).unwrap(), 0);
+    }
+
+    /// Round trip: mapping an index to the resampled grid and back
+    /// lands within one coarse-grid step of where it started.
+    #[test]
+    fn map_index_round_trip_is_tight(
+        n in 8usize..400,
+        from in rate(),
+        to in rate(),
+        frac in 0.0..1.0f64,
+    ) {
+        let signal: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let out = linear(&signal, from, to).unwrap();
+        let i = ((n - 1) as f64 * frac) as usize;
+        let there = map_index(i, from, to, out.len()).unwrap();
+        let back = map_index(there, to, from, n).unwrap();
+        let slack = (from / to).ceil() as usize + 1;
+        prop_assert!(
+            back.abs_diff(i) <= slack,
+            "round trip {} -> {} -> {} (slack {})", i, there, back, slack
+        );
+    }
+}
+
+#[test]
+fn degenerate_rates_are_rejected_not_mapped_to_zero() {
+    let signal = vec![0.0; 16];
+    for bad in [0.0, -250.0, f64::NAN, f64::INFINITY, 1e12] {
+        assert!(linear(&signal, bad, 250.0).is_err(), "from = {bad}");
+        assert!(linear(&signal, 250.0, bad).is_err(), "to = {bad}");
+        assert!(map_index(3, bad, 250.0, 16).is_err(), "from = {bad}");
+        assert!(map_index(3, 250.0, bad, 16).is_err(), "to = {bad}");
+    }
+}
+
+/// The tentpole invariant as a repo test (the bench binary enforces it
+/// again at larger scale in `scripts/verify.sh`): enabling telemetry
+/// never perturbs the frozen fleet digest, at 1, 2 or 8 worker threads,
+/// and the merged telemetry itself is thread-count-stable.
+#[test]
+fn telemetry_digest_invariance_at_thread_counts_1_2_8() {
+    let spec = FleetSpec::new(4, 9.0).with_seed(0x7E1E);
+    let models = ModelBank::train(
+        &bank(),
+        spec.template.version,
+        &spec.template.config,
+        spec.seed,
+    )
+    .unwrap();
+    let baseline = run_fleet_with_bank(&spec, &models).unwrap();
+    let mut reports = Vec::new();
+    for threads in [1usize, 2, 8] {
+        let traced = run_fleet_with_bank(
+            &spec.clone().with_threads(threads).with_telemetry(true),
+            &models,
+        )
+        .unwrap();
+        assert_eq!(
+            baseline.digest(),
+            traced.digest(),
+            "telemetry changed the digest at {threads} threads"
+        );
+        reports.push(traced.telemetry.expect("sink was on"));
+    }
+    assert!(
+        reports.windows(2).all(|w| w[0] == w[1]),
+        "merged telemetry depends on the thread count"
+    );
+}
