@@ -97,6 +97,80 @@ impl EnergyModel {
     }
 }
 
+/// Microamp-milliseconds per microamp-hour (60 × 60 × 1000).
+const UA_MS_PER_UAH: u64 = 3_600_000;
+
+/// Tick-integrated battery state-of-charge in pure integer arithmetic.
+///
+/// The survival policy layer (`wiot::survival`) runs on the device side
+/// of the simulation, where the embedded profile forbids floating point.
+/// `BatteryState` therefore accounts charge in µA·ms (`u64`): a 110 mAh
+/// battery is ~3.96 × 10¹¹ µA·ms, far inside `u64` range, and a drain of
+/// `current_ua × dt_ms` per tick is exact. The only float conversion is
+/// in the constructor, host-side, when the capacity is derived from the
+/// [`EnergyModel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatteryState {
+    capacity_ua_ms: u64,
+    consumed_ua_ms: u64,
+}
+
+impl BatteryState {
+    /// Full battery with `capacity_uah` µAh of charge (min 1 µAh).
+    pub fn with_capacity_uah(capacity_uah: u64) -> Self {
+        Self {
+            capacity_ua_ms: capacity_uah.max(1).saturating_mul(UA_MS_PER_UAH),
+            consumed_ua_ms: 0,
+        }
+    }
+
+    /// Full battery sized from `model.battery_mah` (the one f64→u64
+    /// conversion, done once at setup).
+    pub fn from_model(model: &EnergyModel) -> Self {
+        let uah = (model.battery_mah * 1000.0).max(1.0) as u64;
+        Self::with_capacity_uah(uah)
+    }
+
+    /// Same capacity, but starting from `permille`/1000 state of charge.
+    pub fn with_initial_permille(mut self, permille: u16) -> Self {
+        let p = u64::from(permille.min(1000));
+        self.consumed_ua_ms = self.capacity_ua_ms / 1000 * (1000 - p);
+        self
+    }
+
+    /// Integrate one tick: `current_ua` µA flowing for `dt_ms` ms.
+    pub fn drain(&mut self, current_ua: u64, dt_ms: u64) {
+        let delta = current_ua.saturating_mul(dt_ms);
+        self.consumed_ua_ms = self
+            .consumed_ua_ms
+            .saturating_add(delta)
+            .min(self.capacity_ua_ms);
+    }
+
+    /// Remaining state of charge in permille (0..=1000).
+    pub fn soc_permille(&self) -> u16 {
+        let left = self.capacity_ua_ms - self.consumed_ua_ms;
+        // capacity is at least UA_MS_PER_UAH, so the division is safe and
+        // the quotient is at most 1000.
+        ((left.saturating_mul(1000)) / self.capacity_ua_ms) as u16
+    }
+
+    /// True once every µA·ms of capacity has been consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.consumed_ua_ms >= self.capacity_ua_ms
+    }
+
+    /// Total capacity in µA·ms.
+    pub fn capacity_ua_ms(&self) -> u64 {
+        self.capacity_ua_ms
+    }
+
+    /// Charge consumed so far in µA·ms.
+    pub fn consumed_ua_ms(&self) -> u64 {
+        self.consumed_ua_ms
+    }
+}
+
 /// Runtime energy meter: integrates the charge actually consumed by a
 /// simulated run (the OS charges it per dispatched event).
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -245,5 +319,51 @@ mod tests {
     #[should_panic(expected = "period must be positive")]
     fn bad_period_panics() {
         EnergyModel::default().average_current_ua(1.0, 0.0);
+    }
+
+    #[test]
+    fn battery_state_integrates_exactly() {
+        let mut b = BatteryState::with_capacity_uah(1); // 3_600_000 µA·ms
+        assert_eq!(b.soc_permille(), 1000);
+        b.drain(100, 18_000); // 1.8e6 µA·ms = half the capacity
+        assert_eq!(b.soc_permille(), 500);
+        assert!(!b.is_exhausted());
+        b.drain(100, 18_000);
+        assert_eq!(b.soc_permille(), 0);
+        assert!(b.is_exhausted());
+        // Further drain saturates instead of wrapping.
+        b.drain(u64::MAX, u64::MAX);
+        assert_eq!(b.consumed_ua_ms(), b.capacity_ua_ms());
+    }
+
+    #[test]
+    fn battery_state_matches_float_lifetime_projection() {
+        let m = EnergyModel::default();
+        let mut b = BatteryState::from_model(&m);
+        // 110 mAh at a constant 100 µA lasts 1100 h; drain hour by hour.
+        let mut hours = 0u64;
+        while !b.is_exhausted() && hours < 2000 {
+            b.drain(100, 3_600_000);
+            hours += 1;
+        }
+        assert_eq!(hours, 1100);
+        let float_days = m.lifetime_days(100.0);
+        assert!((hours as f64 / 24.0 - float_days).abs() < 0.05);
+    }
+
+    #[test]
+    fn battery_state_initial_permille_and_monotonicity() {
+        let b = BatteryState::with_capacity_uah(110_000).with_initial_permille(250);
+        assert_eq!(b.soc_permille(), 250);
+        let full = BatteryState::with_capacity_uah(110_000).with_initial_permille(1000);
+        assert_eq!(full.soc_permille(), 1000);
+        let mut prev = full;
+        let mut soc = prev.soc_permille();
+        for _ in 0..100 {
+            prev.drain(500, 3_600_000);
+            let next = prev.soc_permille();
+            assert!(next <= soc, "SoC must be monotone non-increasing");
+            soc = next;
+        }
     }
 }

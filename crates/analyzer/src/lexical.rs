@@ -53,10 +53,16 @@ pub fn scan(file: &SourceFile, class: &FileClass) -> Vec<Finding> {
     // inside every instrumented hot loop, so a heap allocation or a
     // panic there is a perturbed simulation, not a style problem.
     const TELE: &str = "tele-embedded-profile";
+    // And the survival-policy decision procedure: it steps once per
+    // simulated second on the device, so a float or an allocation there
+    // breaks the integer-determinism contract the fleet digest rests on.
+    const SURV: &str = "survival-embedded-profile";
     let (f64_rule, float_lit_rule, heap_rule, panic_rule, index_rule) = if class.checkpoint {
         (CKPT, CKPT, CKPT, CKPT, CKPT)
     } else if class.telemetry_hot {
         (TELE, TELE, TELE, TELE, TELE)
+    } else if class.survival {
+        (SURV, SURV, SURV, SURV, SURV)
     } else {
         (
             "embedded-no-f64",
@@ -312,6 +318,20 @@ mod tests {
         // warn-level panic hygiene, no float/heap/index rules.
         let lib = findings("crates/telemetry/src/lib.rs", src);
         assert_eq!(lib, vec!["lib-no-panic"]);
+    }
+
+    #[test]
+    fn survival_policy_gets_the_dedicated_rule() {
+        let src = "fn f(d: f64) { let v = q.to_vec(); v.unwrap(); r[0]; let x = 2.5; }\n";
+        let hits = findings("crates/wiot/src/survival.rs", src);
+        assert!(!hits.is_empty(), "fixture should trip the profile");
+        assert!(
+            hits.iter().all(|&r| r == "survival-embedded-profile"),
+            "every finding routes to the dedicated rule, got {hits:?}"
+        );
+        // Neighboring wiot modules stay ordinary library code.
+        let lib = findings("crates/wiot/src/adaptive.rs", src);
+        assert!(!lib.contains(&"survival-embedded-profile"));
     }
 
     #[test]

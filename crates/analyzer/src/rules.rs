@@ -113,6 +113,14 @@ pub const RULES: &[RuleDef] = &[
                   instrumented hot loop, whether the sink is enabled or not)",
     },
     RuleDef {
+        id: "survival-embedded-profile",
+        severity: Severity::Error,
+        pass: Pass::Embedded,
+        summary: "the survival policy decision procedure must stay in the embedded \
+                  profile: no heap, no panic, no float, no bracket indexing (it runs \
+                  every device tick, down to the last permille of battery)",
+    },
+    RuleDef {
         id: "lib-no-panic",
         severity: Severity::Warn,
         pass: Pass::Embedded,

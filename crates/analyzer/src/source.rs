@@ -31,6 +31,12 @@ const CHECKPOINT_MODULES: &[&str] = &[
 /// error-severity `tele-embedded-profile` rule.
 const TELEMETRY_HOT_MODULES: &[&str] = &["crates/telemetry/src/record.rs"];
 
+/// The survival-policy decision procedure: it steps once per simulated
+/// second on the device side, including at the bottom of the discharge
+/// curve, so the full embedded profile applies and violations report
+/// under the dedicated error-severity `survival-embedded-profile` rule.
+const SURVIVAL_MODULES: &[&str] = &["crates/wiot/src/survival.rs"];
+
 /// Crates the determinism pass skips entirely: the bench harness times
 /// things on purpose, and the vendored stand-ins (`rand`, `proptest`,
 /// `criterion`) are test/bench infrastructure, not report paths.
@@ -63,6 +69,9 @@ pub struct FileClass {
     /// Telemetry record hot path: embedded-profile findings report
     /// under `tele-embedded-profile` at error severity.
     pub telemetry_hot: bool,
+    /// Survival-policy decision procedure: embedded-profile findings
+    /// report under `survival-embedded-profile` at error severity.
+    pub survival: bool,
 }
 
 /// Classify a workspace-relative path (`crates/<name>/src/...`).
@@ -73,7 +82,9 @@ pub fn classify(rel_path: &str) -> FileClass {
         .unwrap_or("");
     let checkpoint = CHECKPOINT_MODULES.contains(&rel_path);
     let telemetry_hot = TELEMETRY_HOT_MODULES.contains(&rel_path);
-    let float_strict = FLOAT_STRICT.contains(&rel_path) || checkpoint || telemetry_hot;
+    let survival = SURVIVAL_MODULES.contains(&rel_path);
+    let float_strict =
+        FLOAT_STRICT.contains(&rel_path) || checkpoint || telemetry_hot || survival;
     let embedded = float_strict || rel_path.starts_with(APP_CODE_PREFIX);
     FileClass {
         float_strict,
@@ -83,6 +94,7 @@ pub fn classify(rel_path: &str) -> FileClass {
         lib_no_panic: LIB_NO_PANIC_CRATES.contains(&crate_name) && !embedded,
         checkpoint,
         telemetry_hot,
+        survival,
     }
 }
 
@@ -263,5 +275,11 @@ mod tests {
         let tele_lib = classify("crates/telemetry/src/lib.rs");
         assert!(!tele_lib.telemetry_hot && !tele_lib.embedded && tele_lib.lib_no_panic);
         assert!(!fixed.telemetry_hot && !plain.telemetry_hot);
+        let surv = classify("crates/wiot/src/survival.rs");
+        assert!(surv.survival && surv.float_strict && surv.embedded);
+        assert!(!surv.lib_no_panic, "survival rule supersedes lib hygiene");
+        let wiot_lib = classify("crates/wiot/src/adaptive.rs");
+        assert!(!wiot_lib.survival && !wiot_lib.embedded && wiot_lib.lib_no_panic);
+        assert!(!fixed.survival && !plain.survival && !tele_hot.survival);
     }
 }

@@ -1,0 +1,549 @@
+//! Fleet-scale lifetime bench for the survival policy: full charge to
+//! battery cutoff for ≥200 devices under bursty Gilbert–Elliott link
+//! stress and brownout reboots, comparing three deployment policies —
+//! always-Original, always-Reduced, and the adaptive closed loop
+//! (`wiot::survival`).
+//!
+//! Run: `cargo run --release -p bench --bin lifetime -- --devices 200
+//! --seed 61455`
+//!
+//! Three parts, all deterministic:
+//!
+//! 1. **Fast-forward lifetime sweep** — each device's discharge curve is
+//!    integrated in pure integer arithmetic at a 60 s tick using the
+//!    same `BatteryState` and per-version average currents the scenario
+//!    layer uses, with a per-device Gilbert–Elliott badness chain and
+//!    seeded brownouts that exercise the policy's snapshot/restore path
+//!    (any round-trip mismatch fails the bench). Reports p5/p50/p95
+//!    lifetime per policy and the adaptive ladder's occupancy.
+//! 2. **Accuracy tradeoff** — per-version detection accuracy from the
+//!    Table II machinery (Amulet flavor), weighted by the adaptive
+//!    policy's version occupancy. Duty-cycle skips cost *coverage*, not
+//!    per-window accuracy, and are reported separately.
+//! 3. **Digest stability** — a survival-enabled stressed mini-fleet run
+//!    at 1, 2, and 8 threads; the digest must be identical (this is the
+//!    grep-able `"digest"` field `scripts/verify.sh` gates on).
+//!
+//! Hard gates (exit 1): adaptive median lifetime ≥ 1.5× always-Original
+//! with ≤ 2 pp occupancy-weighted accuracy loss; always-Reduced within
+//! [1.7×, 2.6×] of always-Original (the paper's ≈2× headline); zero
+//! snapshot mismatches; thread-count-identical digest.
+//!
+//! Writes `results/BENCH_lifetime.json` (override with `--out PATH`).
+
+use amulet_sim::costs::{detector_cycles, OpCosts};
+use amulet_sim::energy::{BatteryState, EnergyModel};
+use bench::{run_table2, Scale};
+use physio_sim::subject::bank;
+use sift::config::SiftConfig;
+use sift::features::Version;
+use sift::flavor::PlatformFlavor;
+use sift::trainer::ModelBank;
+use std::fmt::Write as _;
+use wiot::channel::LossModel;
+use wiot::fleet::{run_fleet_with_bank, FleetSpec};
+use wiot::survival::{SurvivalConfig, SurvivalInputs, SurvivalPolicy};
+
+/// Simulated seconds per fast-forward tick. The policy was designed for
+/// 1 Hz ticks in the scenario layer; at whole-battery scale a 60 s tick
+/// keeps every dwell/hysteresis mechanism engaged while finishing the
+/// sweep in milliseconds.
+const TICK_S: u64 = 60;
+/// Hard cap on simulated ticks per device (≈ 104 days), a runaway stop.
+const MAX_TICKS: u32 = 150_000;
+
+struct Args {
+    devices: usize,
+    seed: u64,
+    paper_scale: bool,
+    out: String,
+}
+
+fn usage() -> ! {
+    eprintln!("usage: lifetime [--devices N] [--seed N] [--scale smoke|paper] [--out PATH]");
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        devices: 200,
+        seed: 0xF1EE7,
+        paper_scale: false,
+        out: "results/BENCH_lifetime.json".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let Some(value) = it.next() else { usage() };
+        match flag.as_str() {
+            "--devices" => args.devices = value.parse().unwrap_or_else(|_| usage()),
+            "--seed" => args.seed = value.parse().unwrap_or_else(|_| usage()),
+            "--scale" => match value.as_str() {
+                "smoke" => args.paper_scale = false,
+                "paper" => args.paper_scale = true,
+                _ => usage(),
+            },
+            "--out" => args.out = value,
+            _ => usage(),
+        }
+    }
+    args
+}
+
+/// SplitMix64, the same generator the fleet layer splits device seeds
+/// with — one independent stream per (device, purpose).
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+struct Stream {
+    state: u64,
+}
+
+impl Stream {
+    fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        splitmix64(self.state)
+    }
+
+    /// Bernoulli draw with probability `num / den`.
+    fn chance(&mut self, num: u64, den: u64) -> bool {
+        self.next_u64() % den < num
+    }
+
+    /// Uniform in `[lo, hi)`.
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next_u64() % (hi - lo).max(1)
+    }
+}
+
+/// Which deployment policy a device runs.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum DeploymentPolicy {
+    AlwaysOriginal,
+    AlwaysReduced,
+    Adaptive,
+}
+
+/// Outcome of one device's charge-to-cutoff run.
+struct DeviceLifetime {
+    lifetime_days: f64,
+    occupancy_ticks: [u64; 3],
+    duty_skipped_window_ticks: u64,
+    reboots: u64,
+    snapshot_mismatches: u64,
+}
+
+fn version_index(v: Version) -> usize {
+    match v {
+        Version::Original => 0,
+        Version::Simplified => 1,
+        Version::Reduced => 2,
+    }
+}
+
+/// Per-version average current (µA), same derivation as the scenario
+/// layer: cost-model cycles for an average window, amortized over the
+/// window period by the energy model.
+fn version_current_ua(model: &EnergyModel, config: &SiftConfig) -> [f64; 3] {
+    let mut out = [0.0; 3];
+    for v in Version::ALL {
+        let cycles = detector_cycles(v, config, &OpCosts::default(), 4.0).total();
+        out[version_index(v)] = model.average_current_for_cycles_ua(cycles, config.window_s);
+    }
+    out
+}
+
+/// Integrate one device from full charge to cutoff.
+///
+/// The Gilbert–Elliott chain and brownout draws come from independent
+/// per-device SplitMix64 streams; a manufacturing spread of ±2 % on the
+/// draw current is applied identically across the three policies so the
+/// comparison is paired.
+fn run_device(
+    policy_kind: DeploymentPolicy,
+    device: usize,
+    seed: u64,
+    currents_ua: &[f64; 3],
+    baseline_ua: f64,
+    model: &EnergyModel,
+) -> DeviceLifetime {
+    let cfg = SurvivalConfig::default();
+    let mut battery = BatteryState::from_model(model);
+    let mut link = Stream::new(splitmix64(seed ^ 0xA11CE).wrapping_add(device as u64));
+    let mut faults = Stream::new(splitmix64(seed ^ 0xB0B).wrapping_add(device as u64));
+    // ±2 % manufacturing spread, permille, shared across policies.
+    let spread = Stream::new(splitmix64(seed ^ 0x5EED).wrapping_add(device as u64))
+        .range(980, 1021);
+
+    let mut policy = SurvivalPolicy::new(cfg, Version::Original);
+    let mut bad_state = false;
+    let mut occupancy_ticks = [0u64; 3];
+    let mut duty_skipped_window_ticks = 0u64;
+    let mut reboots = 0u64;
+    let mut snapshot_mismatches = 0u64;
+
+    let mut tick = 0u32;
+    while tick < MAX_TICKS {
+        tick += 1;
+        // Gilbert–Elliott at tick granularity: bursty minutes of bad
+        // link, mostly-quiet otherwise.
+        if bad_state {
+            if link.chance(15, 100) {
+                bad_state = false;
+            }
+        } else if link.chance(2, 100) {
+            bad_state = true;
+        }
+        let badness_permille = if bad_state {
+            link.range(450, 800) as u16
+        } else {
+            link.range(0, 60) as u16
+        };
+
+        // Brownout: the device reboots and the policy object is rebuilt
+        // from its FRAM snapshot. Round-trip inequality is a bench
+        // failure, counted and gated below.
+        if faults.chance(1, 2000) {
+            reboots += 1;
+            let snap = policy.snapshot();
+            policy = SurvivalPolicy::new(cfg, Version::Original);
+            policy.restore(snap);
+            if policy.snapshot() != snap {
+                snapshot_mismatches += 1;
+            }
+        }
+
+        let (version, duty_skip, duty_of) = match policy_kind {
+            DeploymentPolicy::AlwaysOriginal => (Version::Original, 0, 1),
+            DeploymentPolicy::AlwaysReduced => (Version::Reduced, 0, 1),
+            DeploymentPolicy::Adaptive => {
+                policy.step(SurvivalInputs {
+                    soc_permille: battery.soc_permille(),
+                    link_badness_permille: badness_permille,
+                    backlog_windows: 0,
+                });
+                let (skip, of) = policy.duty();
+                (policy.version(), skip, of)
+            }
+        };
+        occupancy_ticks[version_index(version)] += 1;
+        duty_skipped_window_ticks += u64::from(duty_skip);
+
+        // Draw current: baseline plus the active version's detector
+        // share, thinned by the duty cycle, with the per-device spread.
+        let delta = (currents_ua[version_index(version)] - baseline_ua).max(0.0);
+        let kept = f64::from(duty_of - duty_skip) / f64::from(duty_of);
+        let current_ua = ((baseline_ua + delta * kept) * spread as f64 / 1000.0).round() as u64;
+        battery.drain(current_ua, TICK_S * 1000);
+
+        if battery.soc_permille() <= cfg.cutoff_permille {
+            break;
+        }
+    }
+
+    DeviceLifetime {
+        lifetime_days: f64::from(tick) * TICK_S as f64 / 86_400.0,
+        occupancy_ticks,
+        duty_skipped_window_ticks,
+        reboots,
+        snapshot_mismatches,
+    }
+}
+
+/// Aggregate of one policy's fleet sweep.
+struct PolicySweep {
+    p5_days: f64,
+    p50_days: f64,
+    p95_days: f64,
+    occupancy_frac: [f64; 3],
+    duty_skipped_window_ticks: u64,
+    reboots: u64,
+    snapshot_mismatches: u64,
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn sweep(
+    policy: DeploymentPolicy,
+    devices: usize,
+    seed: u64,
+    currents_ua: &[f64; 3],
+    baseline_ua: f64,
+    model: &EnergyModel,
+) -> PolicySweep {
+    let mut lifetimes = Vec::with_capacity(devices);
+    let mut occupancy = [0u64; 3];
+    let mut duty_skipped = 0u64;
+    let mut reboots = 0u64;
+    let mut mismatches = 0u64;
+    for device in 0..devices {
+        let d = run_device(policy, device, seed, currents_ua, baseline_ua, model);
+        lifetimes.push(d.lifetime_days);
+        for (acc, t) in occupancy.iter_mut().zip(d.occupancy_ticks) {
+            *acc += t;
+        }
+        duty_skipped += d.duty_skipped_window_ticks;
+        reboots += d.reboots;
+        mismatches += d.snapshot_mismatches;
+    }
+    lifetimes.sort_by(f64::total_cmp);
+    let total_ticks: u64 = occupancy.iter().sum();
+    let occupancy_frac = occupancy.map(|t| t as f64 / total_ticks.max(1) as f64);
+    PolicySweep {
+        p5_days: percentile(&lifetimes, 0.05),
+        p50_days: percentile(&lifetimes, 0.50),
+        p95_days: percentile(&lifetimes, 0.95),
+        occupancy_frac,
+        duty_skipped_window_ticks: duty_skipped,
+        reboots,
+        snapshot_mismatches: mismatches,
+    }
+}
+
+/// Survival-enabled stressed mini-fleet, run at each thread count; the
+/// digest must not move with the schedule.
+fn digest_gate(seed: u64) -> Result<u64, String> {
+    let mut spec = FleetSpec::new(8, 30.0).with_seed(seed);
+    spec.template = spec.template.with_reliability();
+    spec.template.link.loss = Some(LossModel::GilbertElliott {
+        p_good_to_bad: 0.05,
+        p_bad_to_good: 0.25,
+        loss_good: 0.01,
+        loss_bad: 0.5,
+    });
+    spec.template.survival = Some(SurvivalConfig {
+        min_dwell_ticks: 5,
+        drain_scale: 120_000,
+        ..SurvivalConfig::default()
+    });
+    let models = ModelBank::train(
+        &bank(),
+        spec.template.version,
+        &spec.template.config,
+        spec.seed,
+    )
+    .map_err(|e| format!("enrollment failed: {e}"))?;
+    let mut digest = None;
+    for threads in [1, 2, 8] {
+        let report = run_fleet_with_bank(&spec.clone().with_threads(threads), &models)
+            .map_err(|e| format!("fleet run failed at {threads} threads: {e}"))?;
+        match digest {
+            None => digest = Some(report.digest()),
+            Some(d) if d != report.digest() => {
+                return Err(format!(
+                    "digest drifted with thread count: {:#018x} at 1 thread vs {:#018x} at {threads}",
+                    d,
+                    report.digest()
+                ));
+            }
+            Some(_) => {}
+        }
+    }
+    Ok(digest.unwrap_or(0))
+}
+
+fn main() {
+    let args = parse_args();
+    let mut failures: Vec<String> = Vec::new();
+
+    let model = EnergyModel::default();
+    let config = SiftConfig::default();
+    let currents = version_current_ua(&model, &config);
+    let baseline = model.currents.baseline_ua();
+    println!(
+        "per-version average current: original {:.1} uA, simplified {:.1} uA, reduced {:.1} uA \
+         (baseline {:.1} uA)",
+        currents[0], currents[1], currents[2], baseline
+    );
+
+    println!(
+        "lifetime sweep: {} devices x 3 policies, {} s ticks, seed {}",
+        args.devices, TICK_S, args.seed
+    );
+    let original = sweep(
+        DeploymentPolicy::AlwaysOriginal,
+        args.devices,
+        args.seed,
+        &currents,
+        baseline,
+        &model,
+    );
+    let reduced = sweep(
+        DeploymentPolicy::AlwaysReduced,
+        args.devices,
+        args.seed,
+        &currents,
+        baseline,
+        &model,
+    );
+    let adaptive = sweep(
+        DeploymentPolicy::Adaptive,
+        args.devices,
+        args.seed,
+        &currents,
+        baseline,
+        &model,
+    );
+    for (name, s) in [
+        ("always-original", &original),
+        ("always-reduced", &reduced),
+        ("adaptive", &adaptive),
+    ] {
+        println!(
+            "  {name:<15} p5 {:>5.1} d, p50 {:>5.1} d, p95 {:>5.1} d ({} reboots survived)",
+            s.p5_days, s.p50_days, s.p95_days, s.reboots
+        );
+    }
+    println!(
+        "  adaptive occupancy: original {:.0}%, simplified {:.0}%, reduced {:.0}%",
+        adaptive.occupancy_frac[0] * 100.0,
+        adaptive.occupancy_frac[1] * 100.0,
+        adaptive.occupancy_frac[2] * 100.0
+    );
+
+    let reduced_ratio = reduced.p50_days / original.p50_days;
+    let adaptive_ratio = adaptive.p50_days / original.p50_days;
+    println!(
+        "  lifetime ratios vs always-original: reduced {reduced_ratio:.2}x, adaptive {adaptive_ratio:.2}x"
+    );
+    if !(1.7..=2.6).contains(&reduced_ratio) {
+        failures.push(format!(
+            "always-Reduced lifetime is {reduced_ratio:.2}x always-Original, outside the paper's ~2x band [1.7, 2.6]"
+        ));
+    }
+    if adaptive_ratio < 1.5 {
+        failures.push(format!(
+            "adaptive lifetime is {adaptive_ratio:.2}x always-Original, below the 1.5x gate"
+        ));
+    }
+    let total_mismatches = original.snapshot_mismatches
+        + reduced.snapshot_mismatches
+        + adaptive.snapshot_mismatches;
+    if total_mismatches > 0 {
+        failures.push(format!(
+            "{total_mismatches} survival snapshot round-trips did not restore bit-identically"
+        ));
+    }
+
+    // Accuracy tradeoff: per-version detection accuracy (Amulet flavor)
+    // weighted by the adaptive ladder's occupancy.
+    let scale = if args.paper_scale {
+        Scale::Paper
+    } else {
+        Scale::Smoke
+    };
+    println!("accuracy tradeoff (Table II machinery, {} scale):", if args.paper_scale { "paper" } else { "smoke" });
+    let rows = match run_table2(scale) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("accuracy evaluation failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut version_acc = [0.0f64; 3];
+    for row in rows
+        .iter()
+        .filter(|r| r.flavor == PlatformFlavor::Amulet)
+    {
+        version_acc[version_index(row.version)] = row.metrics.accuracy;
+    }
+    let weighted_acc: f64 = version_acc
+        .iter()
+        .zip(adaptive.occupancy_frac)
+        .map(|(a, f)| a * f)
+        .sum();
+    let acc_loss_pp = (version_acc[0] - weighted_acc) * 100.0;
+    println!(
+        "  accuracy: original {:.2}%, simplified {:.2}%, reduced {:.2}% -> adaptive (weighted) {:.2}%",
+        version_acc[0] * 100.0,
+        version_acc[1] * 100.0,
+        version_acc[2] * 100.0,
+        weighted_acc * 100.0
+    );
+    println!("  adaptive accuracy loss vs always-original: {acc_loss_pp:.2} pp");
+    if acc_loss_pp > 2.0 {
+        failures.push(format!(
+            "adaptive policy loses {acc_loss_pp:.2} pp accuracy vs always-Original, above the 2 pp gate"
+        ));
+    }
+
+    // Digest stability of the survival-enabled scenario fleet.
+    let digest = match digest_gate(args.seed) {
+        Ok(d) => {
+            println!("survival fleet digest {d:#018x} (identical at 1, 2, and 8 threads)");
+            d
+        }
+        Err(e) => {
+            eprintln!("lifetime bench: FAIL {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"devices\": {},", args.devices);
+    let _ = writeln!(json, "  \"seed\": {},", args.seed);
+    let _ = writeln!(json, "  \"tick_s\": {TICK_S},");
+    let _ = writeln!(
+        json,
+        "  \"accuracy_scale\": \"{}\",",
+        if args.paper_scale { "paper" } else { "smoke" }
+    );
+    for (name, s) in [
+        ("always_original", &original),
+        ("always_reduced", &reduced),
+        ("adaptive", &adaptive),
+    ] {
+        let _ = writeln!(
+            json,
+            "  \"{name}\": {{ \"p5_days\": {:.3}, \"p50_days\": {:.3}, \"p95_days\": {:.3}, \"reboots\": {} }},",
+            s.p5_days, s.p50_days, s.p95_days, s.reboots
+        );
+    }
+    let _ = writeln!(json, "  \"reduced_vs_original\": {reduced_ratio:.4},");
+    let _ = writeln!(json, "  \"adaptive_vs_original\": {adaptive_ratio:.4},");
+    let _ = writeln!(
+        json,
+        "  \"adaptive_occupancy\": {{ \"original\": {:.4}, \"simplified\": {:.4}, \"reduced\": {:.4} }},",
+        adaptive.occupancy_frac[0], adaptive.occupancy_frac[1], adaptive.occupancy_frac[2]
+    );
+    let _ = writeln!(
+        json,
+        "  \"accuracy\": {{ \"original\": {:.6}, \"simplified\": {:.6}, \"reduced\": {:.6}, \"adaptive_weighted\": {:.6}, \"loss_pp\": {:.4} }},",
+        version_acc[0], version_acc[1], version_acc[2], weighted_acc, acc_loss_pp
+    );
+    let _ = writeln!(
+        json,
+        "  \"duty_skipped_window_ticks\": {},",
+        adaptive.duty_skipped_window_ticks
+    );
+    let _ = writeln!(json, "  \"snapshot_mismatches\": {total_mismatches},");
+    let _ = writeln!(json, "  \"digest\": \"{digest:#018x}\"");
+    json.push_str("}\n");
+    if let Err(e) = std::fs::write(&args.out, &json) {
+        eprintln!("failed to write {}: {e}", args.out);
+        std::process::exit(1);
+    }
+    println!("wrote {}", args.out);
+
+    if failures.is_empty() {
+        println!("lifetime bench: OK");
+    } else {
+        for f in &failures {
+            eprintln!("lifetime bench: FAIL {f}");
+        }
+        std::process::exit(1);
+    }
+}

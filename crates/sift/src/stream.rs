@@ -20,6 +20,14 @@ pub struct StreamingDetector {
     window_samples: usize,
     windows_emitted: u64,
     degenerate_windows: u64,
+    /// Duty cycle: skip the first `duty_skip` windows of every group
+    /// of `duty_of` (0-of-1 = full duty). Set by the survival policy
+    /// when battery runs low.
+    duty_skip: u8,
+    duty_of: u8,
+    /// Stream-lifetime index of the window currently being buffered.
+    window_index: u64,
+    windows_skipped: u64,
 }
 
 impl StreamingDetector {
@@ -33,7 +41,48 @@ impl StreamingDetector {
             window_samples,
             windows_emitted: 0,
             degenerate_windows: 0,
+            duty_skip: 0,
+            duty_of: 1,
+            window_index: 0,
+            windows_skipped: 0,
         }
+    }
+
+    /// Set the sampling duty cycle: skip the first `skip` windows of
+    /// every group of `of`. A skipped window's samples are discarded
+    /// unclassified (the ADC never ran), counted in
+    /// [`StreamingDetector::windows_skipped`]. `(0, 1)` restores full
+    /// duty.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SiftError::InvalidConfig`] unless `skip < of` and
+    /// `of > 0`.
+    pub fn set_duty(&mut self, skip: u8, of: u8) -> Result<(), SiftError> {
+        if of == 0 || skip >= of {
+            return Err(SiftError::InvalidConfig {
+                reason: "duty cycle must skip fewer windows than the group size",
+            });
+        }
+        self.duty_skip = skip;
+        self.duty_of = of;
+        Ok(())
+    }
+
+    /// The duty cycle in force, `(skip, of)`.
+    pub fn duty(&self) -> (u8, u8) {
+        (self.duty_skip, self.duty_of)
+    }
+
+    /// Windows discarded by the duty cycle so far.
+    pub fn windows_skipped(&self) -> u64 {
+        self.windows_skipped
+    }
+
+    /// Whether the window currently being buffered will be discarded
+    /// by the duty cycle when it completes.
+    fn skipping_now(&self) -> bool {
+        self.duty_of > 1 && self.window_index % u64::from(self.duty_of) < u64::from(self.duty_skip)
     }
 
     /// Push one synchronized sample pair. Returns `Some(detection)` when
@@ -49,6 +98,16 @@ impl StreamingDetector {
         if self.ecg.len() < self.window_samples {
             return Ok(None);
         }
+        // A duty-skipped window is discarded unclassified: on the real
+        // device the front-end would not even have sampled it.
+        if self.skipping_now() {
+            self.ecg.clear();
+            self.abp.clear();
+            self.window_index += 1;
+            self.windows_skipped += 1;
+            return Ok(None);
+        }
+        self.window_index += 1;
         let ecg = std::mem::replace(&mut self.ecg, Vec::with_capacity(self.window_samples));
         let abp = std::mem::replace(&mut self.abp, Vec::with_capacity(self.window_samples));
         let detection = match Snippet::from_signals(ecg, abp, self.detector.config().fs) {
@@ -161,6 +220,36 @@ mod tests {
         assert!(d.is_alert());
         assert!(d.degenerate);
         assert_eq!(s.degenerate_windows(), 1);
+    }
+
+    #[test]
+    fn duty_cycle_skips_windows_unclassified() {
+        let mut s = streaming(Version::Simplified);
+        s.set_duty(1, 2).unwrap();
+        assert_eq!(s.duty(), (1, 2));
+        let r = Record::synthesize(&bank()[0], 13.0, 5);
+        let mut detections = 0;
+        for (&e, &a) in r.ecg.iter().zip(&r.abp) {
+            if s.push(e, a).unwrap().is_some() {
+                detections += 1;
+            }
+        }
+        // 13 s → 4 complete 3 s windows; indices 0 and 2 are skipped.
+        assert_eq!(detections, 2);
+        assert_eq!(s.windows_emitted(), 2);
+        assert_eq!(s.windows_skipped(), 2);
+        // Back to full duty: every further window classifies.
+        s.set_duty(0, 1).unwrap();
+        let mut more = 0;
+        for (&e, &a) in r.ecg.iter().zip(&r.abp) {
+            if s.push(e, a).unwrap().is_some() {
+                more += 1;
+            }
+        }
+        assert!(more >= 4);
+        // Malformed duty cycles are rejected.
+        assert!(s.set_duty(2, 2).is_err());
+        assert!(s.set_duty(0, 0).is_err());
     }
 
     #[test]

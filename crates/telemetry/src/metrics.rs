@@ -63,10 +63,18 @@ pub enum CounterId {
     CheckpointRecoveries,
     /// Recoveries that rolled back to an older generation.
     CheckpointRollbacks,
+    /// Detector-version switches actuated by the survival policy.
+    SurvivalVersionSwitches,
+    /// Sensor chunks suppressed by the survival duty cycle.
+    SurvivalDutySkippedChunks,
+    /// Transport retry-posture changes actuated by the survival policy.
+    SurvivalRetryReconfigs,
+    /// Policy ticks spent below the low-battery threshold.
+    SurvivalLowBatteryTicks,
 }
 
 /// Number of counters.
-pub const COUNTER_COUNT: usize = 26;
+pub const COUNTER_COUNT: usize = 30;
 
 impl CounterId {
     /// Every counter, in export order.
@@ -97,6 +105,10 @@ impl CounterId {
         CounterId::FaultStuckChunks,
         CounterId::CheckpointRecoveries,
         CounterId::CheckpointRollbacks,
+        CounterId::SurvivalVersionSwitches,
+        CounterId::SurvivalDutySkippedChunks,
+        CounterId::SurvivalRetryReconfigs,
+        CounterId::SurvivalLowBatteryTicks,
     ];
 
     /// Dense array index.
@@ -133,6 +145,10 @@ impl CounterId {
             CounterId::FaultStuckChunks => "fault_stuck_chunks",
             CounterId::CheckpointRecoveries => "checkpoint_recoveries",
             CounterId::CheckpointRollbacks => "checkpoint_rollbacks",
+            CounterId::SurvivalVersionSwitches => "survival_version_switches",
+            CounterId::SurvivalDutySkippedChunks => "survival_duty_skipped_chunks",
+            CounterId::SurvivalRetryReconfigs => "survival_retry_reconfigs",
+            CounterId::SurvivalLowBatteryTicks => "survival_low_battery_ticks",
         }
     }
 }

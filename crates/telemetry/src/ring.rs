@@ -36,6 +36,9 @@ pub enum EventCode {
     WindowRejected,
     /// Stream watchdog raised a stall alert.
     StallAlert,
+    /// Survival-policy actuation (`a` = knob: 0 version, 1 duty,
+    /// 2 retry; `b` = new setting, knob-specific encoding).
+    SurvivalAction,
 }
 
 impl EventCode {
@@ -55,6 +58,7 @@ impl EventCode {
             EventCode::WindowDropped => "window_dropped",
             EventCode::WindowRejected => "window_rejected",
             EventCode::StallAlert => "stall_alert",
+            EventCode::SurvivalAction => "survival_action",
         }
     }
 }

@@ -55,6 +55,20 @@ impl LinkQuality {
     fn badness(&self) -> f64 {
         (self.loss_rate + 0.5 * self.retransmit_rate).clamp(0.0, 1.0)
     }
+
+    /// The same scalar badness as integer permille in `[0, 1000]` —
+    /// the fixed-point form the device-side survival policy
+    /// ([`crate::survival`]) consumes. Non-finite inputs saturate to
+    /// fully bad (a link whose statistics are broken should not be
+    /// trusted).
+    pub fn badness_permille(&self) -> u16 {
+        let b = self.badness();
+        if b.is_finite() {
+            (b * 1000.0).round() as u16
+        } else {
+            1000
+        }
+    }
 }
 
 /// Decision-engine policy knobs.

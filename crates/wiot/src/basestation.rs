@@ -487,6 +487,36 @@ impl BaseStation {
             .map_err(WiotError::from)
     }
 
+    /// Hot-swap the detector for a *different* build — the survival
+    /// policy's version actuator. Detector apps are named after their
+    /// version, so [`BaseStation::restore_detector`] cannot cross
+    /// versions; instead the whole firmware image is rebuilt (new
+    /// detector, heart-rate app, and the watchdog app when installed)
+    /// and [`amulet_sim::os::AmuletOs::reflash`]ed, which is exactly
+    /// how a version change deploys on the real Amulet. The clock,
+    /// energy meter, and alert log persist across the reflash; the
+    /// event queue is cleared (it is idle between scenario ticks) and
+    /// **any reserved FRAM checkpoint region is released** — callers
+    /// that checkpoint must re-reserve it afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Propagates firmware static-check or flash failures from the
+    /// rebuilt image.
+    pub fn swap_detector(&mut self, app: SiftApp) -> Result<(), WiotError> {
+        let hr = HeartRateApp::with_sample_rate(self.config.fs);
+        let mut specs = vec![app.resource_spec(), hr.resource_spec()];
+        let mut apps: Vec<Box<dyn App>> = vec![Box::new(app), Box::new(hr)];
+        if self.watchdog.is_some() {
+            let wd = WatchdogApp::new();
+            specs.push(wd.resource_spec());
+            apps.push(Box::new(wd));
+        }
+        let image = FirmwareImage::build(specs, &ResourceProfiler::default())
+            .map_err(WiotError::from)?;
+        self.os.reflash(&image, apps).map_err(WiotError::from)
+    }
+
     /// Check stream liveness at `now_ms`: every watched stream silent
     /// for longer than the watchdog timeout is flagged, a
     /// `StreamStalled` event is posted through the OS (the watchdog app

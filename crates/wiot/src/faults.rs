@@ -295,6 +295,12 @@ pub struct FaultSummary {
     /// Reboots after which no checkpoint could be restored (the
     /// station kept running with its freshly-reset detector).
     pub recovery_failures: u64,
+    /// Sensor chunks never offered to the link because the survival
+    /// policy's duty cycle skipped their window at the source.
+    pub duty_skipped_chunks: u64,
+    /// Policy ticks spent at or below the survival policy's low-battery
+    /// (retry-tightening) threshold.
+    pub low_battery_ticks: u64,
 }
 
 impl FaultSummary {
@@ -314,6 +320,8 @@ impl FaultSummary {
             recoveries: self.recoveries + other.recoveries,
             rollbacks: self.rollbacks + other.rollbacks,
             recovery_failures: self.recovery_failures + other.recovery_failures,
+            duty_skipped_chunks: self.duty_skipped_chunks + other.duty_skipped_chunks,
+            low_battery_ticks: self.low_battery_ticks + other.low_battery_ticks,
         }
     }
 }
@@ -494,16 +502,21 @@ mod tests {
             recoveries: 8,
             rollbacks: 9,
             recovery_failures: 10,
+            duty_skipped_chunks: 11,
+            low_battery_ticks: 12,
         };
         let b = FaultSummary {
             max_clock_skew_ms: 2,
             reboots: 1,
+            duty_skipped_chunks: 3,
             ..FaultSummary::default()
         };
         let m = a.merged(b);
         assert_eq!(m.reboots, 4);
         assert_eq!(m.max_clock_skew_ms, 5);
         assert_eq!(m.recoveries, 8);
+        assert_eq!(m.duty_skipped_chunks, 14);
+        assert_eq!(m.low_battery_ticks, 12);
         assert_eq!(FaultSummary::default().merged(a), a);
     }
 }

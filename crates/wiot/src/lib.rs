@@ -30,6 +30,10 @@
 //! * [`persist`] — crash-consistent checkpointing of the detector and
 //!   adaptive state to the simulated FRAM, so a brownout reboot resumes
 //!   detection without re-enrollment,
+//! * [`survival`] — the battery- and channel-aware graceful-degradation
+//!   policy: a closed loop that walks detector version, sampling duty
+//!   cycle, and transport retry budget down (and back up) with
+//!   hysteresis as charge drains and the link degrades,
 //! * [`scenario`] — a deterministic scenario runner gluing everything
 //!   together and scoring detection performance end to end.
 
@@ -46,6 +50,7 @@ pub mod fleet;
 pub mod persist;
 pub mod scenario;
 pub mod sink;
+pub mod survival;
 pub mod transport;
 
 mod error;

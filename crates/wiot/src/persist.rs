@@ -16,11 +16,18 @@
 //! The module also provides a small byte codec for the adaptive
 //! engine's [`crate::adaptive::AdaptiveSnapshot`] so deployments that
 //! switch detector versions can persist the decision-engine state
-//! alongside the detector checkpoint.
+//! alongside the detector checkpoint, and a fixed 16-byte codec for
+//! the survival policy's [`crate::survival::SurvivalSnapshot`]. With
+//! [`Persistence::enable_survival`], every commit appends the policy
+//! state to the detector payload and
+//! [`Persistence::recover_survival`] restores *both* after a brownout
+//! — including hot-swapping the detector build when the checkpointed
+//! version differs from the one currently installed.
 
 use crate::adaptive::AdaptiveSnapshot;
 use crate::basestation::BaseStation;
 use crate::faults::FaultSummary;
+use crate::survival::SurvivalSnapshot;
 use crate::WiotError;
 use amulet_sim::apps::SiftApp;
 use amulet_sim::nvram::{CheckpointStats, CheckpointStore, Restore, NVRAM_BYTES};
@@ -33,6 +40,11 @@ use sift::features::Version;
 /// flags, and two 8-byte payloads.
 pub const ADAPTIVE_SNAPSHOT_BYTES: usize = 19;
 
+/// Encoded size of a [`SurvivalSnapshot`]: version tag, four knob
+/// bytes, a flags byte, two 4-byte tick counters, and the 2-byte
+/// link EWMA.
+pub const SURVIVAL_SNAPSHOT_BYTES: usize = 16;
+
 /// The base station's persistence engine: one reusable encode buffer,
 /// the live snapshot, and the simulated FRAM store.
 #[derive(Debug, Clone)]
@@ -40,6 +52,10 @@ pub struct Persistence {
     store: CheckpointStore,
     snapshot: DetectorCheckpoint,
     buf: Vec<u8>,
+    /// When set, every commit appends this policy snapshot to the
+    /// detector payload (and recovery restores it). `None` keeps the
+    /// committed bytes identical to a pre-survival build.
+    survival: Option<SurvivalSnapshot>,
 }
 
 impl Persistence {
@@ -58,7 +74,61 @@ impl Persistence {
             store: CheckpointStore::new(),
             snapshot,
             buf,
+            survival: None,
         })
+    }
+
+    /// Start persisting the survival-policy state: `snap` (and every
+    /// later [`Persistence::set_survival`] update) rides along with
+    /// each detector commit as a fixed 16-byte suffix. Grows the
+    /// encode buffer once; commits stay allocation-free.
+    pub fn enable_survival(&mut self, snap: SurvivalSnapshot) {
+        self.survival = Some(snap);
+        self.resize_buf();
+    }
+
+    /// Update the survival-policy state the next commit will persist.
+    /// No-op until [`Persistence::enable_survival`] was called.
+    pub fn set_survival(&mut self, snap: SurvivalSnapshot) {
+        if self.survival.is_some() {
+            self.survival = Some(snap);
+        }
+    }
+
+    /// The survival-policy state that the last commit persisted (or
+    /// the last recovery restored), if survival persistence is on.
+    pub fn survival(&self) -> Option<SurvivalSnapshot> {
+        self.survival
+    }
+
+    /// Re-target persistence at a different detector build — the
+    /// survival policy's version actuator calls this right after
+    /// hot-swapping the app, so subsequent commits checkpoint the new
+    /// build. The stream position (`windows_seen` / `alerts_raised`)
+    /// carries over.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WiotError::Sift`] when the model dimension does not
+    /// match the flavor.
+    pub fn set_version(&mut self, version: Version, model: EmbeddedModel) -> Result<(), WiotError> {
+        let mut snapshot = DetectorCheckpoint::new(version, model)?;
+        snapshot.windows_seen = self.snapshot.windows_seen;
+        snapshot.alerts_raised = self.snapshot.alerts_raised;
+        self.snapshot = snapshot;
+        self.resize_buf();
+        Ok(())
+    }
+
+    /// Size the encode buffer for the current detector version plus
+    /// the survival suffix when enabled.
+    fn resize_buf(&mut self) {
+        let extra = if self.survival.is_some() {
+            SURVIVAL_SNAPSHOT_BYTES
+        } else {
+            0
+        };
+        self.buf.resize(self.snapshot.encoded_len() + extra, 0);
     }
 
     /// Charge the NVRAM checkpoint region to the station's FRAM map so
@@ -85,9 +155,23 @@ impl Persistence {
     pub fn commit(&mut self, windows_seen: u32, alerts_raised: u32) -> Result<u32, WiotError> {
         self.snapshot.windows_seen = windows_seen;
         self.snapshot.alerts_raised = alerts_raised;
-        let n = self.snapshot.encode_into(&mut self.buf)?;
+        let n = self.encode_payload()?;
         let written = self.buf.get(..n).unwrap_or(&[]);
         self.store.commit(written).map_err(WiotError::from)
+    }
+
+    /// Encode the detector checkpoint (and the survival suffix when
+    /// enabled) into the reusable buffer, returning the payload size.
+    fn encode_payload(&mut self) -> Result<usize, WiotError> {
+        let mut n = self.snapshot.encode_into(&mut self.buf)?;
+        if let Some(snap) = &self.survival {
+            let suffix = encode_survival(snap);
+            if let Some(tail) = self.buf.get_mut(n..n + SURVIVAL_SNAPSHOT_BYTES) {
+                tail.copy_from_slice(&suffix);
+                n += SURVIVAL_SNAPSHOT_BYTES;
+            }
+        }
+        Ok(n)
     }
 
     /// Commit, but lose power after `cut_bytes` bytes of the FRAM write
@@ -104,7 +188,7 @@ impl Persistence {
     ) -> Result<u32, WiotError> {
         self.snapshot.windows_seen = windows_seen;
         self.snapshot.alerts_raised = alerts_raised;
-        let n = self.snapshot.encode_into(&mut self.buf)?;
+        let n = self.encode_payload()?;
         let written = self.buf.get(..n).unwrap_or(&[]);
         self.store
             .commit_torn(written, cut_bytes)
@@ -163,6 +247,71 @@ impl Persistence {
         Ok(true)
     }
 
+    /// Recover after a reboot with survival persistence on: restore
+    /// the newest valid checkpoint *and* its survival-policy suffix.
+    /// Unlike [`Persistence::recover`], the checkpointed version need
+    /// not match the one currently installed — the policy may have
+    /// switched builds since the station was provisioned — so a
+    /// cross-version checkpoint hot-swaps the detector (reflash) and
+    /// re-reserves the FRAM checkpoint region. Returns the restored
+    /// policy snapshot so the caller can resync its
+    /// [`crate::survival::SurvivalPolicy`] and re-actuate duty and
+    /// retry settings; `None` means no checkpoint could be restored
+    /// (counted, never fabricated).
+    ///
+    /// # Errors
+    ///
+    /// Propagates platform errors from swapping the app or
+    /// re-reserving the checkpoint region; corrupt or incompatible
+    /// checkpoints are counted in `summary`, not errors.
+    pub fn recover_survival(
+        &mut self,
+        station: &mut BaseStation,
+        config: &SiftConfig,
+        summary: &mut FaultSummary,
+    ) -> Result<Option<SurvivalSnapshot>, WiotError> {
+        let decoded = match self.store.restore() {
+            Restore::Valid {
+                payload,
+                rolled_back,
+                ..
+            } => {
+                let split = payload.len().checked_sub(SURVIVAL_SNAPSHOT_BYTES);
+                let parts = split.map(|at| payload.split_at(at));
+                match parts.map(|(det, surv)| (DetectorCheckpoint::decode(det), decode_survival(surv)))
+                {
+                    Some((Ok(ckpt), Ok(snap))) if ckpt.version == snap.version => {
+                        Some((ckpt, snap, rolled_back))
+                    }
+                    _ => None,
+                }
+            }
+            Restore::Empty | Restore::Corrupt => None,
+        };
+        let Some((ckpt, snap, rolled_back)) = decoded else {
+            summary.recovery_failures += 1;
+            return Ok(None);
+        };
+        let app = SiftApp::new(ckpt.version, ckpt.model.clone(), config.clone())?;
+        if ckpt.version == self.snapshot.version {
+            station.restore_detector(app)?;
+        } else {
+            // The checkpoint was taken on a different build than the
+            // one running now: redeploy it. The reflash drops the
+            // FRAM reservation, so charge it again.
+            station.swap_detector(app)?;
+            self.reserve(station)?;
+        }
+        self.snapshot = ckpt;
+        self.survival = Some(snap);
+        self.resize_buf();
+        summary.recoveries += 1;
+        if rolled_back {
+            summary.rollbacks += 1;
+        }
+        Ok(Some(snap))
+    }
+
     /// The last committed (or recovered) snapshot.
     pub fn snapshot(&self) -> &DetectorCheckpoint {
         &self.snapshot
@@ -205,6 +354,78 @@ pub fn encode_adaptive(snap: &AdaptiveSnapshot) -> [u8; ADAPTIVE_SNAPSHOT_BYTES]
         out[11..19].copy_from_slice(&ewma.to_bits().to_le_bytes());
     }
     out
+}
+
+/// Encode a [`SurvivalSnapshot`] into `SURVIVAL_SNAPSHOT_BYTES` bytes:
+/// `[version tag][duty skip][duty of][retry max][retry shift][flags]
+/// [tick LE u32][last_switch_tick LE u32][link ewma LE u16]`.
+pub fn encode_survival(snap: &SurvivalSnapshot) -> [u8; SURVIVAL_SNAPSHOT_BYTES] {
+    let mut out = [0u8; SURVIVAL_SNAPSHOT_BYTES];
+    out[0] = version_tag(snap.version);
+    out[1] = snap.duty_skip;
+    out[2] = snap.duty_of;
+    out[3] = snap.retry_max;
+    out[4] = snap.retry_shift;
+    out[5] = u8::from(snap.link_capped);
+    out[6..10].copy_from_slice(&snap.tick.to_le_bytes());
+    out[10..14].copy_from_slice(&snap.last_switch_tick.to_le_bytes());
+    out[14..16].copy_from_slice(&snap.link_ewma_permille.to_le_bytes());
+    out
+}
+
+/// Decode bytes produced by [`encode_survival`].
+///
+/// # Errors
+///
+/// Returns [`WiotError::InvalidScenario`] for a wrong length, an
+/// unknown version tag, an invalid flags byte, a malformed duty cycle,
+/// or an out-of-range link EWMA.
+pub fn decode_survival(bytes: &[u8]) -> Result<SurvivalSnapshot, WiotError> {
+    if bytes.len() != SURVIVAL_SNAPSHOT_BYTES {
+        return Err(WiotError::InvalidScenario {
+            reason: "survival snapshot has the wrong length",
+        });
+    }
+    let version = version_from_tag(bytes[0]).ok_or(WiotError::InvalidScenario {
+        reason: "survival snapshot has an unknown version tag",
+    })?;
+    let (duty_skip, duty_of) = (bytes[1], bytes[2]);
+    if duty_of == 0 || duty_skip >= duty_of {
+        return Err(WiotError::InvalidScenario {
+            reason: "survival snapshot has a malformed duty cycle",
+        });
+    }
+    let link_capped = match bytes[5] {
+        0 => false,
+        1 => true,
+        _ => {
+            return Err(WiotError::InvalidScenario {
+                reason: "survival snapshot has an invalid flags byte",
+            });
+        }
+    };
+    let u32_at = |at: usize| {
+        let mut raw = [0u8; 4];
+        raw.copy_from_slice(&bytes[at..at + 4]);
+        u32::from_le_bytes(raw)
+    };
+    let link_ewma_permille = u16::from_le_bytes([bytes[14], bytes[15]]);
+    if link_ewma_permille > 1000 {
+        return Err(WiotError::InvalidScenario {
+            reason: "survival snapshot link badness exceeds full scale",
+        });
+    }
+    Ok(SurvivalSnapshot {
+        version,
+        duty_skip,
+        duty_of,
+        retry_max: bytes[3],
+        retry_shift: bytes[4],
+        link_capped,
+        tick: u32_at(6),
+        last_switch_tick: u32_at(10),
+        link_ewma_permille,
+    })
 }
 
 /// Decode bytes produced by [`encode_adaptive`].
@@ -346,6 +567,117 @@ mod tests {
         st.reboot();
         assert!(!p.recover(&mut st, &quick_config(), &mut summary).unwrap());
         assert_eq!(summary.recovery_failures, 1);
+    }
+
+    fn survival_snap(version: Version) -> crate::survival::SurvivalSnapshot {
+        crate::survival::SurvivalSnapshot {
+            version,
+            duty_skip: 1,
+            duty_of: 4,
+            retry_max: 2,
+            retry_shift: 2,
+            link_capped: true,
+            tick: 777,
+            last_switch_tick: 700,
+            link_ewma_permille: 321,
+        }
+    }
+
+    #[test]
+    fn survival_snapshot_codec_round_trips() {
+        for version in Version::ALL {
+            let snap = survival_snap(version);
+            let bytes = encode_survival(&snap);
+            assert_eq!(decode_survival(&bytes).unwrap(), snap);
+        }
+    }
+
+    #[test]
+    fn survival_snapshot_codec_rejects_malformed_bytes() {
+        let good = encode_survival(&survival_snap(Version::Reduced));
+        assert!(decode_survival(&good[..10]).is_err());
+        let mut bad_tag = good;
+        bad_tag[0] = 9;
+        assert!(decode_survival(&bad_tag).is_err());
+        let mut bad_duty = good;
+        bad_duty[2] = 0;
+        assert!(decode_survival(&bad_duty).is_err());
+        let mut bad_flags = good;
+        bad_flags[5] = 3;
+        assert!(decode_survival(&bad_flags).is_err());
+        let mut bad_ewma = good;
+        bad_ewma[14..16].copy_from_slice(&2000u16.to_le_bytes());
+        assert!(decode_survival(&bad_ewma).is_err());
+    }
+
+    #[test]
+    fn survival_commit_and_recovery_round_trip_same_version() {
+        let version = Version::Simplified;
+        let mut st = station(version);
+        let mut p = Persistence::new(version, model(version)).unwrap();
+        p.reserve(&mut st).unwrap();
+        p.enable_survival(survival_snap(version));
+        p.commit(8, 2).unwrap();
+        let mut summary = FaultSummary::default();
+        st.reboot();
+        let restored = p
+            .recover_survival(&mut st, &quick_config(), &mut summary)
+            .unwrap();
+        assert_eq!(restored, Some(survival_snap(version)));
+        assert_eq!(summary.recoveries, 1);
+        assert_eq!(p.snapshot().windows_seen, 8);
+        assert_eq!(p.survival(), restored);
+    }
+
+    #[test]
+    fn survival_recovery_hot_swaps_across_versions() {
+        // The checkpoint was taken on a Reduced build, but the station
+        // currently runs Original (e.g. it rebooted before the policy
+        // state was re-applied): recovery must redeploy Reduced.
+        let mut st = station(Version::Original);
+        let mut p = Persistence::new(Version::Original, model(Version::Original)).unwrap();
+        p.reserve(&mut st).unwrap();
+        p.enable_survival(survival_snap(Version::Original));
+        p.commit(1, 0).unwrap();
+        // The policy switches to Reduced and checkpoints on it.
+        p.set_version(Version::Reduced, model(Version::Reduced)).unwrap();
+        p.set_survival(survival_snap(Version::Reduced));
+        p.commit(5, 1).unwrap();
+        // Fresh persistence engine simulating a cold reboot that lost
+        // the in-RAM notion of the deployed version.
+        let mut cold = Persistence::new(Version::Original, model(Version::Original)).unwrap();
+        cold.enable_survival(survival_snap(Version::Original));
+        // Hand the cold engine the same FRAM contents.
+        cold.store = p.store.clone();
+        let mut summary = FaultSummary::default();
+        st.reboot();
+        let restored = cold
+            .recover_survival(&mut st, &quick_config(), &mut summary)
+            .unwrap()
+            .unwrap();
+        assert_eq!(restored.version, Version::Reduced);
+        assert_eq!(cold.snapshot().version, Version::Reduced);
+        assert_eq!(cold.snapshot().windows_seen, 5);
+        assert_eq!(summary.recoveries, 1);
+        assert_eq!(summary.recovery_failures, 0);
+        // The reflash re-reserved the checkpoint region: further
+        // commits and recoveries still work.
+        cold.commit(6, 1).unwrap();
+        st.reboot();
+        assert!(cold
+            .recover_survival(&mut st, &quick_config(), &mut summary)
+            .unwrap()
+            .is_some());
+    }
+
+    #[test]
+    fn survival_off_payload_is_byte_identical_to_pre_survival_builds() {
+        let version = Version::Reduced;
+        let mut p = Persistence::new(version, model(version)).unwrap();
+        p.commit(3, 1).unwrap();
+        // Payload length is exactly the detector checkpoint: no suffix.
+        let expected = sift::checkpoint::encoded_len(version);
+        assert_eq!(p.buf.len(), expected);
     }
 
     #[test]

@@ -13,11 +13,19 @@ use crate::basestation::{BaseStation, WindowOutcome};
 use crate::channel::{Channel, ChannelConfig, ChannelStats, Delivery, LossModel};
 use crate::device::{SensorDevice, Stream};
 use crate::faults::{FaultPlan, FaultSummary};
+use crate::adaptive::LinkQuality;
 use crate::persist::Persistence;
 use crate::sink::Sink;
+use crate::survival::{
+    window_is_skipped, SurvivalAction, SurvivalConfig, SurvivalInputs, SurvivalPolicy,
+    SurvivalVerdict,
+};
 use crate::transport::{ArqConfig, ArqLink, TransportStats};
 use crate::WiotError;
 use amulet_sim::apps::SiftApp;
+use amulet_sim::costs::{detector_cycles, OpCosts};
+use amulet_sim::energy::BatteryState;
+use ml::embedded::EmbeddedModel;
 use ml::metrics::ConfusionMatrix;
 use ml::Label;
 use physio_sim::record::Record;
@@ -122,6 +130,12 @@ pub struct Scenario {
     /// reboot silently kept SRAM state alive and torn-write /
     /// bit-rot faults have nothing to corrupt.
     pub persist: bool,
+    /// Closed-loop survival policy (`wiot::survival`): battery- and
+    /// channel-aware graceful degradation of detector version, sampling
+    /// duty cycle and transport retry budget. `None` (the default)
+    /// leaves every legacy code path byte-identical — the policy layer
+    /// does not exist in the simulation at all.
+    pub survival: Option<SurvivalConfig>,
     /// Pipeline/training configuration.
     pub config: SiftConfig,
     /// Sensor packet length in seconds (must divide the window).
@@ -146,6 +160,7 @@ impl Scenario {
             salvage_max_missing: None,
             watchdog_timeout_ms: None,
             persist: true,
+            survival: None,
             config: SiftConfig {
                 train_s: 60.0,
                 max_positive_per_donor: Some(15),
@@ -204,8 +219,36 @@ pub struct SimReport {
     /// and the event ring. `None` unless [`DeviceOptions::telemetry`]
     /// enabled the sink — and never an input to anything above.
     pub telemetry: Option<TelemetryReport>,
+    /// What the survival policy did (`None` when [`Scenario::survival`]
+    /// was off).
+    pub survival: Option<SurvivalReport>,
     /// The sink with the archived alerts.
     pub sink: Sink,
+}
+
+/// Everything the survival policy did over one session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SurvivalReport {
+    /// Every actuation, in decision order (tick-stamped).
+    pub actions: Vec<SurvivalAction>,
+    /// Detector version switches performed (reflash count).
+    pub version_switches: u64,
+    /// Sensor chunks suppressed by the duty cycle.
+    pub duty_skipped_chunks: u64,
+    /// Times the transport retry posture was reconfigured.
+    pub retry_reconfigs: u64,
+    /// Policy ticks spent at or below the low-battery threshold.
+    pub low_battery_ticks: u64,
+    /// Detector version in force when the session ended.
+    pub final_version: Version,
+    /// Modeled battery state of charge at session end, permille.
+    pub final_soc_permille: u16,
+    /// First simulated instant the modeled battery crossed the
+    /// configured cutoff, ms (`None` if it never did).
+    pub cutoff_at_ms: Option<u64>,
+    /// Policy ticks spent in each version, indexed
+    /// `[Original, Simplified, Reduced]`.
+    pub occupancy_ticks: [u64; 3],
 }
 
 /// One sensor → base-station link: raw channel or ARQ-protected.
@@ -285,6 +328,14 @@ impl Link {
             Link::Arq(link) => Some(link.stats()),
         }
     }
+
+    /// Apply the survival policy's retry posture (no-op on a raw link —
+    /// there is no retransmission to budget).
+    fn set_retry_budget(&mut self, max_retries: u32, extra_shift: u32) {
+        if let Link::Arq(link) = self {
+            link.set_retry_budget(max_retries, extra_shift);
+        }
+    }
 }
 
 pub(crate) fn add_channel_stats(a: ChannelStats, b: ChannelStats) -> ChannelStats {
@@ -328,6 +379,110 @@ pub struct DeviceOptions<'a> {
     pub telemetry: bool,
 }
 
+/// Stable index of a version in per-version tables:
+/// `[Original, Simplified, Reduced]`.
+fn version_index(v: Version) -> usize {
+    match v {
+        Version::Original => 0,
+        Version::Simplified => 1,
+        Version::Reduced => 2,
+    }
+}
+
+/// Host-side carrier of the survival policy inside a [`DeviceSim`]:
+/// the integer policy core plus everything the simulation needs to
+/// feed and actuate it (battery integration, per-version current
+/// table, lazily trained models for hot-swaps, the action log).
+struct SurvivalRuntime {
+    policy: SurvivalPolicy,
+    battery: BatteryState,
+    /// Baseline (sleep) system current, µA.
+    baseline_ua: u64,
+    /// Detector current on top of baseline per version, µA, indexed
+    /// by [`version_index`].
+    active_delta_ua: [u64; 3],
+    /// Per-version embedded models for version hot-swaps, trained
+    /// lazily from the scenario seed on first switch into a version
+    /// (the provisioned version's model is seeded at construction).
+    models: Vec<(Version, EmbeddedModel)>,
+    actions: Vec<SurvivalAction>,
+    retry_reconfigs: u64,
+    /// Whole windows the duty cycle suppressed (for the backlog
+    /// sensor; chunks are counted in the fault summary).
+    duty_skipped_windows: u64,
+    last_skipped_window: Option<u64>,
+    occupancy_ticks: [u64; 3],
+    cutoff_at_ms: Option<u64>,
+    window_ms: u64,
+}
+
+impl SurvivalRuntime {
+    /// Build the runtime for a device provisioned with `ceiling` whose
+    /// enrolled model is `embedded`. The per-version current table is
+    /// the energy model's duty-cycle-weighted average (the Table III
+    /// lever), rounded once to integer µA so the battery integration
+    /// stays exact.
+    fn new(
+        cfg: SurvivalConfig,
+        scenario: &Scenario,
+        model: &amulet_sim::energy::EnergyModel,
+        embedded: EmbeddedModel,
+    ) -> Self {
+        let baseline = model.currents.baseline_ua();
+        let costs = OpCosts::default();
+        let mut active_delta_ua = [0u64; 3];
+        for v in Version::ALL {
+            let cycles = detector_cycles(v, &scenario.config, &costs, 4.0);
+            let avg = model.average_current_for_cycles_ua(cycles.total(), scenario.config.window_s);
+            active_delta_ua[version_index(v)] = (avg - baseline).max(0.0).round() as u64;
+        }
+        Self {
+            policy: SurvivalPolicy::new(cfg, scenario.version),
+            battery: BatteryState::from_model(model).with_initial_permille(cfg.initial_soc_permille),
+            baseline_ua: baseline.round() as u64,
+            active_delta_ua,
+            models: vec![(scenario.version, embedded)],
+            actions: Vec::new(),
+            retry_reconfigs: 0,
+            duty_skipped_windows: 0,
+            last_skipped_window: None,
+            occupancy_ticks: [0; 3],
+            cutoff_at_ms: None,
+            window_ms: (scenario.config.window_s * 1000.0) as u64,
+        }
+    }
+
+    /// Average system current under the policy's current posture, µA:
+    /// duty cycling scales only the detector's share, never the
+    /// baseline (the display and radio stay on).
+    fn current_ua(&self) -> u64 {
+        let delta = self.active_delta_ua[version_index(self.policy.version())];
+        let (skip, of) = self.policy.duty();
+        let of = u64::from(of.max(1));
+        let kept = of - u64::from(skip).min(of);
+        self.baseline_ua + delta * kept / of
+    }
+
+    /// The embedded model for `version`, training and caching it on
+    /// first use (deterministic: same subjects, same scenario seed).
+    fn model_for(&mut self, version: Version, scenario: &Scenario) -> Result<EmbeddedModel, WiotError> {
+        if let Some((_, m)) = self.models.iter().find(|(v, _)| *v == version) {
+            return Ok(m.clone());
+        }
+        let m = train_for_subject(
+            &bank(),
+            scenario.victim,
+            version,
+            &scenario.config,
+            scenario.seed,
+        )?
+        .embedded()
+        .clone();
+        self.models.push((version, m.clone()));
+        Ok(m)
+    }
+}
+
 /// Where a [`DeviceSim`] is in its lifecycle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Phase {
@@ -356,6 +511,7 @@ pub struct DeviceSim {
     attacker: Option<Attacker>,
     links: [Link; 2],
     persist: Option<Persistence>,
+    survival: Option<SurvivalRuntime>,
     fault_summary: FaultSummary,
     /// Whether any link ran degraded on the previous tick (edge
     /// detection for the `FaultLinkDegrade` telemetry event).
@@ -450,12 +606,22 @@ impl DeviceSim {
         if options.telemetry {
             station.os_mut().attach_telemetry(Telemetry::enabled());
         }
+        // The survival policy layer, if this scenario runs one. Built
+        // before the first checkpoint commit so policy-enabled runs
+        // persist the 16-byte survival suffix from generation 1 on.
+        let survival = scenario
+            .survival
+            .map(|cfg| SurvivalRuntime::new(cfg, scenario, station.os().energy_model(), embedded.clone()));
+
         // Crash-consistent checkpointing: charge the NVRAM region to the
         // station's FRAM map and seed generation 1 so even a reboot on
         // the very first tick has something to resume from.
         let persist = if scenario.persist {
             let mut p = Persistence::new(scenario.version, embedded)?;
             p.reserve(&mut station)?;
+            if let Some(rt) = survival.as_ref() {
+                p.enable_survival(rt.policy.snapshot());
+            }
             p.commit(0, 0)?;
             Some(p)
         } else {
@@ -496,6 +662,7 @@ impl DeviceSim {
             attacker,
             links,
             persist,
+            survival,
             fault_summary: FaultSummary::default(),
             degraded_prev: false,
             stuck_hold: [0.0f64; 2],
@@ -578,6 +745,10 @@ impl DeviceSim {
             self.power_cycle()?;
         }
 
+        // Survival policy: integrate the battery model over this tick
+        // and run the 1 Hz control loop (no-op when disabled).
+        self.step_survival()?;
+
         // Link-degradation episodes.
         let mut any_degraded = false;
         for (i, stream) in [Stream::Ecg, Stream::Abp].iter().enumerate() {
@@ -610,6 +781,21 @@ impl DeviceSim {
             .enumerate()
         {
             let Some(mut p) = packet else { continue };
+            // Survival duty cycle: a suppressed window's chunks never
+            // leave the sensor — on the real device the ADC and radio
+            // would not even have run.
+            if let Some(rt) = self.survival.as_mut() {
+                let (skip, of) = rt.policy.duty();
+                let idx = self.now_ms / rt.window_ms;
+                if window_is_skipped(idx, skip, of) {
+                    self.fault_summary.duty_skipped_chunks += 1;
+                    if rt.last_skipped_window != Some(idx) {
+                        rt.last_skipped_window = Some(idx);
+                        rt.duty_skipped_windows += 1;
+                    }
+                    continue;
+                }
+            }
             if stream == Stream::Ecg {
                 if let Some(att) = self.attacker.as_mut() {
                     p = att.intercept(self.now_ms, p, self.live_fs);
@@ -653,8 +839,13 @@ impl DeviceSim {
 
         // Commit the detector's stream position every tick: whatever
         // the next brownout destroys, at most one tick of progress is
-        // lost and the enrolled model never is.
+        // lost and the enrolled model never is. With the survival
+        // policy on, its decision state rides along as a fixed suffix,
+        // so a reboot resumes the same degradation posture.
         if let Some(p) = self.persist.as_mut() {
+            if let Some(rt) = self.survival.as_ref() {
+                p.set_survival(rt.policy.snapshot());
+            }
             let stats = self.station.stats();
             p.commit(
                 (stats.windows_emitted + stats.windows_salvaged) as u32,
@@ -666,6 +857,128 @@ impl DeviceSim {
         self.now_ms += self.chunk_ms;
         self.station.advance_time(self.chunk_ms);
         Ok(true)
+    }
+
+    /// One tick of the survival layer: integrate the battery model,
+    /// and at 1 Hz sample the sensors (state of charge, smoothed link
+    /// badness, backlog), step the policy, and actuate whatever it
+    /// decided. A no-op when the scenario runs without a policy.
+    fn step_survival(&mut self) -> Result<(), WiotError> {
+        let Some(rt) = self.survival.as_mut() else {
+            return Ok(());
+        };
+        let scale = u64::from(rt.policy.config().drain_scale.max(1));
+        let current = rt.current_ua().saturating_mul(scale);
+        rt.battery.drain(current, self.chunk_ms);
+        if !self.now_ms.is_multiple_of(1000) {
+            return Ok(());
+        }
+
+        let soc = rt.battery.soc_permille();
+        if rt.cutoff_at_ms.is_none() && rt.policy.is_cutoff(soc) {
+            rt.cutoff_at_ms = Some(self.now_ms);
+        }
+        if soc <= rt.policy.config().retry_tight_below_permille {
+            self.fault_summary.low_battery_ticks += 1;
+        }
+        // Link badness: channel loss plus retransmission drag, folded
+        // to permille host-side before it crosses into the integer
+        // policy core.
+        let loss =
+            (self.links[0].channel().loss_rate() + self.links[1].channel().loss_rate()) / 2.0;
+        let retransmit_rate = match (self.links[0].transport_stats(), self.links[1].transport_stats())
+        {
+            (Some(a), Some(b)) => {
+                let sent = (a.data_sent + b.data_sent).max(1) as f64;
+                (a.retransmits + b.retransmits) as f64 / sent
+            }
+            _ => 0.0,
+        };
+        let badness = LinkQuality {
+            loss_rate: loss,
+            retransmit_rate,
+        }
+        .badness_permille();
+        // Backlog: windows whose time has passed but that neither
+        // resolved at the station nor were duty-skipped at the source.
+        let expected = self.now_ms / rt.window_ms;
+        let resolved = self.station.window_log().len() as u64 + rt.duty_skipped_windows;
+        let backlog = expected.saturating_sub(resolved).min(u64::from(u16::MAX)) as u16;
+
+        let verdict = rt.policy.step(SurvivalInputs {
+            soc_permille: soc,
+            link_badness_permille: badness,
+            backlog_windows: backlog,
+        });
+        rt.occupancy_ticks[version_index(rt.policy.version())] += 1;
+        if verdict.is_quiescent() {
+            return Ok(());
+        }
+        self.actuate_survival(verdict)
+    }
+
+    /// Carry out the policy's decisions: retry budget on both links,
+    /// duty cycle (applied at the packet-offer gate), and — the
+    /// expensive one — a detector reflash for a version switch, with
+    /// the FRAM checkpoint re-reserved and re-targeted at the new
+    /// build.
+    fn actuate_survival(&mut self, verdict: SurvivalVerdict) -> Result<(), WiotError> {
+        if let Some(action @ SurvivalAction::SetRetry {
+            max_retries,
+            backoff_extra_shift,
+            ..
+        }) = verdict.retry
+        {
+            for link in self.links.iter_mut() {
+                link.set_retry_budget(u32::from(max_retries), u32::from(backoff_extra_shift));
+            }
+            if let Some(rt) = self.survival.as_mut() {
+                rt.retry_reconfigs += 1;
+                rt.actions.push(action);
+            }
+            self.station.os_mut().telemetry_mut().event(
+                self.now_ms,
+                EventCode::SurvivalAction,
+                2,
+                (u64::from(max_retries) << 8) | u64::from(backoff_extra_shift),
+            );
+        }
+        if let Some(action @ SurvivalAction::SetDuty { skip, of, .. }) = verdict.duty {
+            if let Some(rt) = self.survival.as_mut() {
+                rt.actions.push(action);
+            }
+            self.station.os_mut().telemetry_mut().event(
+                self.now_ms,
+                EventCode::SurvivalAction,
+                1,
+                (u64::from(skip) << 8) | u64::from(of),
+            );
+        }
+        if let Some(action @ SurvivalAction::SetVersion { to, .. }) = verdict.version {
+            let Some(rt) = self.survival.as_mut() else {
+                return Ok(());
+            };
+            let model = rt.model_for(to, &self.scenario)?;
+            let app = SiftApp::new(to, model.clone(), self.scenario.config.clone())?;
+            // The reflash drops the FRAM checkpoint reservation along
+            // with the old image's memory map: re-charge it and point
+            // subsequent commits at the new build.
+            self.station.swap_detector(app)?;
+            if let Some(p) = self.persist.as_mut() {
+                p.reserve(&mut self.station)?;
+                p.set_version(to, model)?;
+            }
+            if let Some(rt) = self.survival.as_mut() {
+                rt.actions.push(action);
+            }
+            self.station.os_mut().telemetry_mut().event(
+                self.now_ms,
+                EventCode::SurvivalAction,
+                0,
+                version_index(to) as u64,
+            );
+        }
+        Ok(())
     }
 
     /// A brownout power cycle: the station loses its SRAM-resident
@@ -685,11 +998,33 @@ impl DeviceSim {
             0,
         );
         if let Some(p) = self.persist.as_mut() {
-            p.recover(
-                &mut self.station,
-                &self.scenario.config,
-                &mut self.fault_summary,
-            )?;
+            match self.survival.as_mut() {
+                Some(rt) => {
+                    // The checkpoint carries the survival suffix: a
+                    // valid restore resyncs the policy and re-actuates
+                    // the link-side knobs (the duty gate reads policy
+                    // state directly; a cross-version checkpoint was
+                    // already hot-swapped by the recovery itself).
+                    if let Some(snap) = p.recover_survival(
+                        &mut self.station,
+                        &self.scenario.config,
+                        &mut self.fault_summary,
+                    )? {
+                        rt.policy.restore(snap);
+                        let (max, shift) = rt.policy.retry();
+                        for link in self.links.iter_mut() {
+                            link.set_retry_budget(u32::from(max), u32::from(shift));
+                        }
+                    }
+                }
+                None => {
+                    p.recover(
+                        &mut self.station,
+                        &self.scenario.config,
+                        &mut self.fault_summary,
+                    )?;
+                }
+            }
         }
         Ok(())
     }
@@ -809,6 +1144,10 @@ impl DeviceSim {
             .battery_fraction_left(self.station.os().energy_model())
             * 1000.0) as i64;
         let faults = self.fault_summary;
+        let survival_counts = self
+            .survival
+            .as_ref()
+            .map(|rt| (u64::from(rt.policy.switches()), rt.retry_reconfigs));
 
         let tele = self.station.os_mut().telemetry_mut();
         for &(idx, outcome) in &log {
@@ -863,6 +1202,12 @@ impl DeviceSim {
         tele.count(CounterId::FaultStuckChunks, faults.stuck_chunks);
         tele.count(CounterId::CheckpointRecoveries, faults.recoveries);
         tele.count(CounterId::CheckpointRollbacks, faults.rollbacks);
+        if let Some((switches, retry_reconfigs)) = survival_counts {
+            tele.count(CounterId::SurvivalVersionSwitches, switches);
+            tele.count(CounterId::SurvivalDutySkippedChunks, faults.duty_skipped_chunks);
+            tele.count(CounterId::SurvivalRetryReconfigs, retry_reconfigs);
+            tele.count(CounterId::SurvivalLowBatteryTicks, faults.low_battery_ticks);
+        }
         tele.gauge_set(GaugeId::BatteryPermille, battery_permille);
         self.station.os().telemetry().report()
     }
@@ -876,6 +1221,17 @@ impl DeviceSim {
     pub fn into_report(mut self) -> Result<SimReport, WiotError> {
         self.run_to_completion()?;
         let telemetry = self.snapshot_telemetry();
+        let survival = self.survival.take().map(|rt| SurvivalReport {
+            version_switches: u64::from(rt.policy.switches()),
+            duty_skipped_chunks: self.fault_summary.duty_skipped_chunks,
+            retry_reconfigs: rt.retry_reconfigs,
+            low_battery_ticks: self.fault_summary.low_battery_ticks,
+            final_version: rt.policy.version(),
+            final_soc_permille: rt.battery.soc_permille(),
+            cutoff_at_ms: rt.cutoff_at_ms,
+            occupancy_ticks: rt.occupancy_ticks,
+            actions: rt.actions,
+        });
         let scenario = &self.scenario;
         let station = &self.station;
         let links = &self.links;
@@ -963,6 +1319,7 @@ impl DeviceSim {
                 .meter()
                 .battery_fraction_left(station.os().energy_model()),
             telemetry,
+            survival,
             sink,
         })
     }
@@ -1249,5 +1606,140 @@ mod tests {
         let b = run(&s).unwrap();
         assert_eq!(a.confusion, b.confusion);
         assert_eq!(a.dropped_windows, b.dropped_windows);
+    }
+
+    #[test]
+    fn quiescent_survival_policy_is_behaviorally_invisible() {
+        // At full battery on a clean link the policy never actuates, so
+        // a policy-enabled run must be bit-identical to a policy-off
+        // run: same verdicts, same battery bits.
+        let mut s = Scenario::new(2, Version::Reduced, 30.0);
+        let off = run(&s).unwrap();
+        s.survival = Some(SurvivalConfig::default());
+        let on = run(&s).unwrap();
+        assert_eq!(off.confusion, on.confusion);
+        assert_eq!(off.dropped_windows, on.dropped_windows);
+        assert_eq!(
+            off.battery_left.to_bits(),
+            on.battery_left.to_bits(),
+            "a quiescent policy must charge no energy"
+        );
+        let sr = on.survival.expect("policy was on");
+        assert!(sr.actions.is_empty(), "{:?}", sr.actions);
+        assert_eq!(sr.version_switches, 0);
+        assert_eq!(sr.final_version, Version::Reduced);
+        assert_eq!(sr.duty_skipped_chunks, 0);
+        // 30 s of real-time drain truncates at most one permille.
+        assert!(sr.final_soc_permille >= 999);
+        assert!(off.survival.is_none());
+    }
+
+    #[test]
+    fn survival_policy_degrades_down_the_ladder_under_accelerated_drain() {
+        // Scale the modeled drain so a 60 s session traverses the whole
+        // discharge curve: the policy must walk Original → Simplified →
+        // Reduced, thin the duty cycle, tighten the retry budget, and
+        // stamp the battery cutoff.
+        let mut s = Scenario::new(0, Version::Original, 60.0).with_reliability();
+        s.survival = Some(SurvivalConfig {
+            min_dwell_ticks: 5,
+            drain_scale: 60_000,
+            ..SurvivalConfig::default()
+        });
+        let r = run(&s).unwrap();
+        let sr = r.survival.expect("policy was on");
+        assert!(sr.version_switches >= 2, "{:?}", sr.actions);
+        assert_eq!(sr.final_version, Version::Reduced);
+        assert!(sr.duty_skipped_chunks > 0);
+        assert_eq!(r.faults.duty_skipped_chunks, sr.duty_skipped_chunks);
+        assert!(sr.retry_reconfigs >= 1);
+        assert!(sr.low_battery_ticks > 0);
+        assert_eq!(r.faults.low_battery_ticks, sr.low_battery_ticks);
+        assert!(sr.cutoff_at_ms.is_some(), "soc {} ‰", sr.final_soc_permille);
+        // Time was spent in every rung of the ladder.
+        assert!(sr.occupancy_ticks.iter().all(|&t| t > 0), "{:?}", sr.occupancy_ticks);
+        // Detection kept working right through both reflashes.
+        assert!(r.confusion.total() > 0);
+    }
+
+    #[test]
+    fn survival_policy_survives_brownouts_and_stays_deterministic() {
+        // Brownout reboots mid-degradation: the policy state must come
+        // back from the FRAM checkpoint (not reset to full power), and
+        // the whole faulted run must replay byte-identically.
+        let mut s = Scenario::new(1, Version::Original, 60.0).with_reliability();
+        s.survival = Some(SurvivalConfig {
+            min_dwell_ticks: 5,
+            drain_scale: 60_000,
+            ..SurvivalConfig::default()
+        });
+        s.faults = FaultPlan::new()
+            .with(FaultEvent {
+                start_s: 21.3,
+                end_s: 21.3,
+                kind: FaultKind::DeviceReboot,
+            })
+            .with(FaultEvent {
+                start_s: 40.6,
+                end_s: 40.6,
+                kind: FaultKind::DeviceReboot,
+            });
+        let a = run(&s).unwrap();
+        let b = run(&s).unwrap();
+        assert_eq!(a.faults.reboots, 2);
+        assert_eq!(a.faults.recoveries, 2, "{:?}", a.faults);
+        assert_eq!(a.faults.recovery_failures, 0, "{:?}", a.faults);
+        let sa = a.survival.as_ref().expect("policy was on");
+        let sb = b.survival.as_ref().expect("policy was on");
+        assert_eq!(sa, sb, "policy decisions must replay identically");
+        assert_eq!(a.confusion, b.confusion);
+        // Degradation was not undone by the reboots.
+        assert_eq!(sa.final_version, Version::Reduced);
+        assert!(sa.version_switches >= 2);
+    }
+
+    #[test]
+    fn survival_telemetry_counters_capture_the_session() {
+        let mut s = Scenario::new(0, Version::Original, 60.0).with_reliability();
+        s.survival = Some(SurvivalConfig {
+            min_dwell_ticks: 5,
+            drain_scale: 60_000,
+            ..SurvivalConfig::default()
+        });
+        let traced = DeviceSim::with_options(
+            &s,
+            DeviceOptions {
+                telemetry: true,
+                ..DeviceOptions::default()
+            },
+        )
+        .unwrap()
+        .into_report()
+        .unwrap();
+        let sr = traced.survival.as_ref().expect("policy was on");
+        let tele = traced.telemetry.as_ref().expect("sink was on");
+        assert_eq!(
+            tele.counter(CounterId::SurvivalVersionSwitches),
+            sr.version_switches
+        );
+        assert_eq!(
+            tele.counter(CounterId::SurvivalDutySkippedChunks),
+            sr.duty_skipped_chunks
+        );
+        assert_eq!(
+            tele.counter(CounterId::SurvivalRetryReconfigs),
+            sr.retry_reconfigs
+        );
+        assert_eq!(
+            tele.counter(CounterId::SurvivalLowBatteryTicks),
+            sr.low_battery_ticks
+        );
+        // Every actuation left a tick-stamped event in the ring.
+        let actuations = tele
+            .events
+            .iter()
+            .filter(|e| e.code == EventCode::SurvivalAction)
+            .count();
+        assert_eq!(actuations, sr.actions.len());
     }
 }

@@ -124,6 +124,13 @@ struct Buffered {
 pub struct ArqLink {
     channel: Channel,
     config: ArqConfig,
+    /// Retry budget currently in force. Starts at
+    /// [`ArqConfig::max_retries`]; the survival policy may tighten it
+    /// at runtime under low battery.
+    retry_max: u32,
+    /// Extra backoff doublings applied to every retransmission on top
+    /// of the attempt count (survival-policy backoff widening).
+    retry_extra_shift: u32,
     stats: TransportStats,
     /// Sender: bounded history of sent packets, oldest first.
     buffer: VecDeque<Buffered>,
@@ -150,6 +157,8 @@ impl ArqLink {
         config.validate()?;
         Ok(Self {
             channel,
+            retry_max: config.max_retries,
+            retry_extra_shift: 0,
             config,
             stats: TransportStats::default(),
             buffer: VecDeque::new(),
@@ -228,6 +237,23 @@ impl ArqLink {
     /// Transport-layer counters.
     pub fn stats(&self) -> TransportStats {
         self.stats
+    }
+
+    /// Re-tune the retry posture at runtime: a new per-packet retry
+    /// budget and extra backoff doublings per retransmission. The
+    /// survival policy widens backoff and tightens the budget under
+    /// low battery so a bad link cannot drain the cell with radio
+    /// retries. Gaps already under recovery keep their attempt counts;
+    /// only the budget they are judged against changes.
+    pub fn set_retry_budget(&mut self, max_retries: u32, extra_shift: u32) {
+        self.retry_max = max_retries;
+        self.retry_extra_shift = extra_shift;
+    }
+
+    /// The retry posture currently in force, `(max_retries,
+    /// extra_shift)`.
+    pub fn retry_budget(&self) -> (u32, u32) {
+        (self.retry_max, self.retry_extra_shift)
     }
 
     /// The underlying channel (e.g. for loss statistics).
@@ -335,7 +361,7 @@ impl ArqLink {
             let Some(gap) = self.gaps.get_mut(&seq) else {
                 continue;
             };
-            if gap.attempts >= self.config.max_retries {
+            if gap.attempts >= self.retry_max {
                 self.gaps.remove(&seq);
                 self.stats.give_ups += 1;
                 // Unrecoverable: stop waiting for it so in-order
@@ -355,7 +381,8 @@ impl ArqLink {
                     gap.attempts += 1;
                     // Exponential backoff, shift-capped so it cannot
                     // overflow on absurd budgets.
-                    let backoff = self.config.base_backoff_ms << gap.attempts.min(16);
+                    let backoff = self.config.base_backoff_ms
+                        << (gap.attempts + self.retry_extra_shift).min(16);
                     gap.next_retry_ms = now_ms + backoff.max(1);
                     self.stats.retransmits += 1;
                     let copies = self.channel.transmit(now_ms, packet);
@@ -560,6 +587,29 @@ mod tests {
             }
         )
         .is_err());
+    }
+
+    #[test]
+    fn runtime_retry_budget_tightens_and_widens() {
+        // A dead link with the default budget retries 5 times per
+        // packet; after tightening to 1 it retries once and gives up
+        // sooner, and the widened backoff spaces retries further out.
+        let drive = |max: u32, shift: u32| {
+            let ch = Channel::new(1.0, 0, 0, 1).unwrap();
+            let mut link = ArqLink::new(ch, ArqConfig::default()).unwrap();
+            link.set_retry_budget(max, shift);
+            assert_eq!(link.retry_budget(), (max, shift));
+            run(&mut link, 5);
+            link.stats()
+        };
+        let tight = drive(1, 2);
+        let normal = drive(5, 0);
+        assert_eq!(tight.give_ups, 5);
+        assert_eq!(normal.give_ups, 5);
+        assert!(
+            tight.retransmits < normal.retransmits,
+            "tight {tight:?} vs normal {normal:?}"
+        );
     }
 
     #[test]

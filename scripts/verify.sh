@@ -13,6 +13,7 @@ cargo test -q
 cargo test -q --test golden_traces
 cargo test -q --test fleet_props
 cargo test -q --test recovery_props
+cargo test -q --test survival_props
 cargo test -q -p wiot --test transport_edges
 cargo test -q --test resample_props
 
@@ -65,6 +66,36 @@ if [[ -f "$baseline" ]]; then
   fi
 else
   echo "verify: WARN no fleet baseline at $baseline; skipping bench diff"
+fi
+
+# Survival-policy lifetime gate: regenerate results/BENCH_lifetime.json
+# and compare against the committed baseline. The bin itself exits
+# nonzero if the lifetime ordering breaks (adaptive < 1.5x Original,
+# Reduced outside the ~2x band), the adaptive policy costs more than
+# 2 pp of accuracy, a policy snapshot fails to round-trip, or the
+# survival-enabled fleet digest moves with the thread count. On top of
+# that, digest drift against the committed baseline is a hard failure
+# here — every field of the JSON is deterministic, so any other drift
+# is also worth a failing diff.
+lifetime_baseline=results/BENCH_lifetime_baseline.json
+if [[ -f "$lifetime_baseline" ]]; then
+  cargo run --release -q -p bench --bin lifetime >/dev/null
+  base_digest=$(grep -o '"digest": "[^"]*"' "$lifetime_baseline" || true)
+  new_digest=$(grep -o '"digest": "[^"]*"' results/BENCH_lifetime.json || true)
+  if [[ "$base_digest" != "$new_digest" ]]; then
+    echo "verify: FAIL survival fleet digest drifted: baseline $base_digest vs $new_digest"
+    diff -u "$lifetime_baseline" results/BENCH_lifetime.json || true
+    exit 1
+  fi
+  if diff -u "$lifetime_baseline" results/BENCH_lifetime.json >/dev/null 2>&1; then
+    echo "verify: lifetime bench matches baseline exactly"
+  else
+    echo "verify: FAIL lifetime bench drifted from $lifetime_baseline:"
+    diff -u "$lifetime_baseline" results/BENCH_lifetime.json || true
+    exit 1
+  fi
+else
+  echo "verify: WARN no lifetime baseline at $lifetime_baseline; skipping bench diff"
 fi
 
 echo "verify: OK"

@@ -13,7 +13,9 @@ use sift::features::Version;
 use sift::trainer::{train_for_subject, ModelBank, SiftModel};
 use std::collections::HashSet;
 use std::sync::OnceLock;
+use wiot::channel::LossModel;
 use wiot::fleet::{device_seed, run_fleet_with_bank, FleetSpec};
+use wiot::survival::SurvivalConfig;
 
 fn quick_config() -> SiftConfig {
     SiftConfig {
@@ -59,6 +61,71 @@ fn fleet_determinism_digest_identical_at_thread_counts_1_2_8() {
     // And re-running the same spec reproduces the same bytes.
     let again = run_fleet_with_bank(&spec.clone().with_threads(2), &models).unwrap();
     assert_eq!(r2, again);
+}
+
+/// Survival-policy satellite: on a healthy fleet (full batteries, clean
+/// links) the policy never actuates, so enabling it must not move the
+/// frozen digest — policy-off and quiescent-policy-on fleets are
+/// byte-identical, and the policy counters stay at zero.
+#[test]
+fn fleet_digest_identical_with_policy_off_and_quiescent_on() {
+    let off_spec = FleetSpec::new(6, 9.0).with_seed(0x5EED);
+    let models = ModelBank::train(
+        &bank(),
+        off_spec.template.version,
+        &off_spec.template.config,
+        off_spec.seed,
+    )
+    .unwrap();
+    let off = run_fleet_with_bank(&off_spec, &models).unwrap();
+
+    let mut on_spec = off_spec.clone();
+    on_spec.template.survival = Some(SurvivalConfig::default());
+    let on = run_fleet_with_bank(&on_spec, &models).unwrap();
+
+    assert_eq!(off.digest(), on.digest(), "quiescent policy moved the digest");
+    assert_eq!(on.faults.duty_skipped_chunks, 0);
+    assert_eq!(on.faults.low_battery_ticks, 0);
+}
+
+/// Survival-policy satellite: with the policy *active* (accelerated
+/// drain walks every device down the ladder, bursty Gilbert–Elliott
+/// loss exercises the link latch), the fleet digest is still identical
+/// at 1, 2, and 8 threads — per-device policy state never leaks across
+/// the thread schedule.
+#[test]
+fn fleet_digest_with_active_survival_policy_stable_across_threads() {
+    let mut spec = FleetSpec::new(6, 30.0).with_seed(0xBA77E47);
+    spec.template = spec.template.with_reliability();
+    spec.template.link.loss = Some(LossModel::GilbertElliott {
+        p_good_to_bad: 0.05,
+        p_bad_to_good: 0.25,
+        loss_good: 0.01,
+        loss_bad: 0.5,
+    });
+    spec.template.survival = Some(SurvivalConfig {
+        min_dwell_ticks: 5,
+        drain_scale: 120_000,
+        ..SurvivalConfig::default()
+    });
+    let models = ModelBank::train(
+        &bank(),
+        spec.template.version,
+        &spec.template.config,
+        spec.seed,
+    )
+    .unwrap();
+    let r1 = run_fleet_with_bank(&spec.clone().with_threads(1), &models).unwrap();
+    let r2 = run_fleet_with_bank(&spec.clone().with_threads(2), &models).unwrap();
+    let r8 = run_fleet_with_bank(&spec.clone().with_threads(8), &models).unwrap();
+    assert_eq!(r1.digest(), r2.digest());
+    assert_eq!(r1.digest(), r8.digest());
+    assert_eq!(r1, r2);
+    assert_eq!(r1, r8);
+    // The policy genuinely acted: drained devices thinned their duty
+    // cycle and spent ticks under the low-battery retry posture.
+    assert!(r1.faults.duty_skipped_chunks > 0, "no duty skips — policy never engaged");
+    assert!(r1.faults.low_battery_ticks > 0, "no low-battery ticks — drain never bit");
 }
 
 #[test]
