@@ -8,13 +8,12 @@
 //! device. Every stage charges its cycle cost from [`crate::costs`] to
 //! the battery meter.
 
-use crate::costs::{detector_cycles, OpCosts, StageCycles};
+use crate::costs::{detector_cycles, tsetlin_classifier_cycles, OpCosts, StageCycles};
 use crate::display::Severity;
 use crate::event::AmuletEvent;
 use crate::machine::{App, AppContext};
 use crate::profiler::{sift_app_spec, AppResourceSpec};
-use ml::embedded::EmbeddedModel;
-use ml::Label;
+use ml::{BackendKind, DetectorBackend, DetectorModel, Label};
 use sift::config::SiftConfig;
 use sift::features::Version;
 use sift::flavor::extract_amulet_f32;
@@ -49,7 +48,7 @@ pub struct SiftAppStats {
 pub struct SiftApp {
     name: String,
     version: Version,
-    model: EmbeddedModel,
+    model: DetectorModel,
     config: SiftConfig,
     costs: OpCosts,
     state: State,
@@ -70,7 +69,11 @@ impl std::fmt::Debug for SiftApp {
 }
 
 impl SiftApp {
-    /// Create the app from a deployed (translated) model.
+    /// Create the app from a deployed (translated) model of any
+    /// registered backend family. SVM-backed apps keep the historical
+    /// `sift-{version}` name; other backends register as
+    /// `{backend}-{version}` so an SVM app and its replacement never
+    /// collide in the OS app table.
     ///
     /// # Errors
     ///
@@ -78,17 +81,23 @@ impl SiftApp {
     /// not match the version's feature count or the config is invalid.
     pub fn new(
         version: Version,
-        model: EmbeddedModel,
+        model: impl Into<DetectorModel>,
         config: SiftConfig,
     ) -> Result<Self, SiftError> {
         config.validate()?;
+        let model = model.into();
         if model.dim() != version.feature_count() {
             return Err(SiftError::InvalidConfig {
                 reason: "model dimension does not match detector version",
             });
         }
+        // lint:allow(embedded-no-heap-alloc, host-side app registration label)
+        let name = match model.kind() {
+            BackendKind::Svm => format!("sift-{version}"),
+            BackendKind::Tsetlin => format!("tsetlin-{version}"),
+        };
         Ok(Self {
-            name: format!("sift-{version}"), // lint:allow(embedded-no-heap-alloc, host-side app registration label)
+            name,
             version,
             model,
             config,
@@ -105,13 +114,22 @@ impl SiftApp {
         self.version
     }
 
+    /// The deployed model's backend family.
+    pub fn backend(&self) -> BackendKind {
+        self.model.kind()
+    }
+
     /// Running statistics.
     pub fn stats(&self) -> SiftAppStats {
         self.stats
     }
 
     fn stage_cycles(&self) -> StageCycles {
-        detector_cycles(self.version, &self.config, &self.costs, 4.0)
+        let mut cycles = detector_cycles(self.version, &self.config, &self.costs, 4.0);
+        if let Some(tm) = self.model.as_tsetlin() {
+            cycles.ml_classifier = tsetlin_classifier_cycles(tm.dim(), tm.pairs(), &self.costs);
+        }
+        cycles
     }
 }
 
@@ -121,7 +139,12 @@ impl App for SiftApp {
     }
 
     fn resource_spec(&self) -> AppResourceSpec {
-        sift_app_spec(self.version, &self.config, self.model.footprint_bytes())
+        let mut spec = sift_app_spec(self.version, &self.config, self.model.footprint_bytes());
+        // Non-SVM backends keep the same pipeline spec but register
+        // under their own name and carry their own classifier cycles.
+        spec.name = self.name.clone();
+        spec.cycles_per_period = self.stage_cycles().total();
+        spec
     }
 
     fn current_state(&self) -> &'static str {
@@ -343,6 +366,55 @@ mod tests {
         os.run_until_idle().unwrap();
         assert!(os.alerts().is_empty());
         assert_eq!(os.app_state("sift-simplified").unwrap(), "PeaksDataCheck");
+    }
+
+    #[test]
+    fn tsetlin_backend_runs_the_same_three_state_pipeline() {
+        let cfg = quick_config();
+        let model = sift::zoo::train_backend_for_subject(
+            &bank(),
+            0,
+            Version::Reduced,
+            ml::BackendKind::Tsetlin,
+            &cfg,
+            77,
+        )
+        .unwrap();
+        let app = SiftApp::new(Version::Reduced, model, cfg).unwrap();
+        assert_eq!(app.name(), "tsetlin-reduced");
+        assert_eq!(app.backend(), ml::BackendKind::Tsetlin);
+        assert_eq!(app.resource_spec().name, "tsetlin-reduced");
+        let mut os = os_with_app(app);
+        for sn in snippets(0, 101, 9.0) {
+            os.post(AmuletEvent::SnippetReady(sn));
+            os.run_until_idle().unwrap();
+            os.advance_time(3000);
+        }
+        // Three dispatches per window, back to idle between windows.
+        assert_eq!(os.dispatched(), 9);
+        assert_eq!(os.app_state("tsetlin-reduced").unwrap(), "PeaksDataCheck");
+    }
+
+    #[test]
+    fn tsetlin_classifier_stage_uses_integer_cycle_model() {
+        let cfg = quick_config();
+        let model = sift::zoo::train_backend_for_subject(
+            &bank(),
+            0,
+            Version::Simplified,
+            ml::BackendKind::Tsetlin,
+            &cfg,
+            77,
+        )
+        .unwrap();
+        let tm = model.as_tsetlin().unwrap().clone();
+        let app = SiftApp::new(Version::Simplified, model, cfg.clone()).unwrap();
+        let expected = tsetlin_classifier_cycles(tm.dim(), tm.pairs(), &OpCosts::default());
+        assert_eq!(app.stage_cycles().ml_classifier, expected);
+        // The other two stages keep the shared pipeline prices.
+        let svm = detector_cycles(Version::Simplified, &cfg, &OpCosts::default(), 4.0);
+        assert_eq!(app.stage_cycles().peaks_data_check, svm.peaks_data_check);
+        assert_eq!(app.stage_cycles().feature_extraction, svm.feature_extraction);
     }
 
     #[test]

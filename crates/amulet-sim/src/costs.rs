@@ -171,6 +171,29 @@ pub fn detector_cycles(
     }
 }
 
+/// Price the *MLClassifier* stage when the deployed backend is the
+/// integer-only Tsetlin machine ([`ml::tsetlin`]).
+///
+/// The Tsetlin pass never touches the software-float library: it
+/// booleanizes the feature vector with total-order-key compares
+/// (`THRESHOLDS_PER_FEATURE` ordered compares per feature after a
+/// shift/xor key transform) and evaluates `2 · pairs` clauses, each a
+/// 64-bit include-mask AND + compare (eight 16-bit word ops on the
+/// MSP430) followed by a vote accumulate.
+pub fn tsetlin_classifier_cycles(dim: usize, pairs: usize, costs: &OpCosts) -> f64 {
+    let thresholds = ml::tsetlin::THRESHOLDS_PER_FEATURE as f64;
+    let dim = dim as f64;
+    let clauses = 2.0 * pairs as f64;
+    // Key transform (shift, xor, shift on a 32-bit word) + ordered
+    // threshold compares, per feature.
+    let booleanize = dim * (3.0 + thresholds) * costs.int_cmp;
+    // Mask AND + compare over four 16-bit words each, plus the vote add.
+    let clause_eval = clauses * (8.0 * costs.int_cmp + costs.q_add);
+    // Final vote sign test + the same state-dispatch overhead the SVM
+    // classifier stage carries.
+    booleanize + clause_eval + costs.int_cmp + 2_000.0
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -250,6 +273,35 @@ mod tests {
             .total()
         };
         assert_eq!(at(10), at(100));
+    }
+
+    #[test]
+    fn tsetlin_classifier_scales_with_clause_count() {
+        let costs = OpCosts::default();
+        let wide = tsetlin_classifier_cycles(8, 32, &costs);
+        let mid = tsetlin_classifier_cycles(8, 16, &costs);
+        let narrow = tsetlin_classifier_cycles(5, 8, &costs);
+        assert!(wide > mid && mid > narrow, "{wide} / {mid} / {narrow}");
+    }
+
+    #[test]
+    fn tsetlin_classifier_never_pays_float_prices() {
+        // Inflating every float price must not move the integer-only
+        // classifier's cost.
+        let base = OpCosts::default();
+        let inflated = OpCosts {
+            f_add: 1e9,
+            f_mul: 1e9,
+            f_div: 1e9,
+            f_cmp: 1e9,
+            f_sqrt: 1e9,
+            f_atan2: 1e9,
+            ..base
+        };
+        assert_eq!(
+            tsetlin_classifier_cycles(8, 16, &base),
+            tsetlin_classifier_cycles(8, 16, &inflated)
+        );
     }
 
     #[test]

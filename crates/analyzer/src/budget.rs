@@ -100,6 +100,17 @@ pub fn model_bytes(version: Version) -> usize {
     ml::embedded::encoded_len(version.feature_count())
 }
 
+/// Exact serialized Tsetlin model size for a flavor rung, mirroring
+/// `ml::tsetlin::encoded_len` (magic + version + u32 dim + u32 pairs +
+/// i32 thresholds + u64 clause masks + CRC-32 trailer) at the ladder's
+/// clause count for that rung, without training a model.
+pub fn tsetlin_model_bytes(version: Version) -> usize {
+    ml::tsetlin::encoded_len(
+        version.feature_count(),
+        sift::zoo::tsetlin_pairs(version) as usize,
+    )
+}
+
 /// Compute the three flavor footprints with the paper's configuration.
 pub fn compute_footprints(config: &SiftConfig) -> Vec<FlavorFootprint> {
     let profiler = ResourceProfiler::default();
@@ -254,6 +265,23 @@ pub fn footprint_json(config: &SiftConfig, footprints: &[FlavorFootprint]) -> St
             fp.paper.lifetime_days,
         ));
     }
+    // Per-backend serialized model sizes for the detector zoo: the
+    // same flavor ladder, one row per registered backend family.
+    let mut zoo = String::new();
+    for (i, &version) in Version::ALL.iter().enumerate() {
+        if i > 0 {
+            zoo.push_str(",\n");
+        }
+        zoo.push_str(&format!(
+            concat!(
+                "    {{ \"flavor\": \"{}\", \"svm_model_bytes\": {}, ",
+                "\"tsetlin_model_bytes\": {} }}"
+            ),
+            version,
+            model_bytes(version),
+            tsetlin_model_bytes(version),
+        ));
+    }
     format!(
         concat!(
             "{{\n",
@@ -263,7 +291,8 @@ pub fn footprint_json(config: &SiftConfig, footprints: &[FlavorFootprint]) -> St
             "\"max_array_elems\": {} }},\n",
             "  \"checkpoint\": {{ \"nvram_bytes\": {}, \"slot_bytes\": {}, ",
             "\"header_bytes\": {}, \"max_payload_bytes\": {} }},\n",
-            "  \"flavors\": [\n{}\n  ]\n",
+            "  \"flavors\": [\n{}\n  ],\n",
+            "  \"detector_zoo\": [\n{}\n  ]\n",
             "}}\n"
         ),
         config.window_s,
@@ -276,7 +305,8 @@ pub fn footprint_json(config: &SiftConfig, footprints: &[FlavorFootprint]) -> St
         SLOT_BYTES,
         HEADER_BYTES,
         MAX_PAYLOAD_BYTES,
-        rows
+        rows,
+        zoo
     )
 }
 
@@ -304,6 +334,26 @@ mod tests {
     }
 
     #[test]
+    fn tsetlin_model_bytes_match_codec_and_fit_checkpoint_slots() {
+        // dim·4 thresholds (i32) + 2·pairs masks (u64), 16-byte header,
+        // 4-byte CRC: 32/16/8 clause pairs down the ladder.
+        assert_eq!(tsetlin_model_bytes(Version::Original), 660);
+        assert_eq!(tsetlin_model_bytes(Version::Simplified), 404);
+        assert_eq!(tsetlin_model_bytes(Version::Reduced), 228);
+        // Strictly monotone down the ladder, and every rung rides the
+        // same FRAM checkpoint container the SVM uses.
+        for version in Version::ALL {
+            assert!(
+                sift::checkpoint::HEADER_BYTES + tsetlin_model_bytes(version)
+                    <= MAX_PAYLOAD_BYTES,
+                "{version}: checkpoint payload overflows the slot"
+            );
+        }
+        assert!(tsetlin_model_bytes(Version::Original) > tsetlin_model_bytes(Version::Simplified));
+        assert!(tsetlin_model_bytes(Version::Simplified) > tsetlin_model_bytes(Version::Reduced));
+    }
+
+    #[test]
     fn oversized_window_trips_the_array_limit() {
         let config = SiftConfig {
             window_s: 4.0, // 1440 samples > MAX_ARRAY_ELEMS
@@ -320,6 +370,8 @@ mod tests {
         let config = SiftConfig::default();
         let doc = footprint_json(&config, &compute_footprints(&config));
         assert_eq!(doc.matches("\"version\"").count(), 3);
+        assert_eq!(doc.matches("\"flavor\"").count(), 3);
+        assert_eq!(doc.matches("\"tsetlin_model_bytes\"").count(), 3);
         assert_eq!(doc.matches('{').count(), doc.matches('}').count());
         assert!(doc.contains("\"within_budget\": true"));
         assert!(doc.contains("\"nvram_bytes\": 4096"));

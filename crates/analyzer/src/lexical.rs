@@ -57,12 +57,18 @@ pub fn scan(file: &SourceFile, class: &FileClass) -> Vec<Finding> {
     // simulated second on the device, so a float or an allocation there
     // breaks the integer-determinism contract the fleet digest rests on.
     const SURV: &str = "survival-embedded-profile";
+    // Alternate detector backends flash to the device like the SVM
+    // translation, so their scoring/codec paths carry the same
+    // profile under their own error-severity rule.
+    const ZOO: &str = "detector-embedded-profile";
     let (f64_rule, float_lit_rule, heap_rule, panic_rule, index_rule) = if class.checkpoint {
         (CKPT, CKPT, CKPT, CKPT, CKPT)
     } else if class.telemetry_hot {
         (TELE, TELE, TELE, TELE, TELE)
     } else if class.survival {
         (SURV, SURV, SURV, SURV, SURV)
+    } else if class.detector {
+        (ZOO, ZOO, ZOO, ZOO, ZOO)
     } else {
         (
             "embedded-no-f64",
@@ -332,6 +338,21 @@ mod tests {
         // Neighboring wiot modules stay ordinary library code.
         let lib = findings("crates/wiot/src/adaptive.rs", src);
         assert!(!lib.contains(&"survival-embedded-profile"));
+    }
+
+    #[test]
+    fn detector_backend_module_gets_the_dedicated_rule() {
+        let src = "fn f(d: f64) { let v = q.to_vec(); v.unwrap(); r[0]; let x = 2.5; }\n";
+        let hits = findings("crates/ml/src/tsetlin.rs", src);
+        assert!(!hits.is_empty(), "fixture should trip the profile");
+        assert!(
+            hits.iter().all(|&r| r == "detector-embedded-profile"),
+            "every finding routes to the dedicated rule, got {hits:?}"
+        );
+        // The SVM translation next door keeps its original rule ids.
+        let svm = findings("crates/ml/src/embedded.rs", src);
+        assert!(!svm.is_empty());
+        assert!(!svm.contains(&"detector-embedded-profile"));
     }
 
     #[test]

@@ -121,6 +121,14 @@ pub const RULES: &[RuleDef] = &[
                   every device tick, down to the last permille of battery)",
     },
     RuleDef {
+        id: "detector-embedded-profile",
+        severity: Severity::Error,
+        pass: Pass::Embedded,
+        summary: "alternate detector backends deploy to the device like the SVM does, so \
+                  their scoring and codec paths must stay in the embedded profile: no \
+                  heap, no panic, no float arithmetic, no bracket indexing",
+    },
+    RuleDef {
         id: "lib-no-panic",
         severity: Severity::Warn,
         pass: Pass::Embedded,

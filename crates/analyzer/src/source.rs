@@ -37,6 +37,12 @@ const TELEMETRY_HOT_MODULES: &[&str] = &["crates/telemetry/src/record.rs"];
 /// under the dedicated error-severity `survival-embedded-profile` rule.
 const SURVIVAL_MODULES: &[&str] = &["crates/wiot/src/survival.rs"];
 
+/// Alternate detector backends (the detector zoo): they flash to the
+/// device exactly like the SVM translation does, so their scoring and
+/// codec paths carry the full embedded profile and violations report
+/// under the dedicated error-severity `detector-embedded-profile` rule.
+const DETECTOR_MODULES: &[&str] = &["crates/ml/src/tsetlin.rs"];
+
 /// Crates the determinism pass skips entirely: the bench harness times
 /// things on purpose, and the vendored stand-ins (`rand`, `proptest`,
 /// `criterion`) are test/bench infrastructure, not report paths.
@@ -72,6 +78,9 @@ pub struct FileClass {
     /// Survival-policy decision procedure: embedded-profile findings
     /// report under `survival-embedded-profile` at error severity.
     pub survival: bool,
+    /// Alternate detector backend module: embedded-profile findings
+    /// report under `detector-embedded-profile` at error severity.
+    pub detector: bool,
 }
 
 /// Classify a workspace-relative path (`crates/<name>/src/...`).
@@ -83,8 +92,12 @@ pub fn classify(rel_path: &str) -> FileClass {
     let checkpoint = CHECKPOINT_MODULES.contains(&rel_path);
     let telemetry_hot = TELEMETRY_HOT_MODULES.contains(&rel_path);
     let survival = SURVIVAL_MODULES.contains(&rel_path);
-    let float_strict =
-        FLOAT_STRICT.contains(&rel_path) || checkpoint || telemetry_hot || survival;
+    let detector = DETECTOR_MODULES.contains(&rel_path);
+    let float_strict = FLOAT_STRICT.contains(&rel_path)
+        || checkpoint
+        || telemetry_hot
+        || survival
+        || detector;
     let embedded = float_strict || rel_path.starts_with(APP_CODE_PREFIX);
     FileClass {
         float_strict,
@@ -95,6 +108,7 @@ pub fn classify(rel_path: &str) -> FileClass {
         checkpoint,
         telemetry_hot,
         survival,
+        detector,
     }
 }
 
@@ -268,6 +282,12 @@ mod tests {
             assert!(ckpt.checkpoint && ckpt.float_strict && ckpt.embedded, "{path}");
             assert!(!ckpt.lib_no_panic, "{path}: ckpt rule supersedes lib hygiene");
         }
+        let zoo = classify("crates/ml/src/tsetlin.rs");
+        assert!(zoo.detector && zoo.float_strict && zoo.embedded);
+        assert!(!zoo.checkpoint && !zoo.lib_no_panic);
+        // The neighboring SVM translation keeps its original class.
+        let svm = classify("crates/ml/src/embedded.rs");
+        assert!(svm.float_strict && svm.embedded && !svm.detector);
         assert!(!fixed.checkpoint && !plain.checkpoint);
         let tele_hot = classify("crates/telemetry/src/record.rs");
         assert!(tele_hot.telemetry_hot && tele_hot.float_strict && tele_hot.embedded);

@@ -1,0 +1,9 @@
+// Fixture: embedded-profile violations inside the Tsetlin backend
+// module, which routes to the dedicated `detector-embedded-profile`
+// rule at error severity. Never compiled — lexed by the analyzer only.
+fn scoring_path(x: f64) -> f64 {
+    let copies = masks.to_vec();
+    let best = copies.first().unwrap();
+    let weight = 0.5;
+    x + weight + best[0]
+}

@@ -14,6 +14,7 @@ const EMBEDDED_CLEAN: &str = include_str!("fixtures/embedded_clean.rs");
 const DET_VIOLATIONS: &str = include_str!("fixtures/determinism_violations.rs");
 const DET_CLEAN: &str = include_str!("fixtures/determinism_clean.rs");
 const META_VIOLATIONS: &str = include_str!("fixtures/meta_violations.rs");
+const DETECTOR_VIOLATIONS: &str = include_str!("fixtures/detector_violations.rs");
 const TEST_REGION: &str = include_str!("fixtures/test_region.rs");
 
 /// (line, rule) pairs of the findings, in analyzer order.
@@ -114,6 +115,26 @@ fn bench_crate_is_exempt_from_the_determinism_pass() {
 #[test]
 fn determinism_clean_fixture_is_clean() {
     assert!(fired("crates/wiot/src/x.rs", DET_CLEAN).is_empty());
+}
+
+#[test]
+fn detector_fixture_routes_to_the_dedicated_rule_at_error_severity() {
+    let (findings, _) = analyze_source("crates/ml/src/tsetlin.rs", DETECTOR_VIOLATIONS);
+    assert!(!findings.is_empty(), "fixture must trip the profile");
+    for f in &findings {
+        assert_eq!(
+            f.rule, "detector-embedded-profile",
+            "finding at line {} kept rule {}",
+            f.line, f.rule
+        );
+        assert_eq!(f.severity, Severity::Error);
+    }
+    // The same source next door in the SVM translation keeps the
+    // generic embedded rule ids, and the clean fixture stays clean on
+    // the pinned path.
+    let svm = fired("crates/ml/src/embedded.rs", DETECTOR_VIOLATIONS);
+    assert!(svm.iter().all(|(_, r)| *r != "detector-embedded-profile"), "{svm:?}");
+    assert!(fired("crates/ml/src/tsetlin.rs", EMBEDDED_CLEAN).is_empty());
 }
 
 #[test]

@@ -1,0 +1,350 @@
+//! Detector-zoo comparison: every registered backend × flavor rung,
+//! measured on the axes the survival policy trades between — detection
+//! accuracy, RAM/ROM footprint, profiler energy, and the observed
+//! telemetry span cycles of a traced device session.
+//!
+//! Run: `cargo run --release -p bench --bin detector_zoo`
+//!
+//! Writes `results/DETECTOR_zoo.json`. Every field is deterministic
+//! (seeded training, cost-model cycles, no wall clock), so
+//! `scripts/verify.sh` treats any drift against the committed baseline
+//! as a hard failure.
+//!
+//! Two gates run inline, mirroring the telemetry bench:
+//!
+//! * the observed classifier-stage span cycles of a traced session must
+//!   equal the cost model's number for that backend (the SVM prices its
+//!   float MAC, the Tsetlin machine its integer clause sweep);
+//! * each backend's flavor ladder must be strictly monotone in model
+//!   bytes, or the survival policy's reflash-down-the-ladder story is
+//!   broken.
+
+use amulet_sim::apps::SiftApp;
+use amulet_sim::costs::{detector_cycles, tsetlin_classifier_cycles, OpCosts};
+use amulet_sim::machine::App as _;
+use amulet_sim::profiler::ResourceProfiler;
+use amulet_sim::CPU_HZ;
+use ml::metrics::{AveragedMetrics, ConfusionMatrix};
+use ml::{BackendKind, DetectorBackend, DetectorModel};
+use physio_sim::record::Record;
+use physio_sim::subject::{bank, Subject};
+use sift::attack::substitution_test_set;
+use sift::config::SiftConfig;
+use sift::detector::Detector;
+use sift::features::Version;
+use sift::flavor::PlatformFlavor;
+use sift::pipeline::{train_models, EvalProtocol};
+use sift::trainer::SiftModel;
+use sift::zoo::{train_backend_for_subject, tsetlin_pairs};
+use std::fmt::Write as _;
+use telemetry::{Stage, TelemetryReport};
+use wiot::scenario::{DeviceOptions, DeviceSim, Scenario};
+
+/// Smoke-scale protocol shared by every cell: 4 subjects, 1 minute of
+/// training — small enough for the verify gate, seeded so the emitted
+/// JSON is byte-stable.
+const SUBJECTS: usize = 4;
+
+fn zoo_config() -> SiftConfig {
+    SiftConfig {
+        train_s: 60.0,
+        max_positive_per_donor: Some(15),
+        ..SiftConfig::default()
+    }
+}
+
+struct Args {
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        out: "results/DETECTOR_zoo.json".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--out" => match it.next() {
+                Some(v) => args.out = v,
+                None => usage(),
+            },
+            _ => usage(),
+        }
+    }
+    args
+}
+
+fn usage() -> ! {
+    eprintln!("usage: detector_zoo [--out PATH]");
+    std::process::exit(2);
+}
+
+/// One backend×flavor cell of the comparison.
+struct ZooRow {
+    backend: BackendKind,
+    version: Version,
+    metrics: AveragedMetrics,
+    model_bytes: usize,
+    app_fram_bytes: usize,
+    app_sram_bytes: usize,
+    system_fram_bytes: usize,
+    classifier_cycles: f64,
+    total_cycles: f64,
+    avg_current_ua: f64,
+    lifetime_days: f64,
+    observed_classifier_cycles: u64,
+    observed_spans: u64,
+}
+
+/// Subject-averaged Amulet-flavor metrics for `kind` over the paper's
+/// substitution protocol, scoring through the deployed backend model.
+fn evaluate_backend(
+    subjects: &[Subject],
+    gold: &[SiftModel],
+    deployed: &[DetectorModel],
+    config: &SiftConfig,
+    protocol: &EvalProtocol,
+) -> AveragedMetrics {
+    let mut matrices = Vec::with_capacity(subjects.len());
+    for (i, subject) in subjects.iter().enumerate() {
+        let detector = Detector::with_backend(
+            gold[i].clone(),
+            deployed[i].clone(),
+            PlatformFlavor::Amulet,
+            config.clone(),
+        )
+        .unwrap_or_else(|e| {
+            eprintln!("detector assembly failed for subject {i}: {e}");
+            std::process::exit(1);
+        });
+        let victim_test = Record::synthesize(
+            subject,
+            protocol.test_s,
+            protocol.seed.wrapping_add(1000 + i as u64),
+        );
+        let donor_idx = (i + 1) % subjects.len();
+        let donor_test = Record::synthesize(
+            &subjects[donor_idx],
+            protocol.test_s,
+            protocol.seed.wrapping_add(5000 + donor_idx as u64),
+        );
+        let test_set = substitution_test_set(
+            &victim_test,
+            &donor_test,
+            config.window_s,
+            protocol.altered_fraction,
+            protocol.seed.wrapping_add(9000 + i as u64),
+        )
+        .unwrap_or_else(|e| {
+            eprintln!("test-set assembly failed for subject {i}: {e}");
+            std::process::exit(1);
+        });
+        let mut matrix = ConfusionMatrix::default();
+        for w in &test_set {
+            match detector.classify(&w.snippet) {
+                Ok(d) => matrix.record(w.truth, d.label),
+                Err(e) => {
+                    eprintln!("classification failed for subject {i}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        matrices.push(matrix);
+    }
+    AveragedMetrics::from_matrices(&matrices).unwrap_or_else(|| {
+        eprintln!("no subjects evaluated");
+        std::process::exit(1);
+    })
+}
+
+/// One traced single-device session for a backend×flavor cell; returns
+/// the telemetry snapshot whose span units are cost-model cycles.
+fn traced_session(kind: BackendKind, version: Version, config: &SiftConfig) -> TelemetryReport {
+    let mut scenario = Scenario::new(0, version, 30.0);
+    scenario.backend = kind;
+    scenario.config = config.clone();
+    scenario.seed = 0xD00D;
+    let report = DeviceSim::with_options(
+        &scenario,
+        DeviceOptions {
+            telemetry: true,
+            ..DeviceOptions::default()
+        },
+    )
+    .and_then(DeviceSim::into_report)
+    .unwrap_or_else(|e| {
+        eprintln!("traced session for {kind:?} {version:?} failed: {e}");
+        std::process::exit(1);
+    });
+    report.telemetry.unwrap_or_else(|| {
+        eprintln!("traced session for {kind:?} {version:?} produced no telemetry");
+        std::process::exit(1);
+    })
+}
+
+fn main() {
+    let args = parse_args();
+    let config = zoo_config();
+    let protocol = EvalProtocol::default();
+    let subjects: Vec<Subject> = bank().into_iter().take(SUBJECTS).collect();
+    let profiler = ResourceProfiler::default();
+    let costs = OpCosts::default();
+
+    let mut rows: Vec<ZooRow> = Vec::new();
+    for kind in BackendKind::ALL {
+        for &version in Version::ALL.iter() {
+            // Gold models drive feature extraction; the deployed model
+            // of the cell's backend family does the device-side scoring.
+            let gold = train_models(&subjects, version, &config).unwrap_or_else(|e| {
+                eprintln!("gold training failed for {version:?}: {e}");
+                std::process::exit(1);
+            });
+            let deployed: Vec<DetectorModel> = (0..subjects.len())
+                .map(|i| {
+                    train_backend_for_subject(&subjects, i, version, kind, &config, config.seed)
+                        .unwrap_or_else(|e| {
+                            eprintln!("{kind:?} training failed for subject {i}: {e}");
+                            std::process::exit(1);
+                        })
+                })
+                .collect();
+            let metrics = evaluate_backend(&subjects, &gold, &deployed, &config, &protocol);
+
+            // Static footprint + energy through the same app spec the
+            // simulator deploys (name, cycles, and model bytes included).
+            let app = SiftApp::new(version, deployed[0].clone(), config.clone())
+                .unwrap_or_else(|e| {
+                    eprintln!("app assembly failed for {kind:?} {version:?}: {e}");
+                    std::process::exit(1);
+                });
+            let spec = app.resource_spec();
+            let profile = profiler.profile(&[&spec]);
+
+            let mut model_cycles = detector_cycles(version, &config, &costs, 4.0);
+            if kind == BackendKind::Tsetlin {
+                model_cycles.ml_classifier = tsetlin_classifier_cycles(
+                    version.feature_count(),
+                    tsetlin_pairs(version) as usize,
+                    &costs,
+                );
+            }
+
+            // Observed spans from a traced device session must agree
+            // with the model (the same gate the telemetry bench runs).
+            let tele = traced_session(kind, version, &config);
+            let observed = tele.stage(Stage::Svm);
+            if observed.spans == 0 {
+                eprintln!("{kind:?} {version:?}: traced session classified no windows");
+                std::process::exit(1);
+            }
+            if observed.mean_units() != model_cycles.ml_classifier as u64 {
+                eprintln!(
+                    "FAIL: {kind:?} {version:?} observed classifier mean {} cycles != model {}",
+                    observed.mean_units(),
+                    model_cycles.ml_classifier as u64
+                );
+                std::process::exit(1);
+            }
+
+            rows.push(ZooRow {
+                backend: kind,
+                version,
+                metrics,
+                model_bytes: deployed[0].footprint_bytes(),
+                app_fram_bytes: profile.app_fram_bytes,
+                app_sram_bytes: profile.app_sram_bytes,
+                system_fram_bytes: profile.system_fram_bytes,
+                classifier_cycles: model_cycles.ml_classifier,
+                total_cycles: spec.cycles_per_period,
+                avg_current_ua: profile.avg_current_ua,
+                lifetime_days: profile.lifetime_days,
+                observed_classifier_cycles: observed.mean_units(),
+                observed_spans: observed.spans,
+            });
+        }
+    }
+
+    // Ladder gate: each backend's flavor ladder strictly shrinks the
+    // total deployed FRAM image (system libs + app) and never grows the
+    // model blob, so the survival policy always frees memory on reflash.
+    for kind in BackendKind::ALL {
+        let ladder: Vec<(usize, usize)> = rows
+            .iter()
+            .filter(|r| r.backend == kind)
+            .map(|r| (r.system_fram_bytes + r.app_fram_bytes, r.model_bytes))
+            .collect();
+        let fram_ok = ladder.windows(2).all(|w| w[0].0 > w[1].0);
+        let model_ok = ladder.windows(2).all(|w| w[0].1 >= w[1].1);
+        if !fram_ok || !model_ok {
+            eprintln!("FAIL: {kind:?} flavor ladder is not monotone: {ladder:?}");
+            std::process::exit(1);
+        }
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"source\": \"bench --bin detector_zoo\",");
+    let _ = writeln!(
+        json,
+        "  \"protocol\": {{ \"subjects\": {SUBJECTS}, \"train_s\": {:.1}, \"test_s\": {:.1}, \
+         \"altered_fraction\": {:.2}, \"seed\": {} }},",
+        config.train_s, protocol.test_s, protocol.altered_fraction, config.seed
+    );
+    let _ = writeln!(json, "  \"cpu_hz\": {CPU_HZ:.1},");
+    json.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"backend\": \"{}\",", r.backend.id());
+        let _ = writeln!(json, "      \"flavor\": \"{}\",", r.version);
+        let _ = writeln!(json, "      \"accuracy\": {:.6},", r.metrics.accuracy);
+        let _ = writeln!(json, "      \"f1\": {:.6},", r.metrics.f1);
+        let _ = writeln!(json, "      \"fp_rate\": {:.6},", r.metrics.fp_rate);
+        let _ = writeln!(json, "      \"fn_rate\": {:.6},", r.metrics.fn_rate);
+        let _ = writeln!(json, "      \"model_bytes\": {},", r.model_bytes);
+        let _ = writeln!(json, "      \"app_fram_bytes\": {},", r.app_fram_bytes);
+        let _ = writeln!(json, "      \"app_sram_bytes\": {},", r.app_sram_bytes);
+        let _ = writeln!(json, "      \"system_fram_bytes\": {},", r.system_fram_bytes);
+        let _ = writeln!(json, "      \"classifier_cycles\": {:.1},", r.classifier_cycles);
+        let _ = writeln!(json, "      \"total_cycles\": {:.1},", r.total_cycles);
+        let _ = writeln!(json, "      \"total_ms\": {:.3},", r.total_cycles / CPU_HZ * 1000.0);
+        let _ = writeln!(json, "      \"avg_current_ua\": {:.2},", r.avg_current_ua);
+        let _ = writeln!(json, "      \"lifetime_days\": {:.1},", r.lifetime_days);
+        let _ = writeln!(
+            json,
+            "      \"observed_classifier_cycles\": {},",
+            r.observed_classifier_cycles
+        );
+        let _ = writeln!(json, "      \"observed_spans\": {}", r.observed_spans);
+        let _ = writeln!(json, "    }}{}", if i + 1 < rows.len() { "," } else { "" });
+    }
+    json.push_str("  ]\n}\n");
+
+    println!(
+        "| {:<8} | {:<10} | {:>7} | {:>11} | {:>9} | {:>8} |",
+        "Backend", "Flavor", "Acc", "Model bytes", "uA avg", "Days"
+    );
+    println!("|{}|", "-".repeat(70));
+    for r in &rows {
+        println!(
+            "| {:<8} | {:<10} | {:>6.2}% | {:>11} | {:>9.2} | {:>8.1} |",
+            r.backend.id(),
+            r.version.to_string(),
+            r.metrics.accuracy * 100.0,
+            r.model_bytes,
+            r.avg_current_ua,
+            r.lifetime_days
+        );
+    }
+
+    if let Err(e) = std::fs::create_dir_all(
+        std::path::Path::new(&args.out).parent().unwrap_or_else(|| std::path::Path::new(".")),
+    ) {
+        eprintln!("failed to create output directory: {e}");
+        std::process::exit(1);
+    }
+    if let Err(e) = std::fs::write(&args.out, &json) {
+        eprintln!("failed to write {}: {e}", args.out);
+        std::process::exit(1);
+    }
+    println!("\nwrote {}", args.out);
+}

@@ -35,8 +35,9 @@ pub const fn encoded_len(dim: usize) -> usize {
 }
 
 /// CRC-32 (IEEE, reflected, polynomial `0xEDB8_8320`); table-free so
-/// the device pays cycles, not FRAM.
-fn crc32(bytes: &[u8]) -> u32 {
+/// the device pays cycles, not FRAM. Shared with the Tsetlin codec so
+/// every on-flash model blob carries the same integrity trailer.
+pub(crate) fn crc32(bytes: &[u8]) -> u32 {
     let mut crc: u32 = 0xFFFF_FFFF;
     for &b in bytes {
         crc ^= u32::from(b);
@@ -52,7 +53,7 @@ fn crc32(bytes: &[u8]) -> u32 {
 
 /// Copy `src` into `out` at `*at`, advancing the cursor; silently stops
 /// at the end of `out` (callers size the buffer with [`encoded_len`]).
-fn put(out: &mut [u8], at: &mut usize, src: &[u8]) {
+pub(crate) fn put(out: &mut [u8], at: &mut usize, src: &[u8]) {
     for (dst, &b) in out.iter_mut().skip(*at).zip(src.iter()) {
         *dst = b;
         *at += 1;
@@ -436,26 +437,9 @@ mod tests {
         let _ = em.predict_f32(&[1.0]);
     }
 
-    #[test]
-    fn batched_predictions_are_bit_identical_to_scalar_path() {
-        let (scaler, svm, d) = trained();
-        let em = EmbeddedModel::translate(&scaler, &svm).unwrap();
-        let mut flat: Vec<f32> = Vec::new();
-        let mut scalar_decisions = Vec::new();
-        let mut scalar_labels = Vec::new();
-        for (x, _) in d.iter() {
-            let xs: Vec<f32> = x.iter().map(|&v| v as f32).collect();
-            scalar_decisions.push(em.decision_function_f32(&xs));
-            scalar_labels.push(em.predict_f32(&xs));
-            flat.extend(xs);
-        }
-        let batch_decisions = em.decision_batch_f32(&flat);
-        assert_eq!(batch_decisions.len(), d.len());
-        for (b, s) in batch_decisions.iter().zip(&scalar_decisions) {
-            assert_eq!(b.to_bits(), s.to_bits(), "must agree bit for bit");
-        }
-        assert_eq!(em.predict_batch_f32(&flat), scalar_labels);
-    }
+    // The batched-vs-scalar bit-equality guarantee is certified by the
+    // backend-parameterized conformance suite (tests/detector_conformance.rs)
+    // for every registered backend, not per-site here.
 
     #[test]
     fn empty_batch_yields_no_predictions() {

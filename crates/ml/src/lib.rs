@@ -17,7 +17,12 @@
 //!   the paper's §IV, plus precision, recall, and ROC-AUC,
 //! * [`crossval`] — k-fold cross-validation,
 //! * [`embedded`] — the flat, `f32` "translated" model representation
-//!   deployed on the simulated Amulet, including a byte-level codec.
+//!   deployed on the simulated Amulet, including a byte-level codec,
+//! * [`tsetlin`] — an integer-only Tsetlin machine backend (clause
+//!   masks over booleanized features) with its own on-flash codec,
+//! * [`backend`] — the [`backend::DetectorBackend`] trait and the
+//!   deployable [`backend::DetectorModel`] sum type tying the zoo
+//!   together.
 //!
 //! # Example
 //!
@@ -42,6 +47,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod baseline;
 pub mod crossval;
 pub mod dataset;
@@ -50,10 +56,12 @@ pub mod linear_svm;
 pub mod metrics;
 pub mod scaler;
 pub mod smo;
+pub mod tsetlin;
 pub mod tune;
 
 mod error;
 
+pub use backend::{BackendKind, DetectorBackend, DetectorModel};
 pub use dataset::{Dataset, Label};
 pub use error::MlError;
 

@@ -3,8 +3,8 @@
 //! A [`DetectorCheckpoint`] is everything the base station needs to
 //! resume detection after a brownout-reboot *without re-enrollment*:
 //! the deployed flavor, the stream position (windows seen, alerts
-//! raised), and the enrolled model via the versioned, CRC-guarded
-//! `ml::embedded` codec. The byte format is a fixed 16-byte header
+//! raised), and the enrolled model via its backend's versioned,
+//! CRC-guarded codec. The byte format is a fixed 16-byte header
 //! followed by the model blob:
 //!
 //! | offset | bytes | field |
@@ -15,7 +15,12 @@
 //! | 4      | 4     | windows seen, `u32` LE          |
 //! | 8      | 4     | alerts raised, `u32` LE         |
 //! | 12     | 4     | model blob length, `u32` LE     |
-//! | 16     | …     | `ml::embedded` v2 model bytes   |
+//! | 16     | …     | backend model bytes (by magic)  |
+//!
+//! The model blob is self-describing: decoding dispatches on the
+//! backend magic (`SIFTMDL` → SVM codec v2, `SIFTTSM` → Tsetlin codec
+//! v1), so an SVM-era checkpoint's bytes are unchanged and a Tsetlin
+//! checkpoint reuses the identical container.
 //!
 //! End-to-end integrity comes from two layers: the NVRAM slot CRC in
 //! `amulet_sim::nvram` covers the whole payload, and the model blob
@@ -28,7 +33,7 @@
 
 use crate::features::Version;
 use crate::SiftError;
-use ml::embedded::EmbeddedModel;
+use ml::{DetectorBackend, DetectorModel};
 
 /// Version byte of the checkpoint container format itself.
 pub const FORMAT_VERSION: u8 = 1;
@@ -36,7 +41,9 @@ pub const FORMAT_VERSION: u8 = 1;
 /// Fixed header size preceding the model blob.
 pub const HEADER_BYTES: usize = 16;
 
-/// Exact encoded size of a checkpoint for a detector flavor.
+/// Exact encoded size of a checkpoint for an **SVM** detector flavor
+/// (the historical layout; other backends size via the instance method
+/// [`DetectorCheckpoint::encoded_len`]).
 pub fn encoded_len(version: Version) -> usize {
     HEADER_BYTES + ml::embedded::encoded_len(version.feature_count())
 }
@@ -87,8 +94,8 @@ pub struct DetectorCheckpoint {
     pub windows_seen: u32,
     /// Alerts the detector has raised so far.
     pub alerts_raised: u32,
-    /// The enrolled (translated) per-user model.
-    pub model: EmbeddedModel,
+    /// The enrolled per-user model, any registered backend.
+    pub model: DetectorModel,
 }
 
 impl DetectorCheckpoint {
@@ -98,7 +105,8 @@ impl DetectorCheckpoint {
     ///
     /// Returns [`SiftError::Checkpoint`] when the model dimension does
     /// not match the flavor's feature count.
-    pub fn new(version: Version, model: EmbeddedModel) -> Result<Self, SiftError> {
+    pub fn new(version: Version, model: impl Into<DetectorModel>) -> Result<Self, SiftError> {
+        let model = model.into();
         if model.dim() != version.feature_count() {
             return Err(SiftError::Checkpoint {
                 reason: "model dimension does not match detector version",
@@ -112,9 +120,10 @@ impl DetectorCheckpoint {
         })
     }
 
-    /// Exact encoded size of this checkpoint.
+    /// Exact encoded size of this checkpoint (header plus the deployed
+    /// backend's own blob size).
     pub fn encoded_len(&self) -> usize {
-        encoded_len(self.version)
+        HEADER_BYTES + self.model.footprint_bytes()
     }
 
     /// Serialize into a caller-provided buffer, returning the bytes
@@ -182,7 +191,7 @@ impl DetectorCheckpoint {
         let model_bytes = bytes.get(HEADER_BYTES..).ok_or(SiftError::Checkpoint {
             reason: "too short for header",
         })?;
-        let model = EmbeddedModel::decode(model_bytes)?;
+        let model = DetectorModel::decode(model_bytes)?;
         if model.dim() != version.feature_count() {
             return Err(SiftError::Checkpoint {
                 reason: "model dimension does not match detector version",
@@ -202,6 +211,7 @@ mod tests {
     use super::*;
     use crate::config::SiftConfig;
     use crate::trainer::train_for_subject;
+    use ml::embedded::EmbeddedModel;
     use physio_sim::subject::bank;
 
     fn quick_config() -> SiftConfig {
@@ -236,6 +246,34 @@ mod tests {
             let back = DetectorCheckpoint::decode(&buf[..n]).unwrap();
             assert_eq!(back, ckpt);
         }
+    }
+
+    #[test]
+    fn tsetlin_model_rides_the_same_container() {
+        // A second-backend model round-trips through the identical
+        // 16-byte container; decode dispatches on the blob magic.
+        let version = Version::Reduced;
+        let dim = version.feature_count();
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..30 {
+            let t = i as f32 * 0.03;
+            rows.extend(std::iter::repeat(t).take(dim));
+            labels.push(ml::Label::Negative);
+            rows.extend(std::iter::repeat(1.5 + t).take(dim));
+            labels.push(ml::Label::Positive);
+        }
+        let tm = ml::tsetlin::TsetlinTrainer::default()
+            .fit(dim, &rows, &labels)
+            .unwrap();
+        let mut ckpt = DetectorCheckpoint::new(version, tm).unwrap();
+        ckpt.windows_seen = 9;
+        let mut buf = vec![0u8; ckpt.encoded_len()];
+        let n = ckpt.encode_into(&mut buf).unwrap();
+        assert_eq!(n, ckpt.encoded_len());
+        let back = DetectorCheckpoint::decode(&buf[..n]).unwrap();
+        assert_eq!(back, ckpt);
+        assert_eq!(back.model.kind(), ml::BackendKind::Tsetlin);
     }
 
     #[test]

@@ -10,7 +10,7 @@ use crate::flavor::{extract_amulet_f32, PlatformFlavor};
 use crate::snippet::Snippet;
 use crate::trainer::SiftModel;
 use crate::SiftError;
-use ml::Label;
+use ml::{DetectorBackend, DetectorModel, Label};
 use telemetry::{CounterId, Stage, Telemetry};
 
 /// Outcome of classifying one snippet.
@@ -35,15 +35,23 @@ impl Detection {
 
 /// A deployed detector: a trained model plus the platform flavor whose
 /// arithmetic it runs with.
+///
+/// The Amulet arm scores through the backend-generic
+/// [`DetectorModel`]; by default that is the gold model's own embedded
+/// SVM translation (bit-identical to the pre-zoo path), but
+/// [`Detector::with_backend`] swaps in any registered backend of the
+/// same dimension.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Detector {
     model: SiftModel,
+    deployed: DetectorModel,
     flavor: PlatformFlavor,
     config: SiftConfig,
 }
 
 impl Detector {
-    /// Assemble a detector.
+    /// Assemble a detector deploying the model's own embedded SVM
+    /// translation.
     ///
     /// # Errors
     ///
@@ -55,8 +63,40 @@ impl Detector {
         config: SiftConfig,
     ) -> Result<Self, SiftError> {
         config.validate()?;
+        let deployed = model.embedded().clone().into();
         Ok(Self {
             model,
+            deployed,
+            flavor,
+            config,
+        })
+    }
+
+    /// Assemble a detector that scores its Amulet arm with an
+    /// arbitrary registered backend (the gold arm keeps the SVM's
+    /// double-precision reference path).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SiftError::InvalidConfig`] if the configuration fails
+    /// validation, and [`SiftError::Checkpoint`] when the backend's
+    /// dimension does not match the model's flavor.
+    pub fn with_backend(
+        model: SiftModel,
+        deployed: impl Into<DetectorModel>,
+        flavor: PlatformFlavor,
+        config: SiftConfig,
+    ) -> Result<Self, SiftError> {
+        config.validate()?;
+        let deployed = deployed.into();
+        if deployed.dim() != model.version().feature_count() {
+            return Err(SiftError::Checkpoint {
+                reason: "model dimension does not match detector version",
+            });
+        }
+        Ok(Self {
+            model,
+            deployed,
             flavor,
             config,
         })
@@ -65,6 +105,12 @@ impl Detector {
     /// The model this detector classifies with.
     pub fn model(&self) -> &SiftModel {
         &self.model
+    }
+
+    /// The deployed (device-side) backend model the Amulet arm scores
+    /// with.
+    pub fn deployed(&self) -> &DetectorModel {
+        &self.deployed
     }
 
     /// The platform flavor in use.
@@ -110,7 +156,7 @@ impl Detector {
                         Err(SiftError::DegenerateSignal) => return Ok(Detection::degenerate()),
                         Err(e) => return Err(e),
                     };
-                let score = self.model.embedded().decision_function_f32(&features) as f64;
+                let score = self.deployed.score_f32(&features) as f64;
                 Ok(Detection {
                     label: Label::from_sign(score),
                     score,

@@ -65,6 +65,7 @@ pub mod portrait;
 pub mod snippet;
 pub mod stream;
 pub mod trainer;
+pub mod zoo;
 
 mod error;
 

@@ -87,12 +87,30 @@ pub fn train(
     config: &SiftConfig,
 ) -> Result<SiftModel, SiftError> {
     let data = build_training_set(victim_train, donor_trains, version, config)?;
+    train_from_dataset(version, &data, config)
+}
+
+/// Fit the scaler + SVM + embedded translation on an already-assembled
+/// training set — the SVM rung of the detector zoo's shared
+/// "dataset in, deployable model out" seam (`sift::zoo` feeds the same
+/// dataset to other backends).
+///
+/// # Errors
+///
+/// Returns [`SiftError::Ml`] with
+/// [`SingleClass`](ml::MlError::SingleClass) when `data` lacks a class,
+/// and propagates scaler/SVM/translation errors.
+pub fn train_from_dataset(
+    version: Version,
+    data: &Dataset,
+    config: &SiftConfig,
+) -> Result<SiftModel, SiftError> {
     if !data.has_both_classes() {
         return Err(SiftError::Ml(ml::MlError::SingleClass));
     }
 
-    let scaler = StandardScaler::fit(&data)?;
-    let scaled = scaler.transform_dataset(&data)?;
+    let scaler = StandardScaler::fit(data)?;
+    let scaled = scaler.transform_dataset(data)?;
     let trainer = LinearSvmTrainer {
         c: config.svm_c,
         seed: config.seed ^ 0x57A1,
@@ -238,11 +256,14 @@ pub fn train_for_subject(
 #[derive(Debug, Clone)]
 pub struct ModelBank {
     version: Version,
+    kind: ml::BackendKind,
     models: Vec<std::sync::Arc<SiftModel>>,
+    deployed: Vec<std::sync::Arc<ml::DetectorModel>>,
 }
 
 impl ModelBank {
-    /// Train one model per subject (each using all others as donors).
+    /// Train one SVM model per subject (each using all others as
+    /// donors).
     ///
     /// Training records are synthesized once and shared across victims,
     /// with the exact per-subject seeds of [`train_for_subject`].
@@ -278,7 +299,67 @@ impl ModelBank {
                 train(&records[victim], &donors, version, config).map(std::sync::Arc::new)
             })
             .collect::<Result<Vec<_>, _>>()?;
-        Ok(Self { version, models })
+        let deployed = models
+            .iter()
+            .map(|m| std::sync::Arc::new(ml::DetectorModel::from(m.embedded().clone())))
+            .collect();
+        Ok(Self {
+            version,
+            kind: ml::BackendKind::Svm,
+            models,
+            deployed,
+        })
+    }
+
+    /// Train one model per subject for an arbitrary registered backend
+    /// — the zoo's enrollment entry point. For
+    /// [`BackendKind::Svm`](ml::BackendKind::Svm) this is [`ModelBank::train`]
+    /// exactly (bit-identical models); other backends feed the same
+    /// per-victim training sets to their own trainers.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ModelBank::train`], plus backend trainer
+    /// errors.
+    pub fn train_backend(
+        subjects: &[Subject],
+        version: Version,
+        kind: ml::BackendKind,
+        config: &SiftConfig,
+        seed: u64,
+    ) -> Result<Self, SiftError> {
+        if kind == ml::BackendKind::Svm {
+            return Self::train(subjects, version, config, seed);
+        }
+        if subjects.is_empty() {
+            return Err(SiftError::InvalidConfig {
+                reason: "at least one subject required",
+            });
+        }
+        let records: Vec<Record> = subjects
+            .iter()
+            .enumerate()
+            .map(|(i, s)| Record::synthesize(s, config.train_s, seed.wrapping_add(i as u64 * 7919)))
+            .collect();
+        let deployed = (0..subjects.len())
+            .map(|victim| {
+                let donors: Vec<&Record> = records
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| *i != victim)
+                    .map(|(_, r)| r)
+                    .collect();
+                let data = build_training_set(&records[victim], &donors, version, config)?;
+                crate::zoo::train_backend_from_dataset(kind, version, &data, config)
+                    .map(std::sync::Arc::new)
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self {
+            version,
+            kind,
+            models: Vec::new(),
+            deployed,
+        })
     }
 
     /// Detector version every model in the bank was trained for.
@@ -286,19 +367,32 @@ impl ModelBank {
         self.version
     }
 
+    /// Backend family every deployed model in the bank belongs to.
+    pub fn kind(&self) -> ml::BackendKind {
+        self.kind
+    }
+
     /// Number of subjects in the bank.
     pub fn len(&self) -> usize {
-        self.models.len()
+        self.deployed.len()
     }
 
     /// Whether the bank is empty (never true for a trained bank).
     pub fn is_empty(&self) -> bool {
-        self.models.is_empty()
+        self.deployed.is_empty()
     }
 
-    /// The trained model for `victim`, if in range.
+    /// The trained gold-path SVM model for `victim`, if in range.
+    /// `None` for every victim on non-SVM banks, which carry only
+    /// deployed models.
     pub fn get(&self, victim: usize) -> Option<&std::sync::Arc<SiftModel>> {
         self.models.get(victim)
+    }
+
+    /// The deployable (device-side) model for `victim`, if in range —
+    /// backend-agnostic; what the fleet engine actually flashes.
+    pub fn deployed(&self, victim: usize) -> Option<&std::sync::Arc<ml::DetectorModel>> {
+        self.deployed.get(victim)
     }
 }
 

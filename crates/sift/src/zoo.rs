@@ -1,0 +1,211 @@
+//! The detector zoo's backend-generic enrollment path.
+//!
+//! The paper's training step assembles one labeled feature set per
+//! wearer ([`build_training_set`]); the zoo feeds that *same* dataset
+//! to whichever backend family is being deployed:
+//!
+//! * [`BackendKind::Svm`] — scaler + liblinear + embedded translation
+//!   ([`train_from_dataset`]), bit-identical to the pre-zoo path;
+//! * [`BackendKind::Tsetlin`] — per-feature quantile booleanization +
+//!   integer-only clause training ([`ml::tsetlin`]).
+//!
+//! The Tsetlin flavor ladder mirrors the SVM's
+//! Original/Simplified/Reduced rungs with clause-count reduction
+//! ([`tsetlin_pairs`]): fewer clause pairs, monotonically smaller
+//! footprint, exactly what `wiot::survival` needs to reflash down the
+//! ladder under battery pressure.
+
+use crate::config::SiftConfig;
+use crate::features::Version;
+use crate::trainer::{build_training_set, train_from_dataset};
+use crate::SiftError;
+use ml::tsetlin::TsetlinTrainer;
+use ml::{BackendKind, Dataset, DetectorModel};
+use physio_sim::record::Record;
+use physio_sim::subject::Subject;
+
+/// Clause pairs per flavor rung — the Tsetlin ladder's footprint knob,
+/// strictly decreasing down the ladder like the SVM's feature count.
+pub fn tsetlin_pairs(version: Version) -> u32 {
+    match version {
+        Version::Original => 32,
+        Version::Simplified => 16,
+        Version::Reduced => 8,
+    }
+}
+
+/// The deterministic Tsetlin trainer for a flavor rung: ladder clause
+/// count, seed derived from the run config (disjoint from the SVM's
+/// `seed ^ 0x57A1` stream).
+pub fn tsetlin_trainer(version: Version, config: &SiftConfig) -> TsetlinTrainer {
+    TsetlinTrainer {
+        pairs: tsetlin_pairs(version),
+        seed: config.seed ^ 0x7531,
+        ..TsetlinTrainer::default()
+    }
+}
+
+/// Train the deployable model of family `kind` from an assembled
+/// training set — the one seam every backend implements.
+///
+/// # Errors
+///
+/// [`SiftError::Ml`] with
+/// [`SingleClass`](ml::MlError::SingleClass) when `data` lacks a class,
+/// plus backend trainer errors.
+pub fn train_backend_from_dataset(
+    kind: BackendKind,
+    version: Version,
+    data: &Dataset,
+    config: &SiftConfig,
+) -> Result<DetectorModel, SiftError> {
+    match kind {
+        BackendKind::Svm => {
+            train_from_dataset(version, data, config).map(|m| m.embedded().clone().into())
+        }
+        BackendKind::Tsetlin => {
+            if !data.has_both_classes() {
+                return Err(SiftError::Ml(ml::MlError::SingleClass));
+            }
+            let dim = version.feature_count();
+            let mut rows: Vec<f32> = Vec::with_capacity(data.len() * dim);
+            let mut labels = Vec::with_capacity(data.len());
+            for (x, label) in data.iter() {
+                rows.extend(x.iter().map(|&v| v as f32));
+                labels.push(label);
+            }
+            let model = tsetlin_trainer(version, config).fit(dim, &rows, &labels)?;
+            Ok(model.into())
+        }
+    }
+}
+
+/// Train a deployable model of family `kind` for a wearer against the
+/// given donors — the backend-generic sibling of
+/// [`crate::trainer::train`].
+///
+/// # Errors
+///
+/// Same conditions as [`crate::trainer::train`], plus backend trainer
+/// errors.
+pub fn train_backend(
+    victim_train: &Record,
+    donor_trains: &[&Record],
+    version: Version,
+    kind: BackendKind,
+    config: &SiftConfig,
+) -> Result<DetectorModel, SiftError> {
+    let data = build_training_set(victim_train, donor_trains, version, config)?;
+    train_backend_from_dataset(kind, version, &data, config)
+}
+
+/// Train a deployable model of family `kind` for `subjects[victim]`
+/// with every other subject as a donor — the backend-generic sibling
+/// of [`crate::trainer::train_for_subject`], using the exact same
+/// per-subject record seeds (so the SVM arm is bit-identical to
+/// `train_for_subject(..).embedded()`).
+///
+/// # Errors
+///
+/// Same conditions as [`crate::trainer::train_for_subject`], plus
+/// backend trainer errors.
+pub fn train_backend_for_subject(
+    subjects: &[Subject],
+    victim: usize,
+    version: Version,
+    kind: BackendKind,
+    config: &SiftConfig,
+    seed: u64,
+) -> Result<DetectorModel, SiftError> {
+    if victim >= subjects.len() {
+        return Err(SiftError::InvalidConfig {
+            reason: "victim index out of range",
+        });
+    }
+    let records: Vec<Record> = subjects
+        .iter()
+        .enumerate()
+        .map(|(i, s)| Record::synthesize(s, config.train_s, seed.wrapping_add(i as u64 * 7919)))
+        .collect();
+    let donors: Vec<&Record> = records
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i != victim)
+        .map(|(_, r)| r)
+        .collect();
+    train_backend(&records[victim], &donors, version, kind, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trainer::train_for_subject;
+    use ml::DetectorBackend;
+    use physio_sim::subject::bank;
+
+    fn quick_config() -> SiftConfig {
+        SiftConfig {
+            train_s: 60.0,
+            max_positive_per_donor: Some(15),
+            ..SiftConfig::default()
+        }
+    }
+
+    #[test]
+    fn svm_arm_is_bit_identical_to_legacy_path() {
+        let b = bank();
+        let cfg = quick_config();
+        let legacy = train_for_subject(&b, 2, Version::Reduced, &cfg, 7).unwrap();
+        let zoo = train_backend_for_subject(&b, 2, Version::Reduced, BackendKind::Svm, &cfg, 7)
+            .unwrap();
+        assert_eq!(zoo.as_svm().unwrap(), legacy.embedded());
+        assert_eq!(zoo.encode(), legacy.embedded().encode());
+    }
+
+    #[test]
+    fn tsetlin_arm_trains_deterministically_per_rung() {
+        let b = bank();
+        let cfg = quick_config();
+        for &version in Version::ALL.iter() {
+            let a =
+                train_backend_for_subject(&b, 0, version, BackendKind::Tsetlin, &cfg, 7).unwrap();
+            let again =
+                train_backend_for_subject(&b, 0, version, BackendKind::Tsetlin, &cfg, 7).unwrap();
+            assert_eq!(a, again, "{version:?}");
+            assert_eq!(a.dim(), version.feature_count());
+            let tm = a.as_tsetlin().unwrap();
+            assert_eq!(tm.pairs() as u32, tsetlin_pairs(version));
+        }
+    }
+
+    #[test]
+    fn tsetlin_ladder_footprint_is_strictly_monotone() {
+        let b = bank();
+        let cfg = quick_config();
+        let sizes: Vec<usize> = Version::ALL
+            .iter()
+            .map(|&v| {
+                train_backend_for_subject(&b, 0, v, BackendKind::Tsetlin, &cfg, 7)
+                    .unwrap()
+                    .footprint_bytes()
+            })
+            .collect();
+        assert!(
+            sizes[0] > sizes[1] && sizes[1] > sizes[2],
+            "ladder not monotone: {sizes:?}"
+        );
+    }
+
+    #[test]
+    fn out_of_range_victim_rejected() {
+        assert!(train_backend_for_subject(
+            &bank(),
+            99,
+            Version::Reduced,
+            BackendKind::Tsetlin,
+            &quick_config(),
+            1
+        )
+        .is_err());
+    }
+}

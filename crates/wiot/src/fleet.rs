@@ -31,10 +31,11 @@
 //! subject's model across every device wearing it (`Arc`, read-only).
 //! Each device also uplinks its per-window feature vectors
 //! ([`crate::basestation::BaseStation::with_feature_uplink`]); the sink
-//! re-scores each device's whole window batch with **one** batched SVM
-//! call ([`ml::embedded::EmbeddedModel::decision_batch_f32`]) instead
-//! of per-window calls, which is where fleet-scale margin statistics
-//! and per-device outlier flags come from.
+//! re-scores each device's whole window batch with **one** batched
+//! backend call ([`ml::DetectorBackend::score_batch_f32`], bit-equal
+//! to the scalar path for every backend) instead of per-window calls,
+//! which is where fleet-scale margin statistics and per-device outlier
+//! flags come from.
 
 use crate::channel::ChannelStats;
 use crate::faults::FaultSummary;
@@ -43,7 +44,7 @@ use crate::transport::TransportStats;
 use crate::WiotError;
 use amulet_sim::profiler::UsageSnapshot;
 use ml::metrics::ConfusionMatrix;
-use ml::Label;
+use ml::{DetectorBackend, Label};
 use physio_sim::subject::bank;
 use sift::trainer::ModelBank;
 use std::sync::mpsc;
@@ -415,13 +416,17 @@ fn simulate_device(
     let mut scenario = spec.template.clone();
     scenario.victim = device % subjects_len;
     scenario.seed = device_seed(spec.seed, device);
-    let model = models.get(scenario.victim).ok_or(WiotError::InvalidScenario {
-        reason: "model bank does not cover the device's victim",
-    })?;
+    let deployed = models
+        .deployed(scenario.victim)
+        .ok_or(WiotError::InvalidScenario {
+            reason: "model bank does not cover the device's victim",
+        })?;
+    let gold = models.get(scenario.victim);
     let mut sim = DeviceSim::with_options(
         &scenario,
         DeviceOptions {
-            model: Some(model.as_ref()),
+            model: gold.map(|m| m.as_ref()),
+            deployed: Some(deployed.as_ref()),
             feature_uplink: true,
             telemetry: spec.telemetry,
         },
@@ -431,12 +436,11 @@ fn simulate_device(
     // Sink-side batched inference: one margin computation over the
     // device's whole window batch instead of per-window calls.
     let features = sim.take_uplinked_features();
-    let embedded = model.embedded();
-    let mut flat = Vec::with_capacity(features.len() * embedded.dim());
+    let mut flat = Vec::with_capacity(features.len() * deployed.dim());
     for (_, f) in &features {
         flat.extend_from_slice(f);
     }
-    let margins = embedded.decision_batch_f32(&flat);
+    let margins = deployed.score_batch_f32(&flat);
     let sink_flagged = margins
         .iter()
         .filter(|&&m| Label::from_sign(f64::from(m)) == Label::Positive)
@@ -627,6 +631,11 @@ pub fn run_fleet_with_bank(spec: &FleetSpec, models: &ModelBank) -> Result<Fleet
             reason: "model bank version does not match the fleet template",
         });
     }
+    if models.kind() != spec.template.backend {
+        return Err(WiotError::InvalidScenario {
+            reason: "model bank backend does not match the fleet template",
+        });
+    }
     let subjects_len = bank().len();
     let threads = spec.threads.clamp(1, spec.devices);
 
@@ -677,9 +686,10 @@ pub fn run_fleet_with_bank(spec: &FleetSpec, models: &ModelBank) -> Result<Fleet
 ///
 /// As [`run_fleet_with_bank`], plus training errors.
 pub fn run_fleet(spec: &FleetSpec) -> Result<FleetReport, WiotError> {
-    let models = ModelBank::train(
+    let models = ModelBank::train_backend(
         &bank(),
         spec.template.version,
+        spec.template.backend,
         &spec.template.config,
         spec.seed,
     )?;
@@ -785,6 +795,36 @@ mod tests {
             .telemetry
             .as_ref()
             .is_some_and(|t| !t.events.is_empty())));
+    }
+
+    #[test]
+    fn tsetlin_fleet_is_thread_count_stable() {
+        let mut spec = FleetSpec::new(2, 9.0).with_seed(5);
+        spec.template.backend = ml::BackendKind::Tsetlin;
+        let models = ModelBank::train_backend(
+            &bank(),
+            spec.template.version,
+            ml::BackendKind::Tsetlin,
+            &spec.template.config,
+            spec.seed,
+        )
+        .unwrap();
+        let one = run_fleet_with_bank(&spec, &models).unwrap();
+        let two = run_fleet_with_bank(&spec.clone().with_threads(2), &models).unwrap();
+        assert_eq!(one.digest(), two.digest());
+        assert!(one.windows_scored > 0, "sink saw no windows");
+        // An SVM bank cannot drive a Tsetlin fleet.
+        let svm = ModelBank::train(
+            &bank(),
+            spec.template.version,
+            &spec.template.config,
+            spec.seed,
+        )
+        .unwrap();
+        assert!(matches!(
+            run_fleet_with_bank(&spec, &svm),
+            Err(WiotError::InvalidScenario { .. })
+        ));
     }
 
     #[test]

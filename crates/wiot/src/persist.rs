@@ -31,7 +31,7 @@ use crate::survival::SurvivalSnapshot;
 use crate::WiotError;
 use amulet_sim::apps::SiftApp;
 use amulet_sim::nvram::{CheckpointStats, CheckpointStore, Restore, NVRAM_BYTES};
-use ml::embedded::EmbeddedModel;
+use ml::{DetectorBackend, DetectorModel};
 use sift::checkpoint::DetectorCheckpoint;
 use sift::config::SiftConfig;
 use sift::features::Version;
@@ -60,14 +60,14 @@ pub struct Persistence {
 
 impl Persistence {
     /// Set up persistence for a detector of `version` enrolled with
-    /// `model`. The encode buffer is sized once; commits are
-    /// allocation-free afterwards.
+    /// `model` (any registered backend family). The encode buffer is
+    /// sized once; commits are allocation-free afterwards.
     ///
     /// # Errors
     ///
     /// Returns [`WiotError::Sift`] when the model dimension does not
     /// match the flavor.
-    pub fn new(version: Version, model: EmbeddedModel) -> Result<Self, WiotError> {
+    pub fn new(version: Version, model: impl Into<DetectorModel>) -> Result<Self, WiotError> {
         let snapshot = DetectorCheckpoint::new(version, model)?;
         let buf = vec![0u8; snapshot.encoded_len()];
         Ok(Self {
@@ -111,7 +111,11 @@ impl Persistence {
     ///
     /// Returns [`WiotError::Sift`] when the model dimension does not
     /// match the flavor.
-    pub fn set_version(&mut self, version: Version, model: EmbeddedModel) -> Result<(), WiotError> {
+    pub fn set_version(
+        &mut self,
+        version: Version,
+        model: impl Into<DetectorModel>,
+    ) -> Result<(), WiotError> {
         let mut snapshot = DetectorCheckpoint::new(version, model)?;
         snapshot.windows_seen = self.snapshot.windows_seen;
         snapshot.alerts_raised = self.snapshot.alerts_raised;
@@ -224,9 +228,15 @@ impl Persistence {
                 rolled_back,
                 ..
             } => match DetectorCheckpoint::decode(payload) {
-                Ok(c) if c.version == self.snapshot.version => (c, rolled_back),
-                // Wrong flavor, stale model format, or checksum
-                // mismatch: typed rejection, never accepted.
+                Ok(c)
+                    if c.version == self.snapshot.version
+                        && c.model.kind() == self.snapshot.model.kind() =>
+                {
+                    (c, rolled_back)
+                }
+                // Wrong flavor, wrong backend family, stale model
+                // format, or checksum mismatch: typed rejection, never
+                // accepted.
                 Ok(_) | Err(_) => {
                     summary.recovery_failures += 1;
                     return Ok(false);
@@ -479,6 +489,7 @@ pub fn decode_adaptive(bytes: &[u8]) -> Result<AdaptiveSnapshot, WiotError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ml::embedded::EmbeddedModel;
     use physio_sim::subject::bank;
     use sift::trainer::train_for_subject;
 
@@ -567,6 +578,61 @@ mod tests {
         st.reboot();
         assert!(!p.recover(&mut st, &quick_config(), &mut summary).unwrap());
         assert_eq!(summary.recovery_failures, 1);
+    }
+
+    #[test]
+    fn tsetlin_checkpoints_survive_a_reboot() {
+        let version = Version::Reduced;
+        let cfg = quick_config();
+        let tsetlin = sift::zoo::train_backend_for_subject(
+            &bank(),
+            0,
+            version,
+            ml::BackendKind::Tsetlin,
+            &cfg,
+            7,
+        )
+        .unwrap();
+        let app = SiftApp::new(version, tsetlin.clone(), cfg.clone()).unwrap();
+        let mut st = BaseStation::new(app, cfg.clone(), 0.5).unwrap();
+        let mut p = Persistence::new(version, tsetlin.clone()).unwrap();
+        p.reserve(&mut st).unwrap();
+        p.commit(9, 4).unwrap();
+        let mut summary = FaultSummary::default();
+        st.reboot();
+        assert!(p.recover(&mut st, &cfg, &mut summary).unwrap());
+        assert_eq!(summary.recoveries, 1);
+        assert_eq!(p.snapshot().windows_seen, 9);
+        assert_eq!(p.snapshot().model, tsetlin);
+    }
+
+    #[test]
+    fn recovery_rejects_a_checkpoint_from_another_backend_family() {
+        // Same flavor, different backend: the FRAM holds an SVM
+        // checkpoint but the engine expects a Tsetlin one. The
+        // checkpoint must be refused and counted, not deployed.
+        let version = Version::Reduced;
+        let cfg = quick_config();
+        let tsetlin = sift::zoo::train_backend_for_subject(
+            &bank(),
+            0,
+            version,
+            ml::BackendKind::Tsetlin,
+            &cfg,
+            7,
+        )
+        .unwrap();
+        let mut svm_engine = Persistence::new(version, model(version)).unwrap();
+        svm_engine.commit(2, 0).unwrap();
+        let mut tsetlin_engine = Persistence::new(version, tsetlin.clone()).unwrap();
+        tsetlin_engine.store = svm_engine.store.clone();
+        let app = SiftApp::new(version, tsetlin, cfg.clone()).unwrap();
+        let mut st = BaseStation::new(app, cfg.clone(), 0.5).unwrap();
+        let mut summary = FaultSummary::default();
+        st.reboot();
+        assert!(!tsetlin_engine.recover(&mut st, &cfg, &mut summary).unwrap());
+        assert_eq!(summary.recovery_failures, 1);
+        assert_eq!(summary.recoveries, 0);
     }
 
     fn survival_snap(version: Version) -> crate::survival::SurvivalSnapshot {

@@ -23,16 +23,16 @@ use crate::survival::{
 use crate::transport::{ArqConfig, ArqLink, TransportStats};
 use crate::WiotError;
 use amulet_sim::apps::SiftApp;
-use amulet_sim::costs::{detector_cycles, OpCosts};
+use amulet_sim::costs::{detector_cycles, tsetlin_classifier_cycles, OpCosts};
 use amulet_sim::energy::BatteryState;
-use ml::embedded::EmbeddedModel;
 use ml::metrics::ConfusionMatrix;
-use ml::Label;
+use ml::{BackendKind, DetectorBackend, DetectorModel, Label};
 use physio_sim::record::Record;
 use physio_sim::subject::bank;
 use sift::config::SiftConfig;
 use sift::features::Version;
-use sift::trainer::{train_for_subject, SiftModel};
+use sift::trainer::SiftModel;
+use sift::zoo::{train_backend_for_subject, tsetlin_pairs};
 use telemetry::{CounterId, EventCode, GaugeId, Telemetry, TelemetryReport};
 
 /// Wireless-link parameters for a scenario.
@@ -108,6 +108,10 @@ pub struct Scenario {
     pub victim: usize,
     /// Detector version deployed on the base station.
     pub version: Version,
+    /// Detector backend family deployed on the base station
+    /// ([`BackendKind::Svm`] reproduces the paper's pipeline exactly;
+    /// other registered backends train from the same enrollment data).
+    pub backend: BackendKind,
     /// Session length in seconds.
     pub duration_s: f64,
     /// Optional staged attack.
@@ -152,6 +156,7 @@ impl Scenario {
         Self {
             victim,
             version,
+            backend: BackendKind::Svm,
             duration_s,
             attack: None,
             link: LinkParams::default(),
@@ -363,11 +368,16 @@ pub(crate) fn add_transport_stats(a: TransportStats, b: TransportStats) -> Trans
 /// Construction options for a [`DeviceSim`] beyond the scenario itself.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct DeviceOptions<'a> {
-    /// Pre-trained model to deploy instead of training inline. The
-    /// fleet engine enrolls every subject once (`sift::trainer`'s
-    /// `ModelBank`) and shares one model across all devices wearing the
-    /// same subject; `None` trains from the scenario seed as before.
+    /// Pre-trained gold model to deploy instead of training inline
+    /// (SVM-backed scenarios only). The fleet engine enrolls every
+    /// subject once (`sift::trainer`'s `ModelBank`) and shares one
+    /// model across all devices wearing the same subject; `None`
+    /// trains from the scenario seed as before.
     pub model: Option<&'a SiftModel>,
+    /// Pre-trained deployable backend model. Takes precedence over
+    /// `model`; its backend family must match the scenario's. This is
+    /// how the fleet engine injects non-SVM bank entries.
+    pub deployed: Option<&'a DetectorModel>,
     /// Enable the base station's feature uplink
     /// ([`BaseStation::with_feature_uplink`]) so the sink can re-score
     /// window batches with one batched SVM call per device.
@@ -401,10 +411,11 @@ struct SurvivalRuntime {
     /// Detector current on top of baseline per version, µA, indexed
     /// by [`version_index`].
     active_delta_ua: [u64; 3],
-    /// Per-version embedded models for version hot-swaps, trained
+    /// Per-version deployable models for version hot-swaps, trained
     /// lazily from the scenario seed on first switch into a version
     /// (the provisioned version's model is seeded at construction).
-    models: Vec<(Version, EmbeddedModel)>,
+    /// All rungs use the scenario's backend family.
+    models: Vec<(Version, DetectorModel)>,
     actions: Vec<SurvivalAction>,
     retry_reconfigs: u64,
     /// Whole windows the duty cycle suppressed (for the backlog
@@ -426,13 +437,20 @@ impl SurvivalRuntime {
         cfg: SurvivalConfig,
         scenario: &Scenario,
         model: &amulet_sim::energy::EnergyModel,
-        embedded: EmbeddedModel,
+        deployed: DetectorModel,
     ) -> Self {
         let baseline = model.currents.baseline_ua();
         let costs = OpCosts::default();
         let mut active_delta_ua = [0u64; 3];
         for v in Version::ALL {
-            let cycles = detector_cycles(v, &scenario.config, &costs, 4.0);
+            let mut cycles = detector_cycles(v, &scenario.config, &costs, 4.0);
+            if scenario.backend == BackendKind::Tsetlin {
+                cycles.ml_classifier = tsetlin_classifier_cycles(
+                    v.feature_count(),
+                    tsetlin_pairs(v) as usize,
+                    &costs,
+                );
+            }
             let avg = model.average_current_for_cycles_ua(cycles.total(), scenario.config.window_s);
             active_delta_ua[version_index(v)] = (avg - baseline).max(0.0).round() as u64;
         }
@@ -441,7 +459,7 @@ impl SurvivalRuntime {
             battery: BatteryState::from_model(model).with_initial_permille(cfg.initial_soc_permille),
             baseline_ua: baseline.round() as u64,
             active_delta_ua,
-            models: vec![(scenario.version, embedded)],
+            models: vec![(scenario.version, deployed)],
             actions: Vec::new(),
             retry_reconfigs: 0,
             duty_skipped_windows: 0,
@@ -463,21 +481,25 @@ impl SurvivalRuntime {
         self.baseline_ua + delta * kept / of
     }
 
-    /// The embedded model for `version`, training and caching it on
-    /// first use (deterministic: same subjects, same scenario seed).
-    fn model_for(&mut self, version: Version, scenario: &Scenario) -> Result<EmbeddedModel, WiotError> {
+    /// The deployable model for `version` in the scenario's backend
+    /// family, training and caching it on first use (deterministic:
+    /// same subjects, same scenario seed).
+    fn model_for(
+        &mut self,
+        version: Version,
+        scenario: &Scenario,
+    ) -> Result<DetectorModel, WiotError> {
         if let Some((_, m)) = self.models.iter().find(|(v, _)| *v == version) {
             return Ok(m.clone());
         }
-        let m = train_for_subject(
+        let m = train_backend_for_subject(
             &bank(),
             scenario.victim,
             version,
+            scenario.backend,
             &scenario.config,
             scenario.seed,
-        )?
-        .embedded()
-        .clone();
+        )?;
         self.models.push((version, m.clone()));
         Ok(m)
     }
@@ -573,26 +595,41 @@ impl DeviceSim {
         scenario.faults.validate(scenario.duration_s)?;
 
         // Deploy the injected model, or train offline then deploy.
-        let embedded = match options.model {
-            Some(model) => {
-                if model.version() != scenario.version {
-                    return Err(WiotError::InvalidScenario {
-                        reason: "injected model version does not match the scenario",
-                    });
-                }
-                model.embedded().clone()
+        let deployed: DetectorModel = if let Some(d) = options.deployed {
+            if d.kind() != scenario.backend {
+                return Err(WiotError::InvalidScenario {
+                    reason: "injected deployed model backend does not match the scenario",
+                });
             }
-            None => train_for_subject(
+            if d.dim() != scenario.version.feature_count() {
+                return Err(WiotError::InvalidScenario {
+                    reason: "injected model version does not match the scenario",
+                });
+            }
+            d.clone()
+        } else if let Some(model) = options.model {
+            if scenario.backend != BackendKind::Svm {
+                return Err(WiotError::InvalidScenario {
+                    reason: "gold model injection deploys the SVM backend only",
+                });
+            }
+            if model.version() != scenario.version {
+                return Err(WiotError::InvalidScenario {
+                    reason: "injected model version does not match the scenario",
+                });
+            }
+            model.embedded().clone().into()
+        } else {
+            train_backend_for_subject(
                 &subjects,
                 scenario.victim,
                 scenario.version,
+                scenario.backend,
                 &scenario.config,
                 scenario.seed,
             )?
-            .embedded()
-            .clone(),
         };
-        let app = SiftApp::new(scenario.version, embedded.clone(), scenario.config.clone())?;
+        let app = SiftApp::new(scenario.version, deployed.clone(), scenario.config.clone())?;
         let mut station = BaseStation::new(app, scenario.config.clone(), scenario.chunk_s)?;
         if let Some(max_missing) = scenario.salvage_max_missing {
             station = station.with_salvage(max_missing);
@@ -611,13 +648,13 @@ impl DeviceSim {
         // persist the 16-byte survival suffix from generation 1 on.
         let survival = scenario
             .survival
-            .map(|cfg| SurvivalRuntime::new(cfg, scenario, station.os().energy_model(), embedded.clone()));
+            .map(|cfg| SurvivalRuntime::new(cfg, scenario, station.os().energy_model(), deployed.clone()));
 
         // Crash-consistent checkpointing: charge the NVRAM region to the
         // station's FRAM map and seed generation 1 so even a reboot on
         // the very first tick has something to resume from.
         let persist = if scenario.persist {
-            let mut p = Persistence::new(scenario.version, embedded)?;
+            let mut p = Persistence::new(scenario.version, deployed)?;
             p.reserve(&mut station)?;
             if let Some(rt) = survival.as_ref() {
                 p.enable_survival(rt.policy.snapshot());

@@ -17,6 +17,12 @@ cargo test -q --test survival_props
 cargo test -q -p wiot --test transport_edges
 cargo test -q --test resample_props
 
+# Detector-zoo certification: the backend-parameterized conformance
+# suite (runs every property against BackendKind::ALL) plus the
+# Tsetlin backend's own clause-logic and codec-fuzz properties.
+cargo test -q --test detector_conformance
+cargo test -q -p ml --test tsetlin_props
+
 cargo clippy --workspace -- -D warnings
 
 # Workspace static analysis: embedded-profile, determinism, and budget
@@ -96,6 +102,27 @@ if [[ -f "$lifetime_baseline" ]]; then
   fi
 else
   echo "verify: WARN no lifetime baseline at $lifetime_baseline; skipping bench diff"
+fi
+
+# Detector-zoo report gate: regenerate the backend x flavor comparison
+# and diff against the committed report. Every field is derived from
+# seeded training, the cost model, and the resource profiler — fully
+# deterministic — so *any* drift is a hard failure. (The bin itself
+# exits nonzero if the observed telemetry span cycles disagree with the
+# cost model for either backend, or if a flavor ladder stops shrinking.)
+zoo_baseline=results/DETECTOR_zoo.json
+if [[ -f "$zoo_baseline" ]]; then
+  cargo run --release -q -p bench --bin detector_zoo -- \
+    --out /tmp/DETECTOR_zoo.verify.json >/dev/null
+  if diff -u "$zoo_baseline" /tmp/DETECTOR_zoo.verify.json >/dev/null 2>&1; then
+    echo "verify: detector zoo matches committed report exactly"
+  else
+    echo "verify: FAIL detector zoo drifted from $zoo_baseline:"
+    diff -u "$zoo_baseline" /tmp/DETECTOR_zoo.verify.json || true
+    exit 1
+  fi
+else
+  echo "verify: WARN no zoo report at $zoo_baseline; skipping zoo diff"
 fi
 
 echo "verify: OK"

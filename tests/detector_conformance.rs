@@ -1,0 +1,240 @@
+//! The detector-zoo conformance contract: every registered backend
+//! (`BackendKind::ALL`) must pass the same certification suite before
+//! the fleet, checkpoint, and survival layers will carry it.
+//!
+//! Certified properties, each asserted against **both** backends:
+//!
+//! 1. seeded training is deterministic (same seed → byte-identical
+//!    model; different seed → a different model);
+//! 2. batched scoring is bit-equal to the scalar path (hoisted here
+//!    from the per-site fleet property suite — batching is an
+//!    execution-schedule change, never a numerical one);
+//! 3. a checkpoint snapshot/restore round trip — including a mid-run
+//!    brownout reboot — restores a model that scores bit-identically
+//!    to an uninterrupted twin;
+//! 4. the Original → Simplified → Reduced flavor ladder never grows
+//!    the model blob, and every rung fits an FRAM checkpoint slot;
+//! 5. a quiescent survival-policy swap layer leaves the fleet digest
+//!    byte-identical.
+
+use ml::{BackendKind, DetectorBackend, DetectorModel, Label};
+use physio_sim::subject::bank;
+use proptest::prelude::*;
+use sift::checkpoint::DetectorCheckpoint;
+use sift::config::SiftConfig;
+use sift::features::Version;
+use sift::trainer::ModelBank;
+use sift::zoo::train_backend_for_subject;
+use std::sync::OnceLock;
+use wiot::faults::{FaultEvent, FaultKind, FaultPlan};
+use wiot::fleet::{run_fleet_with_bank, FleetSpec};
+use wiot::scenario::{DeviceSim, Scenario};
+use wiot::survival::SurvivalConfig;
+
+fn quick_config() -> SiftConfig {
+    SiftConfig {
+        train_s: 60.0,
+        max_positive_per_donor: Some(15),
+        ..SiftConfig::default()
+    }
+}
+
+/// One trained model per backend, shared across cases (training inside
+/// a property loop would dominate the suite's runtime).
+fn model(kind: BackendKind) -> &'static DetectorModel {
+    static SVM: OnceLock<DetectorModel> = OnceLock::new();
+    static TSETLIN: OnceLock<DetectorModel> = OnceLock::new();
+    let cell = match kind {
+        BackendKind::Svm => &SVM,
+        BackendKind::Tsetlin => &TSETLIN,
+    };
+    cell.get_or_init(|| {
+        train_backend_for_subject(&bank(), 0, Version::Simplified, kind, &quick_config(), 7)
+            .unwrap()
+    })
+}
+
+/// A deterministic grid of feature vectors spanning the score range —
+/// the shared probe set for scoring-equivalence checks.
+fn probe_rows(dim: usize) -> Vec<Vec<f32>> {
+    (0..48)
+        .map(|r| {
+            (0..dim)
+                .map(|c| ((r * dim + c) as f32).sin() * 3.0)
+                .collect()
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// 1. Seeded training determinism.
+
+#[test]
+fn seeded_training_is_deterministic_for_every_backend() {
+    let cfg = quick_config();
+    for kind in BackendKind::ALL {
+        for &version in Version::ALL.iter() {
+            let a = train_backend_for_subject(&bank(), 1, version, kind, &cfg, 42).unwrap();
+            let b = train_backend_for_subject(&bank(), 1, version, kind, &cfg, 42).unwrap();
+            assert_eq!(a, b, "{kind:?} {version:?}: same seed must reproduce the model");
+            assert_eq!(a.encode(), b.encode(), "{kind:?} {version:?}: encodings differ");
+            let c = train_backend_for_subject(&bank(), 1, version, kind, &cfg, 43).unwrap();
+            assert_ne!(
+                a.encode(),
+                c.encode(),
+                "{kind:?} {version:?}: the training seed never reached the data"
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// 2. Batched scoring is bit-equal to the scalar path (hoisted from
+//    tests/fleet_props.rs, now certified for every backend).
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn batched_scoring_matches_scalar_bit_for_bit(
+        rows in prop::collection::vec(
+            prop::collection::vec(-4.0f32..4.0, Version::Simplified.feature_count()),
+            0..12
+        )
+    ) {
+        for kind in BackendKind::ALL {
+            let m = model(kind);
+            let flat: Vec<f32> = rows.iter().flatten().copied().collect();
+            let batched = m.score_batch_f32(&flat);
+            prop_assert_eq!(batched.len(), rows.len());
+            for (row, &b) in rows.iter().zip(&batched) {
+                let scalar = m.score_f32(row);
+                prop_assert_eq!(
+                    scalar.to_bits(),
+                    b.to_bits(),
+                    "{:?}: margin drifted for row {:?}",
+                    kind,
+                    row
+                );
+                prop_assert_eq!(m.predict_f32(row), Label::from_sign(f64::from(b)));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// 3. Snapshot/restore round trip vs an uninterrupted twin.
+
+#[test]
+fn checkpoint_round_trip_scores_bit_identically_to_uninterrupted_twin() {
+    for kind in BackendKind::ALL {
+        let twin = model(kind).clone();
+        let mut ckpt = DetectorCheckpoint::new(Version::Simplified, twin.clone()).unwrap();
+        ckpt.windows_seen = 977;
+        ckpt.alerts_raised = 31;
+        let mut buf = vec![0u8; ckpt.encoded_len()];
+        let n = ckpt.encode_into(&mut buf).unwrap();
+        assert_eq!(n, ckpt.encoded_len(), "{kind:?}: short encode");
+        let restored = DetectorCheckpoint::decode(&buf).unwrap();
+        assert_eq!(restored, ckpt, "{kind:?}: checkpoint did not round-trip");
+        for row in probe_rows(twin.dim()) {
+            assert_eq!(
+                restored.model.score_f32(&row).to_bits(),
+                twin.score_f32(&row).to_bits(),
+                "{kind:?}: restored model scores differently from its twin"
+            );
+        }
+    }
+}
+
+/// The device-level version of the same guarantee: a session whose base
+/// station browns out mid-run recovers its detector from the FRAM
+/// checkpoint (for either backend family) and finishes the session.
+#[test]
+fn brownout_reboot_recovers_the_checkpointed_detector_for_every_backend() {
+    for kind in BackendKind::ALL {
+        let mut scenario = Scenario::new(2, Version::Simplified, 30.0);
+        scenario.backend = kind;
+        scenario.config = quick_config();
+        scenario.faults = FaultPlan::new().with(FaultEvent {
+            start_s: 12.5,
+            end_s: 12.5,
+            kind: FaultKind::DeviceReboot,
+        });
+        let mut sim = DeviceSim::new(&scenario).unwrap();
+        sim.run_to_completion().unwrap();
+        let f = sim.fault_summary();
+        assert_eq!(f.reboots, 1, "{kind:?}: reboot never fired");
+        assert_eq!(f.recoveries, 1, "{kind:?}: checkpoint recovery failed");
+        assert_eq!(f.recovery_failures, 0, "{kind:?}: recovery was refused");
+        assert!(
+            !sim.window_log().is_empty(),
+            "{kind:?}: no windows scored after recovery"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// 4. Flavor-ladder footprint monotonicity.
+
+#[test]
+fn flavor_ladder_footprint_is_monotone_and_fits_checkpoint_slots() {
+    let cfg = quick_config();
+    for kind in BackendKind::ALL {
+        let sizes: Vec<usize> = Version::ALL
+            .iter()
+            .map(|&v| {
+                train_backend_for_subject(&bank(), 0, v, kind, &cfg, 7)
+                    .unwrap()
+                    .footprint_bytes()
+            })
+            .collect();
+        assert!(
+            sizes.windows(2).all(|w| w[0] >= w[1]),
+            "{kind:?}: ladder grows down a rung: {sizes:?}"
+        );
+        assert!(
+            sizes.first() > sizes.last(),
+            "{kind:?}: ladder is flat end to end: {sizes:?}"
+        );
+        for (&v, &bytes) in Version::ALL.iter().zip(&sizes) {
+            assert!(
+                sift::checkpoint::HEADER_BYTES + bytes <= amulet_sim::nvram::MAX_PAYLOAD_BYTES,
+                "{kind:?} {v:?}: {bytes} B model cannot be checkpointed"
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// 5. Quiescent survival-policy swap layer leaves the digest invariant.
+
+#[test]
+fn quiescent_swap_layer_leaves_fleet_digest_invariant_for_every_backend() {
+    for kind in BackendKind::ALL {
+        let mut off_spec = FleetSpec::new(4, 9.0).with_seed(0x5EED);
+        off_spec.template.backend = kind;
+        let models = ModelBank::train_backend(
+            &bank(),
+            off_spec.template.version,
+            kind,
+            &off_spec.template.config,
+            off_spec.seed,
+        )
+        .unwrap();
+        let off = run_fleet_with_bank(&off_spec, &models).unwrap();
+        assert!(off.windows_scored > 0, "{kind:?}: fleet scored nothing");
+
+        let mut on_spec = off_spec.clone();
+        on_spec.template.survival = Some(SurvivalConfig::default());
+        let on = run_fleet_with_bank(&on_spec, &models).unwrap();
+
+        assert_eq!(
+            off.digest(),
+            on.digest(),
+            "{kind:?}: quiescent policy moved the digest"
+        );
+        assert_eq!(on.faults.duty_skipped_chunks, 0, "{kind:?}");
+        assert_eq!(on.faults.low_battery_ticks, 0, "{kind:?}");
+    }
+}

@@ -2,17 +2,17 @@
 //!
 //! The headline guarantee under test: **determinism under parallelism**
 //! — the same fleet seed produces a byte-identical `FleetReport` at any
-//! thread count, the per-device seed streams never collide, and the
-//! sink's batched SVM margins agree bit-for-bit with per-window calls.
+//! thread count and the per-device seed streams never collide. (The
+//! batched-vs-scalar scoring bit-equality property moved to the
+//! backend-parameterized conformance suite in
+//! `tests/detector_conformance.rs`.)
 
-use ml::Label;
 use physio_sim::subject::bank;
 use proptest::prelude::*;
 use sift::config::SiftConfig;
 use sift::features::Version;
-use sift::trainer::{train_for_subject, ModelBank, SiftModel};
+use sift::trainer::ModelBank;
 use std::collections::HashSet;
-use std::sync::OnceLock;
 use wiot::channel::LossModel;
 use wiot::fleet::{device_seed, run_fleet_with_bank, FleetSpec};
 use wiot::survival::SurvivalConfig;
@@ -23,19 +23,6 @@ fn quick_config() -> SiftConfig {
         max_positive_per_donor: Some(15),
         ..SiftConfig::default()
     }
-}
-
-/// One trained model, shared across property cases (training inside the
-/// case loop would dominate the suite's runtime).
-fn model() -> &'static SiftModel {
-    static MODEL: OnceLock<SiftModel> = OnceLock::new();
-    MODEL.get_or_init(|| {
-        train_for_subject(&bank(), 0, Version::Simplified, &quick_config(), 7).unwrap()
-    })
-}
-
-fn model_dim() -> usize {
-    model().embedded().dim()
 }
 
 /// The acceptance gate: identical `FleetReport` digest for the same
@@ -168,27 +155,5 @@ proptest! {
         prop_assert_eq!(device_seed(fleet_seed, device), device_seed(fleet_seed, device));
         prop_assert_ne!(device_seed(fleet_seed, device), device_seed(fleet_seed.wrapping_add(1), device));
         prop_assert_ne!(device_seed(fleet_seed, device), device_seed(fleet_seed, device + 1));
-    }
-
-    /// The sink's batched margins agree bit-for-bit with per-window
-    /// scalar calls — batching is an execution-schedule change, not a
-    /// numerical one.
-    #[test]
-    fn batched_margins_match_scalar_bit_for_bit(
-        rows in prop::collection::vec(prop::collection::vec(-4.0f32..4.0, model_dim()), 0..12)
-    ) {
-        let embedded = model().embedded();
-        let flat: Vec<f32> = rows.iter().flatten().copied().collect();
-        let batched = embedded.decision_batch_f32(&flat);
-        prop_assert_eq!(batched.len(), rows.len());
-        for (row, &b) in rows.iter().zip(&batched) {
-            let scalar = embedded.decision_function_f32(row);
-            prop_assert_eq!(scalar.to_bits(), b.to_bits(), "margin drifted for row {:?}", row);
-        }
-        // Labels derived from the margins agree as well.
-        let labels = embedded.predict_batch_f32(&flat);
-        for (&b, &l) in batched.iter().zip(&labels) {
-            prop_assert_eq!(Label::from_sign(f64::from(b)), l);
-        }
     }
 }

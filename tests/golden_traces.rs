@@ -122,6 +122,29 @@ fn golden_attacked_lossy_session_verdicts() {
     );
 }
 
+/// The same externally-pinned contract for the second detector family:
+/// a Tsetlin-backed session under a substitution attack, frozen so a
+/// change to booleanization, clause voting, or the codec that moves a
+/// single verdict fails here with a diff.
+#[test]
+fn golden_tsetlin_session_verdicts() {
+    let donor = physio_sim::record::Record::synthesize(&physio_sim::subject::bank()[5], 60.0, 4242);
+    let mut scenario = Scenario::new(0, sift::features::Version::Simplified, 60.0);
+    scenario.backend = ml::BackendKind::Tsetlin;
+    scenario.attack = Some(AttackSpec {
+        mode: wiot::attacker::AttackMode::Substitute { donor },
+        start_s: 21.0,
+        end_s: 45.0,
+    });
+    check_golden(
+        "tsetlin_session.trace",
+        &trace_of(
+            &scenario,
+            "# tsetlin backend: substitution attack 21-45 s, perfect link",
+        ),
+    );
+}
+
 /// A session whose base station browns out twice, tears one checkpoint
 /// commit mid-FRAM-write, and takes a bit flip in the checkpoint region
 /// — pinned so the recovery path's externally visible behaviour (the

@@ -105,6 +105,7 @@ fn run_with_model(scenario: &Scenario) -> DeviceSim {
         scenario,
         DeviceOptions {
             model: Some(model()),
+            deployed: None,
             feature_uplink: false,
             telemetry: false,
         },
