@@ -8,6 +8,8 @@
 //! so the certified numbers are the numbers the rest of the repo runs
 //! on, not a parallel re-derivation that could drift.
 
+use crate::callgraph::{StackReport, FRAME_OVERHEAD_BYTES, REGISTER_ARGS, WORD_BYTES};
+use crate::report::json_escape;
 use crate::rules::Finding;
 use amulet_sim::memory::MAX_ARRAY_ELEMS;
 use amulet_sim::nvram::{HEADER_BYTES, MAX_PAYLOAD_BYTES, NVRAM_BYTES, SLOT_BYTES};
@@ -222,9 +224,48 @@ pub fn budget_findings(footprints: &[FlavorFootprint]) -> Vec<Finding> {
     out
 }
 
+/// Gate the certified worst-case stack against the SRAM map: every
+/// embedded entry point's chain must fit next to the worst flavor's
+/// static SRAM demand. On the MSP430 the stack and app statics share
+/// the same 2 KB, so the check is `statics + max stack <= SRAM_BYTES`.
+pub fn stack_findings(footprints: &[FlavorFootprint], stack: &StackReport) -> Vec<Finding> {
+    let worst_statics = footprints
+        .iter()
+        .map(FlavorFootprint::total_sram_bytes)
+        .max()
+        .unwrap_or(0);
+    let mut out = Vec::new();
+    for e in &stack.entries {
+        let total = worst_statics + e.stack_bytes;
+        if total > SRAM_BYTES {
+            out.push(Finding::new(
+                "budget-stack-exceeded",
+                "<budget>",
+                0,
+                format!(
+                    "{}: worst-case stack {} B over {} frames + {} B static SRAM = {} B \
+                     exceeds the Amulet's {} B (chain: {})",
+                    e.label,
+                    e.stack_bytes,
+                    e.frames,
+                    worst_statics,
+                    total,
+                    SRAM_BYTES,
+                    e.chain.join(" \u{2192} "),
+                ),
+            ));
+        }
+    }
+    out
+}
+
 /// Render the footprint table as the `results/ANALYZER_footprint.json`
 /// document (hand-rolled JSON; the workspace has no serde).
-pub fn footprint_json(config: &SiftConfig, footprints: &[FlavorFootprint]) -> String {
+pub fn footprint_json(
+    config: &SiftConfig,
+    footprints: &[FlavorFootprint],
+    stack: &StackReport,
+) -> String {
     let mut rows = String::new();
     for (i, fp) in footprints.iter().enumerate() {
         if i > 0 {
@@ -282,6 +323,45 @@ pub fn footprint_json(config: &SiftConfig, footprints: &[FlavorFootprint]) -> St
             tsetlin_model_bytes(version),
         ));
     }
+    // The certified worst-case stack table from the call-graph pass:
+    // statics + stack share the same 2 KB SRAM, so each entry carries
+    // its headroom against the worst flavor's static demand.
+    let worst_statics = footprints
+        .iter()
+        .map(FlavorFootprint::total_sram_bytes)
+        .max()
+        .unwrap_or(0);
+    let mut stack_rows = String::new();
+    for (i, e) in stack.entries.iter().enumerate() {
+        if i > 0 {
+            stack_rows.push_str(",\n");
+        }
+        let chain: Vec<String> = e
+            .chain
+            .iter()
+            .map(|c| format!("\"{}\"", json_escape(c)))
+            .collect();
+        stack_rows.push_str(&format!(
+            concat!(
+                "      {{\n",
+                "        \"entry\": \"{}\",\n",
+                "        \"file\": \"{}\",\n",
+                "        \"line\": {},\n",
+                "        \"stack_bytes\": {},\n",
+                "        \"frames\": {},\n",
+                "        \"headroom_bytes\": {},\n",
+                "        \"chain\": [{}]\n",
+                "      }}"
+            ),
+            json_escape(&e.label),
+            json_escape(&e.file),
+            e.line,
+            e.stack_bytes,
+            e.frames,
+            SRAM_BYTES.saturating_sub(worst_statics + e.stack_bytes),
+            chain.join(", "),
+        ));
+    }
     format!(
         concat!(
             "{{\n",
@@ -292,7 +372,13 @@ pub fn footprint_json(config: &SiftConfig, footprints: &[FlavorFootprint]) -> St
             "  \"checkpoint\": {{ \"nvram_bytes\": {}, \"slot_bytes\": {}, ",
             "\"header_bytes\": {}, \"max_payload_bytes\": {} }},\n",
             "  \"flavors\": [\n{}\n  ],\n",
-            "  \"detector_zoo\": [\n{}\n  ]\n",
+            "  \"detector_zoo\": [\n{}\n  ],\n",
+            "  \"stack\": {{\n",
+            "    \"model\": {{ \"word_bytes\": {}, \"frame_overhead_bytes\": {}, ",
+            "\"register_args\": {} }},\n",
+            "    \"worst_static_sram_bytes\": {},\n",
+            "    \"entries\": [\n{}\n    ]\n",
+            "  }}\n",
             "}}\n"
         ),
         config.window_s,
@@ -306,7 +392,12 @@ pub fn footprint_json(config: &SiftConfig, footprints: &[FlavorFootprint]) -> St
         HEADER_BYTES,
         MAX_PAYLOAD_BYTES,
         rows,
-        zoo
+        zoo,
+        WORD_BYTES,
+        FRAME_OVERHEAD_BYTES,
+        REGISTER_ARGS,
+        worst_statics,
+        stack_rows
     )
 }
 
@@ -365,16 +456,55 @@ mod tests {
         assert!(findings.iter().any(|f| f.rule == "budget-array-limit"));
     }
 
+    fn fake_stack(label: &str, bytes: usize) -> StackReport {
+        StackReport {
+            entries: vec![crate::callgraph::EntryStack {
+                label: label.to_string(),
+                file: "crates/wiot/src/survival.rs".to_string(),
+                line: 1,
+                stack_bytes: bytes,
+                frames: 2,
+                chain: vec![label.to_string(), "helper".to_string()],
+            }],
+        }
+    }
+
     #[test]
     fn footprint_json_is_wellformed_enough() {
         let config = SiftConfig::default();
-        let doc = footprint_json(&config, &compute_footprints(&config));
+        let doc = footprint_json(
+            &config,
+            &compute_footprints(&config),
+            &fake_stack("SurvivalPolicy::step", 64),
+        );
         assert_eq!(doc.matches("\"version\"").count(), 3);
         assert_eq!(doc.matches("\"flavor\"").count(), 3);
         assert_eq!(doc.matches("\"tsetlin_model_bytes\"").count(), 3);
         assert_eq!(doc.matches('{').count(), doc.matches('}').count());
         assert!(doc.contains("\"within_budget\": true"));
         assert!(doc.contains("\"nvram_bytes\": 4096"));
+        assert!(doc.contains("\"stack\""));
+        assert!(doc.contains("\"entry\": \"SurvivalPolicy::step\""));
+        assert!(doc.contains("\"stack_bytes\": 64"));
+        assert!(doc.contains("\"frame_overhead_bytes\": 4"));
+    }
+
+    #[test]
+    fn stack_gate_fires_when_statics_plus_stack_overflow_sram() {
+        let fps = compute_footprints(&SiftConfig::default());
+        // A realistic chain fits comfortably…
+        assert!(stack_findings(&fps, &fake_stack("SurvivalPolicy::step", 200)).is_empty());
+        // …but statics + a deep chain past 2 KB is an error.
+        let worst = fps
+            .iter()
+            .map(FlavorFootprint::total_sram_bytes)
+            .max()
+            .unwrap();
+        let over = SRAM_BYTES - worst + 2;
+        let fs = stack_findings(&fps, &fake_stack("SurvivalPolicy::step", over));
+        assert_eq!(fs.len(), 1);
+        assert_eq!(fs[0].rule, "budget-stack-exceeded");
+        assert!(fs[0].message.contains("SurvivalPolicy::step"), "{}", fs[0].message);
     }
 
     #[test]

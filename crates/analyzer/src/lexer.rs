@@ -222,7 +222,14 @@ impl Lexer<'_> {
         let mut j = quote_at + 1;
         while let Some(&b) = self.bytes.get(j) {
             match b {
-                b'\\' => j += 2,
+                // An escape consumes the next byte — which can be a real
+                // newline (line-continuation `\` at end of line).
+                b'\\' => {
+                    if self.bytes.get(j + 1) == Some(&b'\n') {
+                        self.line += 1;
+                    }
+                    j += 2;
+                }
                 b'"' => {
                     j += 1;
                     break;
@@ -423,6 +430,16 @@ mod tests {
     #[test]
     fn line_numbers_survive_multiline_constructs() {
         let src = "a\n\"two\nline\"\nb";
+        let toks = lex(src);
+        let b = toks.iter().find(|t| t.kind == TokenKind::Ident("b".into()));
+        assert_eq!(b.map(|t| t.line), Some(4));
+    }
+
+    #[test]
+    fn line_continuation_escape_in_string_counts_its_newline() {
+        // `\` at end of line escapes a *real* newline; the byte after
+        // the escape must still advance the line counter.
+        let src = "a\n\"one \\\n two\"\nb";
         let toks = lex(src);
         let b = toks.iter().find(|t| t.kind == TokenKind::Ident("b".into()));
         assert_eq!(b.map(|t| t.line), Some(4));

@@ -44,40 +44,24 @@ pub fn scan(file: &SourceFile, class: &FileClass) -> Vec<Finding> {
         }
     };
 
-    // Checkpoint serialization/recovery modules report every embedded-
-    // profile violation under one dedicated error-severity rule: they
-    // run inside the power-fail window, where a panic or allocation is
-    // a corrupted checkpoint, not just a style problem.
-    const CKPT: &str = "ckpt-embedded-profile";
-    // The telemetry record hot path gets the same treatment: it sits
-    // inside every instrumented hot loop, so a heap allocation or a
-    // panic there is a perturbed simulation, not a style problem.
-    const TELE: &str = "tele-embedded-profile";
-    // And the survival-policy decision procedure: it steps once per
-    // simulated second on the device, so a float or an allocation there
-    // breaks the integer-determinism contract the fleet digest rests on.
-    const SURV: &str = "survival-embedded-profile";
-    // Alternate detector backends flash to the device like the SVM
-    // translation, so their scoring/codec paths carry the same
-    // profile under their own error-severity rule.
-    const ZOO: &str = "detector-embedded-profile";
-    let (f64_rule, float_lit_rule, heap_rule, panic_rule, index_rule) = if class.checkpoint {
-        (CKPT, CKPT, CKPT, CKPT, CKPT)
-    } else if class.telemetry_hot {
-        (TELE, TELE, TELE, TELE, TELE)
-    } else if class.survival {
-        (SURV, SURV, SURV, SURV, SURV)
-    } else if class.detector {
-        (ZOO, ZOO, ZOO, ZOO, ZOO)
-    } else {
-        (
-            "embedded-no-f64",
-            "embedded-no-float-literal",
-            "embedded-no-heap-alloc",
-            "embedded-no-panic",
-            "embedded-no-slice-index",
-        )
-    };
+    // Pinned-profile modules (checkpoint codec, telemetry hot path,
+    // survival policy, detector backends — the `rules::PINNED_PROFILES`
+    // table) report every embedded-profile violation under their one
+    // dedicated error-severity rule: there, a panic or allocation is a
+    // corrupted checkpoint / perturbed hot loop / broken integer
+    // contract, not just a style problem.
+    let (f64_rule, float_lit_rule, heap_rule, panic_rule, index_rule) =
+        if let Some(pinned) = class.pinned_rule {
+            (pinned, pinned, pinned, pinned, pinned)
+        } else {
+            (
+                "embedded-no-f64",
+                "embedded-no-float-literal",
+                "embedded-no-heap-alloc",
+                "embedded-no-panic",
+                "embedded-no-slice-index",
+            )
+        };
 
     for (p, tok) in sig.iter().enumerate() {
         let line = tok.line;

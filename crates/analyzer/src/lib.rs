@@ -30,6 +30,7 @@
 #![forbid(unsafe_code)]
 
 pub mod budget;
+pub mod callgraph;
 pub mod lexer;
 pub mod lexical;
 pub mod report;
@@ -38,8 +39,9 @@ pub mod source;
 pub mod suppress;
 
 use rules::{lookup, Finding, Pass, Severity};
-use source::{classify, SourceFile};
+use source::{classify, FileClass, SourceFile};
 use std::path::{Path, PathBuf};
+use suppress::Suppression;
 
 /// Analyzer configuration.
 #[derive(Debug, Clone, Copy)]
@@ -66,6 +68,8 @@ pub struct Analysis {
     pub findings: Vec<Finding>,
     /// Footprints from the budget pass (empty if it didn't run).
     pub footprints: Vec<budget::FlavorFootprint>,
+    /// Worst-case stack certificates from the call-graph pass.
+    pub stack: callgraph::StackReport,
     /// Number of `.rs` files scanned.
     pub files_scanned: usize,
     /// Number of findings removed by honored suppressions.
@@ -169,9 +173,47 @@ fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
     Ok(())
 }
 
+/// One workspace file, parsed exactly once and shared by every pass:
+/// the lexical rules, the suppression grammar, and the interprocedural
+/// call-graph pass all read the same token stream.
+#[derive(Debug)]
+pub struct ParsedFile {
+    /// Lexed source with its test-region map.
+    pub file: SourceFile,
+    /// Which rule groups apply here.
+    pub class: FileClass,
+    /// Honored `lint:allow` suppressions.
+    pub sups: Vec<Suppression>,
+    /// Meta findings from malformed suppressions.
+    pub meta: Vec<Finding>,
+}
+
+/// Lex and classify every workspace source file once.
+///
+/// # Errors
+///
+/// Returns a description when sources cannot be read.
+pub fn parse_workspace(root: &Path) -> Result<Vec<ParsedFile>, String> {
+    let sources = collect_sources(root)?;
+    Ok(sources
+        .iter()
+        .map(|(rel, text)| {
+            let file = SourceFile::parse(rel, text);
+            let (sups, meta) = suppress::collect(&file);
+            ParsedFile {
+                class: classify(rel),
+                file,
+                sups,
+                meta,
+            }
+        })
+        .collect())
+}
+
 /// Run the lexical passes plus suppression handling on one file's
 /// source. This is the unit the fixture tests drive: `rel_path` decides
-/// which rules apply (see [`source::classify`]).
+/// which rules apply (see [`source::classify`]). The interprocedural
+/// pass needs the whole workspace and is not part of this unit.
 pub fn analyze_source(rel_path: &str, text: &str) -> (Vec<Finding>, usize) {
     let file = SourceFile::parse(rel_path, text);
     let class = classify(rel_path);
@@ -183,56 +225,86 @@ pub fn analyze_source(rel_path: &str, text: &str) -> (Vec<Finding>, usize) {
     (meta, honored)
 }
 
-/// Analyze the whole workspace under `root`.
+/// Analyze the whole workspace under `root`: each file is tokenized
+/// once, the lexical and call-graph passes run over the shared parse,
+/// suppressions apply to both, and the budget pass (when enabled) gates
+/// static footprints *and* the certified worst-case stack.
 ///
 /// # Errors
 ///
 /// Returns a description when sources cannot be read; rule violations
 /// are *findings*, not errors.
 pub fn analyze(root: &Path, opts: &Options) -> Result<Analysis, String> {
-    let sources = collect_sources(root)?;
+    let files = parse_workspace(root)?;
+    let files_scanned = files.len();
+    let cg = callgraph::analyze(&files);
+
+    // Group raw findings per file so one suppression pass covers both
+    // the lexical and the interprocedural rules.
+    let mut raw: Vec<Vec<Finding>> = files
+        .iter()
+        .map(|pf| lexical::scan(&pf.file, &pf.class))
+        .collect();
+    let index: std::collections::BTreeMap<&str, usize> = files
+        .iter()
+        .enumerate()
+        .map(|(i, pf)| (pf.file.rel_path.as_str(), i))
+        .collect();
     let mut findings = Vec::new();
-    let mut honored = 0usize;
-    let files_scanned = sources.len();
-    for (rel, text) in &sources {
-        let (mut fs, h) = analyze_source(rel, text);
-        findings.append(&mut fs);
-        honored += h;
+    for f in cg.findings {
+        match index.get(f.file.as_str()) {
+            Some(&i) => raw[i].push(f),
+            None => findings.push(f),
+        }
     }
+    let mut honored = 0usize;
+    for (pf, fs) in files.iter().zip(raw) {
+        let (mut kept, h) = suppress::apply(&pf.file, fs, &pf.sups);
+        honored += h;
+        findings.extend(pf.meta.iter().cloned());
+        findings.append(&mut kept);
+    }
+    findings.sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+
     let mut footprints = Vec::new();
     if opts.run_budget {
         let config = sift::config::SiftConfig::default();
         footprints = budget::compute_footprints(&config);
         findings.append(&mut budget::budget_findings(&footprints));
+        findings.append(&mut budget::stack_findings(&footprints, &cg.stack));
     }
     Ok(Analysis {
         findings,
         footprints,
+        stack: cg.stack,
         files_scanned,
         suppressions_honored: honored,
     })
 }
 
-/// Only the determinism-pass findings for the workspace under `root`.
-///
-/// This is the gate `BLESS=1` golden-trace regeneration runs before it
-/// will overwrite a fixture: a build that cannot prove its digest paths
-/// deterministic must not bless traces.
+/// The findings `BLESS=1` golden-trace regeneration refuses to bless
+/// over: the determinism pass *and* the interprocedural call-graph
+/// pass. A build that cannot prove its digest paths deterministic — or
+/// whose embedded entry points reach panics, recursion, or dynamic
+/// dispatch — must not overwrite a golden fixture.
 ///
 /// # Errors
 ///
 /// Returns a description when sources cannot be read.
-pub fn determinism_findings(root: &Path) -> Result<Vec<Finding>, String> {
-    let sources = collect_sources(root)?;
-    let mut findings = Vec::new();
-    for (rel, text) in &sources {
-        let (fs, _) = analyze_source(rel, text);
-        findings.extend(
-            fs.into_iter()
-                .filter(|f| lookup(f.rule).is_some_and(|r| r.pass == Pass::Determinism)),
-        );
-    }
-    Ok(findings)
+pub fn gate_findings(root: &Path) -> Result<Vec<Finding>, String> {
+    let opts = Options {
+        deny_warnings: false,
+        run_budget: false,
+    };
+    let analysis = analyze(root, &opts)?;
+    Ok(analysis
+        .findings
+        .into_iter()
+        .filter(|f| {
+            lookup(f.rule)
+                .is_some_and(|r| matches!(r.pass, Pass::Determinism | Pass::CallGraph))
+        })
+        .collect())
 }
 
 #[cfg(test)]
@@ -267,5 +339,17 @@ mod tests {
         );
         assert!(analysis.files_scanned > 50);
         assert_eq!(analysis.footprints.len(), 3);
+        // Every embedded entry point must have a certified worst-case
+        // stack (the ISSUE floor is 4; the registry pins 6).
+        assert_eq!(
+            analysis.stack.entries.len(),
+            callgraph::ENTRY_POINTS.len(),
+            "missing stack certificates: {:?}",
+            analysis.stack.entries.iter().map(|e| &e.label).collect::<Vec<_>>()
+        );
+        for e in &analysis.stack.entries {
+            assert!(e.stack_bytes > 0, "{} has no stack bound", e.label);
+            assert!(!e.chain.is_empty(), "{} has no chain", e.label);
+        }
     }
 }

@@ -80,7 +80,11 @@ fn run() -> Result<ExitCode, String> {
         deny_warnings: cli.deny_warnings,
         run_budget: !cli.no_budget,
     };
+    // The analyzer's own wall time goes to the ephemeral findings
+    // report only, never into the committed footprint JSON.
+    let started = std::time::Instant::now(); // lint:allow(det-no-wall-clock, self-timing of the CLI; no simulated state involved)
     let analysis = analyze(&root, &opts)?;
+    let elapsed_ms = started.elapsed().as_millis();
 
     if !cli.quiet {
         for f in &analysis.findings {
@@ -92,12 +96,13 @@ fn run() -> Result<ExitCode, String> {
             &analysis.findings,
             analysis.files_scanned,
             analysis.suppressions_honored,
+            elapsed_ms,
         );
         std::fs::write(path, doc).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
     }
     if opts.run_budget {
         let config = sift::config::SiftConfig::default();
-        let doc = analyzer::budget::footprint_json(&config, &analysis.footprints);
+        let doc = analyzer::budget::footprint_json(&config, &analysis.footprints, &analysis.stack);
         let results = root.join("results");
         std::fs::create_dir_all(&results)
             .map_err(|e| format!("cannot create {}: {e}", results.display()))?;
@@ -118,6 +123,15 @@ fn run() -> Result<ExitCode, String> {
                     if fp.within_budget { "OK" } else { "OVER BUDGET" }
                 );
             }
+            for e in &analysis.stack.entries {
+                println!(
+                    "analyzer: stack {:<32} {:>4} B over {} frames  ({} \u{2192} …)",
+                    e.label,
+                    e.stack_bytes,
+                    e.frames,
+                    e.chain.first().map_or("?", |s| s.as_str())
+                );
+            }
             println!("analyzer: wrote {}", out.display());
         }
     }
@@ -131,12 +145,13 @@ fn run() -> Result<ExitCode, String> {
     let failures = analysis.failure_count(cli.deny_warnings);
     if !cli.quiet {
         println!(
-            "analyzer: {} files, {} suppressions honored, {} errors, {} warnings{}",
+            "analyzer: {} files, {} suppressions honored, {} errors, {} warnings{} in {} ms",
             analysis.files_scanned,
             analysis.suppressions_honored,
             errors,
             warnings,
-            if cli.deny_warnings { " (denied)" } else { "" }
+            if cli.deny_warnings { " (denied)" } else { "" },
+            elapsed_ms
         );
     }
     Ok(if failures > 0 {

@@ -20,11 +20,15 @@ pub fn json_escape(s: &str) -> String {
     out
 }
 
-/// The findings report as a JSON document.
+/// The findings report as a JSON document. `elapsed_ms` is the
+/// analyzer's own wall time; it lives here (an ephemeral report) and
+/// deliberately *not* in the committed footprint document, which must
+/// stay byte-identical across runs.
 pub fn findings_json(
     findings: &[Finding],
     files_scanned: usize,
     suppressions_honored: usize,
+    elapsed_ms: u128,
 ) -> String {
     let errors = findings.iter().filter(|f| f.severity == Severity::Error).count();
     let warnings = findings.len() - errors;
@@ -48,11 +52,12 @@ pub fn findings_json(
             "{{\n",
             "  \"files_scanned\": {},\n",
             "  \"suppressions_honored\": {},\n",
+            "  \"elapsed_ms\": {},\n",
             "  \"counts\": {{ \"error\": {}, \"warn\": {} }},\n",
             "  \"findings\": [\n{}\n  ]\n",
             "}}\n"
         ),
-        files_scanned, suppressions_honored, errors, warnings, rows
+        files_scanned, suppressions_honored, elapsed_ms, errors, warnings, rows
     )
 }
 
@@ -72,9 +77,10 @@ mod tests {
             Finding::new("lib-no-panic", "crates/wiot/src/a.rs", 3, "m".into()),
             Finding::new("det-no-wall-clock", "crates/wiot/src/a.rs", 9, "m".into()),
         ];
-        let doc = findings_json(&fs, 10, 2);
+        let doc = findings_json(&fs, 10, 2, 37);
         assert!(doc.contains("\"error\": 1"));
         assert!(doc.contains("\"warn\": 1"));
         assert!(doc.contains("\"files_scanned\": 10"));
+        assert!(doc.contains("\"elapsed_ms\": 37"));
     }
 }

@@ -31,6 +31,9 @@ pub enum Pass {
     Determinism,
     /// Semantic RAM/ROM footprint check against the paper's memory map.
     Budget,
+    /// Interprocedural call-graph analyses (recursion, dynamic
+    /// dispatch, transitive panic reach, worst-case stack).
+    CallGraph,
     /// Hygiene of the suppression grammar itself.
     Meta,
 }
@@ -41,9 +44,60 @@ impl fmt::Display for Pass {
             Pass::Embedded => "embedded",
             Pass::Determinism => "determinism",
             Pass::Budget => "budget",
+            Pass::CallGraph => "callgraph",
             Pass::Meta => "meta",
         })
     }
+}
+
+/// One pinned-module profile: a set of workspace-relative module paths
+/// held to the full embedded profile (no heap, no panic, no float, no
+/// bracket indexing), with every violation routed to one dedicated
+/// error-severity rule. Adding the next detector backend (or any other
+/// device-resident module) is one table row here, not a new rule
+/// implementation plus fixtures.
+#[derive(Debug)]
+pub struct PinnedProfile {
+    /// The dedicated rule id violations report under (must be
+    /// registered in [`RULES`] at error severity).
+    pub rule: &'static str,
+    /// Workspace-relative module paths the profile covers.
+    pub modules: &'static [&'static str],
+}
+
+/// Every pinned-module profile, in registry order. `source::classify`
+/// routes a file through the *first* row that lists it.
+pub const PINNED_PROFILES: &[PinnedProfile] = &[
+    PinnedProfile {
+        rule: "ckpt-embedded-profile",
+        modules: &[
+            "crates/amulet-sim/src/nvram.rs",
+            "crates/sift/src/checkpoint.rs",
+        ],
+    },
+    PinnedProfile {
+        rule: "tele-embedded-profile",
+        modules: &["crates/telemetry/src/record.rs"],
+    },
+    PinnedProfile {
+        rule: "survival-embedded-profile",
+        modules: &["crates/wiot/src/survival.rs"],
+    },
+    PinnedProfile {
+        rule: "detector-embedded-profile",
+        modules: &["crates/ml/src/tsetlin.rs"],
+    },
+];
+
+/// Rules whose suppression certifies a panic site as unreachable or
+/// acceptable. The interprocedural panic-reachability walk trusts an
+/// honored `lint:allow` of one of these: the written reason is the
+/// soundness argument, so the site is not re-flagged at every embedded
+/// entry point that can reach it.
+pub fn certifies_panic_site(rule: &str) -> bool {
+    rule == "embedded-no-panic"
+        || rule == "lib-no-panic"
+        || PINNED_PROFILES.iter().any(|p| p.rule == rule)
 }
 
 /// Static definition of one rule.
@@ -181,6 +235,35 @@ pub const RULES: &[RuleDef] = &[
         pass: Pass::Budget,
         summary: "a computed footprint drifted from the paper's Table III row beyond \
                   tolerance (2% FRAM, exact SRAM)",
+    },
+    RuleDef {
+        id: "budget-stack-exceeded",
+        severity: Severity::Error,
+        pass: Pass::Budget,
+        summary: "a certified worst-case call chain from an embedded entry point pushes \
+                  statics + stack past the Amulet's 2 KB SRAM",
+    },
+    RuleDef {
+        id: "cg-recursion",
+        severity: Severity::Error,
+        pass: Pass::CallGraph,
+        summary: "a call-graph cycle reaches a function defined in an embedded-profile \
+                  module; recursion makes the worst-case stack bound unsound",
+    },
+    RuleDef {
+        id: "cg-dynamic-dispatch",
+        severity: Severity::Error,
+        pass: Pass::CallGraph,
+        summary: "a trait-object (dyn) or fn-pointer type in an embedded-profile module; \
+                  indirect calls cannot be resolved by the call-graph pass, so the stack \
+                  certificate would silently exclude them",
+    },
+    RuleDef {
+        id: "cg-panic-reachable",
+        severity: Severity::Error,
+        pass: Pass::CallGraph,
+        summary: "an embedded entry point transitively reaches an unjustified panic site \
+                  in host-side code; the finding carries the full call chain",
     },
     RuleDef {
         id: "suppress-missing-reason",

@@ -2,6 +2,7 @@
 //! the per-file rule classification (which passes apply where).
 
 use crate::lexer::{lex, Token, TokenKind};
+use crate::rules::PINNED_PROFILES;
 
 /// The three embedded modules under the strict no-float profile, plus
 /// everything matched by [`classify`]'s app-code prefix. Paths are
@@ -15,33 +16,6 @@ const FLOAT_STRICT: &[&str] = &[
 /// Amulet application code: heap/panic/indexing rules apply, float
 /// rules do not (its `f64` cycle metering is host-side by design).
 const APP_CODE_PREFIX: &str = "crates/amulet-sim/src/apps/";
-
-/// Checkpoint serialization/recovery modules: they run inside the
-/// power-fail window, so the full embedded profile applies (no heap, no
-/// panic, no float, no bracket indexing) and violations report under
-/// the dedicated error-severity `ckpt-embedded-profile` rule.
-const CHECKPOINT_MODULES: &[&str] = &[
-    "crates/amulet-sim/src/nvram.rs",
-    "crates/sift/src/checkpoint.rs",
-];
-
-/// The telemetry record hot path: it runs inside every instrumented hot
-/// loop (a `None` branch when the sink is disabled), so the full
-/// embedded profile applies and violations report under the dedicated
-/// error-severity `tele-embedded-profile` rule.
-const TELEMETRY_HOT_MODULES: &[&str] = &["crates/telemetry/src/record.rs"];
-
-/// The survival-policy decision procedure: it steps once per simulated
-/// second on the device side, including at the bottom of the discharge
-/// curve, so the full embedded profile applies and violations report
-/// under the dedicated error-severity `survival-embedded-profile` rule.
-const SURVIVAL_MODULES: &[&str] = &["crates/wiot/src/survival.rs"];
-
-/// Alternate detector backends (the detector zoo): they flash to the
-/// device exactly like the SVM translation does, so their scoring and
-/// codec paths carry the full embedded profile and violations report
-/// under the dedicated error-severity `detector-embedded-profile` rule.
-const DETECTOR_MODULES: &[&str] = &["crates/ml/src/tsetlin.rs"];
 
 /// Crates the determinism pass skips entirely: the bench harness times
 /// things on purpose, and the vendored stand-ins (`rand`, `proptest`,
@@ -69,18 +43,10 @@ pub struct FileClass {
     pub thread_ok: bool,
     /// `lib-no-panic` hygiene applies (non-embedded library code).
     pub lib_no_panic: bool,
-    /// Checkpoint serialization/recovery module: embedded-profile
-    /// findings report under `ckpt-embedded-profile` at error severity.
-    pub checkpoint: bool,
-    /// Telemetry record hot path: embedded-profile findings report
-    /// under `tele-embedded-profile` at error severity.
-    pub telemetry_hot: bool,
-    /// Survival-policy decision procedure: embedded-profile findings
-    /// report under `survival-embedded-profile` at error severity.
-    pub survival: bool,
-    /// Alternate detector backend module: embedded-profile findings
-    /// report under `detector-embedded-profile` at error severity.
-    pub detector: bool,
+    /// The dedicated error-severity rule all embedded-profile findings
+    /// route to when this file is covered by a row of
+    /// [`PINNED_PROFILES`] (e.g. `ckpt-embedded-profile`).
+    pub pinned_rule: Option<&'static str>,
 }
 
 /// Classify a workspace-relative path (`crates/<name>/src/...`).
@@ -89,15 +55,11 @@ pub fn classify(rel_path: &str) -> FileClass {
         .strip_prefix("crates/")
         .and_then(|r| r.split('/').next())
         .unwrap_or("");
-    let checkpoint = CHECKPOINT_MODULES.contains(&rel_path);
-    let telemetry_hot = TELEMETRY_HOT_MODULES.contains(&rel_path);
-    let survival = SURVIVAL_MODULES.contains(&rel_path);
-    let detector = DETECTOR_MODULES.contains(&rel_path);
-    let float_strict = FLOAT_STRICT.contains(&rel_path)
-        || checkpoint
-        || telemetry_hot
-        || survival
-        || detector;
+    let pinned_rule = PINNED_PROFILES
+        .iter()
+        .find(|p| p.modules.contains(&rel_path))
+        .map(|p| p.rule);
+    let float_strict = FLOAT_STRICT.contains(&rel_path) || pinned_rule.is_some();
     let embedded = float_strict || rel_path.starts_with(APP_CODE_PREFIX);
     FileClass {
         float_strict,
@@ -105,10 +67,7 @@ pub fn classify(rel_path: &str) -> FileClass {
         det_exempt: DET_EXEMPT_CRATES.contains(&crate_name),
         thread_ok: THREAD_OK.contains(&rel_path),
         lib_no_panic: LIB_NO_PANIC_CRATES.contains(&crate_name) && !embedded,
-        checkpoint,
-        telemetry_hot,
-        survival,
-        detector,
+        pinned_rule,
     }
 }
 
@@ -279,27 +238,35 @@ mod tests {
         assert!(!plain.embedded && !plain.det_exempt && !plain.lib_no_panic);
         for path in ["crates/amulet-sim/src/nvram.rs", "crates/sift/src/checkpoint.rs"] {
             let ckpt = classify(path);
-            assert!(ckpt.checkpoint && ckpt.float_strict && ckpt.embedded, "{path}");
+            assert_eq!(ckpt.pinned_rule, Some("ckpt-embedded-profile"), "{path}");
+            assert!(ckpt.float_strict && ckpt.embedded, "{path}");
             assert!(!ckpt.lib_no_panic, "{path}: ckpt rule supersedes lib hygiene");
         }
         let zoo = classify("crates/ml/src/tsetlin.rs");
-        assert!(zoo.detector && zoo.float_strict && zoo.embedded);
-        assert!(!zoo.checkpoint && !zoo.lib_no_panic);
+        assert_eq!(zoo.pinned_rule, Some("detector-embedded-profile"));
+        assert!(zoo.float_strict && zoo.embedded && !zoo.lib_no_panic);
         // The neighboring SVM translation keeps its original class.
         let svm = classify("crates/ml/src/embedded.rs");
-        assert!(svm.float_strict && svm.embedded && !svm.detector);
-        assert!(!fixed.checkpoint && !plain.checkpoint);
+        assert!(svm.float_strict && svm.embedded && svm.pinned_rule.is_none());
+        assert!(fixed.pinned_rule.is_none() && plain.pinned_rule.is_none());
         let tele_hot = classify("crates/telemetry/src/record.rs");
-        assert!(tele_hot.telemetry_hot && tele_hot.float_strict && tele_hot.embedded);
+        assert_eq!(tele_hot.pinned_rule, Some("tele-embedded-profile"));
+        assert!(tele_hot.float_strict && tele_hot.embedded);
         assert!(!tele_hot.lib_no_panic, "hot path supersedes lib hygiene");
         let tele_lib = classify("crates/telemetry/src/lib.rs");
-        assert!(!tele_lib.telemetry_hot && !tele_lib.embedded && tele_lib.lib_no_panic);
-        assert!(!fixed.telemetry_hot && !plain.telemetry_hot);
+        assert!(tele_lib.pinned_rule.is_none() && !tele_lib.embedded && tele_lib.lib_no_panic);
         let surv = classify("crates/wiot/src/survival.rs");
-        assert!(surv.survival && surv.float_strict && surv.embedded);
+        assert_eq!(surv.pinned_rule, Some("survival-embedded-profile"));
+        assert!(surv.float_strict && surv.embedded);
         assert!(!surv.lib_no_panic, "survival rule supersedes lib hygiene");
         let wiot_lib = classify("crates/wiot/src/adaptive.rs");
-        assert!(!wiot_lib.survival && !wiot_lib.embedded && wiot_lib.lib_no_panic);
-        assert!(!fixed.survival && !plain.survival && !tele_hot.survival);
+        assert!(wiot_lib.pinned_rule.is_none() && !wiot_lib.embedded && wiot_lib.lib_no_panic);
+        // Every pinned-profile module resolves through the table, in
+        // registry order.
+        for p in PINNED_PROFILES {
+            for m in p.modules {
+                assert_eq!(classify(m).pinned_rule, Some(p.rule), "{m}");
+            }
+        }
     }
 }

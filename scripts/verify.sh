@@ -25,10 +25,28 @@ cargo test -q -p ml --test tsetlin_props
 
 cargo clippy --workspace -- -D warnings
 
-# Workspace static analysis: embedded-profile, determinism, and budget
-# invariants, with warnings promoted to failures. Also regenerates
-# results/ANALYZER_footprint.json.
+# Workspace static analysis: embedded-profile, determinism, call-graph,
+# and budget invariants, with warnings promoted to failures. Also
+# regenerates results/ANALYZER_footprint.json — including the certified
+# worst-case stack section, which is diffed against the committed copy
+# below: a moved stack bound is a real behaviour change (new call edge,
+# new frame) and must be reviewed like any other baseline.
+footprint=results/ANALYZER_footprint.json
+stack_before=""
+if [[ -f "$footprint" ]]; then
+  stack_before=$(sed -n '/"stack": {/,/^  }/p' "$footprint")
+fi
 cargo run -q -p analyzer -- --deny warnings
+if [[ -n "$stack_before" ]]; then
+  stack_after=$(sed -n '/"stack": {/,/^  }/p' "$footprint")
+  if [[ "$stack_before" != "$stack_after" ]]; then
+    echo "verify: FAIL certified worst-case stack drifted in $footprint:"
+    diff -u <(printf '%s\n' "$stack_before") <(printf '%s\n' "$stack_after") || true
+    echo "verify: review the new call chain; commit the regenerated footprint if intended"
+    exit 1
+  fi
+  echo "verify: certified stack section matches committed footprint"
+fi
 
 # Crash-recovery soak: 50 devices x ~21 seeded random power cycles
 # (brownout reboots, torn checkpoint commits, FRAM bit rot) — over 1000

@@ -30,20 +30,22 @@ fn golden_path(name: &str) -> PathBuf {
 /// Compare `actual` against the committed fixture, or rewrite the
 /// fixture when `BLESS` is set in the environment.
 ///
-/// Blessing is gated on the analyzer's determinism pass: a tree that
-/// uses `HashMap`, wall clocks, or stray threads on report paths cannot
-/// prove the trace it is about to freeze is reproducible, so the
-/// regeneration refuses until the violations are fixed.
+/// Blessing is gated on the analyzer's determinism and call-graph
+/// passes: a tree that uses `HashMap`, wall clocks, or stray threads on
+/// report paths cannot prove the trace it is about to freeze is
+/// reproducible, and one whose embedded entry points reach panics,
+/// recursion, or dynamic dispatch must not certify new behaviour, so
+/// the regeneration refuses until the violations are fixed.
 fn check_golden(name: &str, actual: &str) {
     let path = golden_path(name);
     if std::env::var_os("BLESS").is_some() {
         let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
-        let violations = analyzer::determinism_findings(&root)
-            .unwrap_or_else(|e| panic!("cannot run determinism pass before blessing: {e}"));
+        let violations = analyzer::gate_findings(&root)
+            .unwrap_or_else(|e| panic!("cannot run analyzer gate before blessing: {e}"));
         assert!(
             violations.is_empty(),
-            "refusing to bless {name}: the determinism pass has violations — fix these \
-             (or lint:allow them with a reason) before regenerating golden traces:\n{}",
+            "refusing to bless {name}: the determinism/call-graph passes have violations — \
+             fix these (or lint:allow them with a reason) before regenerating golden traces:\n{}",
             violations
                 .iter()
                 .map(ToString::to_string)
