@@ -261,6 +261,15 @@ mod tests {
         assert!(!surv.lib_no_panic, "survival rule supersedes lib hygiene");
         let wiot_lib = classify("crates/wiot/src/adaptive.rs");
         assert!(wiot_lib.pinned_rule.is_none() && !wiot_lib.embedded && wiot_lib.lib_no_panic);
+        // The campaign engine is ordinary deterministic library code:
+        // full determinism scanning (no RNG escape hatches), no thread
+        // spawning of its own (it drives the fleet engine's pool), and
+        // library panic hygiene.
+        let campaign = classify("crates/wiot/src/campaign.rs");
+        assert!(
+            !campaign.det_exempt && !campaign.thread_ok && campaign.lib_no_panic,
+            "campaign.rs must stay under the determinism pass"
+        );
         // Every pinned-profile module resolves through the table, in
         // registry order.
         for p in PINNED_PROFILES {

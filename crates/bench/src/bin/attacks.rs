@@ -16,7 +16,7 @@
 use physio_sim::record::Record;
 use physio_sim::subject::bank;
 use sift::features::Version;
-use wiot::attacker::AttackMode;
+use wiot::campaign::AttackClass;
 use wiot::channel::LossModel;
 use wiot::scenario::{run, AttackSpec, Scenario};
 
@@ -28,22 +28,19 @@ fn main() {
     let donor = Record::synthesize(&bank()[7], duration_s, 0xD0);
     let victim_history = Record::synthesize(&bank()[0], duration_s, 0xC0FFEE ^ 0x11FE);
 
-    let modes: Vec<(&str, AttackMode)> = vec![
+    // The four legacy attacks, expressed through the campaign
+    // taxonomy's compatibility constructors: `materialize` produces
+    // byte-identical `AttackMode`s to the old direct construction.
+    let classes: Vec<(&str, AttackClass)> = vec![
         (
             "substitute (channel compromise)",
-            AttackMode::Substitute { donor },
+            AttackClass::substitution(),
         ),
-        (
-            "replay (firmware compromise)",
-            AttackMode::Replay {
-                offset_s: 20.0,
-                source: victim_history,
-            },
-        ),
-        ("freeze (physical compromise)", AttackMode::Freeze),
+        ("replay (firmware compromise)", AttackClass::replay(20.0)),
+        ("freeze (physical compromise)", AttackClass::freeze()),
         (
             "noise-inject (sensory channel)",
-            AttackMode::NoiseInject { amplitude_mv: 0.6 },
+            AttackClass::noise_inject(0.6),
         ),
     ];
 
@@ -65,11 +62,12 @@ fn main() {
         );
         println!("|{}|", "-".repeat(86));
     }
-    for (name, mode) in modes {
+    for (name, class) in classes {
         let mut scenario = Scenario::new(0, Version::Simplified, duration_s);
         scenario.persist = !no_persist;
+        let window_ms = (scenario.config.window_s * 1000.0) as u64;
         scenario.attack = Some(AttackSpec {
-            mode,
+            mode: class.materialize(&victim_history, &donor, window_ms),
             start_s: attack_start,
             end_s: attack_end,
         });

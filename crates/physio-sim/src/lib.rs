@@ -41,6 +41,7 @@ pub mod ecg;
 pub mod ectopy;
 pub mod hrv;
 pub mod noise;
+pub mod population;
 pub mod quality;
 pub mod record;
 pub mod rpeak;

@@ -10,11 +10,10 @@
 //! sensor-hijacking simulation (ECG replacement) relies on.
 
 use crate::abp::AbpMorphology;
-use crate::ecg::{EcgMorphology, Wave};
+use crate::ecg::EcgMorphology;
 use crate::noise::NoiseParams;
+use crate::population::{population, LEGACY_BANK_SEED};
 use crate::rr::RrParams;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Identifier of a synthetic subject (index into [`bank`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -61,141 +60,12 @@ pub struct Subject {
 /// Build the deterministic 12-subject bank (6 young, 6 elderly).
 ///
 /// The bank is a pure function: every call returns identical subjects, so
-/// all experiments in the repository are reproducible bit-for-bit.
+/// all experiments in the repository are reproducible bit-for-bit. It is
+/// the `population(12, LEGACY_BANK_SEED)` special case of the
+/// population-scale generator ([`crate::population`]), which preserves
+/// the original per-subject seeds, age ladders and sampling draw order.
 pub fn bank() -> Vec<Subject> {
-    let young_ages = [21u32, 23, 26, 28, 31, 34];
-    let elderly_ages = [60u32, 64, 68, 72, 76, 80];
-    let mut subjects = Vec::with_capacity(12);
-    for (i, &age) in young_ages.iter().enumerate() {
-        subjects.push(make_subject(i, age, AgeGroup::Young));
-    }
-    for (i, &age) in elderly_ages.iter().enumerate() {
-        subjects.push(make_subject(6 + i, age, AgeGroup::Elderly));
-    }
-    subjects
-}
-
-/// Construct subject `index` deterministically.
-///
-/// Parameters are drawn from physiologically motivated ranges with a
-/// per-subject RNG; elderly subjects get lower heart-rate variability,
-/// higher systolic pressure, flatter T waves and longer pulse-transit
-/// times, consistent with the cardiovascular-aging literature.
-fn make_subject(index: usize, age: u32, group: AgeGroup) -> Subject {
-    let mut rng = StdRng::seed_from_u64(0xF0_57_00 + index as u64);
-    let elderly = matches!(group, AgeGroup::Elderly);
-
-    let mean_hr_bpm = if elderly {
-        rng.gen_range(57.0..67.0)
-    } else {
-        rng.gen_range(59.0..70.0)
-    };
-    let rsa_depth = if elderly {
-        rng.gen_range(0.015..0.04)
-    } else {
-        rng.gen_range(0.05..0.12)
-    };
-    let drift_sigma = if elderly {
-        rng.gen_range(0.004..0.010)
-    } else {
-        rng.gen_range(0.008..0.018)
-    };
-
-    let base = EcgMorphology::default();
-    let ecg = EcgMorphology {
-        p: Wave {
-            amplitude_mv: base.p.amplitude_mv * rng.gen_range(0.8..1.2),
-            offset_s: base.p.offset_s * rng.gen_range(0.94..1.06),
-            width_s: base.p.width_s * rng.gen_range(0.9..1.12),
-        },
-        q: Wave {
-            amplitude_mv: base.q.amplitude_mv * rng.gen_range(0.75..1.25),
-            offset_s: base.q.offset_s * rng.gen_range(0.94..1.06),
-            width_s: base.q.width_s * rng.gen_range(0.92..1.1),
-        },
-        r: Wave {
-            amplitude_mv: base.r.amplitude_mv * rng.gen_range(0.88..1.14),
-            offset_s: 0.0,
-            width_s: base.r.width_s * rng.gen_range(0.9..1.12),
-        },
-        s: Wave {
-            amplitude_mv: base.s.amplitude_mv * rng.gen_range(0.75..1.25),
-            offset_s: base.s.offset_s * rng.gen_range(0.94..1.06),
-            width_s: base.s.width_s * rng.gen_range(0.92..1.1),
-        },
-        t: Wave {
-            amplitude_mv: base.t.amplitude_mv
-                * if elderly {
-                    rng.gen_range(0.7..0.95)
-                } else {
-                    rng.gen_range(0.92..1.2)
-                },
-            offset_s: base.t.offset_s * rng.gen_range(0.94..1.07),
-            width_s: base.t.width_s * rng.gen_range(0.9..1.15),
-        },
-    };
-
-    let systolic = if elderly {
-        rng.gen_range(122.0..140.0)
-    } else {
-        rng.gen_range(108.0..126.0)
-    };
-    let diastolic = systolic - rng.gen_range(38.0..50.0);
-    let abp = AbpMorphology {
-        systolic_mmhg: systolic,
-        diastolic_mmhg: diastolic,
-        ptt_s: if elderly {
-            rng.gen_range(0.20..0.27)
-        } else {
-            rng.gen_range(0.17..0.23)
-        },
-        rise_s: rng.gen_range(0.08..0.10),
-        decay_s: rng.gen_range(0.30..0.40),
-        notch_frac: rng.gen_range(0.08..0.15),
-        notch_delay_s: rng.gen_range(0.20..0.25),
-    };
-
-    let rr = RrParams {
-        mean_hr_bpm,
-        rsa_depth,
-        breath_hz: rng.gen_range(0.18..0.30),
-        drift_sigma,
-        drift_pole: rng.gen_range(0.90..0.97),
-    };
-
-    let ecg_noise = NoiseParams {
-        white_sigma: rng.gen_range(0.015..0.03),
-        wander_amp: rng.gen_range(0.05..0.11),
-        wander_hz: rr.breath_hz,
-        hum_amp: rng.gen_range(0.004..0.01),
-        hum_hz: 60.0,
-    };
-    // ABP noise in mmHg: white noise plus respiratory modulation.
-    let abp_noise = NoiseParams {
-        white_sigma: rng.gen_range(0.6..1.4),
-        wander_amp: rng.gen_range(1.5..3.5),
-        wander_hz: rr.breath_hz,
-        hum_amp: 0.0,
-        hum_hz: 60.0,
-    };
-
-    let name = if elderly {
-        format!("f1o{:02}", index - 5)
-    } else {
-        format!("f1y{:02}", index + 1)
-    };
-
-    Subject {
-        id: SubjectId(index),
-        name,
-        age,
-        group,
-        ecg,
-        abp,
-        rr,
-        ecg_noise,
-        abp_noise,
-    }
+    population(12, LEGACY_BANK_SEED)
 }
 
 #[cfg(test)]

@@ -14,6 +14,26 @@ use physio_sim::record::Record;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+/// Number of attack classes in the campaign taxonomy — the length of
+/// the per-class TP/FN arrays in [`crate::faults::FaultSummary`] and of
+/// [`ATTACK_CLASS_NAMES`].
+pub const ATTACK_CLASS_COUNT: usize = 9;
+
+/// Report names of the attack classes, indexed by
+/// [`AttackMode::class_index`] (and `wiot::campaign::AttackClass::index`,
+/// which uses the same table).
+pub const ATTACK_CLASS_NAMES: [&str; ATTACK_CLASS_COUNT] = [
+    "substitute",
+    "replay",
+    "freeze",
+    "noise-inject",
+    "mimicry",
+    "replay-snr",
+    "partial-window",
+    "coordinated",
+    "adaptive",
+];
+
 /// What the adversary does to hijacked ECG packets.
 #[derive(Debug, Clone)]
 pub enum AttackMode {
@@ -39,18 +59,96 @@ pub enum AttackMode {
         /// Amplitude of the injected disturbance, in millivolts.
         amplitude_mv: f64,
     },
+    /// Mimicry: blend a morphology-fitted donor's ECG into the victim's
+    /// at a fixed mix ratio, keeping part of the genuine waveform to
+    /// evade the detector.
+    Mimicry {
+        /// The donor recording (campaign engines pick the population's
+        /// nearest morphology neighbor).
+        donor: Record,
+        /// Donor share of the blend, 0–1000 (‰). 1000 degenerates to
+        /// substitution, 0 to a passthrough that still counts as
+        /// tampering.
+        blend_permille: u16,
+    },
+    /// Replay of the victim's own ECG with additive wideband noise at a
+    /// parameterized signal-to-noise ratio (a noisy re-recording of the
+    /// sensory channel rather than a perfect digital copy).
+    ReplaySnr {
+        /// How far back the replayed data comes from.
+        offset_s: f64,
+        /// The victim's own recording the replay is cut from.
+        source: Record,
+        /// Replay SNR in dB; lower values bury the copy in noise.
+        snr_db: f64,
+    },
+    /// Partial-window injection: substitute the donor only during the
+    /// leading `coverage_permille` fraction of each detection window,
+    /// leaving the rest genuine — probing the detector's sensitivity to
+    /// sub-window tampering.
+    PartialWindow {
+        /// The donor recording supplying the fake waveform.
+        donor: Record,
+        /// Detection-window length in ms (the injection duty period).
+        window_ms: u64,
+        /// Fraction of each window that is tampered, 0–1000 (‰).
+        coverage_permille: u16,
+    },
+    /// Coordinated multi-device substitution: behaviorally identical to
+    /// [`AttackMode::Substitute`], but tagged as its own class so
+    /// campaign accounting separates wave-synchronized substitution
+    /// (riding a Gilbert–Elliott burst-loss channel) from the lone
+    /// attacker.
+    Coordinated {
+        /// The donor recording shared by the attacking wave.
+        donor: Record,
+    },
+    /// Adaptive threshold-probing: blends like mimicry, but bisects its
+    /// blend factor against detector feedback ([`Attacker::feedback`])
+    /// — alerted probes lower the blend, unnoticed probes raise it —
+    /// converging on the detector's decision threshold.
+    Adaptive {
+        /// The donor recording supplying the fake waveform.
+        donor: Record,
+    },
 }
 
 impl AttackMode {
     /// Short name for reports.
     pub fn name(&self) -> &'static str {
+        ATTACK_CLASS_NAMES[self.class_index()]
+    }
+
+    /// Stable index of this mode's attack class in per-class tables
+    /// ([`ATTACK_CLASS_NAMES`], `FaultSummary::attack_windows_tp`).
+    pub fn class_index(&self) -> usize {
         match self {
-            AttackMode::Substitute { .. } => "substitute",
-            AttackMode::Replay { .. } => "replay",
-            AttackMode::Freeze => "freeze",
-            AttackMode::NoiseInject { .. } => "noise-inject",
+            AttackMode::Substitute { .. } => 0,
+            AttackMode::Replay { .. } => 1,
+            AttackMode::Freeze => 2,
+            AttackMode::NoiseInject { .. } => 3,
+            AttackMode::Mimicry { .. } => 4,
+            AttackMode::ReplaySnr { .. } => 5,
+            AttackMode::PartialWindow { .. } => 6,
+            AttackMode::Coordinated { .. } => 7,
+            AttackMode::Adaptive { .. } => 8,
         }
     }
+}
+
+/// Per-instance seed split: mix the caller's seed with the attack
+/// window through SplitMix64 (the fleet engine's per-device splitting
+/// discipline) so two attackers sharing a campaign seed but staged over
+/// different windows draw decorrelated streams instead of replaying the
+/// raw seed's stream in lockstep.
+fn split_attacker_seed(seed: u64, start_ms: u64, end_ms: u64) -> u64 {
+    const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+    let window = crate::fleet::splitmix64(
+        start_ms
+            .wrapping_mul(GOLDEN)
+            .wrapping_add(end_ms.rotate_left(32)),
+    );
+    crate::fleet::splitmix64(seed ^ window)
 }
 
 /// An adversary active during `[start_ms, end_ms)` on the ECG stream.
@@ -62,10 +160,20 @@ pub struct Attacker {
     rng: StdRng,
     hijacked_packets: u64,
     last_value: f64,
+    /// Adaptive bisection bracket (‰ donor blend): the threshold the
+    /// attacker is probing lies in `[adapt_lo, adapt_hi]`.
+    adapt_lo: u16,
+    adapt_hi: u16,
+    /// Detector verdicts consumed by [`Attacker::feedback`].
+    probes: u64,
 }
 
 impl Attacker {
     /// Create an attacker active over the given window.
+    ///
+    /// The RNG stream is split per instance from `(seed, start_ms,
+    /// end_ms)` — see [`split_attacker_seed`] — so campaign waves can
+    /// share one seed without correlating their noise draws.
     ///
     /// # Panics
     ///
@@ -76,9 +184,12 @@ impl Attacker {
             mode,
             start_ms,
             end_ms,
-            rng: StdRng::seed_from_u64(seed),
+            rng: StdRng::seed_from_u64(split_attacker_seed(seed, start_ms, end_ms)),
             hijacked_packets: 0,
             last_value: 0.0,
+            adapt_lo: 0,
+            adapt_hi: 1000,
+            probes: 0,
         }
     }
 
@@ -102,6 +213,46 @@ impl Attacker {
         self.hijacked_packets
     }
 
+    /// Whether this attacker adapts to detector verdicts (adaptive
+    /// threshold probing). Scenario runners feed resolved window
+    /// verdicts back via [`Attacker::feedback`] only when this is set.
+    pub fn wants_feedback(&self) -> bool {
+        matches!(self.mode, AttackMode::Adaptive { .. })
+    }
+
+    /// The adaptive attacker's current donor blend (‰): the midpoint of
+    /// its bisection bracket. 500 before any feedback.
+    pub fn adaptive_blend(&self) -> u16 {
+        (self.adapt_lo + self.adapt_hi) / 2
+    }
+
+    /// Adaptive probe state `(lo, hi, probes)`: the bracket the
+    /// detector threshold is known to lie in (‰ blend) and how many
+    /// verdicts have been consumed. `None` for non-adaptive modes.
+    pub fn adaptive_state(&self) -> Option<(u16, u16, u64)> {
+        self.wants_feedback()
+            .then_some((self.adapt_lo, self.adapt_hi, self.probes))
+    }
+
+    /// Consume one detector verdict for an attacked window: `alerted`
+    /// probes cap the bracket from above (the current blend was
+    /// detectable), silent probes raise it from below. The bracket
+    /// halves per verdict, so after `k` probes the attacker knows the
+    /// detector's blend threshold to within `1000 / 2^k` ‰. A no-op for
+    /// non-adaptive modes.
+    pub fn feedback(&mut self, alerted: bool) {
+        if !self.wants_feedback() {
+            return;
+        }
+        let blend = self.adaptive_blend();
+        if alerted {
+            self.adapt_hi = blend;
+        } else {
+            self.adapt_lo = blend;
+        }
+        self.probes += 1;
+    }
+
     /// Intercept a packet in flight at `now_ms`. ECG packets inside the
     /// attack window are tampered with; everything else passes through.
     pub fn intercept(&mut self, now_ms: u64, mut packet: SensorPacket, fs: f64) -> SensorPacket {
@@ -112,44 +263,21 @@ impl Attacker {
             return packet;
         }
         self.hijacked_packets += 1;
+        let adaptive_blend = self.adaptive_blend();
         match &self.mode {
-            AttackMode::Substitute { donor } => {
-                let len = packet.samples.len();
-                if donor.ecg.len() < len {
+            AttackMode::Substitute { donor } | AttackMode::Coordinated { donor } => {
+                if !substitute_from(&mut packet, donor) {
                     // Not enough donor material for even one chunk: the
                     // attack degrades to a passthrough.
                     self.hijacked_packets -= 1;
                     return packet;
                 }
-                let start = packet.start_sample % (donor.ecg.len() - len).max(1);
-                packet
-                    .samples
-                    .copy_from_slice(&donor.ecg[start..start + len]);
-                packet.peaks = donor
-                    .r_peaks
-                    .iter()
-                    .filter(|&&p| p >= start && p < start + len)
-                    .map(|&p| p - start)
-                    .collect();
             }
             AttackMode::Replay { offset_s, source } => {
-                let len = packet.samples.len();
-                if source.ecg.len() < len {
+                if !replay_from(&mut packet, source, *offset_s, fs) {
                     self.hijacked_packets -= 1;
                     return packet;
                 }
-                let shift = (offset_s * fs).round() as usize;
-                let start = packet.start_sample.saturating_sub(shift);
-                let start = start.min(source.ecg.len() - len);
-                packet
-                    .samples
-                    .copy_from_slice(&source.ecg[start..start + len]);
-                packet.peaks = source
-                    .r_peaks
-                    .iter()
-                    .filter(|&&p| p >= start && p < start + len)
-                    .map(|&p| p - start)
-                    .collect();
             }
             AttackMode::Freeze => {
                 let v = self.last_value;
@@ -171,9 +299,130 @@ impl Attacker {
                 packet.peaks.sort_unstable();
                 packet.peaks.dedup();
             }
+            AttackMode::Mimicry {
+                donor,
+                blend_permille,
+            } => {
+                if !blend_from(&mut packet, donor, *blend_permille) {
+                    self.hijacked_packets -= 1;
+                    return packet;
+                }
+            }
+            AttackMode::ReplaySnr {
+                offset_s,
+                source,
+                snr_db,
+            } => {
+                if !replay_from(&mut packet, source, *offset_s, fs) {
+                    self.hijacked_packets -= 1;
+                    return packet;
+                }
+                // Bury the copy in wideband noise at the requested SNR:
+                // uniform noise in [-a, a) has power a²/3, so matching
+                // signal_power / 10^(snr/10) gives a = √(3·p_noise).
+                let len = packet.samples.len() as f64;
+                let mean = packet.samples.iter().sum::<f64>() / len;
+                let power =
+                    packet.samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / len;
+                let a = (3.0 * power / 10f64.powf(snr_db / 10.0)).sqrt();
+                if a > 0.0 {
+                    for s in &mut packet.samples {
+                        *s += self.rng.gen_range(-a..a);
+                    }
+                }
+            }
+            AttackMode::PartialWindow {
+                donor,
+                window_ms,
+                coverage_permille,
+            } => {
+                let w = (*window_ms).max(1);
+                let pos = now_ms % w;
+                let covered = pos.saturating_mul(1000) < u64::from(*coverage_permille) * w;
+                if !covered || !substitute_from(&mut packet, donor) {
+                    // Outside the window's injected prefix (or donor too
+                    // short): the chunk goes through untouched.
+                    self.hijacked_packets -= 1;
+                    return packet;
+                }
+            }
+            AttackMode::Adaptive { donor } => {
+                if !blend_from(&mut packet, donor, adaptive_blend) {
+                    self.hijacked_packets -= 1;
+                    return packet;
+                }
+            }
         }
         packet
     }
+}
+
+/// Overwrite the packet with the aligned donor slice (the substitution
+/// payload). Returns `false` without touching the packet when the donor
+/// recording is shorter than one chunk.
+fn substitute_from(packet: &mut SensorPacket, donor: &Record) -> bool {
+    let len = packet.samples.len();
+    if donor.ecg.len() < len {
+        return false;
+    }
+    let start = packet.start_sample % (donor.ecg.len() - len).max(1);
+    packet
+        .samples
+        .copy_from_slice(&donor.ecg[start..start + len]);
+    packet.peaks = donor
+        .r_peaks
+        .iter()
+        .filter(|&&p| p >= start && p < start + len)
+        .map(|&p| p - start)
+        .collect();
+    true
+}
+
+/// Overwrite the packet with the source slice from `offset_s` seconds
+/// earlier (the replay payload). Returns `false` when the source is
+/// shorter than one chunk.
+fn replay_from(packet: &mut SensorPacket, source: &Record, offset_s: f64, fs: f64) -> bool {
+    let len = packet.samples.len();
+    if source.ecg.len() < len {
+        return false;
+    }
+    let shift = (offset_s * fs).round() as usize;
+    let start = packet.start_sample.saturating_sub(shift);
+    let start = start.min(source.ecg.len() - len);
+    packet
+        .samples
+        .copy_from_slice(&source.ecg[start..start + len]);
+    packet.peaks = source
+        .r_peaks
+        .iter()
+        .filter(|&&p| p >= start && p < start + len)
+        .map(|&p| p - start)
+        .collect();
+    true
+}
+
+/// Mix the aligned donor slice into the packet at `blend_permille` ‰
+/// donor share. Peak annotations follow the majority contributor. Returns
+/// `false` when the donor is shorter than one chunk.
+fn blend_from(packet: &mut SensorPacket, donor: &Record, blend_permille: u16) -> bool {
+    let len = packet.samples.len();
+    if donor.ecg.len() < len {
+        return false;
+    }
+    let start = packet.start_sample % (donor.ecg.len() - len).max(1);
+    let b = f64::from(blend_permille.min(1000)) / 1000.0;
+    for (s, d) in packet.samples.iter_mut().zip(&donor.ecg[start..start + len]) {
+        *s = b * d + (1.0 - b) * *s;
+    }
+    if blend_permille >= 500 {
+        packet.peaks = donor
+            .r_peaks
+            .iter()
+            .filter(|&&p| p >= start && p < start + len)
+            .map(|&p| p - start)
+            .collect();
+    }
+    true
 }
 
 #[cfg(test)]
@@ -287,6 +536,218 @@ mod tests {
     #[should_panic(expected = "attack window")]
     fn empty_window_rejected() {
         let _ = Attacker::new(AttackMode::Freeze, 5, 5, 0);
+    }
+
+    #[test]
+    fn same_seed_different_windows_decorrelate() {
+        let noise = || AttackMode::NoiseInject { amplitude_mv: 0.5 };
+        let mut a = Attacker::new(noise(), 0, 10_000, 42);
+        let mut b = Attacker::new(noise(), 0, 20_000, 42);
+        let mut c = Attacker::new(noise(), 0, 10_000, 42);
+        let p = ecg_packet(0, 360);
+        let pa = a.intercept(1, p.clone(), 360.0);
+        let pb = b.intercept(1, p.clone(), 360.0);
+        let pc = c.intercept(1, p.clone(), 360.0);
+        assert_ne!(pa.samples, pb.samples, "windows must split the stream");
+        assert_eq!(pa.samples, pc.samples, "same (seed, window) must replay");
+    }
+
+    #[test]
+    fn mimicry_interpolates_between_victim_and_donor() {
+        let donor = physio_sim::record::Record::synthesize(&bank()[1], 10.0, 1);
+        let full = |b| AttackMode::Mimicry {
+            donor: donor.clone(),
+            blend_permille: b,
+        };
+        let p = ecg_packet(360, 180);
+        let mut sub = Attacker::new(
+            AttackMode::Substitute {
+                donor: donor.clone(),
+            },
+            0,
+            10_000,
+            0,
+        );
+        let subbed = sub.intercept(100, p.clone(), 360.0);
+        let mut hi = Attacker::new(full(1000), 0, 10_000, 0);
+        let hi_out = hi.intercept(100, p.clone(), 360.0);
+        assert_eq!(hi_out.samples, subbed.samples, "‰1000 degenerates to substitution");
+        assert_eq!(hi_out.peaks, subbed.peaks);
+        let mut lo = Attacker::new(full(0), 0, 10_000, 0);
+        let lo_out = lo.intercept(100, p.clone(), 360.0);
+        assert_eq!(lo_out.samples, p.samples, "‰0 leaves the waveform");
+        assert_eq!(lo.hijacked_packets(), 1, "but still counts as tampering");
+        let mut mid = Attacker::new(full(500), 0, 10_000, 0);
+        let mid_out = mid.intercept(100, p.clone(), 360.0);
+        for ((m, v), d) in mid_out.samples.iter().zip(&p.samples).zip(&subbed.samples) {
+            assert!((m - 0.5 * (v + d)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn partial_window_tampering_respects_coverage() {
+        let donor = physio_sim::record::Record::synthesize(&bank()[1], 10.0, 1);
+        let mut a = Attacker::new(
+            AttackMode::PartialWindow {
+                donor: donor.clone(),
+                window_ms: 8000,
+                coverage_permille: 250,
+            },
+            0,
+            60_000,
+            0,
+        );
+        let early = a.intercept(500, ecg_packet(180, 180), 360.0);
+        assert_eq!(early.samples[..], donor.ecg[180..360], "prefix is injected");
+        let late = a.intercept(4000, ecg_packet(1440, 180), 360.0);
+        assert_eq!(late.samples, vec![0.5; 180], "tail stays genuine");
+        assert_eq!(a.hijacked_packets(), 1);
+        // Second window's prefix is injected again.
+        let wrap = a.intercept(8100, ecg_packet(2880, 180), 360.0);
+        assert_ne!(wrap.samples, vec![0.5; 180]);
+    }
+
+    #[test]
+    fn replay_snr_is_a_noisy_replay() {
+        let source = physio_sim::record::Record::synthesize(&bank()[0], 20.0, 3);
+        let clean = |p: SensorPacket| {
+            let mut a = Attacker::new(
+                AttackMode::Replay {
+                    offset_s: 5.0,
+                    source: source.clone(),
+                },
+                0,
+                60_000,
+                0,
+            );
+            a.intercept(100, p, 360.0)
+        };
+        let mut noisy = Attacker::new(
+            AttackMode::ReplaySnr {
+                offset_s: 5.0,
+                source: source.clone(),
+                snr_db: 10.0,
+            },
+            0,
+            60_000,
+            0,
+        );
+        let p = ecg_packet(3600, 360);
+        let r_clean = clean(p.clone());
+        let r_noisy = noisy.intercept(100, p, 360.0);
+        assert_ne!(r_noisy.samples, r_clean.samples);
+        // Residual power sits near the requested −10 dB of signal power.
+        let len = r_clean.samples.len() as f64;
+        let mean = r_clean.samples.iter().sum::<f64>() / len;
+        let sig: f64 =
+            r_clean.samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / len;
+        let noise: f64 = r_noisy
+            .samples
+            .iter()
+            .zip(&r_clean.samples)
+            .map(|(n, c)| (n - c).powi(2))
+            .sum::<f64>()
+            / len;
+        let snr = 10.0 * (sig / noise).log10();
+        assert!((5.0..15.0).contains(&snr), "snr {snr} dB");
+    }
+
+    #[test]
+    fn adaptive_bisection_converges_on_the_threshold() {
+        let donor = physio_sim::record::Record::synthesize(&bank()[1], 10.0, 1);
+        let mut a = Attacker::new(
+            AttackMode::Adaptive {
+                donor: donor.clone(),
+            },
+            0,
+            60_000,
+            0,
+        );
+        assert!(a.wants_feedback());
+        assert_eq!(a.adaptive_blend(), 500);
+        // Hidden detector threshold: alerts iff blend ≥ 333 ‰.
+        let theta = 333u16;
+        for k in 1..=10u32 {
+            let blend = a.adaptive_blend();
+            a.feedback(blend >= theta);
+            let (lo, hi, probes) = a.adaptive_state().unwrap();
+            assert!(lo < theta && theta <= hi, "bracket lost θ: [{lo}, {hi}]");
+            // Integer midpoints can leave the bracket one wider than
+            // the ideal 1000/2^k halving.
+            assert!(
+                u32::from(hi - lo) <= (1000 >> k.min(9)) + 1,
+                "bracket not halving: width {} after {k} probes",
+                hi - lo
+            );
+            assert_eq!(probes, u64::from(k));
+        }
+        let blend = a.adaptive_blend();
+        assert!(blend.abs_diff(theta) <= 2, "converged blend {blend} vs θ {theta}");
+        // Non-adaptive attackers ignore feedback.
+        let mut f = Attacker::new(AttackMode::Freeze, 0, 1000, 0);
+        assert!(!f.wants_feedback());
+        assert_eq!(f.adaptive_state(), None);
+        f.feedback(true);
+        assert_eq!(f.adaptive_state(), None);
+    }
+
+    #[test]
+    fn class_indexes_and_names_are_consistent() {
+        let donor = physio_sim::record::Record::synthesize(&bank()[1], 2.0, 1);
+        let modes = [
+            AttackMode::Substitute {
+                donor: donor.clone(),
+            },
+            AttackMode::Replay {
+                offset_s: 1.0,
+                source: donor.clone(),
+            },
+            AttackMode::Freeze,
+            AttackMode::NoiseInject { amplitude_mv: 0.5 },
+            AttackMode::Mimicry {
+                donor: donor.clone(),
+                blend_permille: 700,
+            },
+            AttackMode::ReplaySnr {
+                offset_s: 1.0,
+                source: donor.clone(),
+                snr_db: 10.0,
+            },
+            AttackMode::PartialWindow {
+                donor: donor.clone(),
+                window_ms: 8000,
+                coverage_permille: 250,
+            },
+            AttackMode::Coordinated {
+                donor: donor.clone(),
+            },
+            AttackMode::Adaptive { donor },
+        ];
+        assert_eq!(modes.len(), ATTACK_CLASS_COUNT);
+        for (i, m) in modes.iter().enumerate() {
+            assert_eq!(m.class_index(), i);
+            assert_eq!(m.name(), ATTACK_CLASS_NAMES[i]);
+        }
+    }
+
+    #[test]
+    fn coordinated_is_substitution_with_its_own_tag() {
+        let donor = physio_sim::record::Record::synthesize(&bank()[1], 10.0, 1);
+        let mut s = Attacker::new(
+            AttackMode::Substitute {
+                donor: donor.clone(),
+            },
+            0,
+            10_000,
+            0,
+        );
+        let mut c = Attacker::new(AttackMode::Coordinated { donor }, 0, 10_000, 0);
+        let p = ecg_packet(360, 180);
+        assert_eq!(
+            s.intercept(100, p.clone(), 360.0).samples,
+            c.intercept(100, p, 360.0).samples
+        );
+        assert_ne!(s.mode().class_index(), c.mode().class_index());
     }
 }
 

@@ -10,6 +10,7 @@
 //! stays in the (seeded) channel — so a faulted scenario replays
 //! byte-identically.
 
+use crate::attacker::ATTACK_CLASS_COUNT;
 use crate::channel::LossModel;
 use crate::device::Stream;
 use crate::WiotError;
@@ -301,6 +302,15 @@ pub struct FaultSummary {
     /// Policy ticks spent at or below the survival policy's low-battery
     /// (retry-tightening) threshold.
     pub low_battery_ticks: u64,
+    /// Attacked (truth-positive) windows the detector alerted on, per
+    /// attack class — indexed by
+    /// [`crate::attacker::AttackMode::class_index`]. Campaign-engine
+    /// accounting; rides FaultSummary → DeviceSummary → FleetReport
+    /// outside the frozen fleet digest.
+    pub attack_windows_tp: [u64; ATTACK_CLASS_COUNT],
+    /// Attacked windows the detector let pass, per attack class (same
+    /// indexing as [`FaultSummary::attack_windows_tp`]).
+    pub attack_windows_fn: [u64; ATTACK_CLASS_COUNT],
 }
 
 impl FaultSummary {
@@ -309,7 +319,17 @@ impl FaultSummary {
     /// into a fleet view.
     #[must_use]
     pub fn merged(self, other: Self) -> Self {
+        let mut attack_windows_tp = self.attack_windows_tp;
+        let mut attack_windows_fn = self.attack_windows_fn;
+        for (a, b) in attack_windows_tp.iter_mut().zip(other.attack_windows_tp) {
+            *a += b;
+        }
+        for (a, b) in attack_windows_fn.iter_mut().zip(other.attack_windows_fn) {
+            *a += b;
+        }
         Self {
+            attack_windows_tp,
+            attack_windows_fn,
             dropout_chunks: self.dropout_chunks + other.dropout_chunks,
             stuck_chunks: self.stuck_chunks + other.stuck_chunks,
             reboots: self.reboots + other.reboots,
@@ -504,6 +524,8 @@ mod tests {
             recovery_failures: 10,
             duty_skipped_chunks: 11,
             low_battery_ticks: 12,
+            attack_windows_tp: [2; ATTACK_CLASS_COUNT],
+            attack_windows_fn: [1; ATTACK_CLASS_COUNT],
         };
         let b = FaultSummary {
             max_clock_skew_ms: 2,
@@ -513,6 +535,8 @@ mod tests {
         };
         let m = a.merged(b);
         assert_eq!(m.reboots, 4);
+        assert_eq!(m.attack_windows_tp, [2; ATTACK_CLASS_COUNT]);
+        assert_eq!(m.attack_windows_fn, [1; ATTACK_CLASS_COUNT]);
         assert_eq!(m.max_clock_skew_ms, 5);
         assert_eq!(m.recoveries, 8);
         assert_eq!(m.duty_skipped_chunks, 14);

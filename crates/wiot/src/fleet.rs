@@ -44,15 +44,16 @@ use crate::transport::TransportStats;
 use crate::WiotError;
 use amulet_sim::profiler::UsageSnapshot;
 use ml::metrics::ConfusionMatrix;
-use ml::{DetectorBackend, Label};
-use physio_sim::subject::bank;
-use sift::trainer::ModelBank;
+use ml::{DetectorBackend, DetectorModel, Label};
+use physio_sim::subject::{bank, Subject};
+use sift::trainer::{ModelBank, SiftModel};
 use std::sync::mpsc;
 use std::thread;
 
 /// SplitMix64 output function (same constants as the vendored
-/// `rand::SeedableRng` seeding path).
-fn splitmix64(mut z: u64) -> u64 {
+/// `rand::SeedableRng` seeding path). Shared with the attacker's
+/// per-instance seed split (`crate::attacker`).
+pub(crate) fn splitmix64(mut z: u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
@@ -404,31 +405,92 @@ impl FleetReport {
     }
 }
 
-/// Simulate one device of the fleet: build its scenario from the
-/// template, run it with the shared model, and batch-score its uplinked
-/// features at the sink.
+/// Everything one device needs to run, decided by a
+/// [`FleetProvisioner`]: the fully resolved scenario (victim and seed
+/// set) plus the models to inject and, for campaign populations, the
+/// subject the device wears.
+pub struct DeviceProvision<'a> {
+    /// The device's concrete scenario.
+    pub scenario: Scenario,
+    /// Subject override ([`DeviceOptions::subject`]); `None` wears
+    /// `bank()[scenario.victim]` as always.
+    pub subject: Option<&'a Subject>,
+    /// Gold SVM model for sink-side comparison, when one exists.
+    pub model: Option<&'a SiftModel>,
+    /// Deployed detector backend for the device.
+    pub deployed: &'a DetectorModel,
+}
+
+/// Decides, per device index, what that device runs. The engine calls
+/// [`FleetProvisioner::provision`] from worker threads (hence `Sync`);
+/// implementations must be pure functions of `(spec, device)` or the
+/// determinism guarantee breaks. The legacy bank round-robin is
+/// [`run_fleet_with_bank`]; the campaign engine provisions
+/// population-scale victims and per-wave attacks through the same seam.
+pub trait FleetProvisioner: Sync {
+    /// Build the provision for `device`.
+    ///
+    /// # Errors
+    ///
+    /// Implementations return [`WiotError::InvalidScenario`] when the
+    /// device cannot be provisioned (e.g. no model for its victim).
+    fn provision(&self, spec: &FleetSpec, device: usize)
+        -> Result<DeviceProvision<'_>, WiotError>;
+}
+
+/// The legacy provisioning policy: victims round-robin over the
+/// subject bank, models shared from a pre-trained [`ModelBank`].
+struct BankProvisioner<'b> {
+    models: &'b ModelBank,
+    subjects_len: usize,
+}
+
+impl FleetProvisioner for BankProvisioner<'_> {
+    fn provision(
+        &self,
+        spec: &FleetSpec,
+        device: usize,
+    ) -> Result<DeviceProvision<'_>, WiotError> {
+        let mut scenario = spec.template.clone();
+        scenario.victim = device % self.subjects_len;
+        scenario.seed = device_seed(spec.seed, device);
+        let deployed = self
+            .models
+            .deployed(scenario.victim)
+            .ok_or(WiotError::InvalidScenario {
+                reason: "model bank does not cover the device's victim",
+            })?;
+        let model = self.models.get(scenario.victim).map(|m| m.as_ref());
+        Ok(DeviceProvision {
+            scenario,
+            subject: None,
+            model,
+            deployed: deployed.as_ref(),
+        })
+    }
+}
+
+/// Simulate one device of the fleet: provision it, run it, and
+/// batch-score its uplinked features at the sink.
 fn simulate_device(
     spec: &FleetSpec,
-    models: &ModelBank,
-    subjects_len: usize,
+    prov: &dyn FleetProvisioner,
     device: usize,
 ) -> Result<DeviceSummary, WiotError> {
-    let mut scenario = spec.template.clone();
-    scenario.victim = device % subjects_len;
-    scenario.seed = device_seed(spec.seed, device);
-    let deployed = models
-        .deployed(scenario.victim)
-        .ok_or(WiotError::InvalidScenario {
-            reason: "model bank does not cover the device's victim",
-        })?;
-    let gold = models.get(scenario.victim);
+    let DeviceProvision {
+        scenario,
+        subject,
+        model,
+        deployed,
+    } = prov.provision(spec, device)?;
     let mut sim = DeviceSim::with_options(
         &scenario,
         DeviceOptions {
-            model: gold.map(|m| m.as_ref()),
-            deployed: Some(deployed.as_ref()),
+            model,
+            deployed: Some(deployed),
             feature_uplink: true,
             telemetry: spec.telemetry,
+            subject,
         },
     )?;
     sim.run_to_completion()?;
@@ -621,11 +683,6 @@ fn reduce(spec: &FleetSpec, summaries: Vec<DeviceSummary>) -> FleetReport {
 /// the lowest-device-index simulation error (deterministic regardless
 /// of which worker hit it first).
 pub fn run_fleet_with_bank(spec: &FleetSpec, models: &ModelBank) -> Result<FleetReport, WiotError> {
-    if spec.devices == 0 {
-        return Err(WiotError::InvalidScenario {
-            reason: "fleet must have at least one device",
-        });
-    }
     if models.version() != spec.template.version {
         return Err(WiotError::InvalidScenario {
             reason: "model bank version does not match the fleet template",
@@ -636,7 +693,33 @@ pub fn run_fleet_with_bank(spec: &FleetSpec, models: &ModelBank) -> Result<Fleet
             reason: "model bank backend does not match the fleet template",
         });
     }
-    let subjects_len = bank().len();
+    let prov = BankProvisioner {
+        models,
+        subjects_len: bank().len(),
+    };
+    run_fleet_provisioned(spec, &prov)
+}
+
+/// Run a fleet through an arbitrary [`FleetProvisioner`] — the engine
+/// core. Owns the worker pool, the static device sharding, and the
+/// index-ordered reduction; everything device-specific comes from the
+/// provisioner. The thread-count-invariance guarantee holds for any
+/// provisioner that is a pure function of `(spec, device)`.
+///
+/// # Errors
+///
+/// Returns [`WiotError::InvalidScenario`] for an empty fleet,
+/// propagates the lowest-device-index provisioning or simulation error
+/// (deterministic regardless of which worker hit it first).
+pub fn run_fleet_provisioned(
+    spec: &FleetSpec,
+    prov: &dyn FleetProvisioner,
+) -> Result<FleetReport, WiotError> {
+    if spec.devices == 0 {
+        return Err(WiotError::InvalidScenario {
+            reason: "fleet must have at least one device",
+        });
+    }
     let threads = spec.threads.clamp(1, spec.devices);
 
     let mut slots: Vec<Option<Result<DeviceSummary, WiotError>>> =
@@ -650,7 +733,7 @@ pub fn run_fleet_with_bank(spec: &FleetSpec, models: &ModelBank) -> Result<Fleet
                 // Any partition works — determinism comes from the
                 // index-ordered reduction, not the schedule.
                 for device in (worker..spec.devices).step_by(threads) {
-                    let result = simulate_device(spec, models, subjects_len, device);
+                    let result = simulate_device(spec, prov, device);
                     if tx.send((device, result)).is_err() {
                         return;
                     }

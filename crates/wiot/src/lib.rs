@@ -22,6 +22,11 @@
 //!   four vulnerability classes (§I): channel compromise, firmware
 //!   compromise (replay), sensory-channel injection (noise), and
 //!   physical compromise (freeze),
+//! * [`campaign`] — the adversary campaign engine: population-scale
+//!   victim cohorts, multi-wave attack schedules over the extended
+//!   attack-class taxonomy (mimicry, replay-at-SNR, partial-window,
+//!   coordinated, adaptive), and per-class detection matrices with
+//!   integer Wilson confidence bounds,
 //! * [`basestation`] — the Amulet running the SIFT detector app on the
 //!   reassembled sensor streams,
 //! * [`sink`] — history storage and alert collection,
@@ -43,6 +48,7 @@
 pub mod adaptive;
 pub mod attacker;
 pub mod basestation;
+pub mod campaign;
 pub mod channel;
 pub mod device;
 pub mod faults;

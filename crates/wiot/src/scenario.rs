@@ -28,7 +28,7 @@ use amulet_sim::energy::BatteryState;
 use ml::metrics::ConfusionMatrix;
 use ml::{BackendKind, DetectorBackend, DetectorModel, Label};
 use physio_sim::record::Record;
-use physio_sim::subject::bank;
+use physio_sim::subject::{bank, Subject};
 use sift::config::SiftConfig;
 use sift::features::Version;
 use sift::trainer::SiftModel;
@@ -387,6 +387,13 @@ pub struct DeviceOptions<'a> {
     /// and [`SimReport::telemetry`] carries the final snapshot. Purely
     /// observational — a traced run is bit-identical to an untraced one.
     pub telemetry: bool,
+    /// Wear this subject instead of `bank()[scenario.victim]`. This is
+    /// how the campaign engine runs population-scale cohorts without
+    /// materializing a bank per device. An override requires an
+    /// injected model (`deployed` or `model`) — inline training reads
+    /// the legacy bank — and is incompatible with the survival policy,
+    /// whose hot-swap retraining does the same.
+    pub subject: Option<&'a Subject>,
 }
 
 /// Stable index of a version in per-version tables:
@@ -540,6 +547,8 @@ pub struct DeviceSim {
     degraded_prev: bool,
     /// Hold value per stream for stuck-at injection.
     stuck_hold: [f64; 2],
+    /// Window-log entries already replayed to an adaptive attacker.
+    feedback_cursor: usize,
     chunk_ms: u64,
     now_ms: u64,
     prev_ms: u64,
@@ -579,8 +588,21 @@ impl DeviceSim {
         scenario: &Scenario,
         options: DeviceOptions<'_>,
     ) -> Result<Self, WiotError> {
-        let subjects = bank();
-        if scenario.victim >= subjects.len() {
+        // With a subject override the legacy bank is never touched
+        // (population-scale campaigns would otherwise rebuild it per
+        // device); without one, behavior is exactly as before.
+        let subjects = if options.subject.is_none() {
+            bank()
+        } else {
+            Vec::new()
+        };
+        if options.subject.is_some() {
+            if scenario.survival.is_some() {
+                return Err(WiotError::InvalidScenario {
+                    reason: "subject override is incompatible with the survival policy",
+                });
+            }
+        } else if scenario.victim >= subjects.len() {
             return Err(WiotError::InvalidScenario {
                 reason: "victim index out of range",
             });
@@ -620,6 +642,11 @@ impl DeviceSim {
             }
             model.embedded().clone().into()
         } else {
+            if options.subject.is_some() {
+                return Err(WiotError::InvalidScenario {
+                    reason: "subject override requires an injected deployed model",
+                });
+            }
             train_backend_for_subject(
                 &subjects,
                 scenario.victim,
@@ -666,11 +693,11 @@ impl DeviceSim {
         };
 
         // Live session data (unseen by training).
-        let live = Record::synthesize(
-            &subjects[scenario.victim],
-            scenario.duration_s,
-            scenario.seed ^ 0x11FE,
-        );
+        let victim_subject = match options.subject {
+            Some(s) => s,
+            None => &subjects[scenario.victim],
+        };
+        let live = Record::synthesize(victim_subject, scenario.duration_s, scenario.seed ^ 0x11FE);
         let ecg_dev = SensorDevice::ecg(&live, scenario.chunk_s);
         let abp_dev = SensorDevice::abp(&live, scenario.chunk_s);
 
@@ -703,6 +730,7 @@ impl DeviceSim {
             fault_summary: FaultSummary::default(),
             degraded_prev: false,
             stuck_hold: [0.0f64; 2],
+            feedback_cursor: 0,
             now_ms: 0,
             prev_ms: 0,
             drain_ticks: 0,
@@ -873,6 +901,7 @@ impl DeviceSim {
 
         self.deliver_arrivals()?;
         self.station.poll_watchdog(self.now_ms)?;
+        self.pump_attacker_feedback();
 
         // Commit the detector's stream position every tick: whatever
         // the next brownout destroys, at most one tick of progress is
@@ -894,6 +923,36 @@ impl DeviceSim {
         self.now_ms += self.chunk_ms;
         self.station.advance_time(self.chunk_ms);
         Ok(true)
+    }
+
+    /// Replay newly resolved windows to an adaptive attacker: each
+    /// window overlapping the attack interval reports whether the
+    /// detector alerted, driving the attacker's threshold probe (a
+    /// bisection on the blend factor). The adversary here stands in
+    /// for one who observes the victim's alarm side-channel. No-op —
+    /// and RNG-free — for every other attack class.
+    fn pump_attacker_feedback(&mut self) {
+        let Some(att) = self.attacker.as_mut() else {
+            return;
+        };
+        if !att.wants_feedback() {
+            return;
+        }
+        let window_ms = (self.scenario.config.window_s * 1000.0) as u64;
+        let (a0, a1) = att.window_ms();
+        let log = self.station.window_log();
+        for &(idx, outcome) in log.iter().skip(self.feedback_cursor) {
+            let w_start = idx as u64 * window_ms;
+            if w_start + window_ms <= a0 || w_start >= a1 {
+                continue;
+            }
+            if let WindowOutcome::Emitted { alerted } | WindowOutcome::Salvaged { alerted } =
+                outcome
+            {
+                att.feedback(alerted);
+            }
+        }
+        self.feedback_cursor = log.len();
     }
 
     /// One tick of the survival layer: integrate the battery model,
@@ -1279,6 +1338,8 @@ impl DeviceSim {
             .attack
             .as_ref()
             .map(|a| ((a.start_s * 1000.0) as u64, (a.end_s * 1000.0) as u64));
+        let attack_class = scenario.attack.as_ref().map(|a| a.mode.class_index());
+        let mut faults = self.fault_summary;
         let mut confusion = ConfusionMatrix::default();
         let mut ambiguous = 0usize;
         let mut dropped = 0usize;
@@ -1309,7 +1370,20 @@ impl DeviceSim {
                         Label::Negative
                     };
                     match truth {
-                        Some(t) => confusion.record(t, predicted),
+                        Some(t) => {
+                            confusion.record(t, predicted);
+                            // Per-attack-class hit/miss ledger for the
+                            // campaign engine (outside the frozen digest).
+                            if t == Label::Positive {
+                                if let Some(ci) = attack_class {
+                                    if alerted {
+                                        faults.attack_windows_tp[ci] += 1;
+                                    } else {
+                                        faults.attack_windows_fn[ci] += 1;
+                                    }
+                                }
+                            }
+                        }
                         None => ambiguous += 1,
                     }
                     if alerted && overlap > 0.0 && latency.is_none() {
@@ -1349,7 +1423,7 @@ impl DeviceSim {
                 (Some(a), Some(b)) => Some(add_transport_stats(a, b)),
                 _ => None,
             },
-            faults: self.fault_summary,
+            faults,
             stall_alerts,
             battery_left: station
                 .os()

@@ -143,4 +143,24 @@ else
   echo "verify: WARN no zoo report at $zoo_baseline; skipping zoo diff"
 fi
 
+# Adversary-campaign gate: regenerate the per-attack-class detection
+# matrix (population x backend cells, each digest-checked at 1/2/8
+# threads inside the bin) and diff against the committed baseline.
+# Every field — counts, permille rates, Wilson bounds, digests — is a
+# pure function of the seeds, so any drift is a hard failure.
+campaign_baseline=results/BENCH_campaign.json
+if [[ -f "$campaign_baseline" ]]; then
+  cargo run --release -q -p bench --bin campaign -- \
+    --out /tmp/BENCH_campaign.verify.json >/dev/null
+  if diff -u "$campaign_baseline" /tmp/BENCH_campaign.verify.json >/dev/null 2>&1; then
+    echo "verify: campaign matrix matches committed baseline exactly"
+  else
+    echo "verify: FAIL campaign matrix drifted from $campaign_baseline:"
+    diff -u "$campaign_baseline" /tmp/BENCH_campaign.verify.json || true
+    exit 1
+  fi
+else
+  echo "verify: WARN no campaign baseline at $campaign_baseline; skipping campaign diff"
+fi
+
 echo "verify: OK"

@@ -1,0 +1,185 @@
+//! Property suite for the adversary campaign engine and the
+//! population-scale subject bank: population determinism, legacy-bank
+//! bit-equality, inter-subject distinguishability, adaptive-attacker
+//! convergence, and campaign digest stability across thread counts.
+
+use ml::BackendKind;
+use physio_sim::population::{morphology_distance, population, LEGACY_BANK_SEED};
+use physio_sim::record::Record;
+use physio_sim::subject::bank;
+use sift::features::Version;
+use wiot::attacker::{AttackMode, Attacker};
+use wiot::campaign::{run_campaign, wilson_permille, AttackClass, AttackWave, CampaignPlan};
+
+/// Same `(n, seed)` ⇒ bit-identical population; different seed ⇒ a
+/// different cohort. The generator is the root of every campaign's
+/// determinism, so this is the first thing to pin.
+#[test]
+fn population_is_a_pure_function_of_n_and_seed() {
+    let a = population(64, 0xAB);
+    let b = population(64, 0xAB);
+    assert_eq!(a, b);
+    let c = population(64, 0xAC);
+    assert!(a != c, "seed does not reach the sampler");
+    // Size only appends/truncates cohort ladders deterministically —
+    // same seed, different n still yields internally consistent banks.
+    let small = population(8, 0xAB);
+    assert_eq!(small.len(), 8);
+}
+
+/// The legacy 12-subject bank is exactly `population(12,
+/// LEGACY_BANK_SEED)` — bit-for-bit, every field of every subject.
+/// Every golden trace in the repository transitively depends on this.
+#[test]
+fn legacy_bank_is_a_population_special_case() {
+    assert_eq!(population(12, LEGACY_BANK_SEED), bank());
+}
+
+/// Inter-subject distinguishability floor: in a campaign-scale
+/// population every pair of subjects is separated in morphology space.
+/// If two sampled subjects collapsed onto the same morphology, a
+/// substitution attack between them would be undetectable by
+/// construction and the detection matrix meaningless.
+#[test]
+fn population_subjects_are_pairwise_distinguishable() {
+    let subjects = population(256, 0x5EED);
+    let mut min_d = f64::INFINITY;
+    for i in 0..subjects.len() {
+        for j in (i + 1)..subjects.len() {
+            min_d = min_d.min(morphology_distance(&subjects[i], &subjects[j]));
+        }
+    }
+    assert!(
+        min_d > 0.05,
+        "closest pair at morphology distance {min_d}; population has near-duplicates"
+    );
+}
+
+/// The adaptive attacker's bisection contracts its blend bracket by
+/// (at least) half per probe — width ≤ 1000/2^k + 1 after k probes —
+/// and converges onto the simulated decision threshold.
+#[test]
+fn adaptive_probe_bracket_halves_each_round() {
+    let donor = Record::synthesize(&bank()[1], 2.0, 3);
+    for theta in [100u16, 333, 500, 777, 901] {
+        let mut att = Attacker::new(AttackMode::Adaptive { donor: donor.clone() }, 0, 1000, 9);
+        for k in 1..=10u32 {
+            let blend = att.adaptive_blend();
+            att.feedback(blend >= theta);
+            let (lo, hi, probes) = att.adaptive_state().expect("adaptive attacker");
+            assert_eq!(probes, u64::from(k));
+            assert!(
+                u32::from(hi - lo) <= (1000 >> k.min(9)) + 1,
+                "theta {theta}: bracket {lo}..{hi} after {k} probes"
+            );
+        }
+        let blend = att.adaptive_blend();
+        assert!(
+            blend.abs_diff(theta) <= 2,
+            "theta {theta}: converged to {blend}"
+        );
+    }
+}
+
+/// Wilson bounds always bracket the point estimate and never leave
+/// [0, 1000] — across a sweep of success/trial shapes, including the
+/// campaign-typical small-n cells.
+#[test]
+fn wilson_bounds_bracket_the_rate() {
+    for n in [1u64, 2, 5, 24, 64, 1000, 100_000] {
+        for s in [0, 1, n / 3, n / 2, n.saturating_sub(1), n] {
+            let s = s.min(n);
+            let (lo, hi) = wilson_permille(s, n);
+            let p = (s * 1000 / n) as u16;
+            assert!(lo <= p, "({s},{n}): lo {lo} > point {p}");
+            assert!(hi >= p, "({s},{n}): hi {hi} < point {p}");
+            assert!(hi <= 1000);
+            assert!(lo < hi || n == 0, "({s},{n}): degenerate interval");
+        }
+    }
+}
+
+fn small_plan() -> CampaignPlan {
+    CampaignPlan {
+        population_size: 16,
+        population_seed: 0xBEEF,
+        victim_pool: 3,
+        donors_per_victim: 4,
+        seed: 0x5EED,
+        threads: 1,
+        backend: BackendKind::Svm,
+        version: Version::Simplified,
+        duration_s: 30.0,
+        waves: vec![
+            AttackWave {
+                class: AttackClass::Substitution,
+                devices: 2,
+                start_s: 9.0,
+                end_s: 21.0,
+            },
+            AttackWave {
+                class: AttackClass::Mimicry {
+                    blend_permille: 700,
+                },
+                devices: 2,
+                start_s: 9.0,
+                end_s: 21.0,
+            },
+            AttackWave {
+                class: AttackClass::Coordinated,
+                devices: 2,
+                start_s: 9.0,
+                end_s: 21.0,
+            },
+        ],
+    }
+}
+
+/// The campaign digest — fleet digest plus the per-class matrix — is
+/// byte-identical at 1, 2, and 8 worker threads. This is the
+/// determinism guarantee the bench gate pins, asserted here at test
+/// scale so a violation fails fast in `cargo test`.
+#[test]
+fn campaign_digest_is_thread_count_invariant() {
+    let base = small_plan();
+    let one = run_campaign(&base).unwrap();
+    let digest = one.digest();
+    for threads in [2usize, 8] {
+        let r = run_campaign(&CampaignPlan {
+            threads,
+            ..base.clone()
+        })
+        .unwrap();
+        assert_eq!(digest, r.digest(), "digest moved at {threads} threads");
+        assert_eq!(one.classes, r.classes, "matrix moved at {threads} threads");
+    }
+    // And it is a pure function of the plan: a different campaign seed
+    // moves it.
+    let reseeded = run_campaign(&CampaignPlan {
+        seed: base.seed + 1,
+        ..base
+    })
+    .unwrap();
+    assert_ne!(digest, reseeded.digest(), "campaign seed does not reach the fleet");
+}
+
+/// Per-class accounting is conserved: each staged wave's device count
+/// lands in exactly its own class row, unstaged classes stay zero, and
+/// attacked-window totals match devices × positive windows.
+#[test]
+fn campaign_matrix_accounts_every_wave() {
+    let plan = small_plan();
+    let r = run_campaign(&plan).unwrap();
+    let staged: Vec<usize> = plan.waves.iter().map(|w| w.class.index()).collect();
+    for (ci, c) in r.classes.iter().enumerate() {
+        if staged.contains(&ci) {
+            assert_eq!(c.devices, 2, "class {ci} device count");
+            assert!(c.windows_tp + c.windows_fn > 0, "class {ci} scored nothing");
+            assert!(c.wilson_lo_permille <= c.detection_permille);
+            assert!(c.detection_permille <= c.wilson_hi_permille);
+        } else {
+            assert_eq!(c.devices, 0, "unstaged class {ci} has devices");
+            assert_eq!(c.windows_tp + c.windows_fn, 0);
+        }
+    }
+}

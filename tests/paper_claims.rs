@@ -229,3 +229,50 @@ fn claim_translated_model_equivalence() {
         assert_eq!(offline, deployed);
     }
 }
+
+/// Table II (original/amulet FN 12.50 %, simplified/amulet FN 7.58 %):
+/// the campaign engine's substitution class — the paper's ECG
+/// replacement attack, staged over the legacy 12-subject bank with the
+/// SVM backend — must land in the same detection band. The committed
+/// campaign baseline is the evidence; this test reads it so a drifted
+/// regeneration that sneaks past the verify gate still fails CI.
+#[test]
+fn claim_campaign_substitution_matches_table_ii_band() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/results/BENCH_campaign.json");
+    let json = std::fs::read_to_string(path).expect("committed campaign baseline");
+    // First cell is (population 12, svm); its first class row is the
+    // substitution wave.
+    let cell = json
+        .split("\"population\": 12")
+        .nth(1)
+        .expect("12-subject cell");
+    assert!(cell.contains("\"backend\": \"svm\""), "cell order changed");
+    let row = cell
+        .split("\"class\": \"substitute\"")
+        .nth(1)
+        .expect("substitution row");
+    let field = |name: &str| -> u64 {
+        let tail = row.split(name).nth(1).unwrap_or_else(|| panic!("{name} missing"));
+        tail.trim_start_matches(['"', ':', ' '])
+            .chars()
+            .take_while(char::is_ascii_digit)
+            .collect::<String>()
+            .parse()
+            .unwrap_or_else(|e| panic!("{name}: {e}"))
+    };
+    let rate = field("\"detection_permille\"");
+    let lo = field("\"wilson_lo_permille\"");
+    let hi = field("\"wilson_hi_permille\"");
+    // Paper band: 87.5 %–92.4 % detection (100 − FN). The campaign
+    // protocol is smoke-scale (8 devices × 8 attacked windows, 6-donor
+    // enrollment), so assert the point estimate is in the ballpark and
+    // the Wilson interval overlaps the paper band.
+    assert!(
+        (700..=1000).contains(&rate),
+        "substitution detection {rate}‰ left the Table II ballpark"
+    );
+    assert!(
+        lo <= 924 && hi >= 875,
+        "Wilson interval [{lo}‰, {hi}‰] no longer overlaps Table II's 875‰–924‰"
+    );
+}

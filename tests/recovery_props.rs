@@ -108,6 +108,7 @@ fn run_with_model(scenario: &Scenario) -> DeviceSim {
             deployed: None,
             feature_uplink: false,
             telemetry: false,
+            subject: None,
         },
     )
     .unwrap();
