@@ -79,7 +79,10 @@ impl App for HeartRateApp {
     // lint:allow(embedded-no-heap-alloc, display strings render on the host; device firmware writes a fixed screen buffer)
     // lint:allow(embedded-no-slice-index, r_peaks indices guarded by the len() >= 2 check)
     fn handle(&mut self, event: &AmuletEvent, ctx: &mut AppContext<'_>) {
-        if let AmuletEvent::SnippetReady(snippet) = event {
+        // A pre-scored window carries the same raw snippet; the display
+        // path is identical either way.
+        if let AmuletEvent::SnippetReady(snippet) | AmuletEvent::SnippetScored(snippet, _) = event
+        {
             ctx.charge_cycles(CYCLES_PER_WINDOW);
             self.windows += 1;
             if snippet.r_peaks.len() >= 2 {

@@ -54,6 +54,7 @@ pub struct SiftApp {
     state: State,
     pending_snippet: Option<Snippet>,
     pending_features: Option<Vec<f32>>,
+    pending_precomputed: Option<Vec<f32>>,
     stats: SiftAppStats,
 }
 
@@ -105,6 +106,7 @@ impl SiftApp {
             state: State::PeaksDataCheck,
             pending_snippet: None,
             pending_features: None,
+            pending_precomputed: None,
             stats: SiftAppStats::default(),
         })
     }
@@ -158,7 +160,10 @@ impl App for SiftApp {
     // lint:allow(embedded-no-heap-alloc, display strings render on the host; device firmware writes a fixed screen buffer)
     fn handle(&mut self, event: &AmuletEvent, ctx: &mut AppContext<'_>) {
         match (self.state, event) {
-            (State::PeaksDataCheck, AmuletEvent::SnippetReady(snippet)) => {
+            (
+                State::PeaksDataCheck,
+                AmuletEvent::SnippetReady(snippet) | AmuletEvent::SnippetScored(snippet, _),
+            ) => {
                 ctx.charge_stage(telemetry::Stage::PeakDetection, self.stage_cycles().peaks_data_check);
                 if snippet.len() != self.config.window_samples() {
                     self.stats.rejected += 1;
@@ -169,7 +174,25 @@ impl App for SiftApp {
                     Severity::Info,
                     format!("ecg/abp window ({} samples)", snippet.len()),
                 );
-                self.pending_snippet = Some(snippet.clone());
+                // Reuse station-extracted features when their shape
+                // matches this detector's version (bit-identical to
+                // extracting here: same function, same input, same
+                // config at the station). A mismatched shape — e.g. an
+                // uplink version differing from a reflashed detector —
+                // falls back to extracting from the snippet.
+                self.pending_precomputed = match event {
+                    AmuletEvent::SnippetScored(_, features)
+                        if features.len() == self.version.feature_count() =>
+                    {
+                        Some(features.clone())
+                    }
+                    _ => None,
+                };
+                if self.pending_precomputed.is_some() {
+                    self.pending_snippet = None;
+                } else {
+                    self.pending_snippet = Some(snippet.clone());
+                }
                 self.state = State::FeatureExtraction;
                 ctx.post(AmuletEvent::Signal(SIG_EXTRACT));
             }
@@ -178,6 +201,15 @@ impl App for SiftApp {
                     telemetry::Stage::FeatureExtraction,
                     self.stage_cycles().feature_extraction,
                 );
+                // Station-extracted features short-circuit the
+                // recomputation (the stage cycles above are still
+                // charged — the real device would run the extraction).
+                if let Some(features) = self.pending_precomputed.take() {
+                    self.pending_features = Some(features);
+                    self.state = State::MlClassifier;
+                    ctx.post(AmuletEvent::Signal(SIG_CLASSIFY));
+                    return;
+                }
                 // QM invariant: SIG_EXTRACT is only posted after the
                 // snippet is latched. Should the state machine ever
                 // desynchronize, recover to the idle state — on the
@@ -229,7 +261,7 @@ impl App for SiftApp {
             }
             // Snippets arriving mid-pipeline are dropped (the device
             // cannot buffer more than one window).
-            (_, AmuletEvent::SnippetReady(_)) => {
+            (_, AmuletEvent::SnippetReady(_) | AmuletEvent::SnippetScored(..)) => {
                 self.stats.rejected += 1;
                 ctx.display(Severity::Debug, "busy; window dropped");
             }

@@ -19,6 +19,16 @@ pub enum AmuletEvent {
     /// The sensor pipeline assembled a full detection window of paired
     /// ECG/ABP data (with peak annotations, as pre-stored in the paper).
     SnippetReady(Snippet),
+    /// A detection window together with its already-extracted feature
+    /// vector. Posted instead of [`AmuletEvent::SnippetReady`] by a base
+    /// station that extracted the window's features for the sink uplink:
+    /// the detector reuses them instead of recomputing (its cycle
+    /// accounting is unchanged — the real device would still run the
+    /// extraction stage), while apps that only read the raw window (the
+    /// heart-rate display) treat it exactly like `SnippetReady`. A
+    /// detector whose version does not match the feature length falls
+    /// back to extracting from the snippet itself.
+    SnippetScored(Snippet, Vec<f32>),
     /// The wearer pressed the side button.
     ButtonPress,
     /// Battery state-of-charge notification, in `[0, 1]`.
@@ -42,6 +52,7 @@ impl AmuletEvent {
         match self {
             AmuletEvent::Tick { .. } => "tick",
             AmuletEvent::SnippetReady(_) => "snippet-ready",
+            AmuletEvent::SnippetScored(..) => "snippet-scored",
             AmuletEvent::ButtonPress => "button-press",
             AmuletEvent::BatteryLevel(_) => "battery-level",
             AmuletEvent::Signal(_) => "signal",

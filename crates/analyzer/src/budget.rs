@@ -113,6 +113,49 @@ pub fn tsetlin_model_bytes(version: Version) -> usize {
     )
 }
 
+/// Per-device slab swap state for a flavor/backend pair: the encoded
+/// [`sift::checkpoint::DetectorCheckpoint`] a device occupies while
+/// swapped out of the slab engine's worker slots (`wiot::slab`) — the
+/// 16-byte checkpoint header plus the backend's self-describing model
+/// blob. This is the O(1) per-device residency the streaming fleet
+/// engine's memory claim rests on, so the budget pass certifies it the
+/// same way it certifies the on-device footprints.
+pub fn slab_state_bytes(version: Version) -> usize {
+    sift::checkpoint::HEADER_BYTES + model_bytes(version)
+}
+
+/// [`slab_state_bytes`] for the Tsetlin backend's flavor rung.
+pub fn tsetlin_slab_state_bytes(version: Version) -> usize {
+    sift::checkpoint::HEADER_BYTES + tsetlin_model_bytes(version)
+}
+
+/// Gate every backend's slab swap state against the FRAM checkpoint
+/// slot payload: a swapped-out device must fit the same NVRAM slot a
+/// brownout checkpoint uses, or the slab's "swap through the codec"
+/// story silently diverges from what the device could actually persist.
+pub fn slab_findings() -> Vec<Finding> {
+    let mut out = Vec::new();
+    for version in Version::ALL {
+        for (backend, bytes) in [
+            ("svm", slab_state_bytes(version)),
+            ("tsetlin", tsetlin_slab_state_bytes(version)),
+        ] {
+            if bytes > MAX_PAYLOAD_BYTES {
+                out.push(Finding::new(
+                    "budget-slab-state-exceeded",
+                    "<budget>",
+                    0,
+                    format!(
+                        "{version}/{backend}: slab swap state {bytes} B exceeds the \
+                         {MAX_PAYLOAD_BYTES} B checkpoint slot payload"
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
 /// Compute the three flavor footprints with the paper's configuration.
 pub fn compute_footprints(config: &SiftConfig) -> Vec<FlavorFootprint> {
     let profiler = ResourceProfiler::default();
@@ -323,6 +366,23 @@ pub fn footprint_json(
             tsetlin_model_bytes(version),
         ));
     }
+    // Slab swap-state table: what one swapped-out device costs the
+    // streaming fleet engine, per flavor and backend.
+    let mut slab_rows = String::new();
+    for (i, &version) in Version::ALL.iter().enumerate() {
+        if i > 0 {
+            slab_rows.push_str(",\n");
+        }
+        slab_rows.push_str(&format!(
+            concat!(
+                "      {{ \"flavor\": \"{}\", \"svm_state_bytes\": {}, ",
+                "\"tsetlin_state_bytes\": {} }}"
+            ),
+            version,
+            slab_state_bytes(version),
+            tsetlin_slab_state_bytes(version),
+        ));
+    }
     // The certified worst-case stack table from the call-graph pass:
     // statics + stack share the same 2 KB SRAM, so each entry carries
     // its headroom against the worst flavor's static demand.
@@ -373,6 +433,10 @@ pub fn footprint_json(
             "\"header_bytes\": {}, \"max_payload_bytes\": {} }},\n",
             "  \"flavors\": [\n{}\n  ],\n",
             "  \"detector_zoo\": [\n{}\n  ],\n",
+            "  \"slab\": {{\n",
+            "    \"checkpoint_header_bytes\": {},\n",
+            "    \"per_device\": [\n{}\n    ]\n",
+            "  }},\n",
             "  \"stack\": {{\n",
             "    \"model\": {{ \"word_bytes\": {}, \"frame_overhead_bytes\": {}, ",
             "\"register_args\": {} }},\n",
@@ -393,6 +457,8 @@ pub fn footprint_json(
         MAX_PAYLOAD_BYTES,
         rows,
         zoo,
+        sift::checkpoint::HEADER_BYTES,
+        slab_rows,
         WORD_BYTES,
         FRAME_OVERHEAD_BYTES,
         REGISTER_ARGS,
@@ -445,6 +511,22 @@ mod tests {
     }
 
     #[test]
+    fn slab_state_fits_every_checkpoint_slot() {
+        // The slab engine swaps devices through the same checkpoint
+        // container brownout persistence uses; every flavor/backend
+        // pair must fit, and the pass reports no violations today.
+        for version in Version::ALL {
+            assert_eq!(
+                slab_state_bytes(version),
+                sift::checkpoint::HEADER_BYTES + model_bytes(version)
+            );
+            assert!(slab_state_bytes(version) <= MAX_PAYLOAD_BYTES);
+            assert!(tsetlin_slab_state_bytes(version) <= MAX_PAYLOAD_BYTES);
+        }
+        assert!(slab_findings().is_empty());
+    }
+
+    #[test]
     fn oversized_window_trips_the_array_limit() {
         let config = SiftConfig {
             window_s: 4.0, // 1440 samples > MAX_ARRAY_ELEMS
@@ -478,8 +560,10 @@ mod tests {
             &fake_stack("SurvivalPolicy::step", 64),
         );
         assert_eq!(doc.matches("\"version\"").count(), 3);
-        assert_eq!(doc.matches("\"flavor\"").count(), 3);
+        assert_eq!(doc.matches("\"flavor\"").count(), 6);
         assert_eq!(doc.matches("\"tsetlin_model_bytes\"").count(), 3);
+        assert_eq!(doc.matches("\"svm_state_bytes\"").count(), 3);
+        assert!(doc.contains("\"checkpoint_header_bytes\": 16"));
         assert_eq!(doc.matches('{').count(), doc.matches('}').count());
         assert!(doc.contains("\"within_budget\": true"));
         assert!(doc.contains("\"nvram_bytes\": 4096"));

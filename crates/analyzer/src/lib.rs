@@ -272,6 +272,7 @@ pub fn analyze(root: &Path, opts: &Options) -> Result<Analysis, String> {
         footprints = budget::compute_footprints(&config);
         findings.append(&mut budget::budget_findings(&footprints));
         findings.append(&mut budget::stack_findings(&footprints, &cg.stack));
+        findings.append(&mut budget::slab_findings());
     }
     Ok(Analysis {
         findings,

@@ -22,10 +22,12 @@ const APP_CODE_PREFIX: &str = "crates/amulet-sim/src/apps/";
 /// `criterion`) are test/bench infrastructure, not report paths.
 const DET_EXEMPT_CRATES: &[&str] = &["bench", "rand", "proptest", "criterion"];
 
-/// The one file allowed to touch thread APIs: the fleet engine, whose
-/// ordered reduction makes its use of `std::thread::scope` + `mpsc`
-/// deterministic by construction.
-const THREAD_OK: &[&str] = &["crates/wiot/src/fleet.rs"];
+/// The files allowed to touch thread APIs: the resident fleet engine,
+/// whose ordered reduction makes its use of `std::thread::scope` +
+/// `mpsc` deterministic by construction, and the slab streaming engine,
+/// whose bounded reorder window retires summaries in the same
+/// device-index order.
+const THREAD_OK: &[&str] = &["crates/wiot/src/fleet.rs", "crates/wiot/src/slab.rs"];
 
 /// Crates under the warn-level library panic-hygiene rule.
 const LIB_NO_PANIC_CRATES: &[&str] = &["wiot", "sift", "analyzer", "telemetry"];
@@ -232,6 +234,10 @@ mod tests {
         assert!(app.embedded && !app.float_strict);
         let fleet = classify("crates/wiot/src/fleet.rs");
         assert!(fleet.thread_ok && fleet.lib_no_panic);
+        // The slab streaming engine is the second audited parallel
+        // boundary; everything else about it stays under library rules.
+        let slab = classify("crates/wiot/src/slab.rs");
+        assert!(slab.thread_ok && slab.lib_no_panic && !slab.det_exempt);
         let bench = classify("crates/bench/src/bin/fleet.rs");
         assert!(bench.det_exempt);
         let plain = classify("crates/physio-sim/src/record.rs");

@@ -4,7 +4,7 @@
 //! Run: `cargo run --release -p bench --bin fleet -- --devices 100
 //! --threads 8 --seed 61455 --duration 30`
 //!
-//! Writes `BENCH_fleet.json` (override with `--out PATH`). The digest
+//! Writes `results/BENCH_fleet.json` (override with `--out PATH`). The digest
 //! field is deterministic for a given `--devices/--seed/--duration`
 //! regardless of `--threads`; the wall-clock fields are not, which is
 //! why `scripts/verify.sh` only warns on baseline drift.
@@ -36,7 +36,7 @@ fn parse_args() -> Args {
         threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
         seed: 0xF1EE7,
         duration_s: 30.0,
-        out: "BENCH_fleet.json".to_string(),
+        out: "results/BENCH_fleet.json".to_string(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {

@@ -69,11 +69,24 @@ pub trait DetectorBackend {
 
     /// Decision values for a row-major flat batch; must agree bit for
     /// bit with the scalar path.
-    fn score_batch_f32(&self, batch: &[f32]) -> Vec<f32> {
-        batch
-            .chunks_exact(self.dim())
+    ///
+    /// # Errors
+    ///
+    /// [`MlError::DimensionMismatch`] when `batch.len()` is not a
+    /// multiple of `dim()` — the batch cannot be split into whole
+    /// feature rows.
+    fn score_batch_f32(&self, batch: &[f32]) -> Result<Vec<f32>, MlError> {
+        let dim = self.dim();
+        if dim == 0 || !batch.len().is_multiple_of(dim) {
+            return Err(MlError::DimensionMismatch {
+                expected: dim,
+                actual: batch.len(),
+            });
+        }
+        Ok(batch
+            .chunks_exact(dim)
             .map(|row| self.score_f32(row))
-            .collect()
+            .collect())
     }
 
     /// Exact serialized size in bytes (FRAM contribution).
@@ -109,7 +122,7 @@ impl DetectorBackend for EmbeddedModel {
         self.decision_function_f32(x)
     }
 
-    fn score_batch_f32(&self, batch: &[f32]) -> Vec<f32> {
+    fn score_batch_f32(&self, batch: &[f32]) -> Result<Vec<f32>, MlError> {
         self.decision_batch_f32(batch)
     }
 
@@ -139,7 +152,7 @@ impl DetectorBackend for TsetlinModel {
         TsetlinModel::score_f32(self, x)
     }
 
-    fn score_batch_f32(&self, batch: &[f32]) -> Vec<f32> {
+    fn score_batch_f32(&self, batch: &[f32]) -> Result<Vec<f32>, MlError> {
         TsetlinModel::score_batch_f32(self, batch)
     }
 
@@ -235,7 +248,7 @@ impl DetectorBackend for DetectorModel {
         }
     }
 
-    fn score_batch_f32(&self, batch: &[f32]) -> Vec<f32> {
+    fn score_batch_f32(&self, batch: &[f32]) -> Result<Vec<f32>, MlError> {
         match self {
             DetectorModel::Svm(m) => DetectorBackend::score_batch_f32(m, batch),
             DetectorModel::Tsetlin(m) => DetectorBackend::score_batch_f32(m.as_ref(), batch),

@@ -10,7 +10,7 @@
 
 use crate::linear_svm::LinearSvm;
 use crate::scaler::StandardScaler;
-use crate::{Classifier, Label, MlError};
+use crate::{Classifier, Label, MlError, SIMD_LANES};
 
 /// Magic bytes identifying an encoded model, followed on flash by a
 /// one-byte format version ([`FORMAT_VERSION`]).
@@ -135,42 +135,80 @@ impl EmbeddedModel {
     ///
     /// `batch` is a row-major flat matrix of `batch.len() / dim()` raw
     /// feature vectors. The sink-side fleet reduction uses this instead
-    /// of one [`EmbeddedModel::decision_function_f32`] call per window:
-    /// the model constants are walked once per row in a single tight
-    /// loop, with no per-call dispatch. Each row uses **exactly** the
-    /// same accumulation order as the scalar path, so batched and
-    /// per-window results agree bit for bit (enforced by property
-    /// tests).
+    /// of one [`EmbeddedModel::decision_function_f32`] call per window.
+    /// Full blocks of [`SIMD_LANES`] rows are transposed into a
+    /// column-major scratch block and scored by a lane-parallel kernel:
+    /// each lane accumulates its own row in exactly the scalar
+    /// feature order, so the per-lane float operation sequence is
+    /// identical to [`EmbeddedModel::decision_function_f32`] and the
+    /// results agree bit for bit (enforced by the conformance suite),
+    /// while the compiler vectorizes across lanes. The ragged tail
+    /// falls back to the scalar path.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `batch.len()` is not a multiple of `dim()`.
-    // lint:allow(embedded-no-panic, batch shape is established by the sink-side caller; the simulation asserts it)
-    pub fn decision_batch_f32(&self, batch: &[f32]) -> Vec<f32> {
+    /// Returns [`MlError::DimensionMismatch`] when `batch.len()` is not
+    /// a multiple of `dim()` — the batch cannot be split into whole
+    /// feature rows.
+    // lint:allow(embedded-no-heap-alloc, host-side sink batch scoring; the device scores one window at a time through decision_function_f32)
+    // lint:allow(embedded-no-float-literal, host-side lane scratch initialization; never compiled for the device)
+    // lint:allow(embedded-no-slice-index, every lane/column offset is bounded by the blocks*LANES*dim arithmetic checked above it)
+    pub fn decision_batch_f32(&self, batch: &[f32]) -> Result<Vec<f32>, MlError> {
         let dim = self.dim();
-        assert!(dim > 0, "model has no features");
-        assert!(
-            batch.len().is_multiple_of(dim),
-            "batch length must be a multiple of the feature dimension"
-        );
-        batch
-            .chunks_exact(dim)
-            .map(|row| self.decision_function_f32(row))
-            .collect()
+        if dim == 0 || !batch.len().is_multiple_of(dim) {
+            return Err(MlError::DimensionMismatch {
+                expected: dim,
+                actual: batch.len(),
+            });
+        }
+        let rows = batch.len() / dim;
+        let blocks = rows / SIMD_LANES;
+        let mut out = Vec::with_capacity(rows);
+        // Column-major scratch for one lane block: scratch[j*LANES + l]
+        // holds feature j of row l.
+        let mut scratch = vec![0.0f32; SIMD_LANES * dim];
+        for b in 0..blocks {
+            let base = b * SIMD_LANES * dim;
+            for (l, row) in batch[base..base + SIMD_LANES * dim]
+                .chunks_exact(dim)
+                .enumerate()
+            {
+                for (j, &x) in row.iter().enumerate() {
+                    scratch[j * SIMD_LANES + l] = x;
+                }
+            }
+            let mut acc = [self.bias; SIMD_LANES];
+            for j in 0..dim {
+                let w = self.weights[j];
+                let m = self.means[j];
+                let inv = self.inv_stds[j];
+                let col = &scratch[j * SIMD_LANES..(j + 1) * SIMD_LANES];
+                for l in 0..SIMD_LANES {
+                    acc[l] += w * ((col[l] - m) * inv);
+                }
+            }
+            out.extend_from_slice(&acc);
+        }
+        for row in batch[blocks * SIMD_LANES * dim..].chunks_exact(dim) {
+            out.push(self.decision_function_f32(row));
+        }
+        Ok(out)
     }
 
     /// Hard labels for a whole window batch in one call (see
     /// [`EmbeddedModel::decision_batch_f32`]).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `batch.len()` is not a multiple of `dim()`.
+    /// Returns [`MlError::DimensionMismatch`] when `batch.len()` is not
+    /// a multiple of `dim()`.
     // lint:allow(embedded-no-f64, Label::from_sign takes the host f64; an f32 decision value widens exactly)
-    pub fn predict_batch_f32(&self, batch: &[f32]) -> Vec<Label> {
-        self.decision_batch_f32(batch)
+    pub fn predict_batch_f32(&self, batch: &[f32]) -> Result<Vec<Label>, MlError> {
+        Ok(self
+            .decision_batch_f32(batch)?
             .into_iter()
             .map(|d| Label::from_sign(d as f64))
-            .collect()
+            .collect())
     }
 
     /// Exact serialized size in bytes (what the detector contributes to
@@ -445,16 +483,45 @@ mod tests {
     fn empty_batch_yields_no_predictions() {
         let (scaler, svm, _) = trained();
         let em = EmbeddedModel::translate(&scaler, &svm).unwrap();
-        assert!(em.decision_batch_f32(&[]).is_empty());
-        assert!(em.predict_batch_f32(&[]).is_empty());
+        assert!(em.decision_batch_f32(&[]).unwrap().is_empty());
+        assert!(em.predict_batch_f32(&[]).unwrap().is_empty());
     }
 
     #[test]
-    #[should_panic(expected = "multiple of the feature dimension")]
-    fn ragged_batch_rejected() {
+    fn ragged_batch_rejected_with_typed_error() {
         let (scaler, svm, _) = trained();
         let em = EmbeddedModel::translate(&scaler, &svm).unwrap();
-        let _ = em.decision_batch_f32(&[1.0, 2.0]);
+        assert_eq!(
+            em.decision_batch_f32(&[1.0, 2.0]),
+            Err(MlError::DimensionMismatch {
+                expected: 3,
+                actual: 2
+            })
+        );
+        assert_eq!(
+            em.predict_batch_f32(&[1.0, 2.0, 3.0, 4.0]),
+            Err(MlError::DimensionMismatch {
+                expected: 3,
+                actual: 4
+            })
+        );
+    }
+
+    #[test]
+    fn lane_blocks_and_ragged_tail_match_scalar_bit_for_bit() {
+        let (scaler, svm, _) = trained();
+        let em = EmbeddedModel::translate(&scaler, &svm).unwrap();
+        // Rows spanning several full lane blocks plus a scalar tail.
+        let rows = 3 * SIMD_LANES + 5;
+        let mut flat = Vec::with_capacity(rows * em.dim());
+        for i in 0..rows * em.dim() {
+            flat.push((i as f32).sin() * 3.0);
+        }
+        let batched = em.decision_batch_f32(&flat).unwrap();
+        assert_eq!(batched.len(), rows);
+        for (b, row) in batched.iter().zip(flat.chunks_exact(em.dim())) {
+            assert_eq!(b.to_bits(), em.decision_function_f32(row).to_bits());
+        }
     }
 
     #[test]

@@ -65,6 +65,15 @@ pub use backend::{BackendKind, DetectorBackend, DetectorModel};
 pub use dataset::{Dataset, Label};
 pub use error::MlError;
 
+/// Lane width of the batched scoring kernels ([`embedded`] and
+/// [`tsetlin`]): full blocks of this many rows are scored
+/// lane-parallel (transposed so the compiler vectorizes across rows),
+/// the ragged tail scalar. Eight `f32`/`u64` lanes map onto one AVX2
+/// register pair on the sink host; on narrower hardware the same code
+/// compiles to more ops per block with identical results, because each
+/// lane's float operation order never depends on the lane count.
+pub const SIMD_LANES: usize = 8;
+
 /// A trained binary classifier.
 ///
 /// The decision convention throughout the workspace: **positive** means

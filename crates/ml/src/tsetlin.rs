@@ -217,23 +217,54 @@ impl TsetlinModel {
     }
 
     /// Decision values for a row-major flat batch, one per window.
-    /// Each row runs exactly the scalar path, so batched and
-    /// per-window results agree bit for bit (certified by the
-    /// conformance suite).
     ///
-    /// # Panics
+    /// Full blocks of [`crate::SIMD_LANES`] rows are booleanized into a
+    /// lane array of literal bitmaps and voted lane-parallel: each
+    /// clause mask is tested against all lanes in one pass, which the
+    /// compiler vectorizes as wide integer AND/compare. The clause
+    /// votes are exact integers, so lane order cannot perturb the
+    /// result — batched and per-window scores agree bit for bit
+    /// (certified by the conformance suite). The ragged tail runs the
+    /// scalar path.
     ///
-    /// Panics if `batch.len()` is not a multiple of `dim()`.
-    pub fn score_batch_f32(&self, batch: &[f32]) -> Vec<f32> {
-        // lint:allow(detector-embedded-profile, batch shape is established by the sink-side caller; the simulation asserts it)
-        assert!(
-            batch.len().is_multiple_of(self.dim()),
-            "batch length must be a multiple of the feature dimension"
-        );
-        batch
-            .chunks_exact(self.dim())
-            .map(|row| self.score_f32(row))
-            .collect()
+    /// # Errors
+    ///
+    /// Returns [`MlError::DimensionMismatch`] when `batch.len()` is not
+    /// a multiple of `dim()`.
+    // lint:allow(detector-embedded-profile, host-side sink batch scoring; the device scores one window at a time through score_f32)
+    pub fn score_batch_f32(&self, batch: &[f32]) -> Result<Vec<f32>, MlError> {
+        let dim = self.dim();
+        if dim == 0 || !batch.len().is_multiple_of(dim) {
+            return Err(MlError::DimensionMismatch {
+                expected: dim,
+                actual: batch.len(),
+            });
+        }
+        let rows = batch.len() / dim;
+        let blocks = rows / crate::SIMD_LANES;
+        let mut out = Vec::with_capacity(rows);
+        for b in 0..blocks {
+            let base = b * crate::SIMD_LANES * dim;
+            let mut inputs = [0u64; crate::SIMD_LANES];
+            for (l, row) in batch[base..base + crate::SIMD_LANES * dim]
+                .chunks_exact(dim)
+                .enumerate()
+            {
+                inputs[l] = self.booleanize(row);
+            }
+            let mut votes = [0i32; crate::SIMD_LANES];
+            for (c, &mask) in self.masks.iter().take(2 * self.pairs()).enumerate() {
+                let delta = if c & 1 == 0 { 1i32 } else { -1i32 };
+                for (v, &input) in votes.iter_mut().zip(inputs.iter()) {
+                    *v += if mask & input == mask { delta } else { 0 };
+                }
+            }
+            out.extend(votes.iter().map(|&v| v as f32));
+        }
+        for row in batch[blocks * crate::SIMD_LANES * dim..].chunks_exact(dim) {
+            out.push(self.score_f32(row));
+        }
+        Ok(out)
     }
 
     /// Exact serialized size in bytes (the model's FRAM contribution).
@@ -723,11 +754,24 @@ mod tests {
 
     #[test]
     fn batched_scoring_matches_scalar() {
-        let (rows, _) = toy(10);
+        // Enough rows for lane blocks plus a ragged tail.
+        let (rows, _) = toy(3 * crate::SIMD_LANES + 5);
         let model = trained();
-        let batch = model.score_batch_f32(&rows);
+        let batch = model.score_batch_f32(&rows).unwrap();
         for (b, row) in batch.iter().zip(rows.chunks_exact(3)) {
             assert_eq!(b.to_bits(), model.score_f32(row).to_bits());
         }
+    }
+
+    #[test]
+    fn ragged_batch_rejected_with_typed_error() {
+        let model = trained();
+        assert_eq!(
+            model.score_batch_f32(&[1.0, 2.0]),
+            Err(MlError::DimensionMismatch {
+                expected: 3,
+                actual: 2
+            })
+        );
     }
 }

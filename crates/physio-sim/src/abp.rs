@@ -68,6 +68,83 @@ impl AbpMorphology {
     }
 }
 
+/// Render an ABP trace with the throughput-first kernels: the diastolic
+/// `exp` decay becomes a one-multiply-per-sample geometric recurrence,
+/// the raised-cosine upstroke a phasor rotation, and the dicrotic-notch
+/// Gaussian the [`crate::ecg::add_gauss_run`] double-recurrence
+/// truncated at ±5σ. Output differs from [`render`] only by that notch
+/// truncation and recurrence round-off (`≪ 1e-6` mmHg); fleet-scale
+/// callers opt in through [`crate::record::SynthProfile::Turbo`].
+pub fn render_turbo(
+    morph: &AbpMorphology,
+    r_times: &[f64],
+    duration_s: f64,
+    fs: f64,
+) -> (Vec<f64>, Vec<usize>) {
+    let n = (duration_s * fs).round() as usize;
+    let mut out = vec![morph.diastolic_mmhg; n];
+    let pp = morph.pulse_pressure();
+    let dt = 1.0 / fs;
+    let tail = 4.0 * morph.decay_s + morph.notch_delay_s;
+    // Constant per-sample factors: decay ratio and upstroke rotation.
+    let qd = (-dt / morph.decay_s).exp();
+    let theta = std::f64::consts::PI * dt / morph.rise_s;
+    let (rot_s, rot_c) = theta.sin_cos();
+    for &rt in r_times {
+        let peak_t = rt + morph.ptt_s;
+        let lo = (((peak_t - morph.rise_s) * fs).floor()).max(0.0) as usize;
+        let hi = (((peak_t + tail) * fs).ceil() as usize).min(n);
+        if lo >= hi {
+            continue; // pulse support entirely outside the record
+        }
+        // First sample at or after the systolic peak.
+        let split = (((peak_t * fs).ceil().max(0.0)) as usize).clamp(lo, hi);
+        // Upstroke: 0.5·(1 + cos(πx/rise)) for x ∈ [−rise, 0), advanced
+        // by rotating the (cos, sin) phasor one `theta` per sample.
+        if split > lo {
+            let x0 = lo as f64 * dt - peak_t;
+            let (mut s, mut c) = (std::f64::consts::PI * x0 / morph.rise_s).sin_cos();
+            let mut x = x0;
+            for v in &mut out[lo..split] {
+                // `lo` was floored, so the first sample can sit just
+                // before the upstroke begins — the kernel is 0 there.
+                if x >= -morph.rise_s {
+                    *v += pp * (0.5 * (1.0 + c));
+                }
+                let cn = c * rot_c - s * rot_s;
+                s = s * rot_c + c * rot_s;
+                c = cn;
+                x += dt;
+            }
+        }
+        // Diastolic decay: geometric recurrence from the peak on.
+        if hi > split {
+            let x0 = split as f64 * dt - peak_t;
+            let mut d = pp * (-x0 / morph.decay_s).exp();
+            for v in &mut out[split..hi] {
+                *v += d;
+                d *= qd;
+            }
+        }
+        // Dicrotic rebound: a Gaussian on the decaying shoulder.
+        crate::ecg::add_gauss_run(
+            &mut out,
+            split,
+            hi,
+            fs,
+            peak_t + morph.notch_delay_s,
+            pp * morph.notch_frac,
+            0.03,
+        );
+    }
+    let sys_peaks = r_times
+        .iter()
+        .map(|rt| ((rt + morph.ptt_s) * fs).round() as usize)
+        .filter(|&i| i < n)
+        .collect();
+    (out, sys_peaks)
+}
+
 /// Render an ABP trace from R-peak times.
 ///
 /// Returns the samples and the ground-truth systolic-peak sample indices
@@ -173,6 +250,38 @@ mod tests {
         assert_eq!(peaks.len(), 1);
         let expect = ((1.0 + m.ptt_s) * fs).round() as usize;
         assert_eq!(peaks[0], expect);
+    }
+
+    #[test]
+    fn turbo_render_tracks_reference_within_truncation() {
+        let m = AbpMorphology::default();
+        let r_times = [0.4, 1.1, 2.2, 2.9, 3.5, 4.7];
+        let (reference, ref_peaks) = render(&m, &r_times, 5.5, 360.0);
+        let (turbo, turbo_peaks) = render_turbo(&m, &r_times, 5.5, 360.0);
+        assert_eq!(ref_peaks, turbo_peaks);
+        assert_eq!(reference.len(), turbo.len());
+        let max_dev = reference
+            .iter()
+            .zip(&turbo)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        assert!(max_dev < 1e-3, "max deviation {max_dev} mmHg");
+    }
+
+    #[test]
+    fn turbo_systolic_peaks_still_local_maxima() {
+        let m = AbpMorphology::default();
+        let r_times: Vec<f64> = (0..8).map(|k| 0.5 + 0.85 * k as f64).collect();
+        let (sig, peaks) = render_turbo(&m, &r_times, 7.5, 360.0);
+        for &p in &peaks {
+            let lo = p.saturating_sub(30);
+            let hi = (p + 30).min(sig.len());
+            let local_max = sig[lo..hi]
+                .iter()
+                .cloned()
+                .fold(f64::NEG_INFINITY, f64::max);
+            assert!(sig[p] >= local_max - 0.5, "peak {p}");
+        }
     }
 
     #[test]

@@ -28,10 +28,38 @@ impl Wave {
     /// stretching the offset: `1.0` moves the wave proportionally with the
     /// beat length, `0.0` pins it.
     fn eval(&self, tau: f64, rr: f64, rr_scaling: f64) -> f64 {
+        self.prepare(rr, rr_scaling).at(tau)
+    }
+
+    /// Hoist the per-beat constants (the RR stretch `powf`, the scaled
+    /// center, the Gaussian denominator) so the per-sample evaluation is
+    /// pure arithmetic plus one `exp`. [`PreparedWave::at`] runs the
+    /// exact operation sequence of the historical inline `eval`, so
+    /// prepared and direct evaluation agree bit for bit.
+    fn prepare(&self, rr: f64, rr_scaling: f64) -> PreparedWave {
         const RR_REF: f64 = 60.0 / 65.0;
         let stretch = (rr / RR_REF).powf(rr_scaling);
-        let d = tau - self.offset_s * stretch;
-        self.amplitude_mv * (-d * d / (2.0 * self.width_s * self.width_s)).exp()
+        PreparedWave {
+            amplitude_mv: self.amplitude_mv,
+            center_s: self.offset_s * stretch,
+            denom: 2.0 * self.width_s * self.width_s,
+        }
+    }
+}
+
+/// One wave with its beat-dependent constants folded in (see
+/// [`Wave::prepare`]).
+#[derive(Debug, Clone, Copy)]
+struct PreparedWave {
+    amplitude_mv: f64,
+    center_s: f64,
+    denom: f64,
+}
+
+impl PreparedWave {
+    fn at(&self, tau: f64) -> f64 {
+        let d = tau - self.center_s;
+        self.amplitude_mv * (-d * d / self.denom).exp()
     }
 }
 
@@ -98,6 +126,126 @@ impl EcgMorphology {
     pub fn waves(&self) -> [&Wave; 5] {
         [&self.p, &self.q, &self.r, &self.s, &self.t]
     }
+
+    /// Prepare the five waves for a fixed RR interval. The per-beat
+    /// stretch `powf`s run once here instead of once per sample; the
+    /// summation in [`PreparedMorphology::at`] keeps the P, Q, R, S, T
+    /// order, so results match [`EcgMorphology::eval`] bit for bit.
+    fn prepare(&self, rr: f64) -> PreparedMorphology {
+        PreparedMorphology {
+            // P and T track the beat length; the QRS complex is rigid.
+            waves: [
+                self.p.prepare(rr, 1.0),
+                self.q.prepare(rr, 0.0),
+                self.r.prepare(rr, 0.0),
+                self.s.prepare(rr, 0.0),
+                self.t.prepare(rr, 0.6),
+            ],
+        }
+    }
+}
+
+/// A PQRST complex with beat-dependent constants hoisted.
+#[derive(Debug, Clone, Copy)]
+struct PreparedMorphology {
+    waves: [PreparedWave; 5],
+}
+
+impl PreparedMorphology {
+    fn at(&self, tau: f64) -> f64 {
+        self.waves[0].at(tau)
+            + self.waves[1].at(tau)
+            + self.waves[2].at(tau)
+            + self.waves[3].at(tau)
+            + self.waves[4].at(tau)
+    }
+}
+
+/// Add `amp · exp(−(i/fs − center_t)² / (2σ²))` to `out[lo..hi]`,
+/// truncated to the ±5σ support, using the Gaussian double-recurrence:
+/// with `g_i` the Gaussian at sample `i`, the ratio `r_i = g_{i+1}/g_i`
+/// itself shrinks by the constant `q = exp(−dt²/σ²)` each step, so the
+/// whole run is two multiplies per sample after a two-`exp` warm-up.
+/// Beyond 5σ the bump is below `3.8e-6·amp` — that truncation is the
+/// only deviation from evaluating `exp` per sample.
+pub(crate) fn add_gauss_run(
+    out: &mut [f64],
+    lo: usize,
+    hi: usize,
+    fs: f64,
+    center_t: f64,
+    amp: f64,
+    sigma: f64,
+) {
+    let dt = 1.0 / fs;
+    let i0 = (((center_t - 5.0 * sigma) * fs).ceil().max(lo as f64)) as usize;
+    let i1 = ((((center_t + 5.0 * sigma) * fs).floor() + 1.0).max(0.0) as usize).min(hi);
+    if i1 <= i0 {
+        return;
+    }
+    let inv_denom = 1.0 / (2.0 * sigma * sigma);
+    let d0 = i0 as f64 * dt - center_t;
+    let mut g = amp * (-d0 * d0 * inv_denom).exp();
+    let mut r = (-(2.0 * d0 * dt + dt * dt) * inv_denom).exp();
+    let q = (-2.0 * dt * dt * inv_denom).exp();
+    for v in &mut out[i0..i1] {
+        *v += g;
+        g *= r;
+        r *= q;
+    }
+}
+
+/// Render a noise-free ECG trace with the throughput-first kernels: each
+/// wave renders only its ±5σ support and the Gaussian is advanced by the
+/// [`add_gauss_run`] double-recurrence instead of one `exp` per sample
+/// per wave. Output differs from [`render`] by at most the 5σ truncation
+/// (`< 4e-6` mV); fleet-scale callers opt in through
+/// [`crate::record::SynthProfile::Turbo`].
+pub fn render_turbo(
+    morph: &EcgMorphology,
+    r_times: &[f64],
+    duration_s: f64,
+    fs: f64,
+) -> (Vec<f64>, Vec<usize>) {
+    let n = (duration_s * fs).round() as usize;
+    let mut out = vec![0.0f64; n];
+    // P and T track the beat length; the QRS complex is rigid (the same
+    // split as `EcgMorphology::prepare`).
+    const SCALINGS: [f64; 5] = [1.0, 0.0, 0.0, 0.0, 0.6];
+    for (k, &rt) in r_times.iter().enumerate() {
+        let rr_prev = if k > 0 { rt - r_times[k - 1] } else { 0.9 };
+        let rr_next = if k + 1 < r_times.len() {
+            r_times[k + 1] - rt
+        } else {
+            rr_prev
+        };
+        let lo = ((rt - 0.6 * rr_prev) * fs).floor().max(0.0) as usize;
+        let hi = (((rt + 0.75 * rr_next) * fs).ceil() as usize).min(n);
+        if lo >= hi {
+            continue; // beat support entirely outside the record
+        }
+        // First sample at or after the R peak: samples before it stretch
+        // with the previous beat, samples from it on with the next.
+        let split = (((rt * fs).ceil().max(0.0)) as usize).clamp(lo, hi);
+        for (wave, &scaling) in morph.waves().iter().zip(&SCALINGS) {
+            if scaling == 0.0 {
+                // Rigid wave: both stretches are 1, one continuous run.
+                let c = rt + wave.offset_s;
+                add_gauss_run(&mut out, lo, hi, fs, c, wave.amplitude_mv, wave.width_s);
+            } else {
+                let before = rt + wave.prepare(rr_prev, scaling).center_s;
+                add_gauss_run(&mut out, lo, split, fs, before, wave.amplitude_mv, wave.width_s);
+                let after = rt + wave.prepare(rr_next, scaling).center_s;
+                add_gauss_run(&mut out, split, hi, fs, after, wave.amplitude_mv, wave.width_s);
+            }
+        }
+    }
+    let r_peaks = r_times
+        .iter()
+        .map(|t| (t * fs).round() as usize)
+        .filter(|&i| i < n)
+        .collect();
+    (out, r_peaks)
 }
 
 /// Render a noise-free ECG trace.
@@ -125,12 +273,16 @@ pub fn render(
         };
         let lo = ((rt - 0.6 * rr_prev) * fs).floor().max(0.0) as usize;
         let hi = (((rt + 0.75 * rr_next) * fs).ceil() as usize).min(n);
+        // The beat whose R peak this is: use next RR for waves after
+        // R (T wave), previous RR for waves before it (P wave). Both
+        // stretches are fixed for the beat, so the five per-wave
+        // `powf`s are hoisted out of the sample loop.
+        let before = morph.prepare(rr_prev);
+        let after = morph.prepare(rr_next);
         for (i, sample) in out.iter_mut().enumerate().take(hi).skip(lo) {
             let tau = i as f64 / fs - rt;
-            // The beat whose R peak this is: use next RR for waves after
-            // R (T wave), previous RR for waves before it (P wave).
-            let rr = if tau >= 0.0 { rr_next } else { rr_prev };
-            *sample += morph.eval(tau, rr);
+            let prepared = if tau >= 0.0 { &after } else { &before };
+            *sample += prepared.at(tau);
         }
     }
     let r_peaks = r_times
@@ -214,6 +366,51 @@ mod tests {
             best.0
         };
         assert!(t_peak(1.2) > t_peak(0.6) + 0.02);
+    }
+
+    #[test]
+    fn turbo_render_tracks_reference_within_truncation() {
+        let m = EcgMorphology::default();
+        // Irregular beat train exercises both stretch directions.
+        let r_times = [0.5, 1.2, 2.3, 3.0, 3.6, 4.8];
+        let (reference, ref_peaks) = render(&m, &r_times, 5.5, 360.0);
+        let (turbo, turbo_peaks) = render_turbo(&m, &r_times, 5.5, 360.0);
+        assert_eq!(ref_peaks, turbo_peaks);
+        assert_eq!(reference.len(), turbo.len());
+        let max_dev = reference
+            .iter()
+            .zip(&turbo)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        assert!(max_dev < 1e-4, "max deviation {max_dev} mV");
+    }
+
+    #[test]
+    fn gauss_run_matches_direct_exp() {
+        let mut via_run = vec![0.0f64; 400];
+        add_gauss_run(&mut via_run, 0, 400, 360.0, 0.5, 0.8, 0.03);
+        for (i, &v) in via_run.iter().enumerate() {
+            let d = i as f64 / 360.0 - 0.5;
+            let direct = 0.8 * (-d * d / (2.0 * 0.03 * 0.03)).exp();
+            // Inside the support the recurrence tracks the direct exp to
+            // round-off; the ±5σ truncation bounds the edge discrepancy.
+            if d.abs() <= 4.0 * 0.03 {
+                assert!((v - direct).abs() < 1e-9, "sample {i}: {v} vs {direct}");
+            } else {
+                assert!((v - direct).abs() < 4e-6, "sample {i}: {v} vs {direct}");
+            }
+        }
+    }
+
+    #[test]
+    fn gauss_run_respects_clip_bounds() {
+        let mut out = vec![0.0f64; 100];
+        add_gauss_run(&mut out, 40, 60, 360.0, 50.0 / 360.0, 1.0, 0.05);
+        assert!(out[..40].iter().all(|&v| v == 0.0));
+        assert!(out[60..].iter().all(|&v| v == 0.0));
+        assert!(out[40..60].iter().any(|&v| v > 0.5));
+        // Degenerate range is a no-op.
+        add_gauss_run(&mut out, 60, 60, 360.0, 0.0, 1.0, 0.05);
     }
 
     #[test]

@@ -12,6 +12,30 @@ use crate::rr::RrProcess;
 use crate::subject::{Subject, SubjectId};
 use crate::SAMPLE_RATE_HZ;
 
+/// Which synthesis kernels render a record.
+///
+/// [`SynthProfile::Reference`] is the historical per-sample evaluation —
+/// every digest-gated benchmark in the workspace is pinned to it.
+/// [`SynthProfile::Turbo`] trades a bounded, documented amount of
+/// fidelity for roughly an order of magnitude less arithmetic per
+/// sample, for fleet-scale runs where synthesis dominates wall time:
+///
+/// * ECG/ABP bumps render only their ±5σ supports and advance by
+///   recurrences ([`ecg::render_turbo`], [`abp::render_turbo`]);
+///   deviation from reference is below `4e-6` signal units.
+/// * White noise is Irwin–Hall(4) Gaussian-approximate with exact mean
+///   and sigma but ±3.46σ support, from a SplitMix64 stream rather than
+///   `StdRng` ([`noise::apply_turbo`]) — so turbo records are
+///   deterministic but **not** sample-identical to reference records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SynthProfile {
+    /// Per-sample reference kernels; the digest-pinned default.
+    #[default]
+    Reference,
+    /// Truncated-support recurrence kernels and fast approximate noise.
+    Turbo,
+}
+
 /// A synchronized ECG + ABP recording with ground-truth annotations.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Record {
@@ -56,6 +80,70 @@ impl Record {
         // First beat a fraction of a second in so the P wave is complete.
         let r_times = rr.beat_times(0.4, duration_s);
         Self::synthesize_from_times(subject, &r_times, duration_s, seed, fs)
+    }
+
+    /// Synthesize with an explicit [`SynthProfile`].
+    /// `SynthProfile::Reference` is exactly [`Record::synthesize`];
+    /// `SynthProfile::Turbo` swaps in the recurrence kernels and fast
+    /// noise for fleet-scale throughput. The beat train (and therefore
+    /// every peak annotation) is identical across profiles.
+    pub fn synthesize_profiled(
+        subject: &Subject,
+        duration_s: f64,
+        seed: u64,
+        profile: SynthProfile,
+    ) -> Self {
+        let mut rr = RrProcess::new(subject.rr, seed);
+        let r_times = rr.beat_times(0.4, duration_s);
+        Self::synthesize_from_times_profiled(
+            subject,
+            &r_times,
+            duration_s,
+            seed,
+            SAMPLE_RATE_HZ,
+            profile,
+        )
+    }
+
+    /// Render a record from an explicit beat-time train with an explicit
+    /// [`SynthProfile`] (see [`Record::synthesize_from_times`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r_times` is not strictly increasing.
+    pub fn synthesize_from_times_profiled(
+        subject: &Subject,
+        r_times: &[f64],
+        duration_s: f64,
+        seed: u64,
+        fs: f64,
+        profile: SynthProfile,
+    ) -> Self {
+        match profile {
+            SynthProfile::Reference => {
+                Self::synthesize_from_times(subject, r_times, duration_s, seed, fs)
+            }
+            SynthProfile::Turbo => {
+                assert!(
+                    r_times.windows(2).all(|w| w[1] > w[0]),
+                    "beat times must be strictly increasing"
+                );
+                let (mut ecg_sig, r_peaks) =
+                    ecg::render_turbo(&subject.ecg, r_times, duration_s, fs);
+                let (mut abp_sig, sys_peaks) =
+                    abp::render_turbo(&subject.abp, r_times, duration_s, fs);
+                noise::apply_turbo(&mut ecg_sig, &subject.ecg_noise, fs, seed ^ 0xEC6);
+                noise::apply_turbo(&mut abp_sig, &subject.abp_noise, fs, seed ^ 0xAB9);
+                Record {
+                    subject: subject.id,
+                    fs,
+                    ecg: ecg_sig,
+                    abp: abp_sig,
+                    r_peaks,
+                    sys_peaks,
+                }
+            }
+        }
     }
 
     /// Render a record from an explicit beat-time train (used by the
@@ -333,6 +421,104 @@ mod tests {
         let s = &bank()[0];
         let r = Record::synthesize(s, 2.0, 1);
         let _ = r.slice(0, r.len() + 1);
+    }
+
+    #[test]
+    fn turbo_reference_profile_is_exactly_synthesize() {
+        let s = &bank()[2];
+        assert_eq!(
+            Record::synthesize_profiled(s, 6.0, 31, SynthProfile::Reference),
+            Record::synthesize(s, 6.0, 31)
+        );
+    }
+
+    #[test]
+    fn turbo_is_deterministic() {
+        let s = &bank()[4];
+        assert_eq!(
+            Record::synthesize_profiled(s, 6.0, 42, SynthProfile::Turbo),
+            Record::synthesize_profiled(s, 6.0, 42, SynthProfile::Turbo)
+        );
+    }
+
+    #[test]
+    fn turbo_keeps_reference_annotations() {
+        // The beat train is profile-independent, so every ground-truth
+        // peak index must match the reference record exactly.
+        for subject in [0usize, 5, 9] {
+            let s = &bank()[subject];
+            let reference = Record::synthesize(s, 20.0, 7);
+            let turbo = Record::synthesize_profiled(s, 20.0, 7, SynthProfile::Turbo);
+            assert_eq!(turbo.r_peaks, reference.r_peaks, "subject {subject}");
+            assert_eq!(turbo.sys_peaks, reference.sys_peaks, "subject {subject}");
+            assert_eq!(turbo.len(), reference.len());
+        }
+    }
+
+    #[test]
+    fn turbo_clean_waveforms_track_reference_closely() {
+        // With the noise silenced, turbo and reference render the same
+        // morphology; only the ±5σ truncation and recurrence round-off
+        // remain, both far below physiological signal scales.
+        let mut s = bank()[3].clone();
+        s.ecg_noise = crate::noise::NoiseParams::none();
+        s.abp_noise = crate::noise::NoiseParams::none();
+        let reference = Record::synthesize(&s, 30.0, 11);
+        let turbo = Record::synthesize_profiled(&s, 30.0, 11, SynthProfile::Turbo);
+        let max_dev = |a: &[f64], b: &[f64]| {
+            a.iter()
+                .zip(b)
+                .map(|(x, y)| (x - y).abs())
+                .fold(0.0f64, f64::max)
+        };
+        let ecg_dev = max_dev(&reference.ecg, &turbo.ecg);
+        let abp_dev = max_dev(&reference.abp, &turbo.abp);
+        assert!(ecg_dev < 1e-4, "ecg max deviation {ecg_dev} mV");
+        assert!(abp_dev < 1e-3, "abp max deviation {abp_dev} mmHg");
+    }
+
+    #[test]
+    fn turbo_noise_moments_match_configuration() {
+        // Detrend against the clean render so only the injected noise
+        // remains, then check the white component's scale survived the
+        // Irwin–Hall approximation.
+        let s = &bank()[0];
+        let mut clean = s.clone();
+        clean.ecg_noise = crate::noise::NoiseParams::none();
+        clean.abp_noise = crate::noise::NoiseParams::none();
+        let noisy = Record::synthesize_profiled(s, 60.0, 13, SynthProfile::Turbo);
+        let quiet = Record::synthesize_profiled(&clean, 60.0, 13, SynthProfile::Turbo);
+        let resid: Vec<f64> = noisy
+            .ecg
+            .iter()
+            .zip(&quiet.ecg)
+            .map(|(a, b)| a - b)
+            .collect();
+        let mean = resid.iter().sum::<f64>() / resid.len() as f64;
+        let sd = dsp::stats::std_dev(&resid).unwrap();
+        // Residual = white + wander + hum; its variance is the sum of
+        // the three component variances (sinusoid variance = A²/2).
+        let p = &s.ecg_noise;
+        let expect = (p.white_sigma.powi(2)
+            + 0.5 * p.wander_amp.powi(2)
+            + 0.5 * p.hum_amp.powi(2))
+        .sqrt();
+        assert!(mean.abs() < 0.01, "residual mean {mean}");
+        assert!((sd - expect).abs() / expect < 0.15, "sd {sd} vs {expect}");
+    }
+
+    #[test]
+    fn turbo_detector_features_stay_usable() {
+        // The point of turbo: a detector window pipeline still sees
+        // normal physiology. Heart rate must match the configured one.
+        let s = &bank()[6];
+        let r = Record::synthesize_profiled(s, 60.0, 3, SynthProfile::Turbo);
+        let hr = r.mean_heart_rate_bpm().unwrap();
+        assert!(
+            (hr - s.rr.mean_hr_bpm).abs() < 6.0,
+            "hr={hr} configured={}",
+            s.rr.mean_hr_bpm
+        );
     }
 
     #[test]

@@ -114,6 +114,11 @@ pub struct BaseStation {
     /// Queued `(window index, features)` pairs awaiting
     /// [`BaseStation::take_uplinked_features`].
     uplinked: Vec<(usize, Vec<f32>)>,
+    /// Version of the currently installed detector app (tracked across
+    /// [`BaseStation::swap_detector`] reflashes). Uplink-extracted
+    /// features are only shared with the detector when this matches the
+    /// uplink version — a reflashed detector must extract its own.
+    detector_version: Version,
     /// Last arrival time per stream `[ecg, abp]`, ms; session start
     /// counts as an implicit arrival so a never-seen stream still trips
     /// the watchdog.
@@ -158,6 +163,7 @@ impl BaseStation {
         }
         let mut os = AmuletOs::new();
         let hr = HeartRateApp::with_sample_rate(config.fs);
+        let detector_version = detector.version();
         let image = FirmwareImage::build(
             vec![detector.resource_spec(), hr.resource_spec()],
             &ResourceProfiler::default(),
@@ -180,6 +186,7 @@ impl BaseStation {
             watchdog: None,
             feature_uplink: None,
             uplinked: Vec::new(),
+            detector_version,
             last_arrival_ms: [0; 2],
             stalled: [false; 2],
         })
@@ -344,15 +351,27 @@ impl BaseStation {
                 return Ok(());
             }
         }
+        let mut shared_features = None;
         if let Some(version) = self.feature_uplink {
             // Windows the extractor cannot featurise (e.g. too few
             // peaks) are skipped, mirroring the detector's own bail-out.
             if let Ok(features) = extract_amulet_f32(version, &snippet, &self.config) {
+                // When the uplink extracts the exact vector the installed
+                // detector would compute (same version, same config, same
+                // window), hand it along so the device skips the second
+                // extraction. After a cross-version reflash the detector
+                // must extract its own features again.
+                if version == self.detector_version {
+                    shared_features = Some(features.clone());
+                }
                 self.uplinked.push((idx, features));
             }
         }
         let alerts_before = self.os.alerts().len();
-        self.os.post(AmuletEvent::SnippetReady(snippet));
+        self.os.post(match shared_features {
+            Some(features) => AmuletEvent::SnippetScored(snippet, features),
+            None => AmuletEvent::SnippetReady(snippet),
+        });
         self.os.run_until_idle()?;
         let alerted = self.os.alerts().len() > alerts_before;
         if salvaged {
@@ -504,6 +523,7 @@ impl BaseStation {
     /// Propagates firmware static-check or flash failures from the
     /// rebuilt image.
     pub fn swap_detector(&mut self, app: SiftApp) -> Result<(), WiotError> {
+        self.detector_version = app.version();
         let hr = HeartRateApp::with_sample_rate(self.config.fs);
         let mut specs = vec![app.resource_spec(), hr.resource_spec()];
         let mut apps: Vec<Box<dyn App>> = vec![Box::new(app), Box::new(hr)];

@@ -73,6 +73,12 @@ impl From<sift::SiftError> for WiotError {
     }
 }
 
+impl From<ml::MlError> for WiotError {
+    fn from(e: ml::MlError) -> Self {
+        WiotError::Sift(sift::SiftError::Ml(e))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -102,10 +102,13 @@ impl FleetSpec {
         }
     }
 
-    /// Builder-style thread count.
+    /// Builder-style thread count, clamped to `1..=devices` at
+    /// construction time so a zero or oversized request can never reach
+    /// the engines (both clamp again defensively, but the spec a caller
+    /// inspects should already be honest).
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> Self {
-        self.threads = threads;
+        self.threads = threads.clamp(1, self.devices.max(1));
         self
     }
 
@@ -273,21 +276,23 @@ pub struct FleetReport {
 
 /// FNV-1a (64-bit) over a canonical encoding: `u64`s little-endian,
 /// `f64`s via `to_bits`. Not cryptographic — a regression tripwire.
-struct Digest(u64);
+/// `pub(crate)` so the slab engine can fold the identical per-device
+/// encoding while streaming ([`crate::slab`]).
+pub(crate) struct Digest(pub(crate) u64);
 
 impl Digest {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Digest(0xCBF2_9CE4_8422_2325)
     }
 
-    fn u64(&mut self, v: u64) {
+    pub(crate) fn u64(&mut self, v: u64) {
         for b in v.to_le_bytes() {
             self.0 ^= u64::from(b);
             self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
         }
     }
 
-    fn usize(&mut self, v: usize) {
+    pub(crate) fn usize(&mut self, v: usize) {
         self.u64(v as u64);
     }
 
@@ -336,13 +341,40 @@ impl Digest {
     }
 }
 
+/// Fold one device summary into `d` — the per-device portion of the
+/// canonical digest encoding, shared between [`FleetReport::digest`],
+/// [`FleetReport::slab_digest`] and the slab engine's streaming fold.
+pub(crate) fn digest_device(d: &mut Digest, s: &DeviceSummary) {
+    d.usize(s.device);
+    d.usize(s.victim);
+    d.u64(s.seed);
+    d.confusion(&s.confusion);
+    d.usize(s.ambiguous_windows);
+    d.usize(s.dropped_windows);
+    d.usize(s.salvaged_windows);
+    d.f64(s.window_recovery_rate);
+    match s.detection_latency_ms {
+        None => d.u64(0),
+        Some(ms) => {
+            d.u64(1);
+            d.u64(ms);
+        }
+    }
+    d.channel(&s.channel);
+    d.transport(&s.transport);
+    d.usize(s.stall_alerts);
+    d.usize(s.alerts);
+    d.usage(&s.usage);
+    d.usize(s.windows_scored);
+    d.usize(s.sink_flagged);
+    d.f64(s.margin_min);
+    d.f64(s.margin_sum);
+}
+
 impl FleetReport {
-    /// A 64-bit digest of the entire report (every aggregate and every
-    /// per-device summary). Two runs of the same [`FleetSpec`] at any
-    /// thread count produce the same digest; the deterministic test
-    /// harness pins this value in golden traces.
-    pub fn digest(&self) -> u64 {
-        let mut d = Digest::new();
+    /// Fold the aggregate (non-per-device) portion of the report into
+    /// `d`, in the frozen canonical order.
+    pub(crate) fn digest_aggregates_into(&self, d: &mut Digest) {
         d.usize(self.devices);
         d.u64(self.seed);
         d.f64(self.simulated_device_s);
@@ -374,33 +406,37 @@ impl FleetReport {
             d.u64(o.reason as u64);
             d.f64(o.value);
         }
+    }
+
+    /// A 64-bit digest of the entire report (every aggregate and every
+    /// per-device summary). Two runs of the same [`FleetSpec`] at any
+    /// thread count produce the same digest; the deterministic test
+    /// harness pins this value in golden traces.
+    pub fn digest(&self) -> u64 {
+        let mut d = Digest::new();
+        self.digest_aggregates_into(&mut d);
         d.usize(self.per_device.len());
         for s in &self.per_device {
-            d.usize(s.device);
-            d.usize(s.victim);
-            d.u64(s.seed);
-            d.confusion(&s.confusion);
-            d.usize(s.ambiguous_windows);
-            d.usize(s.dropped_windows);
-            d.usize(s.salvaged_windows);
-            d.f64(s.window_recovery_rate);
-            match s.detection_latency_ms {
-                None => d.u64(0),
-                Some(ms) => {
-                    d.u64(1);
-                    d.u64(ms);
-                }
-            }
-            d.channel(&s.channel);
-            d.transport(&s.transport);
-            d.usize(s.stall_alerts);
-            d.usize(s.alerts);
-            d.usage(&s.usage);
-            d.usize(s.windows_scored);
-            d.usize(s.sink_flagged);
-            d.f64(s.margin_min);
-            d.f64(s.margin_sum);
+            digest_device(&mut d, s);
         }
+        d.0
+    }
+
+    /// The streaming-order digest: per-device entries first (index
+    /// order), then the device count, then the aggregates. This is the
+    /// ordering a bounded-memory engine can compute without ever
+    /// holding `per_device` — the slab engine folds each summary as it
+    /// retires and appends the aggregates at the end
+    /// ([`crate::slab::run_fleet_streamed`]). On a resident report this
+    /// method produces the identical value from the stored summaries,
+    /// which is how the equivalence tests compare the two engines.
+    pub fn slab_digest(&self) -> u64 {
+        let mut d = Digest::new();
+        for s in &self.per_device {
+            digest_device(&mut d, s);
+        }
+        d.usize(self.devices);
+        self.digest_aggregates_into(&mut d);
         d.0
     }
 }
@@ -440,9 +476,11 @@ pub trait FleetProvisioner: Sync {
 
 /// The legacy provisioning policy: victims round-robin over the
 /// subject bank, models shared from a pre-trained [`ModelBank`].
-struct BankProvisioner<'b> {
-    models: &'b ModelBank,
-    subjects_len: usize,
+/// `pub(crate)` so the slab engine's bank entry point reuses it
+/// ([`crate::slab::run_fleet_streamed`]).
+pub(crate) struct BankProvisioner<'b> {
+    pub(crate) models: &'b ModelBank,
+    pub(crate) subjects_len: usize,
 }
 
 impl FleetProvisioner for BankProvisioner<'_> {
@@ -483,13 +521,29 @@ fn simulate_device(
         model,
         deployed,
     } = prov.provision(spec, device)?;
+    simulate_provisioned(spec.telemetry, device, scenario, subject, model, deployed)
+}
+
+/// Run one already-provisioned device end-to-end and batch-score its
+/// uplinked features at the sink. Shared between [`simulate_device`]
+/// and the slab engine, which calls it with the detector model it just
+/// round-tripped through the checkpoint codec rather than the
+/// provisioner's reference ([`crate::slab`]).
+pub(crate) fn simulate_provisioned(
+    telemetry: bool,
+    device: usize,
+    scenario: Scenario,
+    subject: Option<&Subject>,
+    model: Option<&SiftModel>,
+    deployed: &DetectorModel,
+) -> Result<DeviceSummary, WiotError> {
     let mut sim = DeviceSim::with_options(
         &scenario,
         DeviceOptions {
             model,
             deployed: Some(deployed),
             feature_uplink: true,
-            telemetry: spec.telemetry,
+            telemetry,
             subject,
         },
     )?;
@@ -502,7 +556,7 @@ fn simulate_device(
     for (_, f) in &features {
         flat.extend_from_slice(f);
     }
-    let margins = deployed.score_batch_f32(&flat);
+    let margins = deployed.score_batch_f32(&flat)?;
     let sink_flagged = margins
         .iter()
         .filter(|&&m| Label::from_sign(f64::from(m)) == Label::Positive)
@@ -541,70 +595,88 @@ fn simulate_device(
     })
 }
 
-/// Fold per-device summaries (already in device-index order) into the
-/// fleet aggregate. Pure and sequential: f64 accumulation order is
-/// fixed regardless of how many threads produced the summaries.
-fn reduce(spec: &FleetSpec, summaries: Vec<DeviceSummary>) -> FleetReport {
-    let mut confusion = ConfusionMatrix::default();
-    let mut ambiguous = 0usize;
-    let mut dropped = 0usize;
-    let mut salvaged = 0usize;
-    let mut recovery_sum = 0.0f64;
-    let mut detections = 0usize;
-    let mut latency_sum = 0.0f64;
-    let mut channel = ChannelStats::default();
-    let mut transport: Option<TransportStats> = None;
-    let mut usage = UsageSnapshot::default();
-    let mut windows_scored = 0usize;
-    let mut sink_flagged = 0usize;
-    let mut margin_min = f64::INFINITY;
-    let mut margin_sum = 0.0f64;
-    let mut stall_alerts = 0usize;
-    let mut faults = FaultSummary::default();
-    let mut telemetry: Option<telemetry::TelemetryReport> = None;
-    let mut outliers = Vec::new();
+/// Incremental fleet reduction: push per-device summaries **in
+/// device-index order**, then [`Reducer::finish`]. The fold is the
+/// exact sequential accumulation the fleet digest was frozen over —
+/// f64 accumulation order never depends on how many threads produced
+/// the summaries — and because it is incremental the slab engine can
+/// retire each summary right after folding it instead of keeping the
+/// whole fleet resident ([`crate::slab`]).
+#[derive(Default)]
+pub(crate) struct Reducer {
+    count: usize,
+    confusion: ConfusionMatrix,
+    ambiguous: usize,
+    dropped: usize,
+    salvaged: usize,
+    recovery_sum: f64,
+    detections: usize,
+    latency_sum: f64,
+    channel: ChannelStats,
+    transport: Option<TransportStats>,
+    usage: UsageSnapshot,
+    windows_scored: usize,
+    sink_flagged: usize,
+    margin_min: f64,
+    margin_sum: f64,
+    stall_alerts: usize,
+    faults: FaultSummary,
+    telemetry: Option<telemetry::TelemetryReport>,
+    outliers: Vec<FleetOutlier>,
+}
 
-    for s in &summaries {
-        confusion.tp += s.confusion.tp;
-        confusion.fp += s.confusion.fp;
-        confusion.tn += s.confusion.tn;
-        confusion.fn_ += s.confusion.fn_;
-        ambiguous += s.ambiguous_windows;
-        dropped += s.dropped_windows;
-        salvaged += s.salvaged_windows;
-        recovery_sum += s.window_recovery_rate;
-        if let Some(ms) = s.detection_latency_ms {
-            detections += 1;
-            latency_sum += ms as f64;
+impl Reducer {
+    pub(crate) fn new() -> Self {
+        Self {
+            margin_min: f64::INFINITY,
+            ..Self::default()
         }
-        channel = crate::scenario::add_channel_stats(channel, s.channel);
-        transport = match (transport, s.transport) {
+    }
+
+    /// Fold one device into the aggregate. Summaries must arrive in
+    /// device-index order.
+    pub(crate) fn push(&mut self, s: &DeviceSummary) {
+        self.count += 1;
+        self.confusion.tp += s.confusion.tp;
+        self.confusion.fp += s.confusion.fp;
+        self.confusion.tn += s.confusion.tn;
+        self.confusion.fn_ += s.confusion.fn_;
+        self.ambiguous += s.ambiguous_windows;
+        self.dropped += s.dropped_windows;
+        self.salvaged += s.salvaged_windows;
+        self.recovery_sum += s.window_recovery_rate;
+        if let Some(ms) = s.detection_latency_ms {
+            self.detections += 1;
+            self.latency_sum += ms as f64;
+        }
+        self.channel = crate::scenario::add_channel_stats(self.channel, s.channel);
+        self.transport = match (self.transport, s.transport) {
             (Some(a), Some(b)) => Some(crate::scenario::add_transport_stats(a, b)),
             (None, b) => b,
             (a, None) => a,
         };
-        usage.merge(&s.usage);
-        windows_scored += s.windows_scored;
-        sink_flagged += s.sink_flagged;
-        margin_min = margin_min.min(s.margin_min);
-        margin_sum += s.margin_sum;
-        stall_alerts += s.stall_alerts;
-        faults = faults.merged(s.faults);
+        self.usage.merge(&s.usage);
+        self.windows_scored += s.windows_scored;
+        self.sink_flagged += s.sink_flagged;
+        self.margin_min = self.margin_min.min(s.margin_min);
+        self.margin_sum += s.margin_sum;
+        self.stall_alerts += s.stall_alerts;
+        self.faults = self.faults.merged(s.faults);
         if let Some(t) = &s.telemetry {
-            match telemetry.as_mut() {
+            match self.telemetry.as_mut() {
                 Some(m) => m.merge(t),
                 None => {
                     // The aggregate carries counters, not any single
                     // device's event trace.
                     let mut first = t.clone();
                     first.events.clear();
-                    telemetry = Some(first);
+                    self.telemetry = Some(first);
                 }
             }
         }
 
         if s.window_recovery_rate < 0.8 {
-            outliers.push(FleetOutlier {
+            self.outliers.push(FleetOutlier {
                 device: s.device,
                 victim: s.victim,
                 reason: OutlierReason::LowRecovery,
@@ -615,7 +687,7 @@ fn reduce(spec: &FleetSpec, summaries: Vec<DeviceSummary>) -> FleetReport {
         if genuine >= 5 {
             let fp_rate = s.confusion.fp as f64 / genuine as f64;
             if fp_rate > 0.3 {
-                outliers.push(FleetOutlier {
+                self.outliers.push(FleetOutlier {
                     device: s.device,
                     victim: s.victim,
                     reason: OutlierReason::HighFalsePositiveRate,
@@ -625,7 +697,7 @@ fn reduce(spec: &FleetSpec, summaries: Vec<DeviceSummary>) -> FleetReport {
         }
         let battery = s.usage.mean_battery_left();
         if battery < 0.5 {
-            outliers.push(FleetOutlier {
+            self.outliers.push(FleetOutlier {
                 device: s.device,
                 victim: s.victim,
                 reason: OutlierReason::LowBattery,
@@ -634,43 +706,65 @@ fn reduce(spec: &FleetSpec, summaries: Vec<DeviceSummary>) -> FleetReport {
         }
     }
 
-    let devices = summaries.len();
-    FleetReport {
-        devices,
-        seed: spec.seed,
-        simulated_device_s: devices as f64 * spec.template.duration_s,
-        confusion,
-        ambiguous_windows: ambiguous,
-        dropped_windows: dropped,
-        salvaged_windows: salvaged,
-        mean_window_recovery: if devices == 0 {
-            0.0
-        } else {
-            recovery_sum / devices as f64
-        },
-        detections,
-        mean_detection_latency_ms: if detections == 0 {
-            None
-        } else {
-            Some(latency_sum / detections as f64)
-        },
-        channel,
-        transport,
-        usage,
-        windows_scored,
-        sink_flagged,
-        margin_min,
-        margin_mean: if windows_scored == 0 {
-            0.0
-        } else {
-            margin_sum / windows_scored as f64
-        },
-        stall_alerts,
-        faults,
-        telemetry,
-        outliers,
-        per_device: summaries,
+    /// Close the fold into a [`FleetReport`]. `per_device` is whatever
+    /// the caller kept resident — the full vector for the legacy
+    /// engine, empty for the slab engine (the aggregates always cover
+    /// every pushed device either way).
+    pub(crate) fn finish(
+        self,
+        seed: u64,
+        duration_s: f64,
+        per_device: Vec<DeviceSummary>,
+    ) -> FleetReport {
+        let devices = self.count;
+        FleetReport {
+            devices,
+            seed,
+            simulated_device_s: devices as f64 * duration_s,
+            confusion: self.confusion,
+            ambiguous_windows: self.ambiguous,
+            dropped_windows: self.dropped,
+            salvaged_windows: self.salvaged,
+            mean_window_recovery: if devices == 0 {
+                0.0
+            } else {
+                self.recovery_sum / devices as f64
+            },
+            detections: self.detections,
+            mean_detection_latency_ms: if self.detections == 0 {
+                None
+            } else {
+                Some(self.latency_sum / self.detections as f64)
+            },
+            channel: self.channel,
+            transport: self.transport,
+            usage: self.usage,
+            windows_scored: self.windows_scored,
+            sink_flagged: self.sink_flagged,
+            margin_min: self.margin_min,
+            margin_mean: if self.windows_scored == 0 {
+                0.0
+            } else {
+                self.margin_sum / self.windows_scored as f64
+            },
+            stall_alerts: self.stall_alerts,
+            faults: self.faults,
+            telemetry: self.telemetry,
+            outliers: self.outliers,
+            per_device,
+        }
     }
+}
+
+/// Fold per-device summaries (already in device-index order) into the
+/// fleet aggregate. Pure and sequential: f64 accumulation order is
+/// fixed regardless of how many threads produced the summaries.
+fn reduce(spec: &FleetSpec, summaries: Vec<DeviceSummary>) -> FleetReport {
+    let mut r = Reducer::new();
+    for s in &summaries {
+        r.push(s);
+    }
+    r.finish(spec.seed, spec.template.duration_s, summaries)
 }
 
 /// Run a fleet with a pre-trained [`ModelBank`] (callers comparing
@@ -908,6 +1002,21 @@ mod tests {
             run_fleet_with_bank(&spec, &svm),
             Err(WiotError::InvalidScenario { .. })
         ));
+    }
+
+    #[test]
+    fn builder_clamps_zero_and_oversized_threads() {
+        // A zero request must not smuggle a divide-by-zero or an empty
+        // worker pool into the engines.
+        let spec = FleetSpec::new(4, 9.0).with_threads(0);
+        assert_eq!(spec.threads, 1);
+        // More workers than devices collapses to one per device.
+        let spec = FleetSpec::new(4, 9.0).with_threads(64);
+        assert_eq!(spec.threads, 4);
+        // Degenerate empty fleet still stores a sane count; the engines
+        // reject the empty fleet itself.
+        let spec = FleetSpec::new(0, 9.0).with_threads(8);
+        assert_eq!(spec.threads, 1);
     }
 
     #[test]

@@ -56,6 +56,7 @@ pub mod fleet;
 pub mod persist;
 pub mod scenario;
 pub mod sink;
+pub mod slab;
 pub mod survival;
 pub mod transport;
 

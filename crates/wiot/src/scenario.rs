@@ -27,7 +27,7 @@ use amulet_sim::costs::{detector_cycles, tsetlin_classifier_cycles, OpCosts};
 use amulet_sim::energy::BatteryState;
 use ml::metrics::ConfusionMatrix;
 use ml::{BackendKind, DetectorBackend, DetectorModel, Label};
-use physio_sim::record::Record;
+use physio_sim::record::{Record, SynthProfile};
 use physio_sim::subject::{bank, Subject};
 use sift::config::SiftConfig;
 use sift::features::Version;
@@ -146,6 +146,12 @@ pub struct Scenario {
     pub chunk_s: f64,
     /// Master seed.
     pub seed: u64,
+    /// Which kernels synthesize the live session record.
+    /// [`SynthProfile::Reference`] (the default) is the digest-pinned
+    /// historical path; [`SynthProfile::Turbo`] is the documented
+    /// fidelity/throughput tradeoff for fleet-scale runs. Training data
+    /// is always synthesized with the reference kernels.
+    pub synth: SynthProfile,
 }
 
 impl Scenario {
@@ -173,6 +179,7 @@ impl Scenario {
             },
             chunk_s: 0.5,
             seed: 0xC0FFEE,
+            synth: SynthProfile::default(),
         }
     }
 
@@ -697,7 +704,12 @@ impl DeviceSim {
             Some(s) => s,
             None => &subjects[scenario.victim],
         };
-        let live = Record::synthesize(victim_subject, scenario.duration_s, scenario.seed ^ 0x11FE);
+        let live = Record::synthesize_profiled(
+            victim_subject,
+            scenario.duration_s,
+            scenario.seed ^ 0x11FE,
+            scenario.synth,
+        );
         let ecg_dev = SensorDevice::ecg(&live, scenario.chunk_s);
         let abp_dev = SensorDevice::abp(&live, scenario.chunk_s);
 

@@ -64,32 +64,64 @@ cargo run --release -q -p bench --bin recovery -- --threads 8
 # results/TELEMETRY_pipeline.json and results/TELEMETRY_trace.ndjson.
 cargo run --release -q -p bench --bin telemetry
 
-# Fleet throughput check: regenerate BENCH_fleet.json with the baseline's
-# parameters and diff against the committed numbers. The report digest is
-# a hard gate — it only moves when the simulation itself changed — while
-# the wall-clock fields legitimately differ between machines and runs,
-# so any other drift stays warn-only.
+# Fleet throughput check: regenerate results/BENCH_fleet.json with the
+# baseline's parameters and diff against the committed numbers. The
+# report digest is a hard gate — it only moves when the simulation
+# itself changed — while the wall-clock fields legitimately differ
+# between machines and runs, so any other drift stays warn-only.
 baseline=results/BENCH_fleet_baseline.json
+fleet_out=results/BENCH_fleet.json
 if [[ -f "$baseline" ]]; then
   cargo run --release -q -p bench --bin fleet -- \
     --devices 100 --threads 8 --seed 61455 --duration 30 \
-    --out BENCH_fleet.json >/dev/null
+    --out "$fleet_out" >/dev/null
   base_digest=$(grep -o '"digest": "[^"]*"' "$baseline" || true)
-  new_digest=$(grep -o '"digest": "[^"]*"' BENCH_fleet.json || true)
+  new_digest=$(grep -o '"digest": "[^"]*"' "$fleet_out" || true)
   if [[ "$base_digest" != "$new_digest" ]]; then
     echo "verify: FAIL fleet report digest drifted: baseline $base_digest vs $new_digest"
-    diff -u "$baseline" BENCH_fleet.json || true
+    diff -u "$baseline" "$fleet_out" || true
     exit 1
   fi
-  if diff -u "$baseline" BENCH_fleet.json >/dev/null 2>&1; then
+  if diff -u "$baseline" "$fleet_out" >/dev/null 2>&1; then
     echo "verify: fleet bench matches baseline exactly"
   else
     echo "verify: fleet digest matches baseline ($base_digest)"
     echo "verify: WARN wall-clock fields drifted from $baseline (expected between runs):"
-    diff -u "$baseline" BENCH_fleet.json || true
+    diff -u "$baseline" "$fleet_out" || true
   fi
 else
   echo "verify: WARN no fleet baseline at $baseline; skipping bench diff"
+fi
+
+# Slab streaming engine gate: re-run the 100k-device fleet_xl bench with
+# the baseline's parameters. The bin itself exits nonzero if the slab
+# digest differs between 1, 2, and 8 worker threads or if the reorder
+# window overflows its bound; on top of that, the digest must match the
+# committed baseline byte-for-byte — it is a pure function of the seed,
+# device count, and duration. Throughput against the 10x target is
+# warn-only: wall-clock speedup is machine-dependent.
+xl_baseline=results/BENCH_fleet_xl.json
+if [[ -f "$xl_baseline" ]]; then
+  cargo run --release -q -p bench --bin fleet_xl -- \
+    --devices 100000 --threads 8 --seed 61455 --duration 30 \
+    --out /tmp/BENCH_fleet_xl.verify.json >/dev/null
+  base_digest=$(grep -o '"slab_digest": "[^"]*"' "$xl_baseline" || true)
+  new_digest=$(grep -o '"slab_digest": "[^"]*"' /tmp/BENCH_fleet_xl.verify.json || true)
+  if [[ "$base_digest" != "$new_digest" ]]; then
+    echo "verify: FAIL fleet_xl slab digest drifted: baseline $base_digest vs $new_digest"
+    diff -u "$xl_baseline" /tmp/BENCH_fleet_xl.verify.json || true
+    exit 1
+  fi
+  echo "verify: fleet_xl slab digest matches baseline ($base_digest)"
+  speedup=$(grep -o '"speedup_vs_resident_baseline": [0-9.]*' \
+    /tmp/BENCH_fleet_xl.verify.json | grep -o '[0-9.]*$' || echo 0)
+  if awk -v s="$speedup" 'BEGIN { exit !(s < 10.0) }'; then
+    echo "verify: WARN fleet_xl speedup ${speedup}x below the 10x target (wall-clock, machine-dependent)"
+  else
+    echo "verify: fleet_xl speedup ${speedup}x meets the 10x target"
+  fi
+else
+  echo "verify: WARN no fleet_xl baseline at $xl_baseline; skipping slab gate"
 fi
 
 # Survival-policy lifetime gate: regenerate results/BENCH_lifetime.json

@@ -95,17 +95,20 @@ fn seeded_training_is_deterministic_for_every_backend() {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
+    // Row counts span several full SIMD lane blocks (ml::SIMD_LANES = 8)
+    // plus ragged tails, so both the lane-parallel kernel and the scalar
+    // remainder path are exercised against the per-row scalar reference.
     #[test]
     fn batched_scoring_matches_scalar_bit_for_bit(
         rows in prop::collection::vec(
             prop::collection::vec(-4.0f32..4.0, Version::Simplified.feature_count()),
-            0..12
+            0..(4 * ml::SIMD_LANES + 3)
         )
     ) {
         for kind in BackendKind::ALL {
             let m = model(kind);
             let flat: Vec<f32> = rows.iter().flatten().copied().collect();
-            let batched = m.score_batch_f32(&flat);
+            let batched = m.score_batch_f32(&flat).unwrap();
             prop_assert_eq!(batched.len(), rows.len());
             for (row, &b) in rows.iter().zip(&batched) {
                 let scalar = m.score_f32(row);
@@ -118,6 +121,27 @@ proptest! {
                 );
                 prop_assert_eq!(m.predict_f32(row), Label::from_sign(f64::from(b)));
             }
+        }
+    }
+
+    // A batch that does not split into whole feature rows must come back
+    // as a typed shape error — never a panic — for every backend.
+    #[test]
+    fn ragged_batch_is_a_typed_error_for_every_backend(extra in 1usize..8) {
+        let dim = Version::Simplified.feature_count();
+        prop_assume!(!extra.is_multiple_of(dim));
+        for kind in BackendKind::ALL {
+            let m = model(kind);
+            let flat = vec![0.5f32; dim + extra];
+            prop_assert_eq!(
+                m.score_batch_f32(&flat),
+                Err(ml::MlError::DimensionMismatch {
+                    expected: dim,
+                    actual: dim + extra
+                }),
+                "{:?}: ragged batch not rejected with the typed error",
+                kind
+            );
         }
     }
 }
